@@ -1,0 +1,110 @@
+// Command spmmadvise recommends a sparse format for a matrix — the
+// metric-driven format selection programme of the related work the thesis
+// surveys (the "ELL ratio" rule and its learned descendants), backed by the
+// suite's advisor. With -measure it also benchmarks the candidates and
+// reports whether the recommendation survives contact with measurement.
+//
+// Examples:
+//
+//	spmmadvise -matrix torso1 -scale 0.05
+//	spmmadvise -matrix path/to/matrix.mtx -env parallel -measure
+//	spmmadvise -matrix cant -spy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+	"repro/internal/mmio"
+)
+
+func main() {
+	var (
+		name    = flag.String("matrix", "cant", "registry matrix name or path to a .mtx file")
+		scale   = flag.Float64("scale", 0.05, "scale factor for registry matrices")
+		env     = flag.String("env", "all", "environment: serial, parallel, gpu, or all")
+		measure = flag.Bool("measure", false, "benchmark the candidate formats (serial/parallel only)")
+		spy     = flag.Bool("spy", false, "print the sparsity pattern")
+		threads = flag.Int("t", 8, "threads for -measure in the parallel environment")
+		kArg    = flag.Int("k", 128, "k for -measure")
+	)
+	flag.Parse()
+
+	m, err := load(*name, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := advisor.Extract(m)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("matrix %s: %dx%d, %d nonzeros\n", *name, f.Rows, f.Cols, f.NNZ)
+	fmt.Printf("features: ratio %.1f, ell-overhead %.1fx, 4x4-block fill %.2f, density %.2g\n\n",
+		f.Ratio, f.ELLOverhead, f.BCSRFill4, f.Density)
+	if *spy {
+		if err := metrics.SpyPlot(os.Stdout, m, 72, 24); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	envs := []advisor.Environment{advisor.SerialCPU, advisor.ParallelCPU, advisor.GPUEnv}
+	switch *env {
+	case "serial":
+		envs = envs[:1]
+	case "parallel":
+		envs = envs[1:2]
+	case "gpu":
+		envs = envs[2:]
+	case "all":
+	default:
+		fatal(fmt.Errorf("unknown environment %q", *env))
+	}
+
+	for _, e := range envs {
+		fmt.Printf("%s:\n", e)
+		for i, a := range advisor.Recommend(f, e) {
+			marker := " "
+			if i == 0 {
+				marker = "*"
+			}
+			fmt.Printf("  %s %-5s %5.2f  %s\n", marker, a.Format, a.Score, a.Reason)
+		}
+		if *measure && e != advisor.GPUEnv {
+			p := core.DefaultParams()
+			p.Threads = *threads
+			p.K = *kArg
+			p.Reps = 3
+			best, results, err := advisor.Measure(m, e, p, core.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println("  measured:")
+			for _, r := range results {
+				fmt.Printf("    %-5s %9.1f MFLOPS\n", r.Format, r.MFLOPS)
+			}
+			fmt.Printf("  measured winner: %s\n", best)
+		}
+		fmt.Println()
+	}
+}
+
+func load(name string, scale float64) (*matrix.COO[float64], error) {
+	if strings.HasSuffix(name, ".mtx") {
+		return mmio.ReadFile[float64](name)
+	}
+	m, _, err := gen.GenerateScaled(name, scale)
+	return m, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spmmadvise:", err)
+	os.Exit(1)
+}

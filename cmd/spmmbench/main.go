@@ -1,0 +1,178 @@
+// Command spmmbench benchmarks a single SpMM kernel on one matrix — the
+// suite's equivalent of the thesis' per-kernel benchmark binaries. The
+// flags mirror the thesis CLI (§4.3): repetitions, thread count, block
+// size, the k-loop length, an optional thread-count list for the Study 3.1
+// sweep, and a debug flag.
+//
+// The matrix is either a registry name (one of the thesis' 14, synthesised
+// on the fly, optionally scaled) or a MatrixMarket file.
+//
+// Examples:
+//
+//	spmmbench -kernel csr-omp -matrix cant -scale 0.1 -t 8 -k 128
+//	spmmbench -kernel bcsr-serial -matrix path/to/matrix.mtx -b 4
+//	spmmbench -kernel csr-omp -matrix dw4096 -threads-list 2,4,8,16
+//	spmmbench -kernel csr-gpu -matrix cant -scale 0.05 -device h100
+//	spmmbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/gpusim"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+	"repro/internal/mmio"
+)
+
+func main() {
+	var (
+		kernelName  = flag.String("kernel", "csr-serial", "kernel registry name (see -list)")
+		op          = flag.String("op", "spmm", "operation: spmm or spmv (future-work §6.3.4)")
+		matrixName  = flag.String("matrix", "cant", "registry matrix name or path to a .mtx file")
+		scale       = flag.Float64("scale", 0.05, "scale factor for registry matrices")
+		reps        = flag.Int("n", 5, "timed repetitions of the calculation")
+		threads     = flag.Int("t", 32, "thread count for parallel kernels")
+		block       = flag.Int("b", 4, "block size for blocked formats")
+		kArg        = flag.Int("k", 128, "k-loop length (columns of B)")
+		threadsList = flag.String("threads-list", "", "comma-separated thread counts: run the best-thread sweep")
+		device      = flag.String("device", "h100", "simulated GPU for gpu kernels: h100 or a100")
+		verify      = flag.Bool("verify", true, "verify against the COO reference kernel")
+		debug       = flag.Bool("debug", false, "verbose output")
+		list        = flag.Bool("list", false, "list available kernels and matrices, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("spmm kernels:")
+		for _, n := range core.Names() {
+			fmt.Println("  " + n)
+		}
+		fmt.Println("spmv kernels (use with -op spmv):")
+		for _, n := range core.SpMVNames() {
+			fmt.Println("  " + n)
+		}
+		fmt.Println("matrices:")
+		for _, n := range gen.Names() {
+			fmt.Println("  " + n)
+		}
+		return
+	}
+
+	a, err := loadMatrix(*matrixName, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *op == "spmv" {
+		k, err := core.NewSpMV(*kernelName)
+		if err != nil {
+			fatal(err)
+		}
+		p := core.Params{Reps: *reps, Threads: *threads, BlockSize: *block, K: 1,
+			Verify: *verify, Debug: *debug, Seed: 1}
+		props := metrics.Compute(a)
+		fmt.Printf("matrix: %s  (%dx%d, %d nonzeros)\n", *matrixName, props.Rows, props.Cols, props.NNZ)
+		r, err := core.RunSpMV(k, a, *matrixName, p)
+		if err != nil {
+			fatal(err)
+		}
+		report(r, *debug)
+		return
+	}
+
+	opts := core.Options{}
+	if strings.HasSuffix(*kernelName, "-gpu") {
+		cfg := gpusim.H100Like()
+		if *device == "a100" {
+			cfg = gpusim.A100Like()
+		}
+		dev, err := gpusim.NewDevice(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Device = dev
+	}
+	k, err := core.New(*kernelName, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	p := core.Params{
+		Reps:      *reps,
+		Threads:   *threads,
+		BlockSize: *block,
+		K:         *kArg,
+		Verify:    *verify,
+		Debug:     *debug,
+		Seed:      1,
+	}
+
+	props := metrics.Compute(a)
+	fmt.Printf("matrix: %s  (%dx%d, %d nonzeros, max %d, avg %.1f, ratio %.1f)\n",
+		*matrixName, props.Rows, props.Cols, props.NNZ, props.MaxRow, props.AvgRow, props.Ratio)
+
+	if *threadsList != "" {
+		for _, tok := range strings.Split(*threadsList, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				fatal(fmt.Errorf("bad -threads-list entry %q: %w", tok, err))
+			}
+			p.ThreadList = append(p.ThreadList, v)
+		}
+		best, all, err := core.BestThreads(k, a, *matrixName, p)
+		if err != nil {
+			fatal(err)
+		}
+		t := metrics.NewTable("threads", "avg seconds", "MFLOPS")
+		for _, r := range all {
+			t.AddRow(r.Threads, fmt.Sprintf("%.6f", r.AvgSeconds), fmt.Sprintf("%.1f", r.MFLOPS))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("best thread count: %d (%.1f MFLOPS)\n", all[best].Threads, all[best].MFLOPS)
+		return
+	}
+
+	r, err := core.Run(k, a, *matrixName, p)
+	if err != nil {
+		fatal(err)
+	}
+	report(r, *debug)
+}
+
+func loadMatrix(name string, scale float64) (*matrix.COO[float64], error) {
+	if strings.HasSuffix(name, ".mtx") {
+		return mmio.ReadFile[float64](name)
+	}
+	m, _, err := gen.GenerateScaled(name, scale)
+	return m, err
+}
+
+func report(r core.Result, debug bool) {
+	fmt.Printf("kernel:        %s (format %s, %s)\n", r.Kernel, r.Format, r.Mode)
+	fmt.Printf("parameters:    k=%d threads=%d block=%d\n", r.K, r.Threads, r.Block)
+	fmt.Printf("format time:   %.6f s  (%d bytes)\n", r.FormatSeconds, r.FormatBytes)
+	fmt.Printf("calc time:     avg %.6f s, min %.6f s\n", r.AvgSeconds, r.MinSeconds)
+	fmt.Printf("performance:   %.1f MFLOPS (%.3f GFLOPS)\n", r.MFLOPS, r.MFLOPS/1e3)
+	if r.Verified {
+		fmt.Printf("verification:  ok (max abs diff %.3g)\n", r.MaxAbsDiff)
+	} else {
+		fmt.Println("verification:  skipped")
+	}
+	if debug {
+		fmt.Printf("debug:         %+v\n", r)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spmmbench:", err)
+	os.Exit(1)
+}

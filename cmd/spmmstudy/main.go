@@ -1,0 +1,109 @@
+// Command spmmstudy regenerates the evaluation studies of the thesis
+// (Chapter 5): Table 5.1 plus Studies 1 through 9, printing the data series
+// behind every figure as aligned text tables.
+//
+// Usage:
+//
+//	spmmstudy -study all
+//	spmmstudy -study 1,5,7 -scale 0.1 -reps 5
+//	spmmstudy -study props -scale 1
+//	spmmstudy -study 3.1 -matrices cant,torso1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"time"
+
+	"repro/internal/studies"
+)
+
+var unsafeChars = regexp.MustCompile(`[^a-zA-Z0-9._-]+`)
+
+// writeCSVs stores each section as <dir>/study<id>_<n>_<slug>.csv — the CSV
+// feed the thesis' plotting scripts consume.
+func writeCSVs(dir, id string, sections []studies.Section) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, s := range sections {
+		slug := unsafeChars.ReplaceAllString(strings.ToLower(s.Title), "_")
+		if len(slug) > 60 {
+			slug = slug[:60]
+		}
+		path := filepath.Join(dir, fmt.Sprintf("study%s_%02d_%s.csv", id, i, slug))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := s.Table.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	var (
+		study    = flag.String("study", "all", "study id: props, 1, 2, 3, 3.1, 4, 5, 6, 7, 8, 9, mem, or a comma list, or 'all'")
+		scale    = flag.Float64("scale", 0.05, "matrix scale factor for CPU studies (0 < s <= 1)")
+		gpuScale = flag.Float64("gpuscale", 0.02, "matrix scale factor for simulated-GPU studies")
+		reps     = flag.Int("reps", 3, "timed repetitions per kernel")
+		matrices = flag.String("matrices", "", "comma-separated matrix subset (default: all 14)")
+		verify   = flag.Bool("verify", false, "verify every kernel result against the COO reference")
+		quiet    = flag.Bool("quiet", false, "suppress progress notes on stderr")
+		csvDir   = flag.String("csv", "", "also write each section as a CSV file into this directory")
+		chart    = flag.Bool("chart", false, "render bar charts (the figures' shape) instead of tables")
+	)
+	flag.Parse()
+
+	cfg := studies.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.GPUScale = *gpuScale
+	cfg.Reps = *reps
+	cfg.Verify = *verify
+	if *matrices != "" {
+		cfg.Matrices = strings.Split(*matrices, ",")
+	}
+
+	ids := studies.All()
+	if *study != "all" {
+		ids = strings.Split(*study, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		sections, err := studies.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmmstudy: study %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		render := studies.Render
+		if *chart {
+			render = studies.RenderCharts
+		}
+		if err := render(os.Stdout, sections); err != nil {
+			fmt.Fprintf(os.Stderr, "spmmstudy: %v\n", err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, id, sections); err != nil {
+				fmt.Fprintf(os.Stderr, "spmmstudy: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Println()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[study %s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/studies"
+)
+
+func TestWriteCSVs(t *testing.T) {
+	dir := t.TempDir()
+	tb := metrics.NewTable("matrix", "mflops")
+	tb.AddRow("cant", 123.0)
+	sections := []studies.Section{
+		{Title: "Study X (Fig 9.9): something / with ÷ odd chars", Table: tb},
+		{Title: "second", Table: tb},
+	}
+	if err := writeCSVs(dir, "X", sections); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("wrote %d files, want 2", len(entries))
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "studyX_") || !strings.HasSuffix(name, ".csv") {
+			t.Fatalf("bad file name %q", name)
+		}
+		if strings.ContainsAny(name, "/÷ ()") {
+			t.Fatalf("unsafe characters in %q", name)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "matrix,mflops") {
+			t.Fatalf("csv content wrong: %q", data)
+		}
+	}
+}
+
+func TestWriteCSVsBadDir(t *testing.T) {
+	// A file where the directory should be must fail cleanly.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocked")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tb := metrics.NewTable("a")
+	tb.AddRow("1")
+	err := writeCSVs(blocker, "Y", []studies.Section{{Title: "t", Table: tb}})
+	if err == nil {
+		t.Fatal("writing into a file-as-directory must fail")
+	}
+}

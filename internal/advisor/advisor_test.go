@@ -1,0 +1,136 @@
+package advisor
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/matrix"
+)
+
+func features(t *testing.T, name string, scale float64) Features {
+	t.Helper()
+	m, _, err := gen.GenerateScaled(name, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Extract(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestExtractFeatures(t *testing.T) {
+	f := features(t, "cant", 0.05)
+	if f.NNZ == 0 || f.Density <= 0 || f.Density >= 1 {
+		t.Fatalf("bad features: %+v", f)
+	}
+	if f.ELLOverhead < 1 {
+		t.Fatalf("ELL overhead %v < 1", f.ELLOverhead)
+	}
+	if f.BCSRFill4 <= 0 || f.BCSRFill4 > 1 {
+		t.Fatalf("block fill %v outside (0,1]", f.BCSRFill4)
+	}
+}
+
+func TestRecommendReturnsSortedCompleteRanking(t *testing.T) {
+	f := features(t, "bcsstk17", 0.1)
+	for _, env := range []Environment{SerialCPU, ParallelCPU, GPUEnv} {
+		advice := Recommend(f, env)
+		if len(advice) != 4 {
+			t.Fatalf("%v: %d recommendations", env, len(advice))
+		}
+		seen := map[string]bool{}
+		for i, a := range advice {
+			if a.Reason == "" {
+				t.Fatalf("%v: %s has no reason", env, a.Format)
+			}
+			if seen[a.Format] {
+				t.Fatalf("%v: duplicate %s", env, a.Format)
+			}
+			seen[a.Format] = true
+			if i > 0 && a.Score > advice[i-1].Score {
+				t.Fatalf("%v: not sorted", env)
+			}
+		}
+	}
+}
+
+// TestRecommendMatchesThesisConclusions encodes §6.1/§6.2: uniform rows →
+// ELL in parallel; one huge row → never a padded format; serial → CSR-ish.
+func TestRecommendMatchesThesisConclusions(t *testing.T) {
+	// af23560: ratio 1 — ELL's ideal case in parallel environments.
+	uniform := features(t, "af23560", 0.1)
+	if got := Recommend(uniform, ParallelCPU)[0].Format; got != "ell" && got != "bcsr" {
+		t.Errorf("uniform matrix in parallel: picked %s, want a blocked format", got)
+	}
+
+	// torso1: ratio 44 — padded formats must rank at the bottom everywhere.
+	skewed := features(t, "torso1", 0.02)
+	for _, env := range []Environment{SerialCPU, ParallelCPU, GPUEnv} {
+		advice := Recommend(skewed, env)
+		if advice[0].Format == "ell" {
+			t.Errorf("%v: ELL recommended for a ratio-%0.f matrix", env, skewed.Ratio)
+		}
+		if advice[len(advice)-1].Format != "ell" && advice[len(advice)-2].Format != "ell" {
+			t.Errorf("%v: ELL should rank near the bottom for torso1", env)
+		}
+	}
+
+	// Serial CPU on a generic FEM matrix: CSR or COO on top (§6.1: "COO
+	// and CSR often did very well ... better than BCSR or ELLPACK").
+	generic := features(t, "cop20k_A", 0.05)
+	if got := Recommend(generic, SerialCPU)[0].Format; got != "csr" && got != "coo" {
+		t.Errorf("serial generic matrix: picked %s, want csr/coo", got)
+	}
+}
+
+func TestMeasureAgreesWithKernels(t *testing.T) {
+	m, _, err := gen.GenerateScaled("bcsstk13", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams()
+	p.Reps = 1
+	p.Threads = 2
+	p.K = 32
+	best, results, err := Measure(m, ParallelCPU, p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("%d results", len(results))
+	}
+	var bestMF float64
+	for _, r := range results {
+		if !r.Verified {
+			t.Fatalf("%s not verified", r.Kernel)
+		}
+		if r.MFLOPS > bestMF {
+			bestMF = r.MFLOPS
+		}
+	}
+	for _, r := range results {
+		if r.Format == best && r.MFLOPS != bestMF {
+			t.Fatalf("winner %s does not have the max MFLOPS", best)
+		}
+	}
+}
+
+func TestMeasureGPURequiresDevice(t *testing.T) {
+	m := matrix.NewCOO[float64](4, 4, 1)
+	m.Append(0, 0, 1)
+	p := core.DefaultParams()
+	p.Reps = 1
+	p.K = 8
+	if _, _, err := Measure(m, GPUEnv, p, core.Options{}); err == nil {
+		t.Fatal("GPU environment without a device accepted")
+	}
+}
+
+func TestEnvironmentStrings(t *testing.T) {
+	if SerialCPU.String() != "serial-cpu" || ParallelCPU.String() != "parallel-cpu" || GPUEnv.String() != "gpu" {
+		t.Fatal("environment strings")
+	}
+}

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/formats"
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+	"repro/internal/vendorlib"
+)
+
+// This file implements the Kernel interface for every format × mode ×
+// variant combination the registry exposes. Each type holds its formatted
+// matrix between Prepare and Calculate, exactly as the thesis' C++ objects
+// hold their format-specific structures.
+
+// ---- COO ----
+
+type cooKernel struct {
+	mode       Mode
+	transposed bool
+	fixedK     bool
+	a          *matrix.COO[float64]
+}
+
+func (k *cooKernel) Name() string {
+	return kernelName("coo", k.mode, k.transposed, k.fixedK)
+}
+func (k *cooKernel) Format() string   { return "coo" }
+func (k *cooKernel) Mode() Mode       { return k.mode }
+func (k *cooKernel) Transposed() bool { return k.transposed }
+
+func (k *cooKernel) Prepare(a *matrix.COO[float64], p Params) error {
+	// COO is the base format; "formatting" is a sort (usually a no-op).
+	a.SortRowMajor()
+	k.a = a
+	return nil
+}
+
+func (k *cooKernel) Bytes() int {
+	if k.a == nil {
+		return 0
+	}
+	return k.a.Bytes()
+}
+
+func (k *cooKernel) Calculate(b, c *matrix.Dense[float64], p Params) error {
+	if k.a == nil {
+		return ErrNotPrepared
+	}
+	switch {
+	case k.fixedK && k.mode == Serial:
+		return kernels.COOSerialFixed(k.a, b, c, p.K)
+	case k.fixedK:
+		return kernels.COOParallelFixed(k.a, b, c, p.K, p.Threads)
+	case k.transposed && k.mode == Serial:
+		return kernels.COOSerialT(k.a, b, c, p.K)
+	case k.transposed:
+		return kernels.COOParallelT(k.a, b, c, p.K, p.Threads)
+	case k.mode == Serial:
+		return kernels.COOSerial(k.a, b, c, p.K)
+	default:
+		return kernels.COOParallel(k.a, b, c, p.K, p.Threads)
+	}
+}
+
+// ---- CSR ----
+
+type csrKernel struct {
+	mode       Mode
+	transposed bool
+	fixedK     bool
+	a          *formats.CSR[float64]
+}
+
+func (k *csrKernel) Name() string {
+	return kernelName("csr", k.mode, k.transposed, k.fixedK)
+}
+func (k *csrKernel) Format() string   { return "csr" }
+func (k *csrKernel) Mode() Mode       { return k.mode }
+func (k *csrKernel) Transposed() bool { return k.transposed }
+
+func (k *csrKernel) Prepare(a *matrix.COO[float64], p Params) error {
+	k.a = formats.CSRFromCOO(a)
+	return nil
+}
+
+func (k *csrKernel) Bytes() int {
+	if k.a == nil {
+		return 0
+	}
+	return k.a.Bytes()
+}
+
+func (k *csrKernel) Calculate(b, c *matrix.Dense[float64], p Params) error {
+	if k.a == nil {
+		return ErrNotPrepared
+	}
+	switch {
+	case k.fixedK && k.mode == Serial:
+		return kernels.CSRSerialFixed(k.a, b, c, p.K)
+	case k.fixedK:
+		return kernels.CSRParallelFixed(k.a, b, c, p.K, p.Threads)
+	case k.transposed && k.mode == Serial:
+		return kernels.CSRSerialT(k.a, b, c, p.K)
+	case k.transposed:
+		return kernels.CSRParallelT(k.a, b, c, p.K, p.Threads)
+	case k.mode == Serial:
+		return kernels.CSRSerial(k.a, b, c, p.K)
+	default:
+		return kernels.CSRParallel(k.a, b, c, p.K, p.Threads)
+	}
+}
+
+// ---- ELLPACK ----
+
+type ellKernel struct {
+	mode       Mode
+	transposed bool
+	fixedK     bool
+	layout     formats.ELLLayout
+	a          *formats.ELL[float64]
+}
+
+func (k *ellKernel) Name() string {
+	return kernelName("ell", k.mode, k.transposed, k.fixedK)
+}
+func (k *ellKernel) Format() string   { return "ell" }
+func (k *ellKernel) Mode() Mode       { return k.mode }
+func (k *ellKernel) Transposed() bool { return k.transposed }
+
+func (k *ellKernel) Prepare(a *matrix.COO[float64], p Params) error {
+	k.a = formats.ELLFromCOO(a, k.layout)
+	return nil
+}
+
+func (k *ellKernel) Bytes() int {
+	if k.a == nil {
+		return 0
+	}
+	return k.a.Bytes()
+}
+
+func (k *ellKernel) Calculate(b, c *matrix.Dense[float64], p Params) error {
+	if k.a == nil {
+		return ErrNotPrepared
+	}
+	switch {
+	case k.fixedK && k.mode == Serial:
+		return kernels.ELLSerialFixed(k.a, b, c, p.K)
+	case k.fixedK:
+		return kernels.ELLParallelFixed(k.a, b, c, p.K, p.Threads)
+	case k.transposed && k.mode == Serial:
+		return kernels.ELLSerialT(k.a, b, c, p.K)
+	case k.transposed:
+		return kernels.ELLParallelT(k.a, b, c, p.K, p.Threads)
+	case k.mode == Serial:
+		return kernels.ELLSerial(k.a, b, c, p.K)
+	default:
+		return kernels.ELLParallel(k.a, b, c, p.K, p.Threads)
+	}
+}
+
+// ---- BCSR ----
+
+type bcsrKernel struct {
+	mode       Mode
+	transposed bool
+	fixedK     bool
+	a          *formats.BCSR[float64]
+}
+
+func (k *bcsrKernel) Name() string {
+	return kernelName("bcsr", k.mode, k.transposed, k.fixedK)
+}
+func (k *bcsrKernel) Format() string   { return "bcsr" }
+func (k *bcsrKernel) Mode() Mode       { return k.mode }
+func (k *bcsrKernel) Transposed() bool { return k.transposed }
+
+func (k *bcsrKernel) Prepare(a *matrix.COO[float64], p Params) error {
+	b, err := formats.BCSRFromCOO(a, p.BlockSize, p.BlockSize)
+	if err != nil {
+		return err
+	}
+	k.a = b
+	return nil
+}
+
+func (k *bcsrKernel) Bytes() int {
+	if k.a == nil {
+		return 0
+	}
+	return k.a.Bytes()
+}
+
+func (k *bcsrKernel) Calculate(b, c *matrix.Dense[float64], p Params) error {
+	if k.a == nil {
+		return ErrNotPrepared
+	}
+	switch {
+	case k.fixedK && k.mode == Serial:
+		return kernels.BCSRSerialFixed(k.a, b, c, p.K)
+	case k.fixedK:
+		return kernels.BCSRParallelFixed(k.a, b, c, p.K, p.Threads)
+	case k.transposed && k.mode == Serial:
+		return kernels.BCSRSerialT(k.a, b, c, p.K)
+	case k.transposed:
+		return kernels.BCSRParallelT(k.a, b, c, p.K, p.Threads)
+	case k.mode == Serial:
+		return kernels.BCSRSerial(k.a, b, c, p.K)
+	default:
+		return kernels.BCSRParallel(k.a, b, c, p.K, p.Threads)
+	}
+}
+
+// ---- BELL (future-work format) ----
+
+type bellKernel struct {
+	mode Mode
+	a    *formats.BELL[float64]
+}
+
+func (k *bellKernel) Name() string     { return kernelName("bell", k.mode, false, false) }
+func (k *bellKernel) Format() string   { return "bell" }
+func (k *bellKernel) Mode() Mode       { return k.mode }
+func (k *bellKernel) Transposed() bool { return false }
+
+func (k *bellKernel) Prepare(a *matrix.COO[float64], p Params) error {
+	b, err := formats.BELLFromCOO(a, p.BlockSize, p.BlockSize)
+	if err != nil {
+		return err
+	}
+	k.a = b
+	return nil
+}
+
+func (k *bellKernel) Bytes() int {
+	if k.a == nil {
+		return 0
+	}
+	return k.a.Bytes()
+}
+
+func (k *bellKernel) Calculate(b, c *matrix.Dense[float64], p Params) error {
+	if k.a == nil {
+		return ErrNotPrepared
+	}
+	if k.mode == Serial {
+		return kernels.BELLSerial(k.a, b, c, p.K)
+	}
+	return kernels.BELLParallel(k.a, b, c, p.K, p.Threads)
+}
+
+// ---- SELL-C-σ (future-work format, CSR5 stand-in) ----
+
+type sellKernel struct {
+	mode Mode
+	a    *formats.SELLCS[float64]
+}
+
+func (k *sellKernel) Name() string     { return kernelName("sellcs", k.mode, false, false) }
+func (k *sellKernel) Format() string   { return "sellcs" }
+func (k *sellKernel) Mode() Mode       { return k.mode }
+func (k *sellKernel) Transposed() bool { return false }
+
+func (k *sellKernel) Prepare(a *matrix.COO[float64], p Params) error {
+	s, err := formats.SELLCSFromCOO(a, 8, 64)
+	if err != nil {
+		return err
+	}
+	k.a = s
+	return nil
+}
+
+func (k *sellKernel) Bytes() int {
+	if k.a == nil {
+		return 0
+	}
+	return k.a.Bytes()
+}
+
+func (k *sellKernel) Calculate(b, c *matrix.Dense[float64], p Params) error {
+	if k.a == nil {
+		return ErrNotPrepared
+	}
+	if k.mode == Serial {
+		return kernels.SELLCSSerial(k.a, b, c, p.K)
+	}
+	return kernels.SELLCSParallel(k.a, b, c, p.K, p.Threads)
+}
+
+// ---- GPU kernels (simulated device) ----
+
+// gpuKernel wraps the naive offload kernels of gpusim and the tuned kernels
+// of vendorlib behind the Kernel interface. The runner picks up the
+// modelled time through ModelTimed.
+type gpuKernel struct {
+	name   string
+	format string
+	dev    *gpusim.Device
+	vendor bool
+	// transT selects the transposed-B GPU kernel, which transposes B on
+	// the device itself (the cost is part of the modelled time), so
+	// Transposed() stays false and the runner passes the plain B.
+	transT bool
+
+	coo  *matrix.COO[float64]
+	csr  *formats.CSR[float64]
+	ell  *formats.ELL[float64]
+	bcsr *formats.BCSR[float64]
+	bell *formats.BELL[float64]
+
+	lastSeconds float64
+}
+
+func (k *gpuKernel) Name() string     { return k.name }
+func (k *gpuKernel) Format() string   { return k.format }
+func (k *gpuKernel) Mode() Mode       { return GPU }
+func (k *gpuKernel) Transposed() bool { return false }
+
+func (k *gpuKernel) Prepare(a *matrix.COO[float64], p Params) error {
+	switch k.format {
+	case "coo":
+		a.SortRowMajor()
+		k.coo = a
+	case "csr":
+		k.csr = formats.CSRFromCOO(a)
+	case "ell":
+		// GPU ELL uses the column-major layout (coalesced).
+		k.ell = formats.ELLFromCOO(a, formats.ColMajor)
+	case "bcsr":
+		b, err := formats.BCSRFromCOO(a, p.BlockSize, p.BlockSize)
+		if err != nil {
+			return err
+		}
+		k.bcsr = b
+	case "bell":
+		b, err := formats.BELLFromCOO(a, p.BlockSize, p.BlockSize)
+		if err != nil {
+			return err
+		}
+		k.bell = b
+	default:
+		return fmt.Errorf("core: gpu kernel for %q not available", k.format)
+	}
+	return nil
+}
+
+func (k *gpuKernel) Bytes() int {
+	switch k.format {
+	case "coo":
+		if k.coo != nil {
+			return k.coo.Bytes()
+		}
+	case "csr":
+		if k.csr != nil {
+			return k.csr.Bytes()
+		}
+	case "ell":
+		if k.ell != nil {
+			return k.ell.Bytes()
+		}
+	case "bcsr":
+		if k.bcsr != nil {
+			return k.bcsr.Bytes()
+		}
+	case "bell":
+		if k.bell != nil {
+			return k.bell.Bytes()
+		}
+	}
+	return 0
+}
+
+func (k *gpuKernel) Calculate(b, c *matrix.Dense[float64], p Params) error {
+	var res gpusim.LaunchResult
+	var err error
+	switch {
+	case k.format == "coo" && k.vendor:
+		if k.coo == nil {
+			return ErrNotPrepared
+		}
+		res, err = vendorlib.SpMMCOO(k.dev, k.coo, b, c, p.K)
+	case k.format == "coo":
+		if k.coo == nil {
+			return ErrNotPrepared
+		}
+		res, err = gpusim.SpMMCOO(k.dev, k.coo, b, c, p.K)
+	case k.format == "csr" && k.vendor:
+		if k.csr == nil {
+			return ErrNotPrepared
+		}
+		res, err = vendorlib.SpMMCSR(k.dev, k.csr, b, c, p.K)
+	case k.format == "csr" && k.transT:
+		if k.csr == nil {
+			return ErrNotPrepared
+		}
+		res, err = gpusim.SpMMCSRT(k.dev, k.csr, b, c, p.K)
+	case k.format == "csr":
+		if k.csr == nil {
+			return ErrNotPrepared
+		}
+		res, err = gpusim.SpMMCSR(k.dev, k.csr, b, c, p.K)
+	case k.format == "ell":
+		if k.ell == nil {
+			return ErrNotPrepared
+		}
+		res, err = gpusim.SpMMELL(k.dev, k.ell, b, c, p.K)
+	case k.format == "bcsr":
+		if k.bcsr == nil {
+			return ErrNotPrepared
+		}
+		res, err = gpusim.SpMMBCSR(k.dev, k.bcsr, b, c, p.K)
+	case k.format == "bell":
+		if k.bell == nil {
+			return ErrNotPrepared
+		}
+		res, err = gpusim.SpMMBELL(k.dev, k.bell, b, c, p.K)
+	default:
+		return fmt.Errorf("core: gpu kernel for %q not available", k.format)
+	}
+	if err != nil {
+		return err
+	}
+	k.lastSeconds = res.Seconds
+	return nil
+}
+
+// ModelSeconds implements ModelTimed.
+func (k *gpuKernel) ModelSeconds() float64 { return k.lastSeconds }
+
+func kernelName(format string, mode Mode, transposed, fixedK bool) string {
+	name := format + "-" + mode.String()
+	if transposed {
+		name += "-t"
+	}
+	if fixedK {
+		name += "-fixedk"
+	}
+	return name
+}

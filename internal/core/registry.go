@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/formats"
+	"repro/internal/gpusim"
+)
+
+// Options carries the shared resources kernel constructors may need.
+type Options struct {
+	// Device is the simulated GPU used by GPU-mode kernels. Nil is fine
+	// for CPU kernels.
+	Device *gpusim.Device
+	// ELLLayout selects the CPU ELL storage layout (GPU ELL is always
+	// column-major).
+	ELLLayout formats.ELLLayout
+}
+
+// constructor builds a fresh kernel instance.
+type constructor func(o Options) (Kernel, error)
+
+func needDevice(name, format string, vendor bool) constructor {
+	return func(o Options) (Kernel, error) {
+		if o.Device == nil {
+			return nil, fmt.Errorf("core: kernel %q needs a GPU device", name)
+		}
+		return &gpuKernel{name: name, format: format, dev: o.Device, vendor: vendor,
+			transT: strings.HasSuffix(name, "-t")}, nil
+	}
+}
+
+// registry maps kernel names to constructors. Adding a new format means
+// adding entries here — the extension point the thesis designed its suite
+// around.
+var registry = map[string]constructor{}
+
+func register(name string, c constructor) {
+	if _, dup := registry[name]; dup {
+		panic("core: duplicate kernel " + name)
+	}
+	registry[name] = c
+}
+
+func init() {
+	for _, mode := range []Mode{Serial, Parallel} {
+		mode := mode
+		register(kernelName("coo", mode, false, false),
+			func(Options) (Kernel, error) { return &cooKernel{mode: mode}, nil })
+		register(kernelName("coo", mode, true, false),
+			func(Options) (Kernel, error) { return &cooKernel{mode: mode, transposed: true}, nil })
+		register(kernelName("coo", mode, false, true),
+			func(Options) (Kernel, error) { return &cooKernel{mode: mode, fixedK: true}, nil })
+
+		register(kernelName("csr", mode, false, false),
+			func(Options) (Kernel, error) { return &csrKernel{mode: mode}, nil })
+		register(kernelName("csr", mode, true, false),
+			func(Options) (Kernel, error) { return &csrKernel{mode: mode, transposed: true}, nil })
+		register(kernelName("csr", mode, false, true),
+			func(Options) (Kernel, error) { return &csrKernel{mode: mode, fixedK: true}, nil })
+
+		register(kernelName("ell", mode, false, false),
+			func(o Options) (Kernel, error) { return &ellKernel{mode: mode, layout: o.ELLLayout}, nil })
+		register(kernelName("ell", mode, true, false),
+			func(o Options) (Kernel, error) {
+				return &ellKernel{mode: mode, transposed: true, layout: o.ELLLayout}, nil
+			})
+		register(kernelName("ell", mode, false, true),
+			func(o Options) (Kernel, error) {
+				return &ellKernel{mode: mode, fixedK: true, layout: o.ELLLayout}, nil
+			})
+
+		register(kernelName("bcsr", mode, false, false),
+			func(Options) (Kernel, error) { return &bcsrKernel{mode: mode}, nil })
+		register(kernelName("bcsr", mode, true, false),
+			func(Options) (Kernel, error) { return &bcsrKernel{mode: mode, transposed: true}, nil })
+		register(kernelName("bcsr", mode, false, true),
+			func(Options) (Kernel, error) { return &bcsrKernel{mode: mode, fixedK: true}, nil })
+
+		register(kernelName("bell", mode, false, false),
+			func(Options) (Kernel, error) { return &bellKernel{mode: mode}, nil })
+		register(kernelName("sellcs", mode, false, false),
+			func(Options) (Kernel, error) { return &sellKernel{mode: mode}, nil })
+	}
+	for _, format := range []string{"coo", "csr", "ell", "bcsr", "bell"} {
+		name := format + "-gpu"
+		register(name, needDevice(name, format, false))
+	}
+	register("csr-gpu-t", needDevice("csr-gpu-t", "csr", false))
+	register("vendor-coo-gpu", needDevice("vendor-coo-gpu", "coo", true))
+	register("vendor-csr-gpu", needDevice("vendor-csr-gpu", "csr", true))
+}
+
+// New builds a fresh kernel by registry name.
+func New(name string, o Options) (Kernel, error) {
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownKernel, name)
+	}
+	return c(o)
+}
+
+// Names lists the registered kernel names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Formats lists the format families with at least one registered kernel.
+func Formats() []string {
+	return []string{"coo", "csr", "ell", "bcsr", "bell", "sellcs"}
+}

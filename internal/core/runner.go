@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+)
+
+// Run benchmarks one kernel on one matrix: Prepare is timed as the
+// formatting cost, the calculation runs once untimed as warm-up and then
+// p.Reps timed repetitions, the result is verified against the COO
+// reference kernel when p.Verify is set, and FLOPS are derived from the
+// logical nonzero count exactly as the thesis' suite reports them (§4.3).
+//
+// The dense B operand is generated deterministically from p.Seed, matching
+// the suite's auto-generated B. Transposed kernels receive Bᵀ, and the
+// transposition is performed inside every timed repetition — Study 8
+// explicitly charges the transpose against the kernel.
+func Run(k Kernel, a *matrix.COO[float64], matrixName string, p Params) (Result, error) {
+	if p.K == 0 {
+		p.K = DefaultParams().K
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := a.Validate(); err != nil {
+		return Result{}, fmt.Errorf("core: input matrix: %w", err)
+	}
+
+	res := Result{
+		Kernel:  k.Name(),
+		Format:  k.Format(),
+		Mode:    k.Mode().String(),
+		Matrix:  matrixName,
+		K:       p.K,
+		Threads: p.Threads,
+		Block:   p.BlockSize,
+	}
+
+	start := time.Now()
+	if err := k.Prepare(a, p); err != nil {
+		return Result{}, fmt.Errorf("core: %s: prepare: %w", k.Name(), err)
+	}
+	res.FormatSeconds = time.Since(start).Seconds()
+	res.FormatBytes = k.Bytes()
+
+	b := matrix.NewDenseRand[float64](a.Cols, p.K, p.Seed)
+	c := matrix.NewDense[float64](a.Rows, p.K)
+
+	operand := b
+	if k.Transposed() {
+		operand = b.Transpose()
+	}
+
+	model, isModel := k.(ModelTimed)
+	reps := p.Reps
+	if isModel {
+		// Simulated kernels are deterministic: one execution is the
+		// measurement; warm-up and repetition would only burn host time.
+		reps = 1
+	} else {
+		// Warm-up (untimed), also surfacing calculation errors early.
+		if err := k.Calculate(operand, c, p); err != nil {
+			return Result{}, fmt.Errorf("core: %s: calculate: %w", k.Name(), err)
+		}
+	}
+
+	var total, minSec float64
+	for rep := 0; rep < reps; rep++ {
+		var secs float64
+		if k.Transposed() {
+			// The transpose is part of the measured work.
+			t0 := time.Now()
+			operand = b.Transpose()
+			if err := k.Calculate(operand, c, p); err != nil {
+				return Result{}, fmt.Errorf("core: %s: calculate: %w", k.Name(), err)
+			}
+			secs = time.Since(t0).Seconds()
+		} else {
+			t0 := time.Now()
+			if err := k.Calculate(operand, c, p); err != nil {
+				return Result{}, fmt.Errorf("core: %s: calculate: %w", k.Name(), err)
+			}
+			secs = time.Since(t0).Seconds()
+		}
+		if isModel {
+			secs = model.ModelSeconds()
+		}
+		total += secs
+		if rep == 0 || secs < minSec {
+			minSec = secs
+		}
+	}
+	res.AvgSeconds = total / float64(reps)
+	res.MinSeconds = minSec
+	res.MFLOPS = metrics.MFLOPS(kernels.SpMMFlops(a.NNZ(), p.K), res.AvgSeconds)
+
+	if p.Verify {
+		ref := matrix.NewDense[float64](a.Rows, p.K)
+		if err := kernels.COOSerial(a, b, ref, p.K); err != nil {
+			return Result{}, fmt.Errorf("core: reference kernel: %w", err)
+		}
+		diff, err := c.MaxAbsDiff(ref)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: verification: %w", err)
+		}
+		res.MaxAbsDiff = diff
+		if !c.EqualTol(ref, matrix.DefaultTol[float64]()) {
+			return res, fmt.Errorf("%w: %s on %s: max abs diff %g",
+				ErrVerify, k.Name(), matrixName, diff)
+		}
+		res.Verified = true
+	}
+	return res, nil
+}
+
+// BestThreads runs a parallel kernel once per entry of p.ThreadList and
+// returns the per-count results plus the index of the winner (highest
+// MFLOPS) — the Study 3.1 sweep feature. An empty ThreadList is an error.
+func BestThreads(k Kernel, a *matrix.COO[float64], matrixName string, p Params) (best int, all []Result, err error) {
+	if len(p.ThreadList) == 0 {
+		return 0, nil, fmt.Errorf("core: BestThreads needs a non-empty ThreadList")
+	}
+	all = make([]Result, 0, len(p.ThreadList))
+	best = 0
+	for i, threads := range p.ThreadList {
+		q := p
+		q.Threads = threads
+		r, err := Run(k, a, matrixName, q)
+		if err != nil {
+			return 0, nil, err
+		}
+		all = append(all, r)
+		if r.MFLOPS > all[best].MFLOPS {
+			best = i
+		}
+	}
+	return best, all, nil
+}

@@ -1,0 +1,44 @@
+// Package formats implements the sparse matrix storage formats studied by
+// the thesis — COO (in package matrix), CSR, ELLPACK and BCSR — plus the two
+// formats its future-work section names as next targets: Blocked-ELLPACK
+// (BELL) and a SELL-C-σ style sliced format standing in for CSR5.
+//
+// Every format is built from the COO base representation, matching the
+// suite's design in which "all other formats will format their structures
+// based on the COO representation" (§4.1).
+package formats
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid is returned when a format fails structural validation.
+var ErrInvalid = errors.New("formats: invalid structure")
+
+// ErrBlockSize is returned for unusable block configurations.
+var ErrBlockSize = errors.New("formats: invalid block size")
+
+// Sparse is the interface every concrete format satisfies; it exposes the
+// bookkeeping the benchmark core and the memory-footprint accounting
+// (future-work §6.3.5) need.
+type Sparse interface {
+	// FormatName is the short name used in reports ("csr", "ell", ...).
+	FormatName() string
+	// Dims returns the logical matrix dimensions.
+	Dims() (rows, cols int)
+	// NNZ reports the number of logical nonzeros represented.
+	NNZ() int
+	// Stored reports the number of stored value slots including padding;
+	// Stored >= NNZ, and Stored/NNZ is the padding overhead factor.
+	Stored() int
+	// Bytes reports the memory footprint of the format's arrays.
+	Bytes() int
+}
+
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,303 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestDegreeSequenceExactSumAndMax(t *testing.T) {
+	cases := []DegreeParams{
+		{Rows: 100, NNZ: 800, MaxRow: 24, Variance: 14},
+		{Rows: 50, NNZ: 1000, MaxRow: 84, Variance: 197},
+		{Rows: 1000, NNZ: 5000, MaxRow: 8, Variance: 0},
+		{Rows: 500, NNZ: 36500, MaxRow: 3263, Variance: 176054}, // torso1-like tail
+		{Rows: 10, NNZ: 10, MaxRow: 1, Variance: 0},
+	}
+	for _, p := range cases {
+		rng := rand.New(rand.NewSource(1))
+		deg, err := DegreeSequence(p, rng)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		sum, maxDeg := 0, 0
+		for _, d := range deg {
+			if d < 0 {
+				t.Fatalf("%+v: negative degree", p)
+			}
+			sum += d
+			maxDeg = max(maxDeg, d)
+		}
+		if sum != p.NNZ {
+			t.Errorf("%+v: sum %d, want %d", p, sum, p.NNZ)
+		}
+		if maxDeg != p.MaxRow {
+			t.Errorf("%+v: max %d, want %d", p, maxDeg, p.MaxRow)
+		}
+	}
+}
+
+func TestDegreeSequenceVarianceApprox(t *testing.T) {
+	p := DegreeParams{Rows: 20000, NNZ: 20000 * 20, MaxRow: 108, Variance: 79}
+	rng := rand.New(rand.NewSource(2))
+	deg, err := DegreeSequence(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := float64(p.NNZ) / float64(p.Rows)
+	var ss float64
+	for _, d := range deg {
+		diff := float64(d) - mean
+		ss += diff * diff
+	}
+	v := ss / float64(p.Rows)
+	if v < p.Variance/3 || v > p.Variance*3 {
+		t.Errorf("variance %v too far from target %v", v, p.Variance)
+	}
+}
+
+func TestDegreeSequenceErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []DegreeParams{
+		{Rows: 0, NNZ: 10, MaxRow: 5},
+		{Rows: 10, NNZ: -1, MaxRow: 5},
+		{Rows: 10, NNZ: 3, MaxRow: 5},   // NNZ < MaxRow
+		{Rows: 10, NNZ: 200, MaxRow: 5}, // NNZ > Rows*MaxRow
+		{Rows: 10, NNZ: 10, MaxRow: -2}, // negative max
+		{Rows: 10, NNZ: 10, MaxRow: 5, Variance: -1},
+	}
+	for _, p := range bad {
+		if _, err := DegreeSequence(p, rng); err == nil {
+			t.Errorf("%+v: expected error", p)
+		}
+	}
+}
+
+func TestFromDegreesDistinctSortedColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	deg := []int{5, 0, 12, 3, 12}
+	m, err := FromDegrees[float64](deg, PlaceParams{Cols: 12, Kind: KindFEM, Locality: 0.8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := m.RowCounts()
+	for i, want := range deg {
+		if counts[i] != want {
+			t.Fatalf("row %d has %d entries, want %d", i, counts[i], want)
+		}
+	}
+	if !m.IsSortedRowMajor() {
+		t.Fatal("output must be sorted")
+	}
+	// Distinct columns per row: dedup must not merge anything.
+	if merged := m.Clone().Dedup(); merged != 0 {
+		t.Fatalf("%d duplicate columns generated", merged)
+	}
+}
+
+func TestFromDegreesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := FromDegrees[float64]([]int{1}, PlaceParams{Cols: 0}, rng); err == nil {
+		t.Fatal("cols=0 accepted")
+	}
+	if _, err := FromDegrees[float64]([]int{5}, PlaceParams{Cols: 3}, rng); err == nil {
+		t.Fatal("degree > cols accepted")
+	}
+	if _, err := FromDegrees[float64]([]int{1}, PlaceParams{Cols: 3, Locality: 2}, rng); err == nil {
+		t.Fatal("locality > 1 accepted")
+	}
+}
+
+func TestBandedStructure(t *testing.T) {
+	m, err := Banded[float64](10, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := metrics.Compute(m)
+	if p.MaxRow != 5 {
+		t.Fatalf("band max %d, want 5", p.MaxRow)
+	}
+	for i := range m.Vals {
+		if d := int(m.ColIdx[i]) - int(m.RowIdx[i]); d < -2 || d > 2 {
+			t.Fatalf("entry outside band: (%d,%d)", m.RowIdx[i], m.ColIdx[i])
+		}
+	}
+}
+
+func TestUniformRandomDensity(t *testing.T) {
+	m, err := UniformRandom[float64](100, 200, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 100*10 {
+		t.Fatalf("nnz %d, want 1000", m.NNZ())
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	if len(Registry) != 14 {
+		t.Fatalf("registry has %d matrices, want 14", len(Registry))
+	}
+	s, err := Lookup("torso1")
+	if err != nil || s.MaxRow != 3263 {
+		t.Fatalf("torso1 lookup: %+v, %v", s, err)
+	}
+	if _, err := Lookup("nonexistent"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if len(Names()) != 14 || Names()[0] != "2cubes_sphere" {
+		t.Fatal("Names order wrong")
+	}
+}
+
+func TestStudy7OmitsFiveLargest(t *testing.T) {
+	names := Study7Names()
+	if len(names) != 9 {
+		t.Fatalf("study 7 set has %d matrices, want 9", len(names))
+	}
+	omitted := map[string]bool{"nd24k": true, "torso1": true, "crankseg_2": true, "x104": true, "rma10": true}
+	for _, n := range names {
+		if omitted[n] {
+			t.Fatalf("%s should be omitted (top-5 nnz)", n)
+		}
+	}
+}
+
+func TestGenerateScaledPropertiesMatchSpec(t *testing.T) {
+	// At 10% scale the average row degree, column ratio, and (roughly)
+	// variance of each generated matrix must match Table 5.1.
+	for _, spec := range Registry {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			m, scaled, err := GenerateScaled(spec.Name, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			p := metrics.Compute(m)
+			if p.NNZ != scaled.NNZ {
+				t.Errorf("nnz %d, want %d", p.NNZ, scaled.NNZ)
+			}
+			if p.MaxRow != scaled.MaxRow {
+				t.Errorf("max row %d, want %d", p.MaxRow, scaled.MaxRow)
+			}
+			wantAvg := float64(spec.NNZ) / float64(spec.Rows)
+			if math.Abs(p.AvgRow-wantAvg) > wantAvg*0.1+1 {
+				t.Errorf("avg row %v, want ~%v", p.AvgRow, wantAvg)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _, err := GenerateScaled("bcsstk13", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := GenerateScaled("bcsstk13", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("nondeterministic nnz")
+	}
+	for i := range a.Vals {
+		if a.Vals[i] != b.Vals[i] || a.RowIdx[i] != b.RowIdx[i] || a.ColIdx[i] != b.ColIdx[i] {
+			t.Fatal("nondeterministic content")
+		}
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	s := Registry[0]
+	if _, err := s.Scale(0); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	if _, err := s.Scale(1.5); err == nil {
+		t.Fatal("scale > 1 accepted")
+	}
+	same, err := s.Scale(1)
+	if err != nil || same.Rows != s.Rows {
+		t.Fatal("scale 1 must be identity")
+	}
+	small, err := s.Scale(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.NNZ > small.Rows*small.MaxRow || small.NNZ < small.MaxRow {
+		t.Fatalf("scaled spec infeasible: %+v", small)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindFEM.String() != "fem" || KindStencil.String() != "stencil" || KindPowerLaw.String() != "powerlaw" {
+		t.Fatal("kind strings wrong")
+	}
+}
+
+func TestRMATBasics(t *testing.T) {
+	m, err := RMAT[float64](8, 8, 0.57, 0.19, 0.19, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 256 || m.Cols != 256 {
+		t.Fatalf("dims %dx%d", m.Rows, m.Cols)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates merged: nnz <= requested edges.
+	if m.NNZ() > 256*8 || m.NNZ() < 256 {
+		t.Fatalf("nnz %d implausible", m.NNZ())
+	}
+	// Scale-free skew: the max row degree should far exceed the average.
+	p := metrics.Compute(m)
+	if p.Ratio < 3 {
+		t.Fatalf("R-MAT should be skewed; ratio %.1f", p.Ratio)
+	}
+}
+
+func TestRMATDeterministicAndSeeded(t *testing.T) {
+	a, _ := RMAT[float64](6, 4, 0.57, 0.19, 0.19, 7)
+	b, _ := RMAT[float64](6, 4, 0.57, 0.19, 0.19, 7)
+	c, _ := RMAT[float64](6, 4, 0.57, 0.19, 0.19, 8)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed must agree")
+	}
+	for i := range a.Vals {
+		if a.RowIdx[i] != b.RowIdx[i] || a.ColIdx[i] != b.ColIdx[i] {
+			t.Fatal("same seed must agree elementwise")
+		}
+	}
+	if c.NNZ() == a.NNZ() {
+		same := true
+		for i := range a.Vals {
+			if a.RowIdx[i] != c.RowIdx[i] || a.ColIdx[i] != c.ColIdx[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds should differ")
+		}
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	if _, err := RMAT[float64](0, 8, 0.5, 0.2, 0.2, 1); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	if _, err := RMAT[float64](4, 0, 0.5, 0.2, 0.2, 1); err == nil {
+		t.Fatal("edge factor 0 accepted")
+	}
+	if _, err := RMAT[float64](4, 4, 0.6, 0.3, 0.3, 1); err == nil {
+		t.Fatal("probabilities > 1 accepted")
+	}
+}

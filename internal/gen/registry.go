@@ -1,0 +1,170 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// Spec describes one of the thesis' 14 evaluation matrices by the
+// properties its Table 5.1 reports. All 14 are square.
+type Spec struct {
+	Name string
+	// Rows (== Cols; all matrices are square).
+	Rows int
+	// NNZ is the number of nonzeros.
+	NNZ int
+	// MaxRow is the maximum row degree ("Max").
+	MaxRow int
+	// Variance is the row-degree variance.
+	Variance float64
+	// Kind and Locality control placement; chosen per matrix family.
+	Kind     Kind
+	Locality float64
+	// Seed makes each matrix distinct but deterministic.
+	Seed int64
+}
+
+// Registry is the thesis' matrix set in Table 5.1 order. Kinds follow the
+// matrices' provenance: bcsstk*/cant/crankseg_2/nd24k/pdb1HYS/rma10/x104/
+// af23560/2cubes_sphere/cop20k_A are FEM-style problems, dw4096 and
+// shallow_water1 are regular grids (zero variance), and torso1 — column
+// ratio 44 — is the heavy-tailed outlier.
+var Registry = []Spec{
+	{Name: "2cubes_sphere", Rows: 101492, NNZ: 874378, MaxRow: 24, Variance: 14, Kind: KindFEM, Locality: 0.9, Seed: 101},
+	{Name: "af23560", Rows: 23560, NNZ: 484256, MaxRow: 21, Variance: 1, Kind: KindFEM, Locality: 0.95, Seed: 102},
+	{Name: "bcsstk13", Rows: 2003, NNZ: 42943, MaxRow: 84, Variance: 197, Kind: KindFEM, Locality: 0.85, Seed: 103},
+	{Name: "bcsstk17", Rows: 10974, NNZ: 219812, MaxRow: 108, Variance: 79, Kind: KindFEM, Locality: 0.85, Seed: 104},
+	{Name: "cant", Rows: 62451, NNZ: 2034917, MaxRow: 40, Variance: 54, Kind: KindFEM, Locality: 0.95, Seed: 105},
+	{Name: "cop20k_A", Rows: 121192, NNZ: 1362087, MaxRow: 24, Variance: 45, Kind: KindFEM, Locality: 0.8, Seed: 106},
+	{Name: "crankseg_2", Rows: 63838, NNZ: 7106348, MaxRow: 297, Variance: 2339, Kind: KindFEM, Locality: 0.9, Seed: 107},
+	{Name: "dw4096", Rows: 8192, NNZ: 41746, MaxRow: 8, Variance: 0, Kind: KindStencil, Locality: 1, Seed: 108},
+	{Name: "nd24k", Rows: 72000, NNZ: 14393817, MaxRow: 481, Variance: 6652, Kind: KindFEM, Locality: 0.9, Seed: 109},
+	{Name: "pdb1HYS", Rows: 36417, NNZ: 2190591, MaxRow: 184, Variance: 753, Kind: KindFEM, Locality: 0.9, Seed: 110},
+	{Name: "rma10", Rows: 46835, NNZ: 2374001, MaxRow: 145, Variance: 772, Kind: KindFEM, Locality: 0.9, Seed: 111},
+	{Name: "shallow_water1", Rows: 81920, NNZ: 204800, MaxRow: 4, Variance: 0, Kind: KindStencil, Locality: 1, Seed: 112},
+	{Name: "torso1", Rows: 116158, NNZ: 8516500, MaxRow: 3263, Variance: 176054, Kind: KindPowerLaw, Locality: 0.7, Seed: 113},
+	{Name: "x104", Rows: 108384, NNZ: 5138004, MaxRow: 204, Variance: 313, Kind: KindFEM, Locality: 0.9, Seed: 114},
+}
+
+// Names returns the registry matrix names in Table 5.1 order.
+func Names() []string {
+	names := make([]string, len(Registry))
+	for i, s := range Registry {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Lookup returns the spec with the given name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range Registry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("gen: unknown matrix %q", name)
+}
+
+// Study7Names returns the 9 matrices the thesis could fit in GPU memory for
+// its cuSparse study (§5.9: "we omitted the other 5 because they required
+// more memory than what the device could support") — the registry minus the
+// five largest by nonzero count.
+func Study7Names() []string {
+	type nameNNZ struct {
+		name string
+		nnz  int
+	}
+	all := make([]nameNNZ, len(Registry))
+	for i, s := range Registry {
+		all[i] = nameNNZ{s.Name, s.NNZ}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].nnz > all[b].nnz })
+	omit := make(map[string]bool, 5)
+	for _, e := range all[:5] {
+		omit[e.name] = true
+	}
+	kept := make([]string, 0, len(Registry)-5)
+	for _, s := range Registry {
+		if !omit[s.Name] {
+			kept = append(kept, s.Name)
+		}
+	}
+	return kept
+}
+
+// Scale returns a copy of the spec shrunk by the given factor in (0, 1]:
+// rows and nonzeros scale together so the average row degree — and with it
+// the column ratio and (approximately) the variance, the properties the
+// studies key off — is preserved. MaxRow is kept unless it no longer fits.
+func (s Spec) Scale(factor float64) (Spec, error) {
+	if factor <= 0 || factor > 1 {
+		return Spec{}, fmt.Errorf("gen: scale factor %v outside (0, 1]", factor)
+	}
+	if factor == 1 {
+		return s, nil
+	}
+	out := s
+	out.Rows = max(int(math.Round(float64(s.Rows)*factor)), 16)
+	avg := float64(s.NNZ) / float64(s.Rows)
+	out.NNZ = int(math.Round(avg * float64(out.Rows)))
+	if out.MaxRow > out.Rows {
+		out.MaxRow = out.Rows
+	}
+	if out.NNZ < out.MaxRow {
+		out.NNZ = out.MaxRow
+	}
+	if int64(out.NNZ) > int64(out.Rows)*int64(out.MaxRow) {
+		out.NNZ = out.Rows * out.MaxRow
+	}
+	return out, nil
+}
+
+// Generate synthesises the matrix described by the spec.
+func (s Spec) Generate() (*matrix.COO[float64], error) {
+	return GenerateAs[float64](s)
+}
+
+// GenerateAs synthesises the matrix with the requested element type.
+func GenerateAs[T matrix.Float](s Spec) (*matrix.COO[T], error) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	deg, err := DegreeSequence(DegreeParams{
+		Rows:     s.Rows,
+		NNZ:      s.NNZ,
+		MaxRow:   s.MaxRow,
+		Variance: s.Variance,
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("gen: %s: %w", s.Name, err)
+	}
+	m, err := FromDegrees[T](deg, PlaceParams{
+		Cols:     s.Rows,
+		Kind:     s.Kind,
+		Locality: s.Locality,
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("gen: %s: %w", s.Name, err)
+	}
+	return m, nil
+}
+
+// GenerateScaled looks a matrix up by name, scales it, and generates it —
+// the one-call path the studies and benchmarks use.
+func GenerateScaled(name string, factor float64) (*matrix.COO[float64], Spec, error) {
+	s, err := Lookup(name)
+	if err != nil {
+		return nil, Spec{}, err
+	}
+	s, err = s.Scale(factor)
+	if err != nil {
+		return nil, Spec{}, err
+	}
+	m, err := s.Generate()
+	if err != nil {
+		return nil, Spec{}, err
+	}
+	return m, s, nil
+}

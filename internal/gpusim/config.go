@@ -1,0 +1,178 @@
+// Package gpusim is a deterministic SIMT GPU simulator standing in for the
+// OpenMP-target-offload + CUDA hardware of the thesis (H100 on the Grace
+// Hopper "Arm" machine, A100 on the "Aries" x86 machine). Kernels are
+// written warp-synchronously: a kernel function is invoked once per warp and
+// issues 32-lane gather/scatter/FMA instructions through the Warp API. The
+// simulator executes those instructions functionally (the numerics are
+// real) while accounting cycles with a roofline model per SM:
+//
+//   - compute:  warp FMA instructions / FMA issue rate
+//   - memory:   DRAM transactions × transaction cost (coalescing-aware:
+//     one transaction per distinct cache line touched by the 32 lanes)
+//   - latency:  memory instructions × latency, hidden by resident warps
+//
+// The per-SM time is the maximum of the three; the launch time is the
+// busiest SM's. This reproduces the structural effects the thesis' GPU
+// studies depend on — coalescing differences between formats and layouts,
+// warp divergence on irregular rows, and occupancy — without pretending to
+// cycle accuracy.
+package gpusim
+
+import "errors"
+
+// ErrOutOfMemory is returned when an allocation exceeds device memory —
+// the condition that forced the thesis to omit five matrices from its
+// cuSparse study (§5.9).
+var ErrOutOfMemory = errors.New("gpusim: device out of memory")
+
+// ErrLaunch is returned for invalid launch configurations.
+var ErrLaunch = errors.New("gpusim: invalid launch configuration")
+
+// WarpSize is the SIMT width, fixed at 32 lanes as on NVIDIA hardware.
+const WarpSize = 32
+
+// Config describes a simulated device.
+type Config struct {
+	Name string
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// MaxWarpsPerSM bounds resident warps (occupancy) per SM.
+	MaxWarpsPerSM int
+	// ClockGHz converts cycles to seconds.
+	ClockGHz float64
+	// FMAPerCycle is the number of warp-wide FMA instructions an SM
+	// issues per cycle.
+	FMAPerCycle float64
+	// CachelineBytes is the memory transaction granularity.
+	CachelineBytes int
+	// BytesPerCycleSM is the DRAM bandwidth available to one SM, in
+	// bytes per cycle.
+	BytesPerCycleSM float64
+	// L1Lines is the per-SM L1/read-only cache capacity in lines; lines
+	// re-touched by a warp while resident cost only L1 latency.
+	L1Lines int
+	// L1LatencyCycles and L2LatencyCycles are the hit latencies used by
+	// the latency roofline term.
+	L1LatencyCycles float64
+	L2LatencyCycles float64
+	// L2Bytes and L2Ways describe the device-wide L2 cache; transactions
+	// that hit in L2 draw on L2BytesPerCycleSM instead of DRAM bandwidth.
+	L2Bytes           int
+	L2Ways            int
+	L2BytesPerCycleSM float64
+	// MemLatencyCycles is the DRAM access latency.
+	MemLatencyCycles float64
+	// MLP is the memory-level parallelism per warp: how many outstanding
+	// line fills overlap, dividing the latency roofline term.
+	MLP float64
+	// AtomicPenaltyCycles is the extra cost per atomic transaction.
+	AtomicPenaltyCycles float64
+	// MemoryBytes is the device memory capacity.
+	MemoryBytes int64
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error {
+	if c.SMs < 1 || c.MaxWarpsPerSM < 1 || c.ClockGHz <= 0 || c.FMAPerCycle <= 0 ||
+		c.CachelineBytes < 8 || c.BytesPerCycleSM <= 0 || c.MemLatencyCycles < 0 ||
+		c.MemoryBytes < 0 {
+		return errors.New("gpusim: invalid device config")
+	}
+	if c.L2Bytes < 0 || (c.L2Bytes > 0 && (c.L2Ways < 1 || c.L2BytesPerCycleSM <= 0)) {
+		return errors.New("gpusim: invalid L2 config")
+	}
+	if c.L1Lines < 0 || c.L1LatencyCycles < 0 || c.L2LatencyCycles < 0 {
+		return errors.New("gpusim: invalid L1 config")
+	}
+	if c.MLP < 0 {
+		return errors.New("gpusim: invalid MLP")
+	}
+	return nil
+}
+
+// H100Like models the Hopper-class GPU of the thesis' Arm (Grace Hopper)
+// machine: 132 SMs, ~1.8 GHz, HBM3-class bandwidth.
+func H100Like() Config {
+	return Config{
+		Name:                "h100-sim",
+		MLP:                 8,
+		L1Lines:             2048,
+		L1LatencyCycles:     30,
+		L2LatencyCycles:     220,
+		SMs:                 132,
+		MaxWarpsPerSM:       64,
+		ClockGHz:            1.8,
+		FMAPerCycle:         2,
+		CachelineBytes:      128,
+		BytesPerCycleSM:     14, // ≈3.3 TB/s aggregate
+		L2Bytes:             64 << 20,
+		L2Ways:              16,
+		L2BytesPerCycleSM:   56,
+		MemLatencyCycles:    450,
+		AtomicPenaltyCycles: 6,
+		MemoryBytes:         80 << 30,
+	}
+}
+
+// A100Like models the Ampere-class GPU of the thesis' Aries (x86) machine:
+// 108 SMs, ~1.4 GHz, HBM2e bandwidth.
+func A100Like() Config {
+	return Config{
+		Name:                "a100-sim",
+		MLP:                 6,
+		L1Lines:             1536,
+		L1LatencyCycles:     32,
+		L2LatencyCycles:     230,
+		SMs:                 108,
+		MaxWarpsPerSM:       64,
+		ClockGHz:            1.41,
+		FMAPerCycle:         2,
+		CachelineBytes:      128,
+		BytesPerCycleSM:     13, // ≈2 TB/s aggregate
+		L2Bytes:             32 << 20,
+		L2Ways:              16,
+		L2BytesPerCycleSM:   48,
+		MemLatencyCycles:    470,
+		AtomicPenaltyCycles: 8,
+		MemoryBytes:         40 << 30,
+	}
+}
+
+// TestDevice is a tiny configuration for unit tests: 4 SMs and a small
+// memory so out-of-memory paths are exercisable.
+func TestDevice(memory int64) Config {
+	return Config{
+		Name:                "test-sim",
+		MLP:                 2,
+		L1Lines:             64,
+		L1LatencyCycles:     4,
+		L2LatencyCycles:     40,
+		SMs:                 4,
+		MaxWarpsPerSM:       8,
+		ClockGHz:            1,
+		FMAPerCycle:         1,
+		CachelineBytes:      64,
+		BytesPerCycleSM:     8,
+		L2Bytes:             256 << 10,
+		L2Ways:              8,
+		L2BytesPerCycleSM:   32,
+		MemLatencyCycles:    100,
+		AtomicPenaltyCycles: 10,
+		MemoryBytes:         memory,
+	}
+}
+
+// ScaledDown returns a copy of c with the SM count (and proportionally the
+// device memory) scaled by factor in (0, 1]. The studies shrink their
+// matrices by a scale factor; shrinking the device the same way preserves
+// blocks-per-SM — the occupancy regime — so the scaled simulation keeps the
+// full-size run's shape.
+func (c Config) ScaledDown(factor float64) Config {
+	if factor <= 0 || factor >= 1 {
+		return c
+	}
+	out := c
+	out.SMs = max(2, int(float64(c.SMs)*factor+0.5))
+	out.MemoryBytes = int64(float64(c.MemoryBytes) * factor)
+	return out
+}

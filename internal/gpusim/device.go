@@ -1,0 +1,285 @@
+package gpusim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Device is a simulated GPU. Allocate buffers, then Launch warp-synchronous
+// kernels against them. Devices are not safe for concurrent use.
+type Device struct {
+	cfg       Config
+	allocated int64
+	nextBase  uint64
+	l2        *l2cache
+}
+
+// NewDevice creates a device from the configuration.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{cfg: cfg, nextBase: 1 << 20}
+	if cfg.L2Bytes > 0 {
+		l2, err := newL2(cfg.L2Bytes, cfg.L2Ways, cfg.CachelineBytes)
+		if err != nil {
+			return nil, err
+		}
+		d.l2 = l2
+	}
+	return d, nil
+}
+
+// l2cache is a set-associative LRU tag cache at line granularity, shared
+// device-wide as on real GPUs.
+type l2cache struct {
+	ways    int
+	setMask uint64
+	tags    []uint64
+	age     []uint64
+	tick    uint64
+}
+
+func newL2(sizeBytes, ways, lineBytes int) (*l2cache, error) {
+	lines := sizeBytes / lineBytes
+	if lines < ways || lines%ways != 0 {
+		return nil, errors.New("gpusim: L2 size not divisible into ways")
+	}
+	sets := lines / ways
+	if sets&(sets-1) != 0 {
+		return nil, errors.New("gpusim: L2 set count not a power of two")
+	}
+	return &l2cache{
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, sets*ways),
+		age:     make([]uint64, sets*ways),
+	}, nil
+}
+
+// access touches a line (already divided by line size) and reports a hit.
+func (c *l2cache) access(line uint64) bool {
+	set := int(line & c.setMask)
+	tag := line | 1<<63
+	base := set * c.ways
+	c.tick++
+	lruWay, lruAge := 0, ^uint64(0)
+	for way := 0; way < c.ways; way++ {
+		i := base + way
+		if c.tags[i] == tag {
+			c.age[i] = c.tick
+			return true
+		}
+		if c.age[i] < lruAge {
+			lruAge = c.age[i]
+			lruWay = way
+		}
+	}
+	i := base + lruWay
+	c.tags[i] = tag
+	c.age[i] = c.tick
+	return false
+}
+
+func (c *l2cache) reset() {
+	clear(c.tags)
+	clear(c.age)
+	c.tick = 0
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Allocated reports the bytes currently allocated on the device.
+func (d *Device) Allocated() int64 { return d.allocated }
+
+// F64Buf is a device buffer of float64 values.
+type F64Buf struct {
+	Data []float64
+	base uint64
+}
+
+// I32Buf is a device buffer of int32 values.
+type I32Buf struct {
+	Data []int32
+	base uint64
+}
+
+func (d *Device) reserve(bytes int64) (uint64, error) {
+	if d.allocated+bytes > d.cfg.MemoryBytes {
+		return 0, fmt.Errorf("%w: need %d bytes, %d of %d in use",
+			ErrOutOfMemory, bytes, d.allocated, d.cfg.MemoryBytes)
+	}
+	d.allocated += bytes
+	base := d.nextBase
+	// Separate buffers by a guard region so cache-line analysis never
+	// merges accesses from different buffers, and keep every base
+	// line-aligned so repeated identical launches see identical
+	// coalescing regardless of allocation history.
+	line := uint64(d.cfg.CachelineBytes)
+	span := (uint64(bytes)/line + 2) * line
+	d.nextBase += span
+	return base, nil
+}
+
+// AllocF64 allocates an n-element float64 buffer holding a copy of src
+// (src may be nil for a zeroed buffer of length n).
+func (d *Device) AllocF64(n int, src []float64) (*F64Buf, error) {
+	base, err := d.reserve(int64(n) * 8)
+	if err != nil {
+		return nil, err
+	}
+	buf := &F64Buf{Data: make([]float64, n), base: base}
+	if src != nil {
+		copy(buf.Data, src)
+	}
+	return buf, nil
+}
+
+// AllocI32 allocates an n-element int32 buffer holding a copy of src.
+func (d *Device) AllocI32(n int, src []int32) (*I32Buf, error) {
+	base, err := d.reserve(int64(n) * 4)
+	if err != nil {
+		return nil, err
+	}
+	buf := &I32Buf{Data: make([]int32, n), base: base}
+	if src != nil {
+		copy(buf.Data, src)
+	}
+	return buf, nil
+}
+
+// FreeAll releases all allocations (buffers already handed out remain
+// usable as host memory but no longer count against the device).
+func (d *Device) FreeAll() { d.allocated = 0 }
+
+// Stats aggregates the instruction and memory activity of one launch.
+type Stats struct {
+	Warps           int
+	FMAInstrs       int64
+	MemInstrs       int64
+	Transactions    int64
+	AtomicTransacts int64
+	ActiveLaneFMAs  int64
+	// L1Transactions, L2Transactions and DRAMTransactions split
+	// Transactions by where the line was served from.
+	L1Transactions   int64
+	L2Transactions   int64
+	DRAMTransactions int64
+	// IdealTransactions is the minimum transaction count had every
+	// access been perfectly coalesced.
+	IdealTransactions int64
+}
+
+// CoalescingEfficiency is IdealTransactions/Transactions in (0, 1]; 1 means
+// perfectly coalesced.
+func (s Stats) CoalescingEfficiency() float64 {
+	if s.Transactions == 0 {
+		return 1
+	}
+	return float64(s.IdealTransactions) / float64(s.Transactions)
+}
+
+// LaunchResult reports the modelled execution of one kernel launch.
+type LaunchResult struct {
+	Cycles  float64
+	Seconds float64
+	Stats   Stats
+	// Bound names the roofline term that dominated: "compute", "memory"
+	// or "latency".
+	Bound string
+}
+
+// Launch runs the kernel for every warp of a grid of `blocks` thread blocks
+// of `threadsPerBlock` threads. The kernel receives each warp exactly once.
+// Execution is sequential and deterministic.
+func (d *Device) Launch(blocks, threadsPerBlock int, kernel func(w *Warp)) (LaunchResult, error) {
+	if blocks < 0 || threadsPerBlock < 1 || threadsPerBlock%WarpSize != 0 {
+		return LaunchResult{}, fmt.Errorf("%w: blocks=%d threads=%d (threads must be a positive multiple of %d)",
+			ErrLaunch, blocks, threadsPerBlock, WarpSize)
+	}
+	warpsPerBlock := threadsPerBlock / WarpSize
+	totalWarps := blocks * warpsPerBlock
+	if d.l2 != nil {
+		d.l2.reset()
+	}
+
+	smFMA := make([]int64, d.cfg.SMs)
+	smMemInstr := make([]int64, d.cfg.SMs)
+	smL1 := make([]int64, d.cfg.SMs)
+	smL2 := make([]int64, d.cfg.SMs)
+	smDRAM := make([]int64, d.cfg.SMs)
+	smAtomic := make([]int64, d.cfg.SMs)
+	smWarps := make([]int, d.cfg.SMs)
+
+	var agg Stats
+	agg.Warps = totalWarps
+
+	w := &Warp{dev: d}
+	for b := 0; b < blocks; b++ {
+		sm := b % d.cfg.SMs // round-robin block scheduling
+		for wi := 0; wi < warpsPerBlock; wi++ {
+			w.reset(b, blocks, threadsPerBlock, wi)
+			kernel(w)
+			smFMA[sm] += w.fmaInstrs
+			smMemInstr[sm] += w.memInstrs
+			smL1[sm] += w.l1Transacts
+			smL2[sm] += w.l2Transacts
+			smDRAM[sm] += w.dramTransacts
+			smAtomic[sm] += w.atomicTransacts
+			smWarps[sm]++
+			agg.FMAInstrs += w.fmaInstrs
+			agg.MemInstrs += w.memInstrs
+			agg.Transactions += w.l1Transacts + w.l2Transacts + w.dramTransacts
+			agg.L1Transactions += w.l1Transacts
+			agg.L2Transactions += w.l2Transacts
+			agg.DRAMTransactions += w.dramTransacts
+			agg.AtomicTransacts += w.atomicTransacts
+			agg.ActiveLaneFMAs += w.activeLaneFMAs
+			agg.IdealTransactions += w.idealTransactions
+		}
+	}
+
+	// Roofline per SM.
+	lineBytes := float64(d.cfg.CachelineBytes)
+	var worst float64
+	bound := "compute"
+	for sm := 0; sm < d.cfg.SMs; sm++ {
+		if smWarps[sm] == 0 {
+			continue
+		}
+		compute := float64(smFMA[sm]) / d.cfg.FMAPerCycle
+		l2BW := d.cfg.L2BytesPerCycleSM
+		if l2BW <= 0 {
+			l2BW = d.cfg.BytesPerCycleSM
+		}
+		memory := float64(smDRAM[sm])*lineBytes/d.cfg.BytesPerCycleSM +
+			float64(smL2[sm])*lineBytes/l2BW +
+			float64(smL1[sm])*0.05 + // L1 hits cost LDST issue slots only
+			float64(smAtomic[sm])*d.cfg.AtomicPenaltyCycles
+		resident := float64(min(smWarps[sm], d.cfg.MaxWarpsPerSM))
+		mlp := d.cfg.MLP
+		if mlp < 1 {
+			mlp = 1
+		}
+		latency := (float64(smDRAM[sm])*d.cfg.MemLatencyCycles +
+			float64(smL2[sm])*d.cfg.L2LatencyCycles +
+			float64(smL1[sm])*d.cfg.L1LatencyCycles) / (resident * mlp)
+		cycles, b := compute, "compute"
+		if memory > cycles {
+			cycles, b = memory, "memory"
+		}
+		if latency > cycles {
+			cycles, b = latency, "latency"
+		}
+		if cycles > worst {
+			worst, bound = cycles, b
+		}
+	}
+	return LaunchResult{
+		Cycles:  worst,
+		Seconds: worst / (d.cfg.ClockGHz * 1e9),
+		Stats:   agg,
+		Bound:   bound,
+	}, nil
+}

@@ -1,0 +1,658 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"repro/internal/formats"
+	"repro/internal/matrix"
+)
+
+// This file holds the suite's "OpenMP target offload" GPU kernels: the
+// straightforward thread-per-row (or thread-per-nonzero) translations of
+// the CPU loops, exactly the kind of code the thesis' `#pragma omp target
+// teams distribute parallel for` produced. They are deliberately naive in
+// their memory behaviour — every lane walks B and C rows privately
+// (uncoalesced across lanes), COO accumulates with per-element atomics, and
+// warps diverge on irregular row lengths — because that is the baseline the
+// cuSparse study (Study 7) compares the tuned vendorlib kernels against.
+//
+// The inner j-loops are accounted with the Warp range operations and the
+// arithmetic is done directly on the device buffers, keeping the functional
+// simulation linear in real work.
+
+const threadsPerBlock = 256
+
+// checkGPU validates operand shapes for C[:, :k] = A(ar×ac) × B[:, :k].
+func checkGPU(ar, ac int, b, c *matrix.Dense[float64], k int) error {
+	switch {
+	case k < 0 || k > b.Cols || k > c.Cols:
+		return fmt.Errorf("%w: k=%d with B %dx%d, C %dx%d", ErrLaunch, k, b.Rows, b.Cols, c.Rows, c.Cols)
+	case b.Rows != ac || c.Rows != ar:
+		return fmt.Errorf("%w: A is %dx%d, B %dx%d, C %dx%d", ErrLaunch, ar, ac, b.Rows, b.Cols, c.Rows, c.Cols)
+	}
+	return nil
+}
+
+// UploadDenseK copies the first k columns of h into a device buffer with
+// compact stride k.
+func UploadDenseK(d *Device, h *matrix.Dense[float64], k int) (*F64Buf, error) {
+	buf, err := d.AllocF64(h.Rows*k, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < h.Rows; i++ {
+		copy(buf.Data[i*k:(i+1)*k], h.Data[i*h.Stride:i*h.Stride+k])
+	}
+	return buf, nil
+}
+
+// DownloadDenseK copies a compact rows×k device buffer into the first k
+// columns of h.
+func DownloadDenseK(buf *F64Buf, h *matrix.Dense[float64], k int) {
+	for i := 0; i < h.Rows; i++ {
+		copy(h.Data[i*h.Stride:i*h.Stride+k], buf.Data[i*k:(i+1)*k])
+	}
+}
+
+func gridFor(work int) int {
+	if work <= 0 {
+		return 0
+	}
+	return (work + threadsPerBlock - 1) / threadsPerBlock
+}
+
+// csrBufs uploads a CSR matrix.
+func csrBufs(d *Device, a *formats.CSR[float64]) (rowPtr, colIdx *I32Buf, vals *F64Buf, err error) {
+	if rowPtr, err = d.AllocI32(len(a.RowPtr), a.RowPtr); err != nil {
+		return
+	}
+	if colIdx, err = d.AllocI32(len(a.ColIdx), a.ColIdx); err != nil {
+		return
+	}
+	vals, err = d.AllocF64(len(a.Vals), a.Vals)
+	return
+}
+
+// SpMMCSR runs the naive thread-per-row CSR SpMM on the device and returns
+// the modelled launch result. C[:, :k] is overwritten.
+func SpMMCSR(d *Device, a *formats.CSR[float64], b, c *matrix.Dense[float64], k int) (LaunchResult, error) {
+	if err := checkGPU(a.Rows, a.Cols, b, c, k); err != nil {
+		return LaunchResult{}, err
+	}
+	defer d.FreeAll()
+	rowPtr, colIdx, vals, err := csrBufs(d, a)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	bd, err := UploadDenseK(d, b, k)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	cd, err := d.AllocF64(a.Rows*k, nil)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+
+	rows := a.Rows
+	res, err := d.Launch(gridFor(rows), threadsPerBlock, func(w *Warp) {
+		base := w.GlobalThread(0)
+		if base >= rows {
+			return
+		}
+		n := min(WarpSize, rows-base)
+		mask := MaskFirst(n)
+		var rIdx, start, length, cols, endIdx, idx, cIdx0, bIdx0 [WarpSize]int32
+		var vv [WarpSize]float64
+		for lane := 0; lane < n; lane++ {
+			rIdx[lane] = int32(base + lane)
+			endIdx[lane] = rIdx[lane] + 1
+			cIdx0[lane] = rIdx[lane] * int32(k)
+		}
+		// Row extents: two coalesced int32 gathers.
+		w.GatherI32(rowPtr, &rIdx, mask, &start)
+		w.GatherI32(rowPtr, &endIdx, mask, &length)
+		maxLen := 0
+		for lane := 0; lane < n; lane++ {
+			length[lane] -= start[lane]
+			maxLen = max(maxLen, int(length[lane]))
+		}
+		// Zero the output rows.
+		w.ScatterF64Range(cd, &cIdx0, k, mask)
+		for lane := 0; lane < n; lane++ {
+			clear(cd.Data[int(cIdx0[lane]) : int(cIdx0[lane])+k])
+		}
+		// Walk nonzeros in lockstep; lanes with shorter rows idle while
+		// the warp's longest row finishes (thread-per-row divergence).
+		for t := 0; t < maxLen; t++ {
+			m := uint32(0)
+			for lane := 0; lane < n; lane++ {
+				if int32(t) < length[lane] {
+					m |= 1 << lane
+					idx[lane] = start[lane] + int32(t)
+				}
+			}
+			if m == 0 {
+				break
+			}
+			w.GatherI32(colIdx, &idx, m, &cols)
+			w.GatherF64(vals, &idx, m, &vv)
+			for lane := 0; lane < n; lane++ {
+				if m&(1<<lane) != 0 {
+					bIdx0[lane] = cols[lane] * int32(k)
+				}
+			}
+			// Per-lane private j-loop over B and C rows (uncoalesced
+			// across lanes).
+			w.GatherF64Range(bd, &bIdx0, k, m)
+			w.GatherF64Range(cd, &cIdx0, k, m)
+			w.ScatterF64Range(cd, &cIdx0, k, m)
+			w.FMAN(k, m)
+			for lane := 0; lane < n; lane++ {
+				if m&(1<<lane) == 0 || vv[lane] == 0 {
+					continue
+				}
+				crow := cd.Data[int(cIdx0[lane]) : int(cIdx0[lane])+k]
+				brow := bd.Data[int(bIdx0[lane]) : int(bIdx0[lane])+k]
+				v := vv[lane]
+				for j := range crow {
+					crow[j] += v * brow[j]
+				}
+			}
+		}
+	})
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	DownloadDenseK(cd, c, k)
+	return res, nil
+}
+
+// SpMMCOO runs the naive thread-per-nonzero COO SpMM (atomic accumulation)
+// on the device. C[:, :k] is overwritten.
+func SpMMCOO(d *Device, a *matrix.COO[float64], b, c *matrix.Dense[float64], k int) (LaunchResult, error) {
+	if err := checkGPU(a.Rows, a.Cols, b, c, k); err != nil {
+		return LaunchResult{}, err
+	}
+	defer d.FreeAll()
+	rowIdx, err := d.AllocI32(len(a.RowIdx), a.RowIdx)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	colIdx, err := d.AllocI32(len(a.ColIdx), a.ColIdx)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	vals, err := d.AllocF64(len(a.Vals), a.Vals)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	bd, err := UploadDenseK(d, b, k)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	cd, err := d.AllocF64(a.Rows*k, nil)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+
+	nnz := a.NNZ()
+	res, err := d.Launch(gridFor(nnz), threadsPerBlock, func(w *Warp) {
+		base := w.GlobalThread(0)
+		if base >= nnz {
+			return
+		}
+		n := min(WarpSize, nnz-base)
+		mask := MaskFirst(n)
+		var pIdx, rr, cc, bIdx0, cIdx0 [WarpSize]int32
+		var vv [WarpSize]float64
+		for lane := 0; lane < n; lane++ {
+			pIdx[lane] = int32(base + lane)
+		}
+		w.GatherI32(rowIdx, &pIdx, mask, &rr)
+		w.GatherI32(colIdx, &pIdx, mask, &cc)
+		w.GatherF64(vals, &pIdx, mask, &vv)
+		for lane := 0; lane < n; lane++ {
+			bIdx0[lane] = cc[lane] * int32(k)
+			cIdx0[lane] = rr[lane] * int32(k)
+		}
+		w.GatherF64Range(bd, &bIdx0, k, mask)
+		w.FMAN(k, mask)
+		// Every contribution lands with an atomic add (colliding rows!).
+		w.AtomicAddF64Range(cd, &cIdx0, k, mask)
+		for lane := 0; lane < n; lane++ {
+			if vv[lane] == 0 {
+				continue
+			}
+			crow := cd.Data[int(cIdx0[lane]) : int(cIdx0[lane])+k]
+			brow := bd.Data[int(bIdx0[lane]) : int(bIdx0[lane])+k]
+			v := vv[lane]
+			for j := range crow {
+				crow[j] += v * brow[j]
+			}
+		}
+	})
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	DownloadDenseK(cd, c, k)
+	return res, nil
+}
+
+// SpMMELL runs the naive thread-per-row ELLPACK SpMM. The storage layout of
+// a decides the coalescing of the A-array loads: ColMajor lets adjacent
+// rows (lanes) read adjacent slots, RowMajor does not — the layout ablation
+// the suite benchmarks. Padded slots cost their slot loads and lockstep
+// iterations, the fixed-shape price of ELL on SIMT hardware.
+func SpMMELL(d *Device, a *formats.ELL[float64], b, c *matrix.Dense[float64], k int) (LaunchResult, error) {
+	if err := checkGPU(a.Rows, a.Cols, b, c, k); err != nil {
+		return LaunchResult{}, err
+	}
+	defer d.FreeAll()
+	colIdx, err := d.AllocI32(len(a.ColIdx), a.ColIdx)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	vals, err := d.AllocF64(len(a.Vals), a.Vals)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	bd, err := UploadDenseK(d, b, k)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	cd, err := d.AllocF64(a.Rows*k, nil)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+
+	rows, width := a.Rows, a.Width
+	colMajor := a.Layout == formats.ColMajor
+	res, err := d.Launch(gridFor(rows), threadsPerBlock, func(w *Warp) {
+		base := w.GlobalThread(0)
+		if base >= rows {
+			return
+		}
+		n := min(WarpSize, rows-base)
+		mask := MaskFirst(n)
+		var slot, cols, bIdx0, cIdx0 [WarpSize]int32
+		var vv [WarpSize]float64
+		for lane := 0; lane < n; lane++ {
+			cIdx0[lane] = int32((base + lane) * k)
+		}
+		w.ScatterF64Range(cd, &cIdx0, k, mask)
+		for lane := 0; lane < n; lane++ {
+			clear(cd.Data[int(cIdx0[lane]) : int(cIdx0[lane])+k])
+		}
+		for s := 0; s < width; s++ {
+			for lane := 0; lane < n; lane++ {
+				r := base + lane
+				if colMajor {
+					slot[lane] = int32(s*rows + r)
+				} else {
+					slot[lane] = int32(r*width + s)
+				}
+			}
+			w.GatherI32(colIdx, &slot, mask, &cols)
+			w.GatherF64(vals, &slot, mask, &vv)
+			// All lanes march in lockstep: padded lanes (v == 0) do the
+			// loads and FMAs too — the GPU has no cheap way to skip them.
+			for lane := 0; lane < n; lane++ {
+				bIdx0[lane] = cols[lane] * int32(k)
+			}
+			w.GatherF64Range(bd, &bIdx0, k, mask)
+			w.GatherF64Range(cd, &cIdx0, k, mask)
+			w.ScatterF64Range(cd, &cIdx0, k, mask)
+			w.FMAN(k, mask)
+			for lane := 0; lane < n; lane++ {
+				if vv[lane] == 0 {
+					continue // adds zero; result unchanged
+				}
+				crow := cd.Data[int(cIdx0[lane]) : int(cIdx0[lane])+k]
+				brow := bd.Data[int(bIdx0[lane]) : int(bIdx0[lane])+k]
+				v := vv[lane]
+				for j := range crow {
+					crow[j] += v * brow[j]
+				}
+			}
+		}
+	})
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	DownloadDenseK(cd, c, k)
+	return res, nil
+}
+
+// SpMMBCSR runs the naive thread-per-output-row BCSR SpMM: thread i owns
+// matrix row i, walking the blocks of its block row.
+func SpMMBCSR(d *Device, a *formats.BCSR[float64], b, c *matrix.Dense[float64], k int) (LaunchResult, error) {
+	if err := checkGPU(a.Rows, a.Cols, b, c, k); err != nil {
+		return LaunchResult{}, err
+	}
+	defer d.FreeAll()
+	rowPtr, err := d.AllocI32(len(a.RowPtr), a.RowPtr)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	colIdx, err := d.AllocI32(len(a.ColIdx), a.ColIdx)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	vals, err := d.AllocF64(len(a.Vals), a.Vals)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	bd, err := UploadDenseK(d, b, k)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	cd, err := d.AllocF64(a.Rows*k, nil)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+
+	rows, br, bc := a.Rows, a.BR, a.BC
+	cols := a.Cols
+	blkSize := int32(br * bc)
+	res, err := d.Launch(gridFor(rows), threadsPerBlock, func(w *Warp) {
+		base := w.GlobalThread(0)
+		if base >= rows {
+			return
+		}
+		n := min(WarpSize, rows-base)
+		mask := MaskFirst(n)
+		var briIdx, briNext, start, length, blkPos, bcol, vIdx, bIdx0, cIdx0 [WarpSize]int32
+		var vv [WarpSize]float64
+		for lane := 0; lane < n; lane++ {
+			briIdx[lane] = int32((base + lane) / br)
+			briNext[lane] = briIdx[lane] + 1
+			cIdx0[lane] = int32((base + lane) * k)
+		}
+		w.GatherI32(rowPtr, &briIdx, mask, &start)
+		w.GatherI32(rowPtr, &briNext, mask, &length)
+		maxBlocks := 0
+		for lane := 0; lane < n; lane++ {
+			length[lane] -= start[lane]
+			maxBlocks = max(maxBlocks, int(length[lane]))
+		}
+		w.ScatterF64Range(cd, &cIdx0, k, mask)
+		for lane := 0; lane < n; lane++ {
+			clear(cd.Data[int(cIdx0[lane]) : int(cIdx0[lane])+k])
+		}
+		for t := 0; t < maxBlocks; t++ {
+			m := uint32(0)
+			for lane := 0; lane < n; lane++ {
+				if int32(t) < length[lane] {
+					m |= 1 << lane
+					blkPos[lane] = start[lane] + int32(t)
+				}
+			}
+			if m == 0 {
+				break
+			}
+			w.GatherI32(colIdx, &blkPos, m, &bcol)
+			for cc := 0; cc < bc; cc++ {
+				m2 := uint32(0)
+				for lane := 0; lane < n; lane++ {
+					if m&(1<<lane) == 0 {
+						continue
+					}
+					col := int(bcol[lane])*bc + cc
+					if col >= cols {
+						continue
+					}
+					m2 |= 1 << lane
+					r := (base + lane) % br
+					vIdx[lane] = blkPos[lane]*blkSize + int32(r*bc+cc)
+					bIdx0[lane] = int32(col * k)
+				}
+				if m2 == 0 {
+					continue
+				}
+				w.GatherF64(vals, &vIdx, m2, &vv)
+				w.GatherF64Range(bd, &bIdx0, k, m2)
+				w.GatherF64Range(cd, &cIdx0, k, m2)
+				w.ScatterF64Range(cd, &cIdx0, k, m2)
+				w.FMAN(k, m2)
+				for lane := 0; lane < n; lane++ {
+					if m2&(1<<lane) == 0 || vv[lane] == 0 {
+						continue
+					}
+					crow := cd.Data[int(cIdx0[lane]) : int(cIdx0[lane])+k]
+					brow := bd.Data[int(bIdx0[lane]) : int(bIdx0[lane])+k]
+					v := vv[lane]
+					for j := range crow {
+						crow[j] += v * brow[j]
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	DownloadDenseK(cd, c, k)
+	return res, nil
+}
+
+// SpMMBELL runs the naive thread-per-output-row Blocked-ELL SpMM. BELL is
+// the blocked format GPU vendors actually expose (cuSPARSE's blocked-ELL):
+// every block row has the same number of block slots, so — unlike BCSR —
+// the lockstep walk has no divergence; padding blocks (zero values) are the
+// price.
+func SpMMBELL(d *Device, a *formats.BELL[float64], b, c *matrix.Dense[float64], k int) (LaunchResult, error) {
+	if err := checkGPU(a.Rows, a.Cols, b, c, k); err != nil {
+		return LaunchResult{}, err
+	}
+	defer d.FreeAll()
+	colIdx, err := d.AllocI32(len(a.ColIdx), a.ColIdx)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	vals, err := d.AllocF64(len(a.Vals), a.Vals)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	bd, err := UploadDenseK(d, b, k)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	cd, err := d.AllocF64(a.Rows*k, nil)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+
+	rows, br, bc, width := a.Rows, a.BR, a.BC, a.Width
+	cols := a.Cols
+	blkSize := br * bc
+	res, err := d.Launch(gridFor(rows), threadsPerBlock, func(w *Warp) {
+		base := w.GlobalThread(0)
+		if base >= rows {
+			return
+		}
+		n := min(WarpSize, rows-base)
+		mask := MaskFirst(n)
+		var slot, bcol, vIdx, bIdx0, cIdx0 [WarpSize]int32
+		var vv [WarpSize]float64
+		for lane := 0; lane < n; lane++ {
+			cIdx0[lane] = int32((base + lane) * k)
+		}
+		w.ScatterF64Range(cd, &cIdx0, k, mask)
+		for lane := 0; lane < n; lane++ {
+			clear(cd.Data[int(cIdx0[lane]) : int(cIdx0[lane])+k])
+		}
+		// Every block row walks exactly `width` slots: perfect lockstep,
+		// padding blocks included.
+		for s := 0; s < width; s++ {
+			for lane := 0; lane < n; lane++ {
+				brow := (base + lane) / br
+				slot[lane] = int32(brow*width + s)
+			}
+			w.GatherI32(colIdx, &slot, mask, &bcol)
+			for cc := 0; cc < bc; cc++ {
+				m2 := uint32(0)
+				for lane := 0; lane < n; lane++ {
+					col := int(bcol[lane])*bc + cc
+					if col >= cols {
+						continue
+					}
+					m2 |= 1 << lane
+					r := (base + lane) % br
+					vIdx[lane] = slot[lane]*int32(blkSize) + int32(r*bc+cc)
+					bIdx0[lane] = int32(col * k)
+				}
+				if m2 == 0 {
+					continue
+				}
+				w.GatherF64(vals, &vIdx, m2, &vv)
+				w.GatherF64Range(bd, &bIdx0, k, m2)
+				w.GatherF64Range(cd, &cIdx0, k, m2)
+				w.ScatterF64Range(cd, &cIdx0, k, m2)
+				w.FMAN(k, m2)
+				for lane := 0; lane < n; lane++ {
+					if m2&(1<<lane) == 0 || vv[lane] == 0 {
+						continue
+					}
+					crow := cd.Data[int(cIdx0[lane]) : int(cIdx0[lane])+k]
+					brow := bd.Data[int(bIdx0[lane]) : int(bIdx0[lane])+k]
+					v := vv[lane]
+					for j := range crow {
+						crow[j] += v * brow[j]
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	DownloadDenseK(cd, c, k)
+	return res, nil
+}
+
+// TransposeDense charges an on-device blocked transpose of an n×k dense
+// matrix (coalesced reads, strided writes) and performs it functionally,
+// returning the kᵀ×n buffer. Study 8's rule applies on the GPU too: the
+// transposed kernels pay for producing Bᵀ.
+func TransposeDense(d *Device, src *F64Buf, n, k int) (*F64Buf, error) {
+	dst, err := d.AllocF64(n*k, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			dst.Data[j*n+i] = src.Data[i*k+j]
+		}
+	}
+	// One warp per 32 rows: coalesced source reads, strided destination
+	// writes.
+	_, err = d.Launch(gridFor(n), threadsPerBlock, func(w *Warp) {
+		base := w.GlobalThread(0)
+		if base >= n {
+			return
+		}
+		rows := min(WarpSize, n-base)
+		mask := MaskFirst(rows)
+		var idx [WarpSize]int32
+		for lane := 0; lane < rows; lane++ {
+			idx[lane] = int32((base + lane) * k)
+		}
+		w.GatherF64Range(src, &idx, k, mask)
+		w.StridedBulk(k, mask)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// SpMMCSRT runs the transposed-B thread-per-row CSR SpMM on the device,
+// including the on-device transposition of B (charged to the kernel, as in
+// Study 8). The inner loop walks a column of Bᵀ — one cache line per
+// element — which is what makes the transposed variant lose.
+func SpMMCSRT(d *Device, a *formats.CSR[float64], b, c *matrix.Dense[float64], k int) (LaunchResult, error) {
+	if err := checkGPU(a.Rows, a.Cols, b, c, k); err != nil {
+		return LaunchResult{}, err
+	}
+	defer d.FreeAll()
+	rowPtr, colIdx, vals, err := csrBufs(d, a)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	bd, err := UploadDenseK(d, b, k)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	n := a.Cols
+	btd, err := TransposeDense(d, bd, n, k)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	cd, err := d.AllocF64(a.Rows*k, nil)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+
+	rows := a.Rows
+	res, err := d.Launch(gridFor(rows), threadsPerBlock, func(w *Warp) {
+		base := w.GlobalThread(0)
+		if base >= rows {
+			return
+		}
+		nw := min(WarpSize, rows-base)
+		mask := MaskFirst(nw)
+		var rIdx, endIdx, start, length, cols, idx, cIdx0 [WarpSize]int32
+		var vv [WarpSize]float64
+		for lane := 0; lane < nw; lane++ {
+			rIdx[lane] = int32(base + lane)
+			endIdx[lane] = rIdx[lane] + 1
+			cIdx0[lane] = rIdx[lane] * int32(k)
+		}
+		w.GatherI32(rowPtr, &rIdx, mask, &start)
+		w.GatherI32(rowPtr, &endIdx, mask, &length)
+		maxLen := 0
+		for lane := 0; lane < nw; lane++ {
+			length[lane] -= start[lane]
+			maxLen = max(maxLen, int(length[lane]))
+		}
+		w.ScatterF64Range(cd, &cIdx0, k, mask)
+		for lane := 0; lane < nw; lane++ {
+			clear(cd.Data[int(cIdx0[lane]) : int(cIdx0[lane])+k])
+		}
+		for t := 0; t < maxLen; t++ {
+			m := uint32(0)
+			for lane := 0; lane < nw; lane++ {
+				if int32(t) < length[lane] {
+					m |= 1 << lane
+					idx[lane] = start[lane] + int32(t)
+				}
+			}
+			if m == 0 {
+				break
+			}
+			w.GatherI32(colIdx, &idx, m, &cols)
+			w.GatherF64(vals, &idx, m, &vv)
+			// Bᵀ column walk: one line per element, per lane.
+			w.StridedBulk(k, m)
+			w.GatherF64Range(cd, &cIdx0, k, m)
+			w.ScatterF64Range(cd, &cIdx0, k, m)
+			w.FMAN(k, m)
+			for lane := 0; lane < nw; lane++ {
+				if m&(1<<lane) == 0 || vv[lane] == 0 {
+					continue
+				}
+				crow := cd.Data[int(cIdx0[lane]) : int(cIdx0[lane])+k]
+				col := int(cols[lane])
+				v := vv[lane]
+				for j := range crow {
+					crow[j] += v * btd.Data[j*n+col]
+				}
+			}
+		}
+	})
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	DownloadDenseK(cd, c, k)
+	return res, nil
+}

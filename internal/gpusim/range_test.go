@@ -1,0 +1,264 @@
+package gpusim
+
+import (
+	"testing"
+
+	"repro/internal/formats"
+	"repro/internal/matrix"
+)
+
+// launchOne runs the kernel as a single warp and returns the stats.
+func launchOne(t *testing.T, d *Device, kernel func(w *Warp)) Stats {
+	t.Helper()
+	res, err := d.Launch(1, 32, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Stats
+}
+
+func TestGatherRangeAccounting(t *testing.T) {
+	d := newTestDevice(t) // 64B lines => 8 float64 per line
+	buf, err := d.AllocF64(4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx [WarpSize]int32
+	for lane := range idx {
+		idx[lane] = int32(lane * 64) // disjoint, line-aligned ranges
+	}
+	const elems = 16 // 2 lines per lane
+	s := launchOne(t, d, func(w *Warp) {
+		w.GatherF64Range(buf, &idx, elems, FullMask)
+	})
+	if s.MemInstrs != elems {
+		t.Fatalf("memInstrs %d, want %d", s.MemInstrs, elems)
+	}
+	// 32 lanes × 2 distinct lines each = 64 hierarchy transactions; the
+	// other 14 accesses per lane are same-line L1 hits.
+	if got := s.L2Transactions + s.DRAMTransactions; got != 64 {
+		t.Fatalf("hierarchy transactions %d, want 64", got)
+	}
+	if s.L1Transactions != int64(32*(elems-2)) {
+		t.Fatalf("L1 credits %d, want %d", s.L1Transactions, 32*(elems-2))
+	}
+}
+
+func TestGatherRangeMaskedLanes(t *testing.T) {
+	d := newTestDevice(t)
+	buf, err := d.AllocF64(1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx [WarpSize]int32
+	idx[0] = 0
+	s := launchOne(t, d, func(w *Warp) {
+		w.GatherF64Range(buf, &idx, 8, MaskFirst(1)) // one lane, one line
+	})
+	if got := s.L2Transactions + s.DRAMTransactions; got != 1 {
+		t.Fatalf("hierarchy transactions %d, want 1", got)
+	}
+	if s.L1Transactions != 7 {
+		t.Fatalf("L1 credits %d, want 7", s.L1Transactions)
+	}
+}
+
+func TestCoalescedRangeAccounting(t *testing.T) {
+	d := newTestDevice(t)
+	buf, err := d.AllocF64(1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const elems = 128 // 16 lines of 64B, cooperatively loaded
+	s := launchOne(t, d, func(w *Warp) {
+		w.GatherF64Coalesced(buf, 0, elems, FullMask)
+	})
+	if s.MemInstrs != (elems+WarpSize-1)/WarpSize {
+		t.Fatalf("memInstrs %d, want %d", s.MemInstrs, (elems+WarpSize-1)/WarpSize)
+	}
+	if got := s.L1Transactions + s.L2Transactions + s.DRAMTransactions; got != 16 {
+		t.Fatalf("transactions %d, want 16 (one per line)", got)
+	}
+	if s.CoalescingEfficiency() != 1 {
+		t.Fatalf("coalesced range efficiency %v, want 1", s.CoalescingEfficiency())
+	}
+}
+
+func TestAtomicRangeBypassesL1(t *testing.T) {
+	d := newTestDevice(t)
+	buf, err := d.AllocF64(4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx [WarpSize]int32
+	for lane := range idx {
+		idx[lane] = int32(lane * 64)
+	}
+	const elems = 16 // 2 lines per lane
+	s := launchOne(t, d, func(w *Warp) {
+		w.AtomicAddF64Range(buf, &idx, elems, FullMask)
+	})
+	// Per lane: ceil(16*8/64) = 2 atomic line transactions, all at L2.
+	if s.AtomicTransacts != 64 {
+		t.Fatalf("atomic transactions %d, want 64", s.AtomicTransacts)
+	}
+	if s.L1Transactions != 0 {
+		t.Fatalf("atomics must not earn L1 credits, got %d", s.L1Transactions)
+	}
+}
+
+func TestAtomicCoalescedAccounting(t *testing.T) {
+	d := newTestDevice(t)
+	buf, err := d.AllocF64(1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := launchOne(t, d, func(w *Warp) {
+		w.AtomicAddF64Coalesced(buf, 0, 64, FullMask) // 8 lines
+	})
+	if s.AtomicTransacts != 8 {
+		t.Fatalf("atomic transactions %d, want 8", s.AtomicTransacts)
+	}
+}
+
+func TestWarpL1CatchesReuse(t *testing.T) {
+	d := newTestDevice(t)
+	buf, err := d.AllocF64(64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx [WarpSize]int32 // all lanes, same line
+	var out [WarpSize]float64
+	s := launchOne(t, d, func(w *Warp) {
+		w.GatherF64(buf, &idx, FullMask, &out) // first touch: miss
+		w.GatherF64(buf, &idx, FullMask, &out) // second: warp-L1 hit
+	})
+	if s.L1Transactions != 1 {
+		t.Fatalf("L1 hits %d, want 1", s.L1Transactions)
+	}
+	if got := s.L2Transactions + s.DRAMTransactions; got != 1 {
+		t.Fatalf("hierarchy transactions %d, want 1", got)
+	}
+}
+
+func TestWarpL1ResetBetweenWarps(t *testing.T) {
+	d := newTestDevice(t)
+	buf, err := d.AllocF64(64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx [WarpSize]int32
+	var out [WarpSize]float64
+	// Two warps touching the same line: the second warp's L1 starts
+	// cold (but the device L2 now holds the line).
+	res, err := d.Launch(1, 64, func(w *Warp) {
+		w.GatherF64(buf, &idx, FullMask, &out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.L1Transactions != 0 {
+		t.Fatalf("cross-warp L1 sharing not modelled: %d L1 hits", res.Stats.L1Transactions)
+	}
+	if res.Stats.L2Transactions != 1 || res.Stats.DRAMTransactions != 1 {
+		t.Fatalf("want 1 DRAM (first warp) + 1 L2 (second warp), got %d/%d",
+			res.Stats.DRAMTransactions, res.Stats.L2Transactions)
+	}
+}
+
+func TestScaledDown(t *testing.T) {
+	cfg := H100Like()
+	small := cfg.ScaledDown(0.02)
+	if small.SMs >= cfg.SMs || small.SMs < 2 {
+		t.Fatalf("scaled SMs %d", small.SMs)
+	}
+	if small.MemoryBytes >= cfg.MemoryBytes {
+		t.Fatal("memory must scale")
+	}
+	if same := cfg.ScaledDown(1); same.SMs != cfg.SMs {
+		t.Fatal("factor 1 must be identity")
+	}
+	if same := cfg.ScaledDown(0); same.SMs != cfg.SMs {
+		t.Fatal("factor 0 must be identity (invalid factor ignored)")
+	}
+}
+
+func TestBELLGPUMatchesReference(t *testing.T) {
+	coo := testMatrix(31, 90, 70, 800)
+	b := matrix.NewDenseRand[float64](70, 64, 4)
+	want := reference(t, coo, b, 48)
+	bell, err := formats.BELLFromCOO(coo, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newTestDevice(t)
+	c := matrix.NewDense[float64](90, 64)
+	if _, err := SpMMBELL(d, bell, b, c, 48); err != nil {
+		t.Fatal(err)
+	}
+	view, _ := c.View(0, 0, 90, 48)
+	if !view.Clone().EqualTol(want, 1e-9) {
+		t.Fatal("BELL GPU kernel mismatch")
+	}
+}
+
+func TestCSRTransposedGPUMatchesReference(t *testing.T) {
+	coo := testMatrix(77, 80, 60, 700)
+	csr := formats.CSRFromCOO(coo)
+	b := matrix.NewDenseRand[float64](60, 64, 9)
+	want := reference(t, coo, b, 40)
+	d := newTestDevice(t)
+	c := matrix.NewDense[float64](80, 64)
+	res, err := SpMMCSRT(d, csr, b, c, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, _ := c.View(0, 0, 80, 40)
+	if !view.Clone().EqualTol(want, 1e-9) {
+		t.Fatal("transposed GPU CSR mismatch")
+	}
+	plain, err := SpMMCSR(d, csr, b, c, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= plain.Seconds {
+		t.Errorf("transposed GPU kernel (%.3gs) should lose to plain (%.3gs)",
+			res.Seconds, plain.Seconds)
+	}
+}
+
+func TestAllGPUKernelsHandleOOM(t *testing.T) {
+	coo := testMatrix(3, 60, 60, 400)
+	csr := formats.CSRFromCOO(coo)
+	ell := formats.ELLFromCOO(coo, formats.ColMajor)
+	bcsr, err := formats.BCSRFromCOO(coo, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bell, err := formats.BELLFromCOO(coo, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := matrix.NewDenseRand[float64](60, 16, 1)
+	c := matrix.NewDense[float64](60, 16)
+	cfg := TestDevice(512) // nothing fits
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, run := range map[string]func() (LaunchResult, error){
+		"coo":   func() (LaunchResult, error) { return SpMMCOO(d, coo, b, c, 16) },
+		"csr":   func() (LaunchResult, error) { return SpMMCSR(d, csr, b, c, 16) },
+		"csr-t": func() (LaunchResult, error) { return SpMMCSRT(d, csr, b, c, 16) },
+		"ell":   func() (LaunchResult, error) { return SpMMELL(d, ell, b, c, 16) },
+		"bcsr":  func() (LaunchResult, error) { return SpMMBCSR(d, bcsr, b, c, 16) },
+		"bell":  func() (LaunchResult, error) { return SpMMBELL(d, bell, b, c, 16) },
+	} {
+		if _, err := run(); err == nil {
+			t.Errorf("%s: OOM not reported", label)
+		}
+		if d.Allocated() != 0 {
+			t.Errorf("%s: leaked %d bytes after OOM", label, d.Allocated())
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package kernels
+
+import (
+	"repro/internal/formats"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// BCSRSerial computes C[:, :k] = A × B[:, :k] with A in BCSR form. The
+// kernel walks whole blocks, including their padding zeros — the extra work
+// a badly chosen block size costs.
+func BCSRSerial[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T], k int) error {
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	bcsrBlockRows(a, b, c, k, 0, a.BlockRows)
+	return nil
+}
+
+// bcsrBlockRows processes block rows [lo, hi). A trailing padded fringe
+// (rows/cols beyond the logical dimensions) is guarded explicitly; interior
+// padding is plain zero values.
+func bcsrBlockRows[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T], k, lo, hi int) {
+	br, bc := a.BR, a.BC
+	for bri := lo; bri < hi; bri++ {
+		rowBase := bri * br
+		rowLim := min(br, a.Rows-rowBase)
+		for r := 0; r < rowLim; r++ {
+			clear(c.Data[(rowBase+r)*c.Stride : (rowBase+r)*c.Stride+k])
+		}
+		for p := a.RowPtr[bri]; p < a.RowPtr[bri+1]; p++ {
+			colBase := int(a.ColIdx[p]) * bc
+			colLim := min(bc, a.Cols-colBase)
+			blk := a.Block(int(p))
+			for r := 0; r < rowLim; r++ {
+				crow := c.Data[(rowBase+r)*c.Stride : (rowBase+r)*c.Stride+k]
+				for cc := 0; cc < colLim; cc++ {
+					v := blk[r*bc+cc]
+					if v == 0 {
+						continue
+					}
+					axpy(crow, b.Data[(colBase+cc)*b.Stride:], v, k)
+				}
+			}
+		}
+	}
+}
+
+// BCSRParallel computes C[:, :k] = A × B[:, :k] with block rows statically
+// divided over `threads` workers. Parallelising at block-row granularity is
+// what the blocked format buys: each worker owns whole C row-bands.
+func BCSRParallel[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T], k, threads int) error {
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	parallel.For(a.BlockRows, threads, func(lo, hi, _ int) {
+		bcsrBlockRows(a, b, c, k, lo, hi)
+	})
+	return nil
+}
+
+// BCSRSerialT computes C[:, :k] = A × B[:, :k] given bt, the transpose of B.
+func BCSRSerialT[T matrix.Float](a *formats.BCSR[T], bt, c *matrix.Dense[T], k int) error {
+	if err := checkSpMMT(a.Rows, a.Cols, bt, c, k); err != nil {
+		return err
+	}
+	bcsrBlockRowsT(a, bt, c, k, 0, a.BlockRows)
+	return nil
+}
+
+func bcsrBlockRowsT[T matrix.Float](a *formats.BCSR[T], bt, c *matrix.Dense[T], k, lo, hi int) {
+	br, bc := a.BR, a.BC
+	for bri := lo; bri < hi; bri++ {
+		rowBase := bri * br
+		rowLim := min(br, a.Rows-rowBase)
+		for r := 0; r < rowLim; r++ {
+			clear(c.Data[(rowBase+r)*c.Stride : (rowBase+r)*c.Stride+k])
+		}
+		for p := a.RowPtr[bri]; p < a.RowPtr[bri+1]; p++ {
+			colBase := int(a.ColIdx[p]) * bc
+			colLim := min(bc, a.Cols-colBase)
+			blk := a.Block(int(p))
+			for r := 0; r < rowLim; r++ {
+				crow := c.Data[(rowBase+r)*c.Stride : (rowBase+r)*c.Stride+k]
+				for cc := 0; cc < colLim; cc++ {
+					v := blk[r*bc+cc]
+					if v == 0 {
+						continue
+					}
+					col := colBase + cc
+					for j := range crow {
+						crow[j] += v * bt.Data[j*bt.Stride+col]
+					}
+				}
+			}
+		}
+	}
+}
+
+// BCSRParallelT is the parallel transposed-B BCSR kernel.
+func BCSRParallelT[T matrix.Float](a *formats.BCSR[T], bt, c *matrix.Dense[T], k, threads int) error {
+	if err := checkSpMMT(a.Rows, a.Cols, bt, c, k); err != nil {
+		return err
+	}
+	parallel.For(a.BlockRows, threads, func(lo, hi, _ int) {
+		bcsrBlockRowsT(a, bt, c, k, lo, hi)
+	})
+	return nil
+}
+
+// BCSRParallelInner is the Study 9 footnote variant: it parallelises the
+// *inner* (within-block-row) loop instead of the block-row loop. The thesis
+// notes this change "clearly made the overall performance worse"; the suite
+// keeps it so the regression is reproducible.
+func BCSRParallelInner[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T], k, threads int) error {
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	zeroK(c, k)
+	br, bc := a.BR, a.BC
+	for bri := 0; bri < a.BlockRows; bri++ {
+		rowBase := bri * br
+		rowLim := min(br, a.Rows-rowBase)
+		nblk := int(a.RowPtr[bri+1] - a.RowPtr[bri])
+		if nblk == 0 {
+			continue
+		}
+		first := int(a.RowPtr[bri])
+		// Each worker accumulates disjoint C rows only if it owns whole
+		// rows of the block; parallelising over blocks within the row
+		// races on C, so workers split the *row* dimension of the block
+		// instead — tiny chunks, heavy fork/join per block row. That is
+		// the pathology the thesis observed.
+		parallel.For(rowLim, threads, func(rlo, rhi, _ int) {
+			for p := first; p < first+nblk; p++ {
+				colBase := int(a.ColIdx[p]) * bc
+				colLim := min(bc, a.Cols-colBase)
+				blk := a.Block(p)
+				for r := rlo; r < rhi; r++ {
+					crow := c.Data[(rowBase+r)*c.Stride : (rowBase+r)*c.Stride+k]
+					for cc := 0; cc < colLim; cc++ {
+						v := blk[r*bc+cc]
+						if v == 0 {
+							continue
+						}
+						axpy(crow, b.Data[(colBase+cc)*b.Stride:], v, k)
+					}
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// BCSRSpMV computes y = A × x with A in BCSR form.
+func BCSRSpMV[T matrix.Float](a *formats.BCSR[T], x, y []T) error {
+	if err := checkSpMV(a.Rows, a.Cols, x, y); err != nil {
+		return err
+	}
+	clear(y)
+	br, bc := a.BR, a.BC
+	for bri := 0; bri < a.BlockRows; bri++ {
+		rowBase := bri * br
+		rowLim := min(br, a.Rows-rowBase)
+		for p := a.RowPtr[bri]; p < a.RowPtr[bri+1]; p++ {
+			colBase := int(a.ColIdx[p]) * bc
+			colLim := min(bc, a.Cols-colBase)
+			blk := a.Block(int(p))
+			for r := 0; r < rowLim; r++ {
+				var sum T
+				for cc := 0; cc < colLim; cc++ {
+					sum += blk[r*bc+cc] * x[colBase+cc]
+				}
+				y[rowBase+r] += sum
+			}
+		}
+	}
+	return nil
+}
+
+// BCSRSpMVParallel computes y = A × x with block rows divided over workers.
+func BCSRSpMVParallel[T matrix.Float](a *formats.BCSR[T], x, y []T, threads int) error {
+	if err := checkSpMV(a.Rows, a.Cols, x, y); err != nil {
+		return err
+	}
+	br, bc := a.BR, a.BC
+	parallel.For(a.BlockRows, threads, func(lo, hi, _ int) {
+		for bri := lo; bri < hi; bri++ {
+			rowBase := bri * br
+			rowLim := min(br, a.Rows-rowBase)
+			clear(y[rowBase : rowBase+rowLim])
+			for p := a.RowPtr[bri]; p < a.RowPtr[bri+1]; p++ {
+				colBase := int(a.ColIdx[p]) * bc
+				colLim := min(bc, a.Cols-colBase)
+				blk := a.Block(int(p))
+				for r := 0; r < rowLim; r++ {
+					var sum T
+					for cc := 0; cc < colLim; cc++ {
+						sum += blk[r*bc+cc] * x[colBase+cc]
+					}
+					y[rowBase+r] += sum
+				}
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,195 @@
+package kernels
+
+import (
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// COOSerial computes C[:, :k] = A × B[:, :k] with A in COO form. This is
+// also the suite's verification kernel, as in the thesis (§4.3).
+func COOSerial[T matrix.Float](a *matrix.COO[T], b, c *matrix.Dense[T], k int) error {
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	zeroK(c, k)
+	for p := range a.Vals {
+		r := int(a.RowIdx[p])
+		col := int(a.ColIdx[p])
+		axpy(c.Data[r*c.Stride:], b.Data[col*b.Stride:], a.Vals[p], k)
+	}
+	return nil
+}
+
+// cooRowPartition splits [0, nnz) into up to `threads` chunks whose
+// boundaries fall on row boundaries, so concurrent workers never write the
+// same C row. It requires a row-major sorted matrix. A row longer than a
+// fair share simply makes its owner's chunk larger (the load imbalance the
+// thesis observes for high-column-ratio matrices).
+func cooRowPartition[T matrix.Float](a *matrix.COO[T], threads int) []int {
+	nnz := a.NNZ()
+	bounds := make([]int, 0, threads+1)
+	bounds = append(bounds, 0)
+	for w := 1; w < threads; w++ {
+		_, cut := parallel.ChunkBounds(nnz, threads, w-1)
+		// Advance the cut to the next row boundary.
+		for cut < nnz && cut > 0 && a.RowIdx[cut] == a.RowIdx[cut-1] {
+			cut++
+		}
+		if cut <= bounds[len(bounds)-1] {
+			continue // previous chunk swallowed this one
+		}
+		bounds = append(bounds, cut)
+	}
+	if bounds[len(bounds)-1] != nnz {
+		bounds = append(bounds, nnz)
+	}
+	return bounds
+}
+
+// COOParallel computes C[:, :k] = A × B[:, :k] with the triplets divided
+// over `threads` workers at row boundaries. A must be sorted row-major
+// (format conversion guarantees this).
+func COOParallel[T matrix.Float](a *matrix.COO[T], b, c *matrix.Dense[T], k, threads int) error {
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	bounds := cooRowPartition(a, threads)
+	chunks := len(bounds) - 1
+	parallel.For(c.Rows, threads, func(lo, hi, _ int) {
+		zeroKRows(c, k, lo, hi)
+	})
+	parallel.For(chunks, chunks, func(wlo, whi, _ int) {
+		for w := wlo; w < whi; w++ {
+			for p := bounds[w]; p < bounds[w+1]; p++ {
+				r := int(a.RowIdx[p])
+				col := int(a.ColIdx[p])
+				axpy(c.Data[r*c.Stride:], b.Data[col*b.Stride:], a.Vals[p], k)
+			}
+		}
+	})
+	return nil
+}
+
+// COOParallelReplicated is the ablation alternative to COOParallel: each
+// worker takes an arbitrary (not row-aligned) slice of triplets, accumulates
+// into a private copy of C, and the copies are reduced at the end. It
+// tolerates unsorted input but pays threads×(m×k) extra memory and a
+// reduction pass.
+func COOParallelReplicated[T matrix.Float](a *matrix.COO[T], b, c *matrix.Dense[T], k, threads int) error {
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	nnz := a.NNZ()
+	if threads > nnz {
+		threads = max(nnz, 1)
+	}
+	zeroK(c, k)
+	if threads == 1 {
+		return COOSerial(a, b, c, k)
+	}
+	privs := make([]*matrix.Dense[T], threads)
+	parallel.For(threads, threads, func(wlo, whi, _ int) {
+		for w := wlo; w < whi; w++ {
+			priv := matrix.NewDense[T](c.Rows, k)
+			privs[w] = priv
+			lo, hi := parallel.ChunkBounds(nnz, threads, w)
+			for p := lo; p < hi; p++ {
+				r := int(a.RowIdx[p])
+				col := int(a.ColIdx[p])
+				axpy(priv.Data[r*priv.Stride:], b.Data[col*b.Stride:], a.Vals[p], k)
+			}
+		}
+	})
+	// Reduce, parallel over rows.
+	parallel.For(c.Rows, threads, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			crow := c.Data[i*c.Stride : i*c.Stride+k]
+			for _, priv := range privs {
+				prow := priv.Data[i*priv.Stride : i*priv.Stride+k]
+				for j := range crow {
+					crow[j] += prow[j]
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// COOSerialT computes C[:, :k] = A × B[:, :k] given bt, the transpose of B
+// (kb×n). Study 8 measures whether transposed access to B pays off.
+func COOSerialT[T matrix.Float](a *matrix.COO[T], bt, c *matrix.Dense[T], k int) error {
+	if err := checkSpMMT(a.Rows, a.Cols, bt, c, k); err != nil {
+		return err
+	}
+	zeroK(c, k)
+	for p := range a.Vals {
+		r := int(a.RowIdx[p])
+		col := int(a.ColIdx[p])
+		v := a.Vals[p]
+		crow := c.Data[r*c.Stride : r*c.Stride+k]
+		for j := range crow {
+			crow[j] += v * bt.Data[j*bt.Stride+col]
+		}
+	}
+	return nil
+}
+
+// COOParallelT is the parallel transposed-B COO kernel.
+func COOParallelT[T matrix.Float](a *matrix.COO[T], bt, c *matrix.Dense[T], k, threads int) error {
+	if err := checkSpMMT(a.Rows, a.Cols, bt, c, k); err != nil {
+		return err
+	}
+	bounds := cooRowPartition(a, threads)
+	chunks := len(bounds) - 1
+	parallel.For(c.Rows, threads, func(lo, hi, _ int) {
+		zeroKRows(c, k, lo, hi)
+	})
+	parallel.For(chunks, chunks, func(wlo, whi, _ int) {
+		for w := wlo; w < whi; w++ {
+			for p := bounds[w]; p < bounds[w+1]; p++ {
+				r := int(a.RowIdx[p])
+				col := int(a.ColIdx[p])
+				v := a.Vals[p]
+				crow := c.Data[r*c.Stride : r*c.Stride+k]
+				for j := range crow {
+					crow[j] += v * bt.Data[j*bt.Stride+col]
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// COOSpMV computes y = A × x with A in COO form.
+func COOSpMV[T matrix.Float](a *matrix.COO[T], x, y []T) error {
+	if err := checkSpMV(a.Rows, a.Cols, x, y); err != nil {
+		return err
+	}
+	clear(y)
+	for p := range a.Vals {
+		y[a.RowIdx[p]] += a.Vals[p] * x[a.ColIdx[p]]
+	}
+	return nil
+}
+
+// COOSpMVParallel computes y = A × x with row-partitioned workers; A must
+// be sorted row-major.
+func COOSpMVParallel[T matrix.Float](a *matrix.COO[T], x, y []T, threads int) error {
+	if err := checkSpMV(a.Rows, a.Cols, x, y); err != nil {
+		return err
+	}
+	clear(y)
+	bounds := cooRowPartition(a, threads)
+	chunks := len(bounds) - 1
+	parallel.For(chunks, chunks, func(wlo, whi, _ int) {
+		for w := wlo; w < whi; w++ {
+			for p := bounds[w]; p < bounds[w+1]; p++ {
+				y[a.RowIdx[p]] += a.Vals[p] * x[a.ColIdx[p]]
+			}
+		}
+	})
+	return nil
+}

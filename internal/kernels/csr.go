@@ -1,0 +1,184 @@
+package kernels
+
+import (
+	"repro/internal/formats"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// CSRSerial computes C[:, :k] = A × B[:, :k] with A in CSR form.
+func CSRSerial[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], k int) error {
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	csrRows(a, b, c, k, 0, a.Rows)
+	return nil
+}
+
+// csrRows runs the CSR row loop over rows [lo, hi).
+func csrRows[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		crow := c.Data[i*c.Stride : i*c.Stride+k]
+		clear(crow)
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			axpy(crow, b.Data[int(a.ColIdx[p])*b.Stride:], a.Vals[p], k)
+		}
+	}
+}
+
+// CSRParallel computes C[:, :k] = A × B[:, :k] with rows statically divided
+// over `threads` workers — the direct analogue of the thesis' OpenMP
+// "parallel for" over rows.
+func CSRParallel[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], k, threads int) error {
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	parallel.For(a.Rows, threads, func(lo, hi, _ int) {
+		csrRows(a, b, c, k, lo, hi)
+	})
+	return nil
+}
+
+// CSRParallelDynamic is CSRParallel with dynamic self-scheduling, for
+// matrices whose row lengths are too irregular for static chunks (high
+// column ratio, e.g. torso1).
+func CSRParallelDynamic[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], k, threads, chunk int) error {
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	parallel.ForDynamic(a.Rows, threads, chunk, func(lo, hi, _ int) {
+		csrRows(a, b, c, k, lo, hi)
+	})
+	return nil
+}
+
+// CSRSerialT computes C[:, :k] = A × B[:, :k] given bt, the transpose of B.
+func CSRSerialT[T matrix.Float](a *formats.CSR[T], bt, c *matrix.Dense[T], k int) error {
+	if err := checkSpMMT(a.Rows, a.Cols, bt, c, k); err != nil {
+		return err
+	}
+	csrRowsT(a, bt, c, k, 0, a.Rows)
+	return nil
+}
+
+func csrRowsT[T matrix.Float](a *formats.CSR[T], bt, c *matrix.Dense[T], k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		crow := c.Data[i*c.Stride : i*c.Stride+k]
+		clear(crow)
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			col := int(a.ColIdx[p])
+			v := a.Vals[p]
+			for j := range crow {
+				crow[j] += v * bt.Data[j*bt.Stride+col]
+			}
+		}
+	}
+}
+
+// CSRParallelT is the parallel transposed-B CSR kernel.
+func CSRParallelT[T matrix.Float](a *formats.CSR[T], bt, c *matrix.Dense[T], k, threads int) error {
+	if err := checkSpMMT(a.Rows, a.Cols, bt, c, k); err != nil {
+		return err
+	}
+	parallel.For(a.Rows, threads, func(lo, hi, _ int) {
+		csrRowsT(a, bt, c, k, lo, hi)
+	})
+	return nil
+}
+
+// CSRSpMV computes y = A × x with A in CSR form.
+func CSRSpMV[T matrix.Float](a *formats.CSR[T], x, y []T) error {
+	if err := checkSpMV(a.Rows, a.Cols, x, y); err != nil {
+		return err
+	}
+	for i := 0; i < a.Rows; i++ {
+		var sum T
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			sum += a.Vals[p] * x[a.ColIdx[p]]
+		}
+		y[i] = sum
+	}
+	return nil
+}
+
+// CSRSpMVParallel computes y = A × x with rows divided over workers.
+func CSRSpMVParallel[T matrix.Float](a *formats.CSR[T], x, y []T, threads int) error {
+	if err := checkSpMV(a.Rows, a.Cols, x, y); err != nil {
+		return err
+	}
+	parallel.For(a.Rows, threads, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			var sum T
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				sum += a.Vals[p] * x[a.ColIdx[p]]
+			}
+			y[i] = sum
+		}
+	})
+	return nil
+}
+
+// CSCSerial computes C[:, :k] = A × B[:, :k] with A in CSC form. Column
+// orientation means every stored entry scatters into C rows, so unlike CSR
+// the row loop cannot be parallelised without synchronisation; the suite
+// provides only the serial kernel (the related work's CSC SpMM systems
+// partition by column panels instead).
+func CSCSerial[T matrix.Float](a *formats.CSC[T], b, c *matrix.Dense[T], k int) error {
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	zeroK(c, k)
+	for j := 0; j < a.Cols; j++ {
+		brow := b.Data[j*b.Stride:]
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			axpy(c.Data[int(a.RowIdx[p])*c.Stride:], brow, a.Vals[p], k)
+		}
+	}
+	return nil
+}
+
+// CSCParallel computes C[:, :k] = A × B[:, :k] with A in CSC form by
+// splitting the columns over workers, each accumulating into a private copy
+// of C, followed by a parallel reduction — the replication strategy column
+// orientation forces (all workers scatter into all C rows).
+func CSCParallel[T matrix.Float](a *formats.CSC[T], b, c *matrix.Dense[T], k, threads int) error {
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > a.Cols {
+		threads = max(a.Cols, 1)
+	}
+	if threads == 1 {
+		return CSCSerial(a, b, c, k)
+	}
+	privs := make([]*matrix.Dense[T], threads)
+	parallel.For(threads, threads, func(wlo, whi, _ int) {
+		for w := wlo; w < whi; w++ {
+			priv := matrix.NewDense[T](c.Rows, k)
+			privs[w] = priv
+			lo, hi := parallel.ChunkBounds(a.Cols, threads, w)
+			for j := lo; j < hi; j++ {
+				brow := b.Data[j*b.Stride:]
+				for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+					axpy(priv.Data[int(a.RowIdx[p])*priv.Stride:], brow, a.Vals[p], k)
+				}
+			}
+		}
+	})
+	parallel.For(c.Rows, threads, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			crow := c.Data[i*c.Stride : i*c.Stride+k]
+			clear(crow)
+			for _, priv := range privs {
+				prow := priv.Data[i*priv.Stride : i*priv.Stride+k]
+				for j := range crow {
+					crow[j] += prow[j]
+				}
+			}
+		}
+	})
+	return nil
+}

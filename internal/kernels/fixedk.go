@@ -1,0 +1,258 @@
+package kernels
+
+import (
+	"repro/internal/formats"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// This file is the Go analogue of the thesis' manual-optimisation study
+// (Study 9). The C++ suite used templates to "hard-code the value of k in
+// the loop" so the compiler could unroll and vectorise; Go has no value
+// generics, so the same effect is achieved with hand-specialised inner
+// loops whose trip counts are compile-time constants, selected by a
+// dispatcher. The A value load is hoisted out of the k loop exactly as the
+// thesis' optimisation does.
+
+// FixedKs lists the k values with a compiled specialisation.
+var FixedKs = []int{8, 16, 32, 64, 128}
+
+// HasFixedK reports whether a specialised kernel exists for k.
+func HasFixedK(k int) bool {
+	for _, v := range FixedKs {
+		if v == k {
+			return true
+		}
+	}
+	return false
+}
+
+// axpy8 computes c[j] += v*b[j] for j in [0,8) with a fully unrolled body.
+// The [:8] re-slices pin the trip count for the compiler.
+func axpy8[T matrix.Float](c, b []T, v T) {
+	c = c[:8]
+	b = b[:8]
+	c[0] += v * b[0]
+	c[1] += v * b[1]
+	c[2] += v * b[2]
+	c[3] += v * b[3]
+	c[4] += v * b[4]
+	c[5] += v * b[5]
+	c[6] += v * b[6]
+	c[7] += v * b[7]
+}
+
+func axpy16[T matrix.Float](c, b []T, v T) {
+	axpy8(c[:8], b[:8], v)
+	axpy8(c[8:16], b[8:16], v)
+}
+
+func axpy32[T matrix.Float](c, b []T, v T) {
+	axpy16(c[:16], b[:16], v)
+	axpy16(c[16:32], b[16:32], v)
+}
+
+func axpy64[T matrix.Float](c, b []T, v T) {
+	axpy32(c[:32], b[:32], v)
+	axpy32(c[32:64], b[32:64], v)
+}
+
+func axpy128[T matrix.Float](c, b []T, v T) {
+	axpy64(c[:64], b[:64], v)
+	axpy64(c[64:128], b[64:128], v)
+}
+
+// fixedAxpy returns the specialised inner loop for k, or nil.
+func fixedAxpy[T matrix.Float](k int) func(c, b []T, v T) {
+	switch k {
+	case 8:
+		return axpy8[T]
+	case 16:
+		return axpy16[T]
+	case 32:
+		return axpy32[T]
+	case 64:
+		return axpy64[T]
+	case 128:
+		return axpy128[T]
+	}
+	return nil
+}
+
+// CSRSerialFixed is CSRSerial with the k loop specialised at compile time.
+func CSRSerialFixed[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], k int) error {
+	fn := fixedAxpy[T](k)
+	if fn == nil {
+		return ErrUnsupportedK
+	}
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	csrRowsFixed(a, b, c, k, 0, a.Rows, fn)
+	return nil
+}
+
+func csrRowsFixed[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], k, lo, hi int, fn func(c, b []T, v T)) {
+	for i := lo; i < hi; i++ {
+		crow := c.Data[i*c.Stride : i*c.Stride+k]
+		clear(crow)
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			fn(crow, b.Data[int(a.ColIdx[p])*b.Stride:], a.Vals[p])
+		}
+	}
+}
+
+// CSRParallelFixed is CSRParallel with the k loop specialised.
+func CSRParallelFixed[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], k, threads int) error {
+	fn := fixedAxpy[T](k)
+	if fn == nil {
+		return ErrUnsupportedK
+	}
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	parallel.For(a.Rows, threads, func(lo, hi, _ int) {
+		csrRowsFixed(a, b, c, k, lo, hi, fn)
+	})
+	return nil
+}
+
+// COOSerialFixed is COOSerial with the k loop specialised.
+func COOSerialFixed[T matrix.Float](a *matrix.COO[T], b, c *matrix.Dense[T], k int) error {
+	fn := fixedAxpy[T](k)
+	if fn == nil {
+		return ErrUnsupportedK
+	}
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	zeroK(c, k)
+	for p := range a.Vals {
+		r := int(a.RowIdx[p])
+		col := int(a.ColIdx[p])
+		fn(c.Data[r*c.Stride:], b.Data[col*b.Stride:], a.Vals[p])
+	}
+	return nil
+}
+
+// COOParallelFixed is COOParallel with the k loop specialised.
+func COOParallelFixed[T matrix.Float](a *matrix.COO[T], b, c *matrix.Dense[T], k, threads int) error {
+	fn := fixedAxpy[T](k)
+	if fn == nil {
+		return ErrUnsupportedK
+	}
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	bounds := cooRowPartition(a, threads)
+	chunks := len(bounds) - 1
+	parallel.For(c.Rows, threads, func(lo, hi, _ int) {
+		zeroKRows(c, k, lo, hi)
+	})
+	parallel.For(chunks, chunks, func(wlo, whi, _ int) {
+		for w := wlo; w < whi; w++ {
+			for p := bounds[w]; p < bounds[w+1]; p++ {
+				r := int(a.RowIdx[p])
+				col := int(a.ColIdx[p])
+				fn(c.Data[r*c.Stride:], b.Data[col*b.Stride:], a.Vals[p])
+			}
+		}
+	})
+	return nil
+}
+
+// ELLSerialFixed is ELLSerial with the k loop specialised.
+func ELLSerialFixed[T matrix.Float](a *formats.ELL[T], b, c *matrix.Dense[T], k int) error {
+	fn := fixedAxpy[T](k)
+	if fn == nil {
+		return ErrUnsupportedK
+	}
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	ellRowsFixed(a, b, c, k, 0, a.Rows, fn)
+	return nil
+}
+
+func ellRowsFixed[T matrix.Float](a *formats.ELL[T], b, c *matrix.Dense[T], k, lo, hi int, fn func(c, b []T, v T)) {
+	for i := lo; i < hi; i++ {
+		crow := c.Data[i*c.Stride : i*c.Stride+k]
+		clear(crow)
+		for s := 0; s < a.Width; s++ {
+			col, v := a.At(i, s)
+			if v == 0 {
+				continue
+			}
+			fn(crow, b.Data[int(col)*b.Stride:], v)
+		}
+	}
+}
+
+// ELLParallelFixed is ELLParallel with the k loop specialised.
+func ELLParallelFixed[T matrix.Float](a *formats.ELL[T], b, c *matrix.Dense[T], k, threads int) error {
+	fn := fixedAxpy[T](k)
+	if fn == nil {
+		return ErrUnsupportedK
+	}
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	parallel.For(a.Rows, threads, func(lo, hi, _ int) {
+		ellRowsFixed(a, b, c, k, lo, hi, fn)
+	})
+	return nil
+}
+
+// BCSRSerialFixed is BCSRSerial with the k loop specialised.
+func BCSRSerialFixed[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T], k int) error {
+	fn := fixedAxpy[T](k)
+	if fn == nil {
+		return ErrUnsupportedK
+	}
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	bcsrBlockRowsFixed(a, b, c, k, 0, a.BlockRows, fn)
+	return nil
+}
+
+func bcsrBlockRowsFixed[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T], k, lo, hi int, fn func(c, b []T, v T)) {
+	br, bc := a.BR, a.BC
+	for bri := lo; bri < hi; bri++ {
+		rowBase := bri * br
+		rowLim := min(br, a.Rows-rowBase)
+		for r := 0; r < rowLim; r++ {
+			clear(c.Data[(rowBase+r)*c.Stride : (rowBase+r)*c.Stride+k])
+		}
+		for p := a.RowPtr[bri]; p < a.RowPtr[bri+1]; p++ {
+			colBase := int(a.ColIdx[p]) * bc
+			colLim := min(bc, a.Cols-colBase)
+			blk := a.Block(int(p))
+			for r := 0; r < rowLim; r++ {
+				crow := c.Data[(rowBase+r)*c.Stride : (rowBase+r)*c.Stride+k]
+				for cc := 0; cc < colLim; cc++ {
+					v := blk[r*bc+cc]
+					if v == 0 {
+						continue
+					}
+					fn(crow, b.Data[(colBase+cc)*b.Stride:], v)
+				}
+			}
+		}
+	}
+}
+
+// BCSRParallelFixed is BCSRParallel with the k loop specialised.
+func BCSRParallelFixed[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T], k, threads int) error {
+	fn := fixedAxpy[T](k)
+	if fn == nil {
+		return ErrUnsupportedK
+	}
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	parallel.For(a.BlockRows, threads, func(lo, hi, _ int) {
+		bcsrBlockRowsFixed(a, b, c, k, lo, hi, fn)
+	})
+	return nil
+}

@@ -1,0 +1,128 @@
+// Package kernels implements the sparse-dense matrix multiplication (SpMM)
+// kernels of the benchmark suite: for every format a serial, a CPU-parallel,
+// and transposed-B variants, plus the fixed-k specialised kernels of the
+// manual-optimisation study and the SpMV kernels the thesis lists as future
+// work (§6.3.4).
+//
+// Every SpMM kernel computes C[:, :k] = A × B[:, :k] for a sparse m×n A and
+// dense n×kb B (kb >= k), overwriting the first k columns of C. The "k loop"
+// bound is the runtime parameter Study 4 sweeps; kernels in fixedk.go embed
+// it at compile time instead, mirroring the thesis' C++ template trick.
+package kernels
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// ErrShape is returned when operand dimensions are inconsistent.
+var ErrShape = errors.New("kernels: operand shape mismatch")
+
+// ErrUnsupportedK is returned by fixed-k kernels when no specialisation
+// exists for the requested k.
+var ErrUnsupportedK = errors.New("kernels: no fixed-k specialisation for this k")
+
+// SpMMFlops returns the floating-point operation count of one SpMM with the
+// given nonzero count and k: one multiply and one add per (nonzero, column)
+// pair. This is the basis of every MFLOPS figure the suite reports,
+// matching the thesis' metric (§4.3).
+func SpMMFlops(nnz, k int) float64 { return 2 * float64(nnz) * float64(k) }
+
+// SpMVFlops returns the operation count of one SpMV.
+func SpMVFlops(nnz int) float64 { return 2 * float64(nnz) }
+
+// checkSpMM validates C[:, :k] = A(ar×ac) × B[:, :k].
+func checkSpMM[T matrix.Float](ar, ac int, b, c *matrix.Dense[T], k int) error {
+	switch {
+	case k < 0:
+		return fmt.Errorf("%w: negative k=%d", ErrShape, k)
+	case b.Rows != ac:
+		return fmt.Errorf("%w: A is %dx%d but B has %d rows", ErrShape, ar, ac, b.Rows)
+	case k > b.Cols:
+		return fmt.Errorf("%w: k=%d exceeds B's %d columns", ErrShape, k, b.Cols)
+	case c.Rows != ar:
+		return fmt.Errorf("%w: A has %d rows but C has %d", ErrShape, ar, c.Rows)
+	case k > c.Cols:
+		return fmt.Errorf("%w: k=%d exceeds C's %d columns", ErrShape, k, c.Cols)
+	}
+	return nil
+}
+
+// checkSpMMT validates C[:, :k] = A(ar×ac) × Bᵀ[:, :k] where bt is the
+// kb×n transpose of B.
+func checkSpMMT[T matrix.Float](ar, ac int, bt, c *matrix.Dense[T], k int) error {
+	switch {
+	case k < 0:
+		return fmt.Errorf("%w: negative k=%d", ErrShape, k)
+	case bt.Cols != ac:
+		return fmt.Errorf("%w: A is %dx%d but Bᵀ has %d columns", ErrShape, ar, ac, bt.Cols)
+	case k > bt.Rows:
+		return fmt.Errorf("%w: k=%d exceeds Bᵀ's %d rows", ErrShape, k, bt.Rows)
+	case c.Rows != ar:
+		return fmt.Errorf("%w: A has %d rows but C has %d", ErrShape, ar, c.Rows)
+	case k > c.Cols:
+		return fmt.Errorf("%w: k=%d exceeds C's %d columns", ErrShape, k, c.Cols)
+	}
+	return nil
+}
+
+// checkSpMV validates y = A(ar×ac) × x.
+func checkSpMV[T matrix.Float](ar, ac int, x, y []T) error {
+	switch {
+	case len(x) != ac:
+		return fmt.Errorf("%w: A is %dx%d but x has %d entries", ErrShape, ar, ac, len(x))
+	case len(y) != ar:
+		return fmt.Errorf("%w: A has %d rows but y has %d entries", ErrShape, ar, len(y))
+	}
+	return nil
+}
+
+// zeroK zeroes the first k columns of every row of c.
+func zeroK[T matrix.Float](c *matrix.Dense[T], k int) {
+	for i := 0; i < c.Rows; i++ {
+		clear(c.Data[i*c.Stride : i*c.Stride+k])
+	}
+}
+
+// zeroKRows zeroes the first k columns of rows [lo, hi) of c.
+func zeroKRows[T matrix.Float](c *matrix.Dense[T], k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		clear(c.Data[i*c.Stride : i*c.Stride+k])
+	}
+}
+
+// axpy computes c[j] += v * b[j] for j in [0, k). It is the inner loop of
+// every row-oriented SpMM kernel; the slicing re-expressions let the
+// compiler elide bounds checks.
+func axpy[T matrix.Float](c, b []T, v T, k int) {
+	c = c[:k]
+	b = b[:k]
+	for j := range c {
+		c[j] += v * b[j]
+	}
+}
+
+// GEMM computes the dense product C = A × B naively. It exists for
+// small-scale verification in tests; the benchmark suite itself verifies
+// against the COO kernel, as the thesis does (§4.3: a pure dense
+// verification "took too long").
+func GEMM[T matrix.Float](a, b, c *matrix.Dense[T]) error {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		return fmt.Errorf("%w: GEMM %dx%d * %dx%d -> %dx%d",
+			ErrShape, a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols)
+	}
+	c.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for l, av := range arow {
+			if av == 0 {
+				continue
+			}
+			axpy(crow, b.Row(l), av, c.Cols)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,450 @@
+package kernels
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/formats"
+	"repro/internal/matrix"
+)
+
+// testCase bundles a sparse matrix, its dense expansion, a dense B, and the
+// reference C computed with GEMM.
+type testCase struct {
+	coo  *matrix.COO[float64]
+	b    *matrix.Dense[float64]
+	bt   *matrix.Dense[float64]
+	want *matrix.Dense[float64]
+	k    int
+}
+
+func newCase(t *testing.T, seed int64, rows, cols, nnz, kmax, k int) *testCase {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	coo := matrix.NewCOO[float64](rows, cols, nnz)
+	for i := 0; i < nnz; i++ {
+		coo.Append(int32(rng.Intn(rows)), int32(rng.Intn(cols)), rng.NormFloat64())
+	}
+	coo.Dedup()
+	b := matrix.NewDenseRand[float64](cols, kmax, seed+1)
+	bk, err := b.View(0, 0, cols, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.NewDense[float64](rows, k)
+	if err := GEMM(coo.ToDense(), bk.Clone(), want); err != nil {
+		t.Fatal(err)
+	}
+	return &testCase{coo: coo, b: b, bt: b.Transpose(), want: want, k: k}
+}
+
+// checkResult compares the first k columns of got against want.
+func (tc *testCase) check(t *testing.T, got *matrix.Dense[float64], label string) {
+	t.Helper()
+	view, err := got.View(0, 0, got.Rows, tc.k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !view.Clone().EqualTol(tc.want, 1e-9) {
+		diff, _ := view.Clone().MaxAbsDiff(tc.want)
+		t.Fatalf("%s: result differs from GEMM reference (max abs diff %g)", label, diff)
+	}
+}
+
+func (tc *testCase) out() *matrix.Dense[float64] {
+	c := matrix.NewDense[float64](tc.coo.Rows, tc.b.Cols)
+	// Poison so kernels that fail to overwrite are caught.
+	for i := range c.Data {
+		c.Data[i] = 1e300
+	}
+	return c
+}
+
+var shapes = []struct {
+	rows, cols, nnz, kmax, k int
+}{
+	{1, 1, 1, 8, 8},
+	{10, 10, 30, 16, 16},
+	{37, 53, 200, 20, 13},
+	{64, 64, 500, 128, 128},
+	{100, 40, 700, 32, 32},
+	{5, 200, 300, 64, 64},
+	{80, 80, 0, 8, 8}, // empty matrix
+	{50, 50, 400, 24, 0},
+}
+
+func forAllShapes(t *testing.T, name string, run func(t *testing.T, tc *testCase, threads int)) {
+	t.Helper()
+	for si, s := range shapes {
+		tc := newCase(t, int64(1000+si), s.rows, s.cols, s.nnz, s.kmax, s.k)
+		for _, threads := range []int{1, 4, 13} {
+			run(t, tc, threads)
+		}
+		_ = name
+	}
+}
+
+func TestCOOKernels(t *testing.T) {
+	forAllShapes(t, "coo", func(t *testing.T, tc *testCase, threads int) {
+		c := tc.out()
+		if err := COOSerial(tc.coo, tc.b, c, tc.k); err != nil {
+			t.Fatal(err)
+		}
+		tc.check(t, c, "COOSerial")
+
+		c = tc.out()
+		if err := COOParallel(tc.coo, tc.b, c, tc.k, threads); err != nil {
+			t.Fatal(err)
+		}
+		tc.check(t, c, "COOParallel")
+
+		c = tc.out()
+		if err := COOParallelReplicated(tc.coo, tc.b, c, tc.k, threads); err != nil {
+			t.Fatal(err)
+		}
+		tc.check(t, c, "COOParallelReplicated")
+
+		c = tc.out()
+		if err := COOSerialT(tc.coo, tc.bt, c, tc.k); err != nil {
+			t.Fatal(err)
+		}
+		tc.check(t, c, "COOSerialT")
+
+		c = tc.out()
+		if err := COOParallelT(tc.coo, tc.bt, c, tc.k, threads); err != nil {
+			t.Fatal(err)
+		}
+		tc.check(t, c, "COOParallelT")
+	})
+}
+
+func TestCSRKernels(t *testing.T) {
+	forAllShapes(t, "csr", func(t *testing.T, tc *testCase, threads int) {
+		a := formats.CSRFromCOO(tc.coo)
+		for _, run := range []struct {
+			label string
+			fn    func(c *matrix.Dense[float64]) error
+		}{
+			{"CSRSerial", func(c *matrix.Dense[float64]) error { return CSRSerial(a, tc.b, c, tc.k) }},
+			{"CSRParallel", func(c *matrix.Dense[float64]) error { return CSRParallel(a, tc.b, c, tc.k, threads) }},
+			{"CSRParallelDynamic", func(c *matrix.Dense[float64]) error { return CSRParallelDynamic(a, tc.b, c, tc.k, threads, 8) }},
+			{"CSRSerialT", func(c *matrix.Dense[float64]) error { return CSRSerialT(a, tc.bt, c, tc.k) }},
+			{"CSRParallelT", func(c *matrix.Dense[float64]) error { return CSRParallelT(a, tc.bt, c, tc.k, threads) }},
+		} {
+			c := tc.out()
+			if err := run.fn(c); err != nil {
+				t.Fatalf("%s: %v", run.label, err)
+			}
+			tc.check(t, c, run.label)
+		}
+	})
+}
+
+func TestCSCKernel(t *testing.T) {
+	forAllShapes(t, "csc", func(t *testing.T, tc *testCase, threads int) {
+		a := formats.CSCFromCOO(tc.coo)
+		c := tc.out()
+		if err := CSCSerial(a, tc.b, c, tc.k); err != nil {
+			t.Fatal(err)
+		}
+		tc.check(t, c, "CSCSerial")
+	})
+}
+
+func TestELLKernels(t *testing.T) {
+	for _, layout := range []formats.ELLLayout{formats.RowMajor, formats.ColMajor} {
+		forAllShapes(t, "ell", func(t *testing.T, tc *testCase, threads int) {
+			a := formats.ELLFromCOO(tc.coo, layout)
+			c := tc.out()
+			if err := ELLSerial(a, tc.b, c, tc.k); err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, c, "ELLSerial "+layout.String())
+
+			c = tc.out()
+			if err := ELLParallel(a, tc.b, c, tc.k, threads); err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, c, "ELLParallel "+layout.String())
+
+			c = tc.out()
+			if err := ELLSerialT(a, tc.bt, c, tc.k); err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, c, "ELLSerialT "+layout.String())
+
+			c = tc.out()
+			if err := ELLParallelT(a, tc.bt, c, tc.k, threads); err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, c, "ELLParallelT "+layout.String())
+		})
+	}
+}
+
+func TestBCSRKernels(t *testing.T) {
+	for _, bs := range [][2]int{{1, 1}, {2, 2}, {4, 4}, {3, 5}} {
+		forAllShapes(t, "bcsr", func(t *testing.T, tc *testCase, threads int) {
+			a, err := formats.BCSRFromCOO(tc.coo, bs[0], bs[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := tc.out()
+			if err := BCSRSerial(a, tc.b, c, tc.k); err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, c, "BCSRSerial")
+
+			c = tc.out()
+			if err := BCSRParallel(a, tc.b, c, tc.k, threads); err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, c, "BCSRParallel")
+
+			c = tc.out()
+			if err := BCSRParallelInner(a, tc.b, c, tc.k, threads); err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, c, "BCSRParallelInner")
+
+			c = tc.out()
+			if err := BCSRSerialT(a, tc.bt, c, tc.k); err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, c, "BCSRSerialT")
+
+			c = tc.out()
+			if err := BCSRParallelT(a, tc.bt, c, tc.k, threads); err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, c, "BCSRParallelT")
+		})
+	}
+}
+
+func TestBELLAndSELLKernels(t *testing.T) {
+	forAllShapes(t, "bell", func(t *testing.T, tc *testCase, threads int) {
+		be, err := formats.BELLFromCOO(tc.coo, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := tc.out()
+		if err := BELLSerial(be, tc.b, c, tc.k); err != nil {
+			t.Fatal(err)
+		}
+		tc.check(t, c, "BELLSerial")
+
+		c = tc.out()
+		if err := BELLParallel(be, tc.b, c, tc.k, threads); err != nil {
+			t.Fatal(err)
+		}
+		tc.check(t, c, "BELLParallel")
+
+		se, err := formats.SELLCSFromCOO(tc.coo, 4, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c = tc.out()
+		if err := SELLCSSerial(se, tc.b, c, tc.k); err != nil {
+			t.Fatal(err)
+		}
+		tc.check(t, c, "SELLCSSerial")
+
+		c = tc.out()
+		if err := SELLCSParallel(se, tc.b, c, tc.k, threads); err != nil {
+			t.Fatal(err)
+		}
+		tc.check(t, c, "SELLCSParallel")
+	})
+}
+
+func TestFixedKKernelsMatchGeneric(t *testing.T) {
+	for _, k := range FixedKs {
+		tc := newCase(t, int64(7000+k), 60, 45, 400, k, k)
+		a := formats.CSRFromCOO(tc.coo)
+		e := formats.ELLFromCOO(tc.coo, formats.RowMajor)
+		bb, err := formats.BCSRFromCOO(tc.coo, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, run := range []struct {
+			label string
+			fn    func(c *matrix.Dense[float64]) error
+		}{
+			{"CSRSerialFixed", func(c *matrix.Dense[float64]) error { return CSRSerialFixed(a, tc.b, c, k) }},
+			{"CSRParallelFixed", func(c *matrix.Dense[float64]) error { return CSRParallelFixed(a, tc.b, c, k, 4) }},
+			{"COOSerialFixed", func(c *matrix.Dense[float64]) error { return COOSerialFixed(tc.coo, tc.b, c, k) }},
+			{"COOParallelFixed", func(c *matrix.Dense[float64]) error { return COOParallelFixed(tc.coo, tc.b, c, k, 4) }},
+			{"ELLSerialFixed", func(c *matrix.Dense[float64]) error { return ELLSerialFixed(e, tc.b, c, k) }},
+			{"ELLParallelFixed", func(c *matrix.Dense[float64]) error { return ELLParallelFixed(e, tc.b, c, k, 4) }},
+			{"BCSRSerialFixed", func(c *matrix.Dense[float64]) error { return BCSRSerialFixed(bb, tc.b, c, k) }},
+			{"BCSRParallelFixed", func(c *matrix.Dense[float64]) error { return BCSRParallelFixed(bb, tc.b, c, k, 4) }},
+		} {
+			c := tc.out()
+			if err := run.fn(c); err != nil {
+				t.Fatalf("k=%d %s: %v", k, run.label, err)
+			}
+			tc.check(t, c, run.label)
+		}
+	}
+}
+
+func TestFixedKUnsupported(t *testing.T) {
+	tc := newCase(t, 1, 10, 10, 20, 10, 10)
+	a := formats.CSRFromCOO(tc.coo)
+	c := tc.out()
+	if err := CSRSerialFixed(a, tc.b, c, 10); !errors.Is(err, ErrUnsupportedK) {
+		t.Fatalf("want ErrUnsupportedK, got %v", err)
+	}
+	if HasFixedK(10) || !HasFixedK(64) {
+		t.Fatal("HasFixedK wrong")
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	coo := matrix.NewCOO[float64](4, 4, 1)
+	coo.Append(0, 0, 1)
+	a := formats.CSRFromCOO(coo)
+	b := matrix.NewDense[float64](4, 8)
+	c := matrix.NewDense[float64](4, 8)
+
+	if err := CSRSerial(a, b, c, 9); !errors.Is(err, ErrShape) {
+		t.Fatalf("k too large: %v", err)
+	}
+	if err := CSRSerial(a, b, c, -1); !errors.Is(err, ErrShape) {
+		t.Fatalf("negative k: %v", err)
+	}
+	badB := matrix.NewDense[float64](5, 8)
+	if err := CSRSerial(a, badB, c, 4); !errors.Is(err, ErrShape) {
+		t.Fatalf("B rows mismatch: %v", err)
+	}
+	badC := matrix.NewDense[float64](3, 8)
+	if err := CSRSerial(a, b, badC, 4); !errors.Is(err, ErrShape) {
+		t.Fatalf("C rows mismatch: %v", err)
+	}
+	// Transposed-B checks.
+	bt := matrix.NewDense[float64](8, 5)
+	if err := CSRSerialT(a, bt, c, 4); !errors.Is(err, ErrShape) {
+		t.Fatalf("Bᵀ cols mismatch: %v", err)
+	}
+}
+
+func TestSpMVKernels(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(50)
+		cols := 1 + rng.Intn(50)
+		coo := matrix.NewCOO[float64](rows, cols, 0)
+		for i := 0; i < rng.Intn(200); i++ {
+			coo.Append(int32(rng.Intn(rows)), int32(rng.Intn(cols)), rng.NormFloat64())
+		}
+		coo.Dedup()
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		// Reference via dense.
+		d := coo.ToDense()
+		want := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				want[i] += d.At(i, j) * x[j]
+			}
+		}
+		close := func(y []float64) bool {
+			for i := range y {
+				if !matrix.EqualTol(y[i], want[i], 1e-9) {
+					return false
+				}
+			}
+			return true
+		}
+		y := make([]float64, rows)
+		if COOSpMV(coo, x, y) != nil || !close(y) {
+			return false
+		}
+		if COOSpMVParallel(coo, x, y, 4) != nil || !close(y) {
+			return false
+		}
+		csr := formats.CSRFromCOO(coo)
+		if CSRSpMV(csr, x, y) != nil || !close(y) {
+			return false
+		}
+		if CSRSpMVParallel(csr, x, y, 4) != nil || !close(y) {
+			return false
+		}
+		ell := formats.ELLFromCOO(coo, formats.RowMajor)
+		if ELLSpMV(ell, x, y) != nil || !close(y) {
+			return false
+		}
+		if ELLSpMVParallel(ell, x, y, 4) != nil || !close(y) {
+			return false
+		}
+		bcsr, err := formats.BCSRFromCOO(coo, 3, 3)
+		if err != nil {
+			return false
+		}
+		if BCSRSpMV(bcsr, x, y) != nil || !close(y) {
+			return false
+		}
+		if BCSRSpMVParallel(bcsr, x, y, 4) != nil || !close(y) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpMVShapeErrors(t *testing.T) {
+	coo := matrix.NewCOO[float64](3, 4, 0)
+	if err := COOSpMV(coo, make([]float64, 3), make([]float64, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("x length: %v", err)
+	}
+	if err := COOSpMV(coo, make([]float64, 4), make([]float64, 2)); !errors.Is(err, ErrShape) {
+		t.Fatalf("y length: %v", err)
+	}
+}
+
+func TestFlopCounts(t *testing.T) {
+	if SpMMFlops(100, 8) != 1600 {
+		t.Fatal("SpMMFlops")
+	}
+	if SpMVFlops(100) != 200 {
+		t.Fatal("SpMVFlops")
+	}
+}
+
+func TestGEMMShapeError(t *testing.T) {
+	a := matrix.NewDense[float64](2, 3)
+	b := matrix.NewDense[float64](4, 2)
+	c := matrix.NewDense[float64](2, 2)
+	if err := GEMM(a, b, c); !errors.Is(err, ErrShape) {
+		t.Fatalf("GEMM shape: %v", err)
+	}
+}
+
+func TestKernelsFloat32(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	coo := matrix.NewCOO[float32](20, 20, 0)
+	for i := 0; i < 80; i++ {
+		coo.Append(int32(rng.Intn(20)), int32(rng.Intn(20)), float32(rng.NormFloat64()))
+	}
+	coo.Dedup()
+	b := matrix.NewDenseRand[float32](20, 16, 5)
+	want := matrix.NewDense[float32](20, 16)
+	if err := GEMM(coo.ToDense(), b, want); err != nil {
+		t.Fatal(err)
+	}
+	a := formats.CSRFromCOO(coo)
+	c := matrix.NewDense[float32](20, 16)
+	if err := CSRParallel(a, b, c, 16, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !c.EqualTol(want, matrix.DefaultTol[float32]()) {
+		t.Fatal("float32 CSR kernel mismatch")
+	}
+}

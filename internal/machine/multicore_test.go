@@ -1,0 +1,253 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/formats"
+	"repro/internal/gen"
+)
+
+func benchFixture(t *testing.T, name string, scale float64) (*formats.CSR[float64], *formats.BCSR[float64]) {
+	t.Helper()
+	m, _, err := gen.GenerateScaled(name, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr := formats.CSRFromCOO(m)
+	bcsr, err := formats.BCSRFromCOO(m, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return csr, bcsr
+}
+
+func TestMulticoreValidation(t *testing.T) {
+	bad := GraceMachine()
+	bad.Cores = 0
+	if _, err := bad.CSRParallel(&formats.CSR[float64]{Rows: 1, RowPtr: []int32{0, 0}}, 8, 4); err == nil {
+		t.Fatal("invalid multicore config accepted")
+	}
+	good := GraceMachine()
+	if _, err := good.CSRParallel(&formats.CSR[float64]{Rows: 1, RowPtr: []int32{0, 0}, Cols: 1}, 8, 0); err == nil {
+		t.Fatal("threads=0 accepted")
+	}
+}
+
+func TestMulticoreDeterministic(t *testing.T) {
+	csr, _ := benchFixture(t, "bcsstk17", 0.2)
+	mc := AriesMachine()
+	r1, err := mc.CSRParallel(csr, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := mc.CSRParallel(csr, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("multicore simulation must be deterministic")
+	}
+}
+
+// TestParallelSpeedupRealistic locks in the headline of Studies 1–3: the
+// parallel kernels beat serial by roughly the factors the thesis measured
+// ("the parallel to serial speedup on Arm was 5-6x ... For Aries, the
+// speedup was around 4x", §5.3) — far from linear in the thread count.
+func TestParallelSpeedupRealistic(t *testing.T) {
+	csr, _ := benchFixture(t, "cant", 0.05)
+	for _, mc := range Machines() {
+		serial, err := SimulateCSR(mc.Prof, csr, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := mc.CSRParallel(csr, 128, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup := par.MFLOPS / serial.MFLOPS
+		if speedup < 3 || speedup > 10 {
+			t.Errorf("%s: 32-thread speedup %.1fx outside the realistic 3-10x band",
+				mc.Prof.Name, speedup)
+		}
+	}
+}
+
+// TestGraceScalesToHighThreadCounts locks in the Arm half of Study 3.1:
+// on the 72-core no-SMT socket, high thread counts win on large matrices —
+// the best count is at least 48, and running flat out at 72 stays within a
+// few percent of the peak (the thesis found 72 best for most, not all,
+// matrices: Fig 5.7).
+func TestGraceScalesToHighThreadCounts(t *testing.T) {
+	mc := GraceMachine()
+	for _, name := range []string{"cant", "2cubes_sphere", "cop20k_A"} {
+		csr, _ := benchFixture(t, name, 0.05)
+		best, bestT := -1.0, 0
+		var at72 float64
+		for _, threads := range []int{2, 4, 8, 16, 32, 48, 64, 72} {
+			r, err := mc.CSRParallel(csr, 128, threads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.MFLOPS > best {
+				best, bestT = r.MFLOPS, threads
+			}
+			if threads == 72 {
+				at72 = r.MFLOPS
+			}
+		}
+		if bestT < 48 {
+			t.Errorf("Grace/%s: best thread count %d; large matrices should peak high", name, bestT)
+		}
+		if at72 < best*0.9 {
+			t.Errorf("Grace/%s: 72 threads (%.0f) should be within 10%% of the peak (%.0f)",
+				name, at72, best)
+		}
+	}
+}
+
+// TestAriesHyperthreadingHelpsBlockedFormats locks in the x86 half of
+// Study 3.1: beyond the 48 physical cores, oversubscription pays off for
+// BCSR ("BCSR in particular seemed to do the best with hyperthreading")
+// while CSR peaks at or below the physical core count.
+func TestAriesHyperthreadingHelpsBlockedFormats(t *testing.T) {
+	mc := AriesMachine()
+	// Large matrices only: tiny ones are cache-resident, and their SMT
+	// behaviour is dominated by fork/join noise.
+	for _, name := range []string{"cant", "2cubes_sphere"} {
+		csr, bcsr := benchFixture(t, name, 0.05)
+		c48, err := mc.CSRParallel(csr, 128, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c72, err := mc.CSRParallel(csr, 128, 72)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c72.MFLOPS > c48.MFLOPS*1.05 {
+			t.Errorf("%s: CSR should not gain much from hyperthreading (48t %.0f vs 72t %.0f)",
+				name, c48.MFLOPS, c72.MFLOPS)
+		}
+		b48, err := mc.BCSRParallel(bcsr, 128, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b72, err := mc.BCSRParallel(bcsr, 128, 72)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b72.MFLOPS <= b48.MFLOPS {
+			t.Errorf("%s: BCSR should benefit from hyperthreading (48t %.0f vs 72t %.0f)",
+				name, b48.MFLOPS, b72.MFLOPS)
+		}
+	}
+}
+
+// TestTransposeUsuallyLoses locks in Study 8's shape: the transposed-B
+// kernels lose on typical FEM matrices on both sockets.
+func TestTransposeUsuallyLoses(t *testing.T) {
+	for _, name := range []string{"cant", "2cubes_sphere", "bcsstk17"} {
+		csr, _ := benchFixture(t, name, 0.05)
+		for _, mc := range Machines() {
+			plain, err := mc.CSRParallel(csr, 128, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trans, err := mc.CSRParallelT(csr, 128, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if trans.MFLOPS >= plain.MFLOPS {
+				t.Errorf("%s/%s: transposed (%.0f) should lose to plain (%.0f)",
+					mc.Prof.Name, name, trans.MFLOPS, plain.MFLOPS)
+			}
+		}
+	}
+}
+
+// TestTransposedKernelsCoverAllFormats exercises every transposed parallel
+// simulation for basic sanity.
+func TestTransposedKernelsCoverAllFormats(t *testing.T) {
+	m, _, err := gen.GenerateScaled("bcsstk13", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr := formats.CSRFromCOO(m)
+	ell := formats.ELLFromCOO(m, formats.RowMajor)
+	bcsr, err := formats.BCSRFromCOO(m, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := GraceMachine()
+	for label, run := range map[string]func() (Result, error){
+		"coo-t":  func() (Result, error) { return mc.COOParallelT(m, 64, 8) },
+		"csr-t":  func() (Result, error) { return mc.CSRParallelT(csr, 64, 8) },
+		"ell-t":  func() (Result, error) { return mc.ELLParallelT(ell, 64, 8) },
+		"bcsr-t": func() (Result, error) { return mc.BCSRParallelT(bcsr, 64, 8) },
+	} {
+		r, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if r.Seconds <= 0 || r.MFLOPS <= 0 {
+			t.Fatalf("%s: nonsense result %+v", label, r)
+		}
+	}
+}
+
+// TestSerialTransposeSimulation covers the serial transposed CSR entry
+// point (used by spot checks and examples).
+func TestSerialTransposeSimulation(t *testing.T) {
+	csr, _ := benchFixture(t, "bcsstk13", 0.5)
+	for _, prof := range Profiles() {
+		r, err := SimulateCSRT(prof, csr, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := SimulateCSR(prof, csr, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.MFLOPS >= plain.MFLOPS {
+			t.Errorf("%s: serial transposed (%.0f) should lose to plain (%.0f)",
+				prof.Name, r.MFLOPS, plain.MFLOPS)
+		}
+	}
+}
+
+// TestThreadsClampToWork ensures more threads than rows degrades gracefully.
+func TestThreadsClampToWork(t *testing.T) {
+	m, _, err := gen.GenerateScaled("bcsstk13", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr := formats.CSRFromCOO(m)
+	mc := GraceMachine()
+	r, err := mc.CSRParallel(csr, 32, 10*csr.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MFLOPS <= 0 {
+		t.Fatal("oversubscribed run produced nonsense")
+	}
+}
+
+// TestSmallMatrixPrefersFewThreads locks in the fork/join effect the
+// thesis saw on small matrices: tiny inputs peak well below the maximum
+// thread count.
+func TestSmallMatrixPrefersFewThreads(t *testing.T) {
+	csr, _ := benchFixture(t, "bcsstk13", 0.3) // ~600 rows
+	mc := GraceMachine()
+	best, bestT := -1.0, 0
+	for _, threads := range []int{2, 4, 8, 16, 32, 48, 64, 72} {
+		r, err := mc.CSRParallel(csr, 128, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.MFLOPS > best {
+			best, bestT = r.MFLOPS, threads
+		}
+	}
+	if bestT > 48 {
+		t.Errorf("tiny matrix peaked at %d threads; fork/join should cap it lower", bestT)
+	}
+}

@@ -1,0 +1,404 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/formats"
+	"repro/internal/matrix"
+)
+
+// This file replays the SpMM kernels as memory/compute traces. Each trace
+// mirrors the access pattern of the corresponding kernel in
+// internal/kernels; array bases are spaced far apart so distinct arrays
+// never share cache lines. The range-based helpers (traceCSR over rows
+// [lo, hi), etc.) serve both the serial simulations and the multicore
+// model, which runs one chunk per simulated thread.
+
+const (
+	baseRowPtr uint64 = 1 << 33
+	baseRowIdx uint64 = 2 << 33
+	baseColIdx uint64 = 3 << 33
+	baseVals   uint64 = 4 << 33
+	baseB      uint64 = 5 << 33
+	baseBT     uint64 = 6 << 33
+	baseC      uint64 = 8 << 33
+)
+
+// Result is the outcome of one simulated kernel execution.
+type Result struct {
+	Arch        string
+	Seconds     float64
+	Cycles      float64
+	MFLOPS      float64
+	MemMissRate float64
+}
+
+func finish(m *Machine, nnz, k int) Result {
+	return resultFor(m.prof.Name, m.Seconds(), m.Cycles(), nnz, k, m.MemMissRate())
+}
+
+func resultFor(arch string, secs, cycles float64, nnz, k int, missRate float64) Result {
+	flops := 2 * float64(nnz) * float64(k)
+	mflops := 0.0
+	if secs > 0 {
+		mflops = flops / secs / 1e6
+	}
+	return Result{
+		Arch:        arch,
+		Seconds:     secs,
+		Cycles:      cycles,
+		MFLOPS:      mflops,
+		MemMissRate: missRate,
+	}
+}
+
+// LoadIrregular models a data-dependent (gather-style) access: a range
+// load whose base address is unpredictable, so the stream prefetcher cannot
+// cover it — every line of the range pays the profile's gather penalty on
+// top of its hierarchy cost.
+func (m *Machine) LoadIrregular(addr uint64, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	m.loadRangeDemand(addr, bytes)
+	line := int(m.lineBytes())
+	lines := (int(addr)%line + bytes + line - 1) / line
+	m.cycles += m.prof.GatherPenalty * float64(lines)
+}
+
+// ---- COO ----
+
+// traceCOO replays triplets [lo, hi) of the COO kernel and returns the
+// nonzeros processed.
+func traceCOO[T matrix.Float](m *Machine, a *matrix.COO[T], k, lo, hi int) int {
+	kb := k * 8
+	for p := lo; p < hi; p++ {
+		m.LoadScalar(baseRowIdx+uint64(p)*4, 4)
+		m.LoadScalar(baseColIdx+uint64(p)*4, 4)
+		m.LoadScalar(baseVals+uint64(p)*8, 8)
+		row := uint64(a.RowIdx[p])
+		col := uint64(a.ColIdx[p])
+		m.LoadIrregular(baseB+col*uint64(kb), kb)
+		m.RMWRange(baseC+row*uint64(kb), kb)
+		m.FMA(k, k)
+		m.Scalar(4)
+	}
+	return hi - lo
+}
+
+// SimulateCOO replays the serial COO SpMM kernel for k output columns.
+func SimulateCOO[T matrix.Float](prof Profile, a *matrix.COO[T], k int) (Result, error) {
+	m, err := New(prof)
+	if err != nil {
+		return Result{}, err
+	}
+	if k < 0 {
+		return Result{}, fmt.Errorf("machine: negative k")
+	}
+	nnz := traceCOO(m, a, k, 0, a.NNZ())
+	return finish(m, nnz, k), nil
+}
+
+// ---- CSR ----
+
+// traceCSR replays rows [lo, hi) of the CSR kernel.
+func traceCSR[T matrix.Float](m *Machine, a *formats.CSR[T], k, lo, hi int) int {
+	kb := k * 8
+	nnz := 0
+	for i := lo; i < hi; i++ {
+		m.LoadScalar(baseRowPtr+uint64(i)*4, 4)
+		m.Scalar(2)
+		crow := baseC + uint64(i)*uint64(kb)
+		m.StoreRange(crow, kb) // clear
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			m.LoadScalar(baseColIdx+uint64(p)*4, 4)
+			m.LoadScalar(baseVals+uint64(p)*8, 8)
+			col := uint64(a.ColIdx[p])
+			m.LoadIrregular(baseB+col*uint64(kb), kb)
+			m.RMWRange(crow, kb)
+			m.FMA(k, k)
+			m.Scalar(3)
+			nnz++
+		}
+	}
+	return nnz
+}
+
+// SimulateCSR replays the serial CSR SpMM kernel.
+func SimulateCSR[T matrix.Float](prof Profile, a *formats.CSR[T], k int) (Result, error) {
+	m, err := New(prof)
+	if err != nil {
+		return Result{}, err
+	}
+	nnz := traceCSR(m, a, k, 0, a.Rows)
+	return finish(m, nnz, k), nil
+}
+
+// ---- ELL ----
+
+// traceELL replays rows [lo, hi) of the ELLPACK kernel. Padding slots cost
+// their loads and loop bookkeeping but no FMA (the kernel's zero guard),
+// reproducing ELL's padding overhead.
+func traceELL[T matrix.Float](m *Machine, a *formats.ELL[T], k, lo, hi int) int {
+	kb := k * 8
+	nnz := 0
+	for i := lo; i < hi; i++ {
+		crow := baseC + uint64(i)*uint64(kb)
+		m.StoreRange(crow, kb)
+		for s := 0; s < a.Width; s++ {
+			var idx int
+			if a.Layout == formats.ColMajor {
+				idx = s*a.Rows + i
+			} else {
+				idx = i*a.Width + s
+			}
+			m.LoadScalar(baseColIdx+uint64(idx)*4, 4)
+			m.LoadScalar(baseVals+uint64(idx)*8, 8)
+			m.Scalar(3)
+			col, v := a.At(i, s)
+			if v == 0 {
+				continue // padding: guard branch skips the work
+			}
+			nnz++
+			m.LoadIrregular(baseB+uint64(col)*uint64(kb), kb)
+			m.RMWRange(crow, kb)
+			m.FMA(k, k)
+		}
+	}
+	return nnz
+}
+
+// SimulateELL replays the serial ELLPACK SpMM kernel.
+func SimulateELL[T matrix.Float](prof Profile, a *formats.ELL[T], k int) (Result, error) {
+	m, err := New(prof)
+	if err != nil {
+		return Result{}, err
+	}
+	nnz := traceELL(m, a, k, 0, a.Rows)
+	return finish(m, nnz, k), nil
+}
+
+// ---- BCSR ----
+
+// traceBCSR replays block rows [lo, hi) of the BCSR kernel as the
+// register-blocked micro-kernel a blocked format is built for: per block,
+// the dense br×bc values stream in contiguously and are applied
+// branchlessly (padding zeros included — the blocked format's overhead),
+// each C row is touched once per block rather than once per nonzero, and
+// only the block's *first* B row is an irregular access (the remaining
+// bc−1 are consecutive). The regular, L1-resident traffic is what lets
+// BCSR behave differently across architectures than the gather-bound
+// scalar formats.
+func traceBCSR[T matrix.Float](m *Machine, a *formats.BCSR[T], k, lo, hi int) int {
+	kb := k * 8
+	nnz := 0
+	br, bc := a.BR, a.BC
+	for bri := lo; bri < hi; bri++ {
+		m.LoadScalar(baseRowPtr+uint64(bri)*4, 4)
+		m.Scalar(2)
+		rowBase := bri * br
+		rowLim := min(br, a.Rows-rowBase)
+		for r := 0; r < rowLim; r++ {
+			m.StoreRange(baseC+uint64(rowBase+r)*uint64(kb), kb)
+		}
+		for p := a.RowPtr[bri]; p < a.RowPtr[bri+1]; p++ {
+			m.LoadScalar(baseColIdx+uint64(p)*4, 4)
+			m.Scalar(4)
+			colBase := int(a.ColIdx[p]) * bc
+			colLim := min(bc, a.Cols-colBase)
+			blk := a.Block(int(p))
+			for _, v := range blk {
+				if v != 0 {
+					nnz++
+				}
+			}
+			// Dense block values stream contiguously.
+			m.LoadRange(baseVals+uint64(int(p)*br*bc)*8, br*bc*8)
+			// One irregular base per block; its remaining B rows are
+			// consecutive.
+			m.LoadIrregular(baseB+uint64(colBase)*uint64(kb), kb)
+			for cc := 1; cc < colLim; cc++ {
+				m.LoadRange(baseB+uint64(colBase+cc)*uint64(kb), kb)
+			}
+			for r := 0; r < rowLim; r++ {
+				crow := baseC + uint64(rowBase+r)*uint64(kb)
+				m.RMWRange(crow, kb)
+				// Branchless micro-kernel: padding multiplies too. The
+				// compile-time block width is the natural vector length
+				// (the thesis' template trick makes it a constant).
+				m.FMA(colLim*k, colLim)
+				m.Scalar(3 * colLim)
+			}
+		}
+	}
+	return nnz
+}
+
+// SimulateBCSR replays the serial BCSR SpMM kernel.
+func SimulateBCSR[T matrix.Float](prof Profile, a *formats.BCSR[T], k int) (Result, error) {
+	m, err := New(prof)
+	if err != nil {
+		return Result{}, err
+	}
+	nnz := traceBCSR(m, a, k, 0, a.BlockRows)
+	return finish(m, nnz, k), nil
+}
+
+// ---- Transposed-B traces (Study 8) ----
+
+// traceTransposeB charges the blocked transposition of the n×k dense B
+// into Bᵀ: every element is read and written once, with the stores
+// scattering across Bᵀ rows (line-granularity captured by the cache sim).
+func traceTransposeB(m *Machine, n, k int) {
+	const bs = 32
+	for jj := 0; jj < k; jj += bs {
+		jEnd := min(jj+bs, k)
+		for ii := 0; ii < n; ii += bs {
+			iEnd := min(ii+bs, n)
+			for i := ii; i < iEnd; i++ {
+				m.LoadRange(baseB+uint64(i*k+jj)*8, (jEnd-jj)*8)
+			}
+			for j := jj; j < jEnd; j++ {
+				m.StoreRange(baseBT+uint64(j*n+ii)*8, (iEnd-ii)*8)
+			}
+			m.Scalar((iEnd - ii) * (jEnd - jj))
+		}
+	}
+}
+
+// traceCSRT replays rows [lo, hi) of the transposed-B CSR kernel: for each
+// nonzero, the k loop walks a *column* of Bᵀ — k touches with a large
+// constant stride, one cache line each. The stride is regular, so the
+// touches price as streamed, but each one is its own line: roughly 8× the
+// traffic of the row-contiguous kernel — the pattern that makes the
+// transpose variant lose on most matrices (§5.10).
+func traceCSRT[T matrix.Float](m *Machine, a *formats.CSR[T], k, lo, hi int) int {
+	kb := k * 8
+	nnz := 0
+	n := a.Cols
+	for i := lo; i < hi; i++ {
+		m.LoadScalar(baseRowPtr+uint64(i)*4, 4)
+		crow := baseC + uint64(i)*uint64(kb)
+		m.StoreRange(crow, kb)
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			m.LoadScalar(baseColIdx+uint64(p)*4, 4)
+			m.LoadScalar(baseVals+uint64(p)*8, 8)
+			col := uint64(a.ColIdx[p])
+			for j := 0; j < k; j++ {
+				m.LoadRange(baseBT+(uint64(j)*uint64(n)+col)*8, 8)
+			}
+			m.RMWRange(crow, kb)
+			m.FMA(k, k)
+			m.Scalar(3)
+			nnz++
+		}
+	}
+	return nnz
+}
+
+// traceCOOT replays triplets [lo, hi) of the transposed-B COO kernel.
+func traceCOOT[T matrix.Float](m *Machine, a *matrix.COO[T], k, lo, hi int) int {
+	kb := k * 8
+	n := a.Cols
+	for p := lo; p < hi; p++ {
+		m.LoadScalar(baseRowIdx+uint64(p)*4, 4)
+		m.LoadScalar(baseColIdx+uint64(p)*4, 4)
+		m.LoadScalar(baseVals+uint64(p)*8, 8)
+		row := uint64(a.RowIdx[p])
+		col := uint64(a.ColIdx[p])
+		for j := 0; j < k; j++ {
+			m.LoadRange(baseBT+(uint64(j)*uint64(n)+col)*8, 8)
+		}
+		m.RMWRange(baseC+row*uint64(kb), kb)
+		m.FMA(k, k)
+		m.Scalar(4)
+	}
+	return hi - lo
+}
+
+// traceELLT replays rows [lo, hi) of the transposed-B ELLPACK kernel.
+func traceELLT[T matrix.Float](m *Machine, a *formats.ELL[T], k, lo, hi int) int {
+	kb := k * 8
+	n := a.Cols
+	nnz := 0
+	for i := lo; i < hi; i++ {
+		crow := baseC + uint64(i)*uint64(kb)
+		m.StoreRange(crow, kb)
+		for s := 0; s < a.Width; s++ {
+			var idx int
+			if a.Layout == formats.ColMajor {
+				idx = s*a.Rows + i
+			} else {
+				idx = i*a.Width + s
+			}
+			m.LoadScalar(baseColIdx+uint64(idx)*4, 4)
+			m.LoadScalar(baseVals+uint64(idx)*8, 8)
+			m.Scalar(3)
+			col, v := a.At(i, s)
+			if v == 0 {
+				continue
+			}
+			nnz++
+			for j := 0; j < k; j++ {
+				m.LoadRange(baseBT+(uint64(j)*uint64(n)+uint64(col))*8, 8)
+			}
+			m.RMWRange(crow, kb)
+			m.FMA(k, k)
+		}
+	}
+	return nnz
+}
+
+// traceBCSRT replays block rows [lo, hi) of the transposed-B BCSR kernel.
+func traceBCSRT[T matrix.Float](m *Machine, a *formats.BCSR[T], k, lo, hi int) int {
+	kb := k * 8
+	n := a.Cols
+	nnz := 0
+	br, bc := a.BR, a.BC
+	for bri := lo; bri < hi; bri++ {
+		m.LoadScalar(baseRowPtr+uint64(bri)*4, 4)
+		m.Scalar(2)
+		rowBase := bri * br
+		rowLim := min(br, a.Rows-rowBase)
+		for r := 0; r < rowLim; r++ {
+			m.StoreRange(baseC+uint64(rowBase+r)*uint64(kb), kb)
+		}
+		for p := a.RowPtr[bri]; p < a.RowPtr[bri+1]; p++ {
+			m.LoadScalar(baseColIdx+uint64(p)*4, 4)
+			m.Scalar(4)
+			colBase := int(a.ColIdx[p]) * bc
+			colLim := min(bc, a.Cols-colBase)
+			blk := a.Block(int(p))
+			for _, v := range blk {
+				if v != 0 {
+					nnz++
+				}
+			}
+			m.LoadRange(baseVals+uint64(int(p)*br*bc)*8, br*bc*8)
+			for cc := 0; cc < colLim; cc++ {
+				for j := 0; j < k; j++ {
+					m.LoadRange(baseBT+(uint64(j)*uint64(n)+uint64(colBase+cc))*8, 8)
+				}
+			}
+			for r := 0; r < rowLim; r++ {
+				crow := baseC + uint64(rowBase+r)*uint64(kb)
+				m.RMWRange(crow, kb)
+				m.FMA(colLim*k, colLim)
+				m.Scalar(colLim)
+			}
+		}
+	}
+	return nnz
+}
+
+// SimulateCSRT replays the serial transposed-B CSR kernel, including the
+// cost of transposing B (Study 8 charges it against the kernel).
+func SimulateCSRT[T matrix.Float](prof Profile, a *formats.CSR[T], k int) (Result, error) {
+	m, err := New(prof)
+	if err != nil {
+		return Result{}, err
+	}
+	traceTransposeB(m, a.Cols, k)
+	nnz := traceCSRT(m, a, k, 0, a.Rows)
+	return finish(m, nnz, k), nil
+}

@@ -1,0 +1,59 @@
+// Package matrix provides the fundamental dense and coordinate (COO) sparse
+// matrix types used throughout the SpMM benchmark suite.
+//
+// All matrices are generic over the floating-point element type. The thesis
+// uses 64-bit values throughout and notes in its future work (§6.3.5) that
+// 32-bit values would halve the memory footprint; both are supported here.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Float is the set of element types supported by the suite.
+type Float interface {
+	~float32 | ~float64
+}
+
+// ErrDimension is returned when matrix dimensions are inconsistent with the
+// requested operation.
+var ErrDimension = errors.New("matrix: dimension mismatch")
+
+// ErrInvalid is returned when a matrix fails structural validation.
+var ErrInvalid = errors.New("matrix: invalid structure")
+
+// dimError builds a descriptive dimension-mismatch error.
+func dimError(op string, details string) error {
+	return fmt.Errorf("%w: %s: %s", ErrDimension, op, details)
+}
+
+// EqualTol reports whether two values are equal within both an absolute and
+// a relative tolerance. It treats NaN as unequal to everything, matching the
+// needs of result verification rather than IEEE semantics.
+func EqualTol[T Float](a, b T, tol float64) bool {
+	fa, fb := float64(a), float64(b)
+	if math.IsNaN(fa) || math.IsNaN(fb) {
+		return false
+	}
+	diff := math.Abs(fa - fb)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(fa), math.Abs(fb))
+	return diff <= tol*scale
+}
+
+// DefaultTol returns a verification tolerance appropriate for the element
+// type: sparse dot products accumulate rounding error proportional to the
+// number of terms, so float32 needs a much looser bound than float64.
+func DefaultTol[T Float]() float64 {
+	var z T
+	switch any(z).(type) {
+	case float32:
+		return 1e-3
+	default:
+		return 1e-9
+	}
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// BarChart renders grouped horizontal bar charts as text — the suite's
+// stand-in for the thesis' matplotlib figures: each figure is a grouped bar
+// chart of MFLOPS per matrix and series.
+type BarChart struct {
+	Title string
+	// Unit labels the values (e.g. "MFLOPS").
+	Unit string
+	// Width is the maximum bar width in characters (default 48).
+	Width int
+
+	groups []chartGroup
+}
+
+type chartGroup struct {
+	label  string
+	series []chartSeries
+}
+
+type chartSeries struct {
+	label string
+	value float64
+}
+
+// NewBarChart creates a chart with the given title and value unit.
+func NewBarChart(title, unit string) *BarChart {
+	return &BarChart{Title: title, Unit: unit, Width: 48}
+}
+
+// Add appends one bar: group is the outer category (e.g. the matrix name),
+// series the inner one (e.g. the format).
+func (c *BarChart) Add(group, series string, value float64) {
+	for i := range c.groups {
+		if c.groups[i].label == group {
+			c.groups[i].series = append(c.groups[i].series, chartSeries{series, value})
+			return
+		}
+	}
+	c.groups = append(c.groups, chartGroup{label: group, series: []chartSeries{{series, value}}})
+}
+
+// FromTable builds a chart from a rendered study table: the first column is
+// the group label and every listed column index becomes a series (header
+// text as the series label). Non-numeric cells are skipped.
+func (c *BarChart) FromTable(t *Table, valueCols ...int) {
+	c.FromTableWithGroups(t, []int{0}, valueCols)
+}
+
+// FromTableWithGroups is FromTable with a multi-column group label (e.g.
+// matrix + block size), joined with "/".
+func (c *BarChart) FromTableWithGroups(t *Table, groupCols, valueCols []int) {
+	for _, row := range t.rows {
+		parts := make([]string, 0, len(groupCols))
+		for _, g := range groupCols {
+			if g >= 0 && g < len(row) {
+				parts = append(parts, row[g])
+			}
+		}
+		group := strings.Join(parts, "/")
+		for _, col := range valueCols {
+			if col <= 0 || col >= len(row) || col >= len(t.Header) {
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "x"), 64)
+			if err != nil {
+				continue
+			}
+			c.Add(group, t.Header[col], v)
+		}
+	}
+}
+
+// Render writes the chart. Bars are scaled to the chart-wide maximum so
+// groups are visually comparable, exactly like a shared figure axis.
+func (c *BarChart) Render(w io.Writer) error {
+	width := c.Width
+	if width <= 0 {
+		width = 48
+	}
+	maxVal := 0.0
+	maxGroup, maxSeries := 0, 0
+	for _, g := range c.groups {
+		maxGroup = max(maxGroup, len(g.label))
+		for _, s := range g.series {
+			maxVal = max(maxVal, s.value)
+			maxSeries = max(maxSeries, len(s.label))
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+		return err
+	}
+	if len(c.groups) == 0 || maxVal <= 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	for _, g := range c.groups {
+		if _, err := fmt.Fprintf(w, "%s\n", g.label); err != nil {
+			return err
+		}
+		for _, s := range g.series {
+			bar := int(s.value / maxVal * float64(width))
+			if s.value > 0 && bar == 0 {
+				bar = 1
+			}
+			if _, err := fmt.Fprintf(w, "  %-*s %-*s %.0f %s\n",
+				maxSeries, s.label, width, strings.Repeat("█", bar), s.value, c.Unit); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

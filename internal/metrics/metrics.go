@@ -1,0 +1,80 @@
+// Package metrics computes the matrix property metrics of the thesis
+// (§4.3, Table 5.1), the FLOPS-based performance figures every study
+// reports, and plain-text/CSV reporting helpers.
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// Properties are the per-matrix metrics of Table 5.1. All the row metrics
+// describe the distribution of nonzeros per row: the thesis uses them to
+// predict blocked-format behaviour (high Ratio ⇒ ELLPACK degrades).
+type Properties struct {
+	Rows, Cols int
+	NNZ        int
+	// MaxRow is the largest number of nonzeros in any row ("Max").
+	MaxRow int
+	// AvgRow is the mean number of nonzeros per row ("Avg").
+	AvgRow float64
+	// Ratio is MaxRow/AvgRow — the "column ratio", the thesis' most
+	// predictive metric.
+	Ratio float64
+	// Variance and StdDev describe the spread of nonzeros per row.
+	Variance float64
+	StdDev   float64
+}
+
+// Compute derives the Table 5.1 properties of a COO matrix.
+func Compute[T matrix.Float](m *matrix.COO[T]) Properties {
+	p := Properties{Rows: m.Rows, Cols: m.Cols, NNZ: m.NNZ()}
+	if m.Rows == 0 {
+		return p
+	}
+	counts := m.RowCounts()
+	sum := 0
+	for _, c := range counts {
+		sum += c
+		if c > p.MaxRow {
+			p.MaxRow = c
+		}
+	}
+	p.AvgRow = float64(sum) / float64(m.Rows)
+	if p.AvgRow > 0 {
+		p.Ratio = float64(p.MaxRow) / p.AvgRow
+	}
+	var ss float64
+	for _, c := range counts {
+		d := float64(c) - p.AvgRow
+		ss += d * d
+	}
+	p.Variance = ss / float64(m.Rows)
+	p.StdDev = math.Sqrt(p.Variance)
+	return p
+}
+
+// ELLWidth reports the ELLPACK row width the matrix would format to
+// (== MaxRow) and the padding overhead factor Stored/NNZ it implies.
+func (p Properties) ELLOverhead() float64 {
+	if p.NNZ == 0 {
+		return 1
+	}
+	return float64(p.MaxRow*p.Rows) / float64(p.NNZ)
+}
+
+// MFLOPS converts an operation count and wall time in seconds to
+// mega-FLOPS, the unit of every figure in the evaluation ("all runtime
+// results are reported in MFLOPs", §5.1).
+func MFLOPS(flops float64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return flops / seconds / 1e6
+}
+
+// GFLOPS converts an operation count and wall time to giga-FLOPS.
+func GFLOPS(flops float64, seconds float64) float64 {
+	return MFLOPS(flops, seconds) / 1e3
+}

@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestComputeKnownMatrix(t *testing.T) {
+	// Rows with 3, 1, 0, 2 nonzeros: mean 1.5, max 3, ratio 2,
+	// variance = ((1.5)^2 + (0.5)^2 + (1.5)^2 + (0.5)^2)/4 = 1.25.
+	m := matrix.NewCOO[float64](4, 5, 6)
+	m.Append(0, 0, 1)
+	m.Append(0, 1, 1)
+	m.Append(0, 4, 1)
+	m.Append(1, 2, 1)
+	m.Append(3, 0, 1)
+	m.Append(3, 3, 1)
+	p := Compute(m)
+	if p.Rows != 4 || p.Cols != 5 || p.NNZ != 6 {
+		t.Fatalf("dims/nnz wrong: %+v", p)
+	}
+	if p.MaxRow != 3 || p.AvgRow != 1.5 || p.Ratio != 2 {
+		t.Fatalf("row stats wrong: %+v", p)
+	}
+	if math.Abs(p.Variance-1.25) > 1e-12 || math.Abs(p.StdDev-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("variance/std wrong: %+v", p)
+	}
+}
+
+func TestComputeEmpty(t *testing.T) {
+	m := matrix.NewCOO[float64](0, 0, 0)
+	p := Compute(m)
+	if p.NNZ != 0 || p.MaxRow != 0 || p.Ratio != 0 {
+		t.Fatalf("empty matrix props: %+v", p)
+	}
+}
+
+func TestELLOverhead(t *testing.T) {
+	p := Properties{Rows: 10, NNZ: 20, MaxRow: 4}
+	if p.ELLOverhead() != 2 {
+		t.Fatalf("overhead %v, want 2", p.ELLOverhead())
+	}
+	if (Properties{}).ELLOverhead() != 1 {
+		t.Fatal("empty overhead must be 1")
+	}
+}
+
+func TestMFLOPS(t *testing.T) {
+	if MFLOPS(2e6, 1) != 2 {
+		t.Fatal("MFLOPS")
+	}
+	if MFLOPS(1e6, 0) != 0 {
+		t.Fatal("zero time must not divide by zero")
+	}
+	if GFLOPS(2e9, 1) != 2 {
+		t.Fatal("GFLOPS")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("matrix", "mflops")
+	tb.AddRow("cant", 12345.6)
+	tb.AddRow("dw4096", 7.25)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected header+sep+2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "matrix") || !strings.Contains(lines[2], "cant") {
+		t.Fatalf("table content wrong:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatal("NumRows")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow(1, 2.5)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2.500\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		12345.6: "12346",
+		42.42:   "42.4",
+		1.23456: "1.235",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := NewBarChart("Fig X: test", "MFLOPS")
+	c.Add("cant", "csr", 100)
+	c.Add("cant", "ell", 50)
+	c.Add("dw4096", "csr", 25)
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig X: test", "cant", "dw4096", "csr", "ell", "MFLOPS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The 100-value bar must be strictly longer than the 50-value bar.
+	lines := strings.Split(out, "\n")
+	var csrBar, ellBar int
+	for _, l := range lines {
+		if strings.Contains(l, "csr") && csrBar == 0 {
+			csrBar = strings.Count(l, "█")
+		}
+		if strings.Contains(l, "ell") {
+			ellBar = strings.Count(l, "█")
+		}
+	}
+	if csrBar <= ellBar {
+		t.Fatalf("bar lengths: csr %d, ell %d", csrBar, ellBar)
+	}
+}
+
+func TestBarChartFromTable(t *testing.T) {
+	tb := NewTable("matrix", "csr", "ell", "best")
+	tb.AddRow("cant", 100.0, 50.0, "csr")
+	tb.AddRow("dw4096", "not-a-number", 25.0, "ell")
+	c := NewBarChart("from table", "MFLOPS")
+	c.FromTable(tb, 1, 2)
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dw4096") {
+		t.Fatal("group missing")
+	}
+	// The non-numeric cell must be skipped, not rendered as a bar.
+	if strings.Count(buf.String(), "cant") != 1 {
+		t.Fatal("cant group duplicated")
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	c := NewBarChart("empty", "x")
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty chart must say so")
+	}
+}
+
+func TestSpyPlot(t *testing.T) {
+	m := matrix.NewCOO[float64](100, 100, 0)
+	for i := 0; i < 100; i++ {
+		m.Append(int32(i), int32(i), 1) // diagonal
+	}
+	var buf bytes.Buffer
+	if err := SpyPlot(&buf, m, 20, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "100x100, 100 nonzeros") {
+		t.Fatalf("summary line missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Border + 10 rows + border + summary.
+	if len(lines) < 13 {
+		t.Fatalf("expected at least 13 lines, got %d", len(lines))
+	}
+	// Diagonal pattern: row r of the plot has its mark around column r*2.
+	row0 := lines[1]
+	if !strings.ContainsAny(row0[1:3], ".:+*#@") {
+		t.Fatalf("diagonal start not marked: %q", row0)
+	}
+	// Off-diagonal corner must be blank.
+	if row0[len(row0)-2] != ' ' {
+		t.Fatalf("top-right corner should be empty: %q", row0)
+	}
+}
+
+func TestSpyPlotEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SpyPlot(&buf, matrix.NewCOO[float64](0, 0, 0), 10, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatal("empty matrix must render a placeholder")
+	}
+	if err := SpyPlot(&buf, matrix.NewCOO[float64](5, 5, 0), 0, 10); err == nil {
+		t.Fatal("zero width must error")
+	}
+	// Plot larger than the matrix clamps to the matrix dimensions.
+	m := matrix.NewCOO[float64](3, 3, 0)
+	m.Append(1, 1, 1)
+	buf.Reset()
+	if err := SpyPlot(&buf, m, 100, 100); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(buf.String(), "\n")) > 8 {
+		t.Fatal("plot should clamp to matrix size")
+	}
+}

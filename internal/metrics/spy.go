@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/matrix"
+)
+
+// SpyPlot renders the sparsity pattern of a matrix as text — the thesis'
+// conclusion notes that "understanding your matrix data is probably best
+// done with a graphical representation" (§6.2). Each character cell covers
+// a rows/height × cols/width tile and is shaded by the tile's nonzero
+// density.
+func SpyPlot[T matrix.Float](w io.Writer, m *matrix.COO[T], width, height int) error {
+	if width < 1 || height < 1 {
+		return fmt.Errorf("metrics: SpyPlot needs positive dimensions, got %dx%d", width, height)
+	}
+	if m.Rows == 0 || m.Cols == 0 {
+		_, err := fmt.Fprintln(w, "(empty matrix)")
+		return err
+	}
+	if width > m.Cols {
+		width = m.Cols
+	}
+	if height > m.Rows {
+		height = m.Rows
+	}
+	counts := make([]int, width*height)
+	for i := range m.Vals {
+		r := int(m.RowIdx[i]) * height / m.Rows
+		c := int(m.ColIdx[i]) * width / m.Cols
+		counts[r*width+c]++
+	}
+	// Shade by density relative to the densest tile.
+	maxCount := 0
+	for _, c := range counts {
+		maxCount = max(maxCount, c)
+	}
+	shades := []rune(" .:+*#@")
+	var sb strings.Builder
+	border := "+" + strings.Repeat("-", width) + "+\n"
+	sb.WriteString(border)
+	for r := 0; r < height; r++ {
+		sb.WriteByte('|')
+		for c := 0; c < width; c++ {
+			n := counts[r*width+c]
+			if n == 0 {
+				sb.WriteRune(' ')
+				continue
+			}
+			idx := 1 + n*(len(shades)-2)/maxCount
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			sb.WriteRune(shades[idx])
+		}
+		sb.WriteString("|\n")
+	}
+	sb.WriteString(border)
+	sb.WriteString(fmt.Sprintf("%dx%d, %d nonzeros (each cell ~%dx%d elements)\n",
+		m.Rows, m.Cols, m.NNZ(), (m.Rows+height-1)/height, (m.Cols+width-1)/width))
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,276 @@
+// Package mmio reads and writes Matrix Market exchange files, the on-disk
+// format of the SuiteSparse collection the thesis benchmarks against. The
+// coordinate layout maps directly onto the suite's COO base format.
+//
+// Supported headers:
+//
+//	%%MatrixMarket matrix coordinate {real|integer|pattern} {general|symmetric|skew-symmetric}
+//	%%MatrixMarket matrix array      {real|integer}         general
+//
+// Pattern entries read as value 1. Symmetric files are expanded to full
+// storage (both triangles), matching how the thesis' loader feeds its
+// kernels.
+package mmio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/matrix"
+)
+
+// ErrFormat is returned for malformed Matrix Market input.
+var ErrFormat = errors.New("mmio: malformed MatrixMarket input")
+
+// Header describes the banner line of a Matrix Market file.
+type Header struct {
+	Object   string // "matrix"
+	Layout   string // "coordinate" or "array"
+	Field    string // "real", "integer", "pattern"
+	Symmetry string // "general", "symmetric", "skew-symmetric"
+}
+
+func parseHeader(line string) (Header, error) {
+	fields := strings.Fields(strings.ToLower(line))
+	if len(fields) != 5 || fields[0] != "%%matrixmarket" {
+		return Header{}, fmt.Errorf("%w: bad banner %q", ErrFormat, line)
+	}
+	h := Header{Object: fields[1], Layout: fields[2], Field: fields[3], Symmetry: fields[4]}
+	if h.Object != "matrix" {
+		return Header{}, fmt.Errorf("%w: unsupported object %q", ErrFormat, h.Object)
+	}
+	switch h.Layout {
+	case "coordinate", "array":
+	default:
+		return Header{}, fmt.Errorf("%w: unsupported layout %q", ErrFormat, h.Layout)
+	}
+	switch h.Field {
+	case "real", "integer", "pattern":
+	case "complex", "hermitian":
+		return Header{}, fmt.Errorf("%w: complex matrices are not supported", ErrFormat)
+	default:
+		return Header{}, fmt.Errorf("%w: unsupported field %q", ErrFormat, h.Field)
+	}
+	switch h.Symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return Header{}, fmt.Errorf("%w: unsupported symmetry %q", ErrFormat, h.Symmetry)
+	}
+	if h.Layout == "array" && h.Field == "pattern" {
+		return Header{}, fmt.Errorf("%w: array layout cannot be pattern", ErrFormat)
+	}
+	return h, nil
+}
+
+// scanner wraps bufio.Scanner with comment skipping and line counting.
+type scanner struct {
+	s    *bufio.Scanner
+	line int
+}
+
+func newScanner(r io.Reader) *scanner {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &scanner{s: s}
+}
+
+// next returns the next non-comment, non-blank line.
+func (sc *scanner) next() (string, error) {
+	for sc.s.Scan() {
+		sc.line++
+		line := strings.TrimSpace(sc.s.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.s.Err(); err != nil {
+		return "", err
+	}
+	return "", io.EOF
+}
+
+// ReadCOO parses a Matrix Market stream into a COO matrix. Symmetric and
+// skew-symmetric inputs are expanded into full (general) storage. The result
+// is sorted row-major.
+func ReadCOO[T matrix.Float](r io.Reader) (*matrix.COO[T], error) {
+	sc := newScanner(r)
+	if !sc.s.Scan() {
+		if err := sc.s.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: empty input", ErrFormat)
+	}
+	sc.line++
+	hdr, err := parseHeader(sc.s.Text())
+	if err != nil {
+		return nil, err
+	}
+
+	sizeLine, err := sc.next()
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("%w: missing size line", ErrFormat)
+		}
+		return nil, err
+	}
+
+	if hdr.Layout == "array" {
+		return readArray[T](sc, sizeLine)
+	}
+	return readCoordinate[T](sc, hdr, sizeLine)
+}
+
+func readCoordinate[T matrix.Float](sc *scanner, hdr Header, sizeLine string) (*matrix.COO[T], error) {
+	fields := strings.Fields(sizeLine)
+	if len(fields) != 3 {
+		return nil, fmt.Errorf("%w: line %d: coordinate size line needs 3 fields, got %q",
+			ErrFormat, sc.line, sizeLine)
+	}
+	rows, err1 := strconv.Atoi(fields[0])
+	cols, err2 := strconv.Atoi(fields[1])
+	nnz, err3 := strconv.Atoi(fields[2])
+	if err1 != nil || err2 != nil || err3 != nil || rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("%w: line %d: bad size line %q", ErrFormat, sc.line, sizeLine)
+	}
+
+	symmetric := hdr.Symmetry != "general"
+	capHint := nnz
+	if symmetric {
+		capHint = 2 * nnz
+	}
+	m := matrix.NewCOO[T](rows, cols, capHint)
+
+	for i := 0; i < nnz; i++ {
+		line, err := sc.next()
+		if err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("%w: expected %d entries, got %d", ErrFormat, nnz, i)
+			}
+			return nil, err
+		}
+		f := strings.Fields(line)
+		wantFields := 3
+		if hdr.Field == "pattern" {
+			wantFields = 2
+		}
+		if len(f) < wantFields {
+			return nil, fmt.Errorf("%w: line %d: entry needs %d fields, got %q",
+				ErrFormat, sc.line, wantFields, line)
+		}
+		r, err1 := strconv.Atoi(f[0])
+		c, err2 := strconv.Atoi(f[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%w: line %d: bad indices in %q", ErrFormat, sc.line, line)
+		}
+		// MatrixMarket is 1-based.
+		r--
+		c--
+		if r < 0 || r >= rows || c < 0 || c >= cols {
+			return nil, fmt.Errorf("%w: line %d: entry (%d,%d) outside %dx%d",
+				ErrFormat, sc.line, r+1, c+1, rows, cols)
+		}
+		var v float64 = 1
+		if hdr.Field != "pattern" {
+			v, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad value in %q", ErrFormat, sc.line, line)
+			}
+		}
+		m.Append(int32(r), int32(c), T(v))
+		if symmetric && r != c {
+			off := v
+			if hdr.Symmetry == "skew-symmetric" {
+				off = -v
+			}
+			m.Append(int32(c), int32(r), T(off))
+		}
+	}
+	m.SortRowMajor()
+	return m, nil
+}
+
+func readArray[T matrix.Float](sc *scanner, sizeLine string) (*matrix.COO[T], error) {
+	fields := strings.Fields(sizeLine)
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("%w: line %d: array size line needs 2 fields, got %q",
+			ErrFormat, sc.line, sizeLine)
+	}
+	rows, err1 := strconv.Atoi(fields[0])
+	cols, err2 := strconv.Atoi(fields[1])
+	if err1 != nil || err2 != nil || rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("%w: line %d: bad size line %q", ErrFormat, sc.line, sizeLine)
+	}
+	m := matrix.NewCOO[T](rows, cols, rows*cols)
+	// Array layout is column-major, all entries present.
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			line, err := sc.next()
+			if err != nil {
+				if err == io.EOF {
+					return nil, fmt.Errorf("%w: array data ended early at (%d,%d)", ErrFormat, r+1, c+1)
+				}
+				return nil, err
+			}
+			v, err := strconv.ParseFloat(line, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad array value %q", ErrFormat, sc.line, line)
+			}
+			if v != 0 {
+				m.Append(int32(r), int32(c), T(v))
+			}
+		}
+	}
+	m.SortRowMajor()
+	return m, nil
+}
+
+// WriteCOO writes m as a general real coordinate Matrix Market file.
+func WriteCOO[T matrix.Float](w io.Writer, m *matrix.COO[T]) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := range m.Vals {
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n",
+			m.RowIdx[i]+1, m.ColIdx[i]+1, float64(m.Vals[i])); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile loads a Matrix Market file from disk.
+func ReadFile[T matrix.Float](path string) (*matrix.COO[T], error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := ReadCOO[T](f)
+	if err != nil {
+		return nil, fmt.Errorf("mmio: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// WriteFile stores m to disk as a Matrix Market file.
+func WriteFile[T matrix.Float](path string, m *matrix.COO[T]) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCOO(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

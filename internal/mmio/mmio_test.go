@@ -1,0 +1,220 @@
+package mmio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func TestReadGeneralCoordinate(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment line
+3 4 3
+1 1 1.5
+3 4 -2
+2 2 0.25
+`
+	m, err := ReadCOO[float64](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 4 || m.NNZ() != 3 {
+		t.Fatalf("dims %dx%d nnz %d", m.Rows, m.Cols, m.NNZ())
+	}
+	if !m.IsSortedRowMajor() {
+		t.Fatal("reader must sort row-major")
+	}
+	d := m.ToDense()
+	if d.At(0, 0) != 1.5 || d.At(2, 3) != -2 || d.At(1, 1) != 0.25 {
+		t.Fatalf("values wrong: %v", d.Data)
+	}
+}
+
+func TestReadSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 2
+2 1 5
+3 2 7
+`
+	m, err := ReadCOO[float64](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 5 { // diagonal entry not mirrored
+		t.Fatalf("NNZ = %d, want 5", m.NNZ())
+	}
+	d := m.ToDense()
+	if d.At(0, 1) != 5 || d.At(1, 0) != 5 || d.At(1, 2) != 7 || d.At(2, 1) != 7 {
+		t.Fatalf("symmetric expansion wrong: %v", d.Data)
+	}
+}
+
+func TestReadSkewSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3
+`
+	m, err := ReadCOO[float64](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.ToDense()
+	if d.At(1, 0) != 3 || d.At(0, 1) != -3 {
+		t.Fatalf("skew expansion wrong: %v", d.Data)
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	m, err := ReadCOO[float64](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.Vals {
+		if v != 1 {
+			t.Fatalf("pattern value %v, want 1", v)
+		}
+	}
+}
+
+func TestReadInteger(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate integer general
+2 2 1
+1 1 7
+`
+	m, err := ReadCOO[float64](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Vals[0] != 7 {
+		t.Fatalf("value %v", m.Vals[0])
+	}
+}
+
+func TestReadArray(t *testing.T) {
+	in := `%%MatrixMarket matrix array real general
+2 2
+1
+0
+3
+4
+`
+	m, err := ReadCOO[float64](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.ToDense()
+	// Array layout is column-major: (1,0,3,4) -> [[1 3] [0 4]].
+	if d.At(0, 0) != 1 || d.At(0, 1) != 3 || d.At(1, 0) != 0 || d.At(1, 1) != 4 {
+		t.Fatalf("array read wrong: %v", d.Data)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3 (zero dropped)", m.NNZ())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad banner":       "%%NotMatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n",
+		"bad object":       "%%MatrixMarket vector coordinate real general\n1 1 1\n1 1 1\n",
+		"complex":          "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"array pattern":    "%%MatrixMarket matrix array pattern general\n1 1\n",
+		"missing size":     "%%MatrixMarket matrix coordinate real general\n",
+		"short size":       "%%MatrixMarket matrix coordinate real general\n3 3\n",
+		"nonnumeric size":  "%%MatrixMarket matrix coordinate real general\na b c\n",
+		"truncated data":   "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",
+		"bad indices":      "%%MatrixMarket matrix coordinate real general\n2 2 1\nx y 1\n",
+		"out of range":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"zero index":       "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n",
+		"bad value":        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zz\n",
+		"missing value":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"array truncated":  "%%MatrixMarket matrix array real general\n2 2\n1\n2\n",
+		"array bad value":  "%%MatrixMarket matrix array real general\n1 1\nzz\n",
+		"unknown symmetry": "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCOO[float64](strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+func TestErrFormatWrapping(t *testing.T) {
+	_, err := ReadCOO[float64](strings.NewReader("%%MatrixMarket matrix coordinate real general\nbad\n"))
+	if !errors.Is(err, ErrFormat) {
+		t.Fatalf("error %v should wrap ErrFormat", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(12)
+		cols := 1 + rng.Intn(12)
+		m := matrix.NewCOO[float64](rows, cols, 0)
+		for i := 0; i < rng.Intn(30); i++ {
+			m.Append(int32(rng.Intn(rows)), int32(rng.Intn(cols)), rng.NormFloat64())
+		}
+		m.Dedup()
+		var buf bytes.Buffer
+		if err := WriteCOO(&buf, m); err != nil {
+			return false
+		}
+		back, err := ReadCOO[float64](&buf)
+		if err != nil {
+			return false
+		}
+		return back.Rows == m.Rows && back.Cols == m.Cols &&
+			back.ToDense().EqualTol(m.ToDense(), 1e-15)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.mtx")
+	m := matrix.NewCOO[float64](3, 3, 2)
+	m.Append(0, 2, 1.25)
+	m.Append(2, 0, -4)
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile[float64](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.ToDense().EqualTol(m.ToDense(), 0) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile[float64](filepath.Join(t.TempDir(), "nope.mtx")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestFloat32Read(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 0.5\n"
+	m, err := ReadCOO[float32](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Vals[0] != 0.5 {
+		t.Fatalf("value %v", m.Vals[0])
+	}
+}

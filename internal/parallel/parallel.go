@@ -1,0 +1,168 @@
+// Package parallel is the suite's CPU threading substrate, standing in for
+// the OpenMP runtime the thesis uses. It provides OpenMP-style loop
+// scheduling with an explicit thread count that — exactly like
+// omp_set_num_threads — may exceed the number of physical cores. The
+// oversubscribed regime is what lets the suite reproduce the thesis'
+// hyperthreading observations (Studies 3 and 3.1).
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxThreads returns the suite's view of available hardware parallelism.
+func MaxThreads() int { return runtime.GOMAXPROCS(0) }
+
+// ChunkBounds returns the half-open range [lo, hi) of the i-th of `chunks`
+// near-equal contiguous chunks of [0, n), distributing the remainder over
+// the leading chunks as OpenMP static scheduling does.
+func ChunkBounds(n, chunks, i int) (lo, hi int) {
+	if chunks <= 0 {
+		panic(fmt.Sprintf("parallel: ChunkBounds with %d chunks", chunks))
+	}
+	base := n / chunks
+	rem := n % chunks
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// For executes body over [0, n) split into `threads` contiguous chunks, one
+// goroutine per chunk (OpenMP "schedule(static)"). threads < 1 is treated as
+// 1. body receives its chunk bounds and a worker id in [0, threads).
+func For(n, threads int, body func(lo, hi, worker int)) {
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > n {
+		threads = max(n, 1)
+	}
+	if threads == 1 {
+		body(0, n, 0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := ChunkBounds(n, threads, w)
+			if lo < hi {
+				body(lo, hi, w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForDynamic executes body over [0, n) using self-scheduled chunks of the
+// given size (OpenMP "schedule(dynamic, chunk)"). It balances irregular row
+// costs better than For at the price of an atomic fetch per chunk.
+func ForDynamic(n, threads, chunk int, body func(lo, hi, worker int)) {
+	if threads < 1 {
+		threads = 1
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	if threads == 1 {
+		body(0, n, 0)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := min(lo+chunk, n)
+				body(lo, hi, w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Pool is a persistent worker pool. The benchmark runner keeps one pool per
+// process so repeated kernel invocations do not pay goroutine start-up cost,
+// mirroring a warmed OpenMP thread team.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// NewPool starts a pool of the given number of worker goroutines.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan func(), workers),
+	}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes body over [0, n) in `threads` static chunks using pool
+// workers. If threads exceeds the pool size, the extra chunks queue behind
+// the busy workers — the same oversubscription behaviour as For, with reuse
+// of the warmed goroutines.
+func (p *Pool) Run(n, threads int, body func(lo, hi, worker int)) {
+	if p.closed.Load() {
+		panic("parallel: Run on closed Pool")
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > n {
+		threads = max(n, 1)
+	}
+	if threads == 1 {
+		body(0, n, 0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		w := w
+		p.tasks <- func() {
+			defer wg.Done()
+			lo, hi := ChunkBounds(n, threads, w)
+			if lo < hi {
+				body(lo, hi, w)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// Close shuts the pool down. Run must not be called after Close.
+func (p *Pool) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.tasks)
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,193 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunkBoundsCoverExactly(t *testing.T) {
+	f := func(nRaw, chunksRaw uint16) bool {
+		n := int(nRaw % 1000)
+		chunks := 1 + int(chunksRaw%64)
+		prev := 0
+		for i := 0; i < chunks; i++ {
+			lo, hi := ChunkBounds(n, chunks, i)
+			if lo != prev || hi < lo {
+				return false
+			}
+			prev = hi
+		}
+		return prev == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkBoundsBalanced(t *testing.T) {
+	// No chunk may be more than one element larger than another.
+	for _, n := range []int{0, 1, 7, 100, 101} {
+		for chunks := 1; chunks <= 9; chunks++ {
+			minSz, maxSz := n+1, -1
+			for i := 0; i < chunks; i++ {
+				lo, hi := ChunkBounds(n, chunks, i)
+				sz := hi - lo
+				minSz = min(minSz, sz)
+				maxSz = max(maxSz, sz)
+			}
+			if maxSz-minSz > 1 {
+				t.Fatalf("n=%d chunks=%d: sizes range [%d, %d]", n, chunks, minSz, maxSz)
+			}
+		}
+	}
+}
+
+func sumVia(run func(n int, body func(lo, hi, w int)), n int) int64 {
+	var total atomic.Int64
+	run(n, func(lo, hi, _ int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		total.Add(s)
+	})
+	return total.Load()
+}
+
+func expectedSum(n int) int64 { return int64(n) * int64(n-1) / 2 }
+
+func TestForCoversRange(t *testing.T) {
+	for _, threads := range []int{1, 2, 7, 32, 100} {
+		for _, n := range []int{0, 1, 5, 1000} {
+			got := sumVia(func(n int, body func(lo, hi, w int)) {
+				For(n, threads, body)
+			}, n)
+			if got != expectedSum(n) {
+				t.Fatalf("For(n=%d, threads=%d): sum %d, want %d", n, threads, got, expectedSum(n))
+			}
+		}
+	}
+}
+
+func TestForEachIndexOnce(t *testing.T) {
+	n := 512
+	hits := make([]atomic.Int32, n)
+	For(n, 13, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			hits[i].Add(1)
+		}
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d hit %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestForNegativeAndZeroThreads(t *testing.T) {
+	got := sumVia(func(n int, body func(lo, hi, w int)) {
+		For(n, 0, body)
+	}, 100)
+	if got != expectedSum(100) {
+		t.Fatal("threads<=0 must still execute the full range")
+	}
+}
+
+func TestForWorkerIDsDistinct(t *testing.T) {
+	var seen [8]atomic.Int32
+	For(800, 8, func(_, _, w int) {
+		seen[w].Add(1)
+	})
+	for w := range seen {
+		if seen[w].Load() != 1 {
+			t.Fatalf("worker %d ran %d chunks, want 1", w, seen[w].Load())
+		}
+	}
+}
+
+func TestForDynamicCoversRange(t *testing.T) {
+	for _, threads := range []int{1, 3, 16} {
+		for _, chunk := range []int{1, 7, 64, 10000} {
+			got := sumVia(func(n int, body func(lo, hi, w int)) {
+				ForDynamic(n, threads, chunk, body)
+			}, 777)
+			if got != expectedSum(777) {
+				t.Fatalf("ForDynamic(threads=%d, chunk=%d): sum %d", threads, chunk, got)
+			}
+		}
+	}
+}
+
+func TestForDynamicEachIndexOnce(t *testing.T) {
+	n := 300
+	hits := make([]atomic.Int32, n)
+	ForDynamic(n, 9, 11, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			hits[i].Add(1)
+		}
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d hit %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestPoolRun(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, threads := range []int{1, 4, 9, 64} {
+		got := sumVia(func(n int, body func(lo, hi, w int)) {
+			p.Run(n, threads, body)
+		}, 1234)
+		if got != expectedSum(1234) {
+			t.Fatalf("Pool.Run(threads=%d): sum %d", threads, got)
+		}
+	}
+}
+
+func TestPoolOversubscription(t *testing.T) {
+	// More chunks than workers must still complete (no deadlock) and
+	// cover the range exactly once.
+	p := NewPool(2)
+	defer p.Close()
+	n := 100
+	hits := make([]atomic.Int32, n)
+	p.Run(n, 50, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			hits[i].Add(1)
+		}
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d hit %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestPoolSequentialReuse(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	for rep := 0; rep < 20; rep++ {
+		if got := sumVia(func(n int, body func(lo, hi, w int)) {
+			p.Run(n, 3, body)
+		}, 64); got != expectedSum(64) {
+			t.Fatalf("rep %d: wrong sum %d", rep, got)
+		}
+	}
+}
+
+func TestPoolWorkers(t *testing.T) {
+	p := NewPool(0) // clamped to 1
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", p.Workers())
+	}
+}
+
+func TestMaxThreadsPositive(t *testing.T) {
+	if MaxThreads() < 1 {
+		t.Fatal("MaxThreads must be >= 1")
+	}
+}

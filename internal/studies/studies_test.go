@@ -1,0 +1,183 @@
+package studies
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps study tests fast: three small matrices, minimal scale.
+func tinyConfig() Config {
+	return Config{
+		Scale:    0.02,
+		GPUScale: 0.01,
+		Reps:     1,
+		Matrices: []string{"bcsstk13", "dw4096", "bcsstk17"},
+	}
+}
+
+func TestAllStudiesRun(t *testing.T) {
+	for _, id := range All() {
+		id := id
+		t.Run("study_"+id, func(t *testing.T) {
+			sections, err := Run(id, tinyConfig())
+			if err != nil {
+				t.Fatalf("study %s: %v", id, err)
+			}
+			if len(sections) == 0 {
+				t.Fatalf("study %s produced no sections", id)
+			}
+			for _, s := range sections {
+				if s.Title == "" {
+					t.Fatalf("study %s: untitled section", id)
+				}
+				if s.Table.NumRows() == 0 {
+					t.Fatalf("study %s: empty table %q", id, s.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownStudy(t *testing.T) {
+	if _, err := Run("42", tinyConfig()); err == nil {
+		t.Fatal("unknown study accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := tinyConfig()
+	bad.Scale = 0
+	if _, err := Run("props", bad); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	bad = tinyConfig()
+	bad.Reps = 0
+	if _, err := Run("props", bad); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+	bad = tinyConfig()
+	bad.GPUScale = 2
+	if _, err := Run("props", bad); err == nil {
+		t.Fatal("oversized gpu scale accepted")
+	}
+}
+
+func TestRenderOutput(t *testing.T) {
+	sections, err := Run("props", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, sections); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "## Table 5.1") {
+		t.Fatalf("missing section header:\n%s", out)
+	}
+	for _, m := range tinyConfig().Matrices {
+		if !strings.Contains(out, m) {
+			t.Fatalf("missing matrix %s:\n%s", m, out)
+		}
+	}
+}
+
+func TestPropsMatchTable51Shape(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Matrices = nil // all 14
+	sections, err := Run("props", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sections[0].Table.NumRows() != 14 {
+		t.Fatalf("Table 5.1 has %d rows, want 14", sections[0].Table.NumRows())
+	}
+}
+
+func TestStudy7RunsNineMatricesPerDevice(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Matrices = nil
+	sections, err := Run("7", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sections) != 2 {
+		t.Fatalf("study 7 should have 2 device sections, got %d", len(sections))
+	}
+	for _, s := range sections {
+		if s.Table.NumRows() != 9 {
+			t.Fatalf("%q: %d rows, want 9 (the paper's memory-feasible set)",
+				s.Title, s.Table.NumRows())
+		}
+	}
+}
+
+func TestStudy7VendorWinsMostly(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Matrices = nil
+	sections, err := Run("7", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, sections); err != nil {
+		t.Fatal(err)
+	}
+	// The Study 7 headline: the vendor kernels win on (almost) all
+	// matrices; "2/2" should dominate the "vendor wins" column.
+	wins := strings.Count(buf.String(), "2/2")
+	if wins < 12 { // 18 rows total across both devices
+		t.Fatalf("vendor kernels won 2/2 on only %d of 18 rows:\n%s", wins, buf.String())
+	}
+}
+
+func TestStudy1HasFiveSections(t *testing.T) {
+	sections, err := Run("1", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// serial+omp for each of two architectures, plus the Arm GPU panel.
+	if len(sections) != 5 {
+		t.Fatalf("study 1 has %d sections, want 5", len(sections))
+	}
+}
+
+func TestStudy2OmitsAriesGPU(t *testing.T) {
+	sections, err := Run("2", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sections {
+		hasGPU := false
+		for _, h := range s.Table.Header {
+			if h == "gpu" {
+				hasGPU = true
+			}
+		}
+		isArm := strings.Contains(s.Title, "Arm")
+		if isArm && !hasGPU {
+			t.Fatalf("%q: Arm sections must include the GPU column", s.Title)
+		}
+		if !isArm && hasGPU {
+			t.Fatalf("%q: x86 sections must omit the GPU column (the thesis discarded Aries GPU data)", s.Title)
+		}
+	}
+}
+
+func TestStudiesDeterministic(t *testing.T) {
+	run := func() string {
+		sections, err := Run("6", tinyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Render(&buf, sections); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if run() != run() {
+		t.Fatal("study 6 output must be deterministic")
+	}
+}
