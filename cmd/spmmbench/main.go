@@ -14,18 +14,31 @@
 //	spmmbench -kernel csr-omp -matrix dw4096 -threads-list 2,4,8,16
 //	spmmbench -kernel csr-gpu -matrix cant -scale 0.05 -device h100
 //	spmmbench -list
+//
+// Campaign mode: when -kernel or -matrix holds a comma-separated list, or
+// any of the resilience flags (-timeout, -retries, -mem-budget, -journal,
+// -resume) is set, the cross product runs through the resilient campaign
+// harness — panicking or failing runs are contained and recorded instead of
+// aborting the sweep, transient failures retry with backoff, over-budget
+// formats degrade to CSR/COO, and -journal/-resume checkpoint the campaign:
+//
+//	spmmbench -kernel csr-omp,ell-omp -matrix cant,torso1 \
+//	    -timeout 60s -retries 2 -mem-budget 1GiB -journal camp.jsonl -resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/gpusim"
+	"repro/internal/harness"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
 	"repro/internal/mmio"
@@ -46,6 +59,12 @@ func main() {
 		verify      = flag.Bool("verify", true, "verify against the COO reference kernel")
 		debug       = flag.Bool("debug", false, "verbose output")
 		list        = flag.Bool("list", false, "list available kernels and matrices, then exit")
+
+		timeout   = flag.Duration("timeout", 0, "campaign: per-run timeout (0 disables)")
+		retries   = flag.Int("retries", 0, "campaign: extra attempts for transient failures")
+		memBudget = flag.String("mem-budget", "", "campaign: per-run format footprint budget, e.g. 512MiB")
+		journal   = flag.String("journal", "", "campaign: JSONL checkpoint journal path")
+		resume    = flag.Bool("resume", false, "campaign: skip runs already recorded in -journal")
 	)
 	flag.Parse()
 
@@ -62,6 +81,33 @@ func main() {
 		for _, n := range gen.Names() {
 			fmt.Println("  " + n)
 		}
+		return
+	}
+
+	campaign := *timeout > 0 || *retries > 0 || *memBudget != "" || *journal != "" || *resume ||
+		strings.Contains(*kernelName, ",") || strings.Contains(*matrixName, ",")
+	if campaign {
+		if *op == "spmv" || *threadsList != "" {
+			fatal(fmt.Errorf("campaign mode does not combine with -op spmv or -threads-list"))
+		}
+		if *resume && *journal == "" {
+			fatal(fmt.Errorf("-resume needs -journal to know what already ran"))
+		}
+		budget := int64(0)
+		if *memBudget != "" {
+			var err error
+			budget, err = harness.ParseBytes(*memBudget)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		p := core.Params{Reps: *reps, Threads: *threads, BlockSize: *block, K: *kArg,
+			Verify: *verify, Debug: *debug, Seed: 1}
+		cfg := harness.Config{
+			Timeout: *timeout, Retries: *retries, MemBudget: budget,
+			Journal: *journal, Resume: *resume, Seed: 1, Log: os.Stderr,
+		}
+		runCampaign(splitList(*kernelName), splitList(*matrixName), *scale, *device, p, cfg)
 		return
 	}
 
@@ -132,6 +178,10 @@ func main() {
 		}
 		t := metrics.NewTable("threads", "avg seconds", "MFLOPS")
 		for _, r := range all {
+			if r.Err != "" {
+				t.AddRow(r.Threads, "-", "failed: "+r.Err)
+				continue
+			}
 			t.AddRow(r.Threads, fmt.Sprintf("%.6f", r.AvgSeconds), fmt.Sprintf("%.1f", r.MFLOPS))
 		}
 		if err := t.Render(os.Stdout); err != nil {
@@ -146,6 +196,82 @@ func main() {
 		fatal(err)
 	}
 	report(r, *debug)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// runCampaign executes the kernels × matrices cross product through the
+// resilient harness and reports per-run lines plus the campaign counters.
+func runCampaign(kernels, matrices []string, scale float64, device string, p core.Params, cfg harness.Config) {
+	h, err := harness.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer h.Close()
+
+	var plan []harness.Spec
+	for _, mName := range matrices {
+		for _, kName := range kernels {
+			opts := core.Options{}
+			if strings.Contains(kName, "-gpu") {
+				gcfg := gpusim.H100Like()
+				if device == "a100" {
+					gcfg = gpusim.A100Like()
+				}
+				dev, err := gpusim.NewDevice(gcfg)
+				if err != nil {
+					fatal(err)
+				}
+				opts.Device = dev
+			}
+			mName := mName
+			plan = append(plan, harness.Spec{
+				Kernel: kName,
+				Matrix: mName,
+				Load:   func() (*matrix.COO[float64], error) { return loadMatrix(mName, scale) },
+				Opts:   opts,
+				Params: p,
+			})
+		}
+	}
+
+	start := time.Now()
+	outs, execErr := h.Execute(context.Background(), plan)
+	for _, o := range outs {
+		switch o.Status {
+		case harness.StatusFailed:
+			fmt.Printf("%-8s  %-18s %-16s %v\n", o.Status, o.Spec.Kernel, o.Spec.Matrix, o.Err)
+		case harness.StatusDegraded:
+			fmt.Printf("%-8s  %-18s %-16s %.1f MFLOPS (ran %s)\n",
+				o.Status, o.Spec.Kernel, o.Spec.Matrix, o.Result.MFLOPS, o.RanKernel)
+		case harness.StatusSkipped:
+			if o.Result.MFLOPS > 0 {
+				fmt.Printf("%-8s  %-18s %-16s %.1f MFLOPS (replayed from journal)\n",
+					o.Status, o.Spec.Kernel, o.Spec.Matrix, o.Result.MFLOPS)
+			} else {
+				fmt.Printf("%-8s  %-18s %-16s previously failed (journaled)\n",
+					o.Status, o.Spec.Kernel, o.Spec.Matrix)
+			}
+		default:
+			fmt.Printf("%-8s  %-18s %-16s %.1f MFLOPS\n",
+				o.Status, o.Spec.Kernel, o.Spec.Matrix, o.Result.MFLOPS)
+		}
+	}
+	fmt.Printf("\ncampaign: %d runs in %v\n", len(outs), time.Since(start).Round(time.Millisecond))
+	if err := h.Counters().Table().Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if execErr != nil {
+		fatal(execErr)
+	}
 }
 
 func loadMatrix(name string, scale float64) (*matrix.COO[float64], error) {

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/harness"
 	"repro/internal/studies"
 )
 
@@ -62,6 +63,12 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress progress notes on stderr")
 		csvDir   = flag.String("csv", "", "also write each section as a CSV file into this directory")
 		chart    = flag.Bool("chart", false, "render bar charts (the figures' shape) instead of tables")
+
+		timeout   = flag.Duration("timeout", 0, "harness: per-benchmark timeout (0 disables)")
+		retries   = flag.Int("retries", 0, "harness: extra attempts for transient failures")
+		memBudget = flag.String("mem-budget", "", "harness: per-run format footprint budget, e.g. 512MiB")
+		journal   = flag.String("journal", "", "harness: JSONL checkpoint journal path")
+		resume    = flag.Bool("resume", false, "harness: replay runs already recorded in -journal")
 	)
 	flag.Parse()
 
@@ -72,6 +79,41 @@ func main() {
 	cfg.Verify = *verify
 	if *matrices != "" {
 		cfg.Matrices = strings.Split(*matrices, ",")
+	}
+
+	// Any resilience flag routes every benchmark through the campaign
+	// harness: panics become typed errors, transient failures retry,
+	// over-budget formats degrade, and -journal/-resume checkpoint the run.
+	var h *harness.Harness
+	if *timeout > 0 || *retries > 0 || *memBudget != "" || *journal != "" || *resume {
+		if *resume && *journal == "" {
+			fmt.Fprintln(os.Stderr, "spmmstudy: -resume needs -journal to know what already ran")
+			os.Exit(1)
+		}
+		budget := int64(0)
+		if *memBudget != "" {
+			var err error
+			budget, err = harness.ParseBytes(*memBudget)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spmmstudy: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		hcfg := harness.Config{
+			Timeout: *timeout, Retries: *retries, MemBudget: budget,
+			Journal: *journal, Resume: *resume, Seed: 1,
+		}
+		if !*quiet {
+			hcfg.Log = os.Stderr
+		}
+		var err error
+		h, err = harness.New(hcfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmmstudy: %v\n", err)
+			os.Exit(1)
+		}
+		defer h.Close()
+		cfg.Runner = h.Runner()
 	}
 
 	ids := studies.All()
@@ -104,6 +146,12 @@ func main() {
 		fmt.Println()
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "[study %s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if h != nil && !*quiet {
+		fmt.Fprintln(os.Stderr, "[harness counters]")
+		if err := h.Counters().Table().Render(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "spmmstudy: %v\n", err)
 		}
 	}
 }

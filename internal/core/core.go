@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -64,6 +65,20 @@ type Params struct {
 	Debug bool
 	// Seed drives the deterministic generation of the dense B operand.
 	Seed int64
+	// Ctx, when non-nil, cancels a run cooperatively: the runner checks it
+	// between repetitions and around Prepare/verify, and
+	// cancellation-aware kernels (CSR, COO) check it inside their row
+	// loops. It rides in Params because the Kernel interface's Calculate
+	// signature is fixed; nil means run to completion.
+	Ctx context.Context
+}
+
+// Context returns p.Ctx, or context.Background() when unset.
+func (p Params) Context() context.Context {
+	if p.Ctx == nil {
+		return context.Background()
+	}
+	return p.Ctx
 }
 
 // DefaultParams returns the evaluation defaults of §5.1: k=128, 32 threads,
@@ -150,4 +165,8 @@ type Result struct {
 	// MaxAbsDiff is the worst deviation from the COO reference (when
 	// verification ran).
 	MaxAbsDiff float64
+	// Err records a per-run failure message when a sweep or campaign keeps
+	// going past an error (BestThreads, the harness journal); empty on
+	// success.
+	Err string
 }

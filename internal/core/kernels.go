@@ -59,8 +59,14 @@ func (k *cooKernel) Calculate(b, c *matrix.Dense[float64], p Params) error {
 	case k.transposed:
 		return kernels.COOParallelT(k.a, b, c, p.K, p.Threads)
 	case k.mode == Serial:
+		if p.Ctx != nil {
+			return kernels.COOSerialCtx(p.Ctx, k.a, b, c, p.K)
+		}
 		return kernels.COOSerial(k.a, b, c, p.K)
 	default:
+		if p.Ctx != nil {
+			return kernels.COOParallelCtx(p.Ctx, k.a, b, c, p.K, p.Threads)
+		}
 		return kernels.COOParallel(k.a, b, c, p.K, p.Threads)
 	}
 }
@@ -107,8 +113,14 @@ func (k *csrKernel) Calculate(b, c *matrix.Dense[float64], p Params) error {
 	case k.transposed:
 		return kernels.CSRParallelT(k.a, b, c, p.K, p.Threads)
 	case k.mode == Serial:
+		if p.Ctx != nil {
+			return kernels.CSRSerialCtx(p.Ctx, k.a, b, c, p.K)
+		}
 		return kernels.CSRSerial(k.a, b, c, p.K)
 	default:
+		if p.Ctx != nil {
+			return kernels.CSRParallelCtx(p.Ctx, k.a, b, c, p.K, p.Threads)
+		}
 		return kernels.CSRParallel(k.a, b, c, p.K, p.Threads)
 	}
 }

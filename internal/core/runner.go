@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -28,6 +30,9 @@ func Run(k Kernel, a *matrix.COO[float64], matrixName string, p Params) (Result,
 	}
 	if err := a.Validate(); err != nil {
 		return Result{}, fmt.Errorf("core: input matrix: %w", err)
+	}
+	if err := p.Context().Err(); err != nil {
+		return Result{}, fmt.Errorf("core: %s: %w", k.Name(), err)
 	}
 
 	res := Result{
@@ -70,6 +75,9 @@ func Run(k Kernel, a *matrix.COO[float64], matrixName string, p Params) (Result,
 
 	var total, minSec float64
 	for rep := 0; rep < reps; rep++ {
+		if err := p.Context().Err(); err != nil {
+			return Result{}, fmt.Errorf("core: %s: rep %d: %w", k.Name(), rep, err)
+		}
 		var secs float64
 		if k.Transposed() {
 			// The transpose is part of the measured work.
@@ -99,8 +107,11 @@ func Run(k Kernel, a *matrix.COO[float64], matrixName string, p Params) (Result,
 	res.MFLOPS = metrics.MFLOPS(kernels.SpMMFlops(a.NNZ(), p.K), res.AvgSeconds)
 
 	if p.Verify {
+		if err := p.Context().Err(); err != nil {
+			return Result{}, fmt.Errorf("core: %s: verify: %w", k.Name(), err)
+		}
 		ref := matrix.NewDense[float64](a.Rows, p.K)
-		if err := kernels.COOSerial(a, b, ref, p.K); err != nil {
+		if err := kernels.COOSerialCtx(p.Ctx, a, b, ref, p.K); err != nil {
 			return Result{}, fmt.Errorf("core: reference kernel: %w", err)
 		}
 		diff, err := c.MaxAbsDiff(ref)
@@ -117,26 +128,50 @@ func Run(k Kernel, a *matrix.COO[float64], matrixName string, p Params) (Result,
 	return res, nil
 }
 
+// RunCtx is Run with a context governing the whole benchmark: the runner
+// checks ctx between repetitions and around Prepare/verify, and
+// cancellation-aware kernels check it inside their row loops. The returned
+// error wraps ctx.Err() when the run was cut short.
+func RunCtx(ctx context.Context, k Kernel, a *matrix.COO[float64], matrixName string, p Params) (Result, error) {
+	p.Ctx = ctx
+	return Run(k, a, matrixName, p)
+}
+
 // BestThreads runs a parallel kernel once per entry of p.ThreadList and
 // returns the per-count results plus the index of the winner (highest
 // MFLOPS) — the Study 3.1 sweep feature. An empty ThreadList is an error.
+//
+// One failing thread count does not abort the sweep: the failure is
+// recorded in that entry's Result.Err and the remaining counts still run.
+// The winner is picked among the successful counts; only when every count
+// fails does BestThreads return an error (joining the per-count causes).
 func BestThreads(k Kernel, a *matrix.COO[float64], matrixName string, p Params) (best int, all []Result, err error) {
 	if len(p.ThreadList) == 0 {
 		return 0, nil, fmt.Errorf("core: BestThreads needs a non-empty ThreadList")
 	}
 	all = make([]Result, 0, len(p.ThreadList))
-	best = 0
+	best = -1
+	var errs []error
 	for i, threads := range p.ThreadList {
 		q := p
 		q.Threads = threads
-		r, err := Run(k, a, matrixName, q)
-		if err != nil {
-			return 0, nil, err
+		r, runErr := Run(k, a, matrixName, q)
+		if runErr != nil {
+			errs = append(errs, fmt.Errorf("threads=%d: %w", threads, runErr))
+			r = Result{Kernel: k.Name(), Format: k.Format(), Mode: k.Mode().String(),
+				Matrix: matrixName, K: q.K, Threads: threads, Block: q.BlockSize,
+				Err: runErr.Error()}
+			all = append(all, r)
+			continue
 		}
 		all = append(all, r)
-		if r.MFLOPS > all[best].MFLOPS {
+		if best < 0 || r.MFLOPS > all[best].MFLOPS {
 			best = i
 		}
+	}
+	if best < 0 {
+		return 0, all, fmt.Errorf("core: BestThreads: all %d thread counts failed: %w",
+			len(p.ThreadList), errors.Join(errs...))
 	}
 	return best, all, nil
 }

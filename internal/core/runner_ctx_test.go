@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// flakyThreadsKernel fails Calculate for the thread counts in failOn — the
+// shape of a real sweep failure (e.g. oversubscription tripping a kernel's
+// internal limits) that BestThreads must survive.
+type flakyThreadsKernel struct {
+	failOn map[int]bool
+}
+
+func (f *flakyThreadsKernel) Name() string     { return "flaky-omp" }
+func (f *flakyThreadsKernel) Format() string   { return "coo" }
+func (f *flakyThreadsKernel) Mode() Mode       { return Parallel }
+func (f *flakyThreadsKernel) Transposed() bool { return false }
+func (f *flakyThreadsKernel) Bytes() int       { return 1 }
+func (f *flakyThreadsKernel) Prepare(a *matrix.COO[float64], p Params) error {
+	return nil
+}
+func (f *flakyThreadsKernel) Calculate(_, c *matrix.Dense[float64], p Params) error {
+	if f.failOn[p.Threads] {
+		return fmt.Errorf("flaky: refusing to run with %d threads", p.Threads)
+	}
+	return nil
+}
+
+func sweepParams(list ...int) Params {
+	p := smallParams()
+	p.ThreadList = list
+	p.Verify = false
+	return p
+}
+
+func TestBestThreadsSurvivesOneFailure(t *testing.T) {
+	a := testCOO(10, 50, 50, 200)
+	k := &flakyThreadsKernel{failOn: map[int]bool{3: true}}
+	best, all, err := BestThreads(k, a, "t", sweepParams(1, 3, 5))
+	if err != nil {
+		t.Fatalf("one failing count aborted the sweep: %v", err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("got %d results, want 3 (failed counts must keep their slot)", len(all))
+	}
+	if all[1].Err == "" || all[1].Threads != 3 {
+		t.Fatalf("failed count not recorded: %+v", all[1])
+	}
+	if !strings.Contains(all[1].Err, "3 threads") {
+		t.Fatalf("recorded error %q lost the cause", all[1].Err)
+	}
+	if best == 1 {
+		t.Fatal("failed count picked as winner")
+	}
+	if all[best].Err != "" {
+		t.Fatalf("winner %d carries an error: %q", best, all[best].Err)
+	}
+}
+
+func TestBestThreadsAllFailing(t *testing.T) {
+	a := testCOO(11, 50, 50, 200)
+	k := &flakyThreadsKernel{failOn: map[int]bool{1: true, 2: true, 4: true}}
+	_, all, err := BestThreads(k, a, "t", sweepParams(1, 2, 4))
+	if err == nil {
+		t.Fatal("all-failing sweep reported success")
+	}
+	if !strings.Contains(err.Error(), "all 3 thread counts failed") {
+		t.Fatalf("error %v does not say every count failed", err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("got %d results, want 3", len(all))
+	}
+	for i, r := range all {
+		if r.Err == "" {
+			t.Fatalf("result %d has no recorded error", i)
+		}
+	}
+}
+
+func TestRunCtxCancelledBeforeStart(t *testing.T) {
+	a := testCOO(12, 30, 30, 100)
+	k, err := New("csr-serial", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, k, a, "t", smallParams()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v", err)
+	}
+}
+
+func TestRunNilContextCompletes(t *testing.T) {
+	a := testCOO(13, 30, 30, 100)
+	k, err := New("coo-omp", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zero Params.Ctx must behave exactly as before the context plumbing.
+	r, err := Run(k, a, "t", smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verified {
+		t.Fatal("run with nil context skipped verification")
+	}
+}

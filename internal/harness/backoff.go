@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Backoff computes retry delays: exponential growth from Base by Factor,
+// capped at Max, with a symmetric ±Jitter fraction of seed-driven noise so
+// concurrent campaigns retrying against a shared resource do not stampede
+// in lockstep. The zero value is replaced by DefaultBackoff.
+type Backoff struct {
+	// Base is the delay before the first retry.
+	Base time.Duration
+	// Max caps the grown delay (before jitter).
+	Max time.Duration
+	// Factor multiplies the delay per retry; values < 1 are treated as 2.
+	Factor float64
+	// Jitter is the fraction of the delay randomised in [-J, +J]; values
+	// outside [0, 1) disable jitter.
+	Jitter float64
+}
+
+// DefaultBackoff is the campaign default: 100ms doubling to a 10s cap with
+// ±20% jitter.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 100 * time.Millisecond, Max: 10 * time.Second, Factor: 2, Jitter: 0.2}
+}
+
+// isZero reports whether b is the zero value (meaning "use the default").
+func (b Backoff) isZero() bool {
+	return b.Base == 0 && b.Max == 0 && b.Factor == 0 && b.Jitter == 0
+}
+
+// Delay returns the pause before retry `attempt` (1-based: the delay after
+// the first failed attempt is Delay(1)). rng supplies deterministic jitter;
+// nil disables jitter.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	if b.isZero() {
+		b = DefaultBackoff()
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(b.Base) * math.Pow(factor, float64(attempt-1))
+	if b.Max > 0 && d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if rng != nil && b.Jitter > 0 && b.Jitter < 1 {
+		d *= 1 + b.Jitter*(2*rng.Float64()-1)
+	}
+	return time.Duration(d)
+}

@@ -1,0 +1,158 @@
+// Package harness is the resilient campaign runner of the suite: it wraps
+// core.Run so a full (matrix × kernel × params) benchmark plan survives
+// individual failures. A panicking kernel becomes a typed *RunError with a
+// captured stack, per-run timeouts cancel cooperative kernels via context,
+// transient failures are retried with exponential backoff and jitter, a
+// memory-budget guard degrades padding-heavy formats to CSR/COO before any
+// memory is committed, and a JSONL journal makes interrupted campaigns
+// resumable. A deterministic fault-injection layer exercises every one of
+// those recovery paths in the package's own tests.
+//
+// The motivation is the thesis' own campaign shape — 14 SuiteSparse
+// matrices × 4 formats × many kernel modes as long unattended runs — where
+// one bad matrix or one over-sized ELLPACK expansion previously killed the
+// whole sweep.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Sentinel errors, one per failure class. Producers wrap them with %w (the
+// fault injector marks transient failures with ErrTransient); consumers
+// test with errors.Is.
+var (
+	ErrTransient    = errors.New("harness: transient failure")
+	ErrOverBudget   = errors.New("harness: estimated footprint exceeds memory budget")
+	ErrVerifyFailed = errors.New("harness: verification failed")
+	ErrPanic        = errors.New("harness: kernel panicked")
+	ErrTimeout      = errors.New("harness: run timed out")
+)
+
+// Class classifies a run failure for retry and reporting decisions.
+type Class uint8
+
+const (
+	// ClassFatal is any non-retryable error outside the named classes
+	// (bad kernel name, malformed matrix, shape mismatch, ...).
+	ClassFatal Class = iota
+	// ClassTransient failures may succeed on retry.
+	ClassTransient
+	// ClassOverBudget means the memory-budget guard rejected the format
+	// and no fallback remained.
+	ClassOverBudget
+	// ClassVerifyFailed means the kernel ran but disagreed with the COO
+	// reference — deterministic, never retried.
+	ClassVerifyFailed
+	// ClassPanic means the kernel panicked; the stack is on the RunError.
+	ClassPanic
+	// ClassTimeout means the per-run deadline expired (or the campaign
+	// context was cancelled mid-run).
+	ClassTimeout
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassTransient:
+		return "transient"
+	case ClassOverBudget:
+		return "over-budget"
+	case ClassVerifyFailed:
+		return "verify-failed"
+	case ClassPanic:
+		return "panic"
+	case ClassTimeout:
+		return "timeout"
+	default:
+		return "fatal"
+	}
+}
+
+// Retryable reports whether the harness may re-attempt a run that failed
+// with this class. Only transient failures qualify: panics, verification
+// mismatches and budget rejections are deterministic, and a timed-out run
+// would time out again.
+func (c Class) Retryable() bool { return c == ClassTransient }
+
+// sentinel returns the class's sentinel error (nil for ClassFatal).
+func (c Class) sentinel() error {
+	switch c {
+	case ClassTransient:
+		return ErrTransient
+	case ClassOverBudget:
+		return ErrOverBudget
+	case ClassVerifyFailed:
+		return ErrVerifyFailed
+	case ClassPanic:
+		return ErrPanic
+	case ClassTimeout:
+		return ErrTimeout
+	default:
+		return nil
+	}
+}
+
+// RunError is the typed failure a campaign records for one run. It wraps
+// the underlying cause and the class sentinel, so both
+// errors.Is(err, ErrPanic) and errors.Is(err, cause) hold.
+type RunError struct {
+	// RunID identifies the run within the campaign (see Spec).
+	RunID string
+	// Class is the failure classification.
+	Class Class
+	// Attempt is the 1-based attempt that produced the final error.
+	Attempt int
+	// Stack is the captured goroutine stack for panics, nil otherwise.
+	Stack []byte
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *RunError) Error() string {
+	msg := fmt.Sprintf("harness: run %s: attempt %d: %s", e.RunID, e.Attempt, e.Class)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the class sentinel and the underlying cause.
+func (e *RunError) Unwrap() []error {
+	errs := make([]error, 0, 2)
+	if s := e.Class.sentinel(); s != nil {
+		errs = append(errs, s)
+	}
+	if e.Err != nil {
+		errs = append(errs, e.Err)
+	}
+	return errs
+}
+
+// Classify maps an arbitrary run error onto the failure taxonomy. A
+// *RunError keeps its recorded class; everything else is matched against
+// the sentinels, the context errors, and core.ErrVerify.
+func Classify(err error) Class {
+	var re *RunError
+	switch {
+	case errors.As(err, &re):
+		return re.Class
+	case errors.Is(err, ErrTransient):
+		return ClassTransient
+	case errors.Is(err, ErrTimeout),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return ClassTimeout
+	case errors.Is(err, core.ErrVerify), errors.Is(err, ErrVerifyFailed):
+		return ClassVerifyFailed
+	case errors.Is(err, ErrOverBudget):
+		return ClassOverBudget
+	case errors.Is(err, ErrPanic):
+		return ClassPanic
+	default:
+		return ClassFatal
+	}
+}

@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// FaultPoint locates where in a run's lifecycle an injected fault fires.
+type FaultPoint uint8
+
+const (
+	// PointPrepare fires at the top of Kernel.Prepare.
+	PointPrepare FaultPoint = iota
+	// PointCalculate fires at the top of every Kernel.Calculate call
+	// (warm-up and timed repetitions alike).
+	PointCalculate
+)
+
+func (p FaultPoint) String() string {
+	if p == PointPrepare {
+		return "prepare"
+	}
+	return "calculate"
+}
+
+// FaultKind selects what an armed fault does when it fires.
+type FaultKind uint8
+
+const (
+	// FaultPanic panics, exercising the harness's panic containment.
+	FaultPanic FaultKind = iota
+	// FaultTransient returns an error wrapping ErrTransient, exercising
+	// retry with backoff.
+	FaultTransient
+	// FaultSlow sleeps for Delay (± seeded jitter) before proceeding,
+	// exercising the per-run timeout.
+	FaultSlow
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultPanic:
+		return "panic"
+	case FaultTransient:
+		return "transient"
+	default:
+		return "slow"
+	}
+}
+
+// Fault arms Count firings of Kind at Point for runs whose ID contains Run
+// as a substring (run IDs start with "kernel|matrix|", so matching on
+// either is natural). An empty Run matches every run; Count <= 0 means 1.
+type Fault struct {
+	Run   string
+	Point FaultPoint
+	Kind  FaultKind
+	Count int
+	// Delay is the FaultSlow sleep.
+	Delay time.Duration
+}
+
+type armedFault struct {
+	Fault
+	remaining int
+}
+
+// Injector deterministically injects faults into the kernels a campaign
+// builds. The same seed and fault list always produce the same failure
+// sequence, which is what lets the harness tests prove each recovery path.
+// A nil *Injector disables injection entirely (the production setting).
+type Injector struct {
+	mu     sync.Mutex
+	faults []*armedFault
+	rng    *rand.Rand
+}
+
+// NewInjector arms the given faults. seed drives the jitter applied to
+// FaultSlow delays.
+func NewInjector(seed int64, faults ...Fault) *Injector {
+	in := &Injector{rng: rand.New(rand.NewSource(seed))}
+	for _, f := range faults {
+		n := f.Count
+		if n <= 0 {
+			n = 1
+		}
+		in.faults = append(in.faults, &armedFault{Fault: f, remaining: n})
+	}
+	return in
+}
+
+// Wrap interposes the injector between the harness and a kernel. A nil
+// injector returns the kernel unchanged. Kernels implementing
+// core.ModelTimed keep that capability through the wrapper, so the runner's
+// simulated-time handling is unaffected.
+func (in *Injector) Wrap(runID string, k core.Kernel) core.Kernel {
+	if in == nil {
+		return k
+	}
+	fk := &faultKernel{Kernel: k, in: in, runID: runID}
+	if mt, ok := k.(core.ModelTimed); ok {
+		return &faultModelKernel{faultKernel: fk, mt: mt}
+	}
+	return fk
+}
+
+// fire performs at most one armed fault matching (runID, point). It either
+// returns a transient error, panics, or sleeps — or does nothing when no
+// fault matches.
+func (in *Injector) fire(runID string, point FaultPoint) error {
+	in.mu.Lock()
+	var hit *armedFault
+	for _, f := range in.faults {
+		if f.remaining > 0 && f.Point == point &&
+			(f.Run == "" || strings.Contains(runID, f.Run)) {
+			f.remaining--
+			hit = f
+			break
+		}
+	}
+	var delay time.Duration
+	if hit != nil && hit.Kind == FaultSlow {
+		// ±10% seeded jitter keeps slow runs deterministic per seed while
+		// still varying between firings.
+		delay = hit.Delay + time.Duration(float64(hit.Delay)*0.1*(2*in.rng.Float64()-1))
+	}
+	in.mu.Unlock()
+
+	if hit == nil {
+		return nil
+	}
+	switch hit.Kind {
+	case FaultPanic:
+		panic(fmt.Sprintf("harness: injected panic at %s of %s", point, runID))
+	case FaultTransient:
+		return fmt.Errorf("%w: injected at %s of %s", ErrTransient, point, runID)
+	default:
+		time.Sleep(delay)
+		return nil
+	}
+}
+
+// faultKernel routes Prepare and Calculate through the injector first.
+type faultKernel struct {
+	core.Kernel
+	in    *Injector
+	runID string
+}
+
+func (f *faultKernel) Prepare(a *matrix.COO[float64], p core.Params) error {
+	if err := f.in.fire(f.runID, PointPrepare); err != nil {
+		return err
+	}
+	return f.Kernel.Prepare(a, p)
+}
+
+func (f *faultKernel) Calculate(b, c *matrix.Dense[float64], p core.Params) error {
+	if err := f.in.fire(f.runID, PointCalculate); err != nil {
+		return err
+	}
+	return f.Kernel.Calculate(b, c, p)
+}
+
+// faultModelKernel additionally forwards ModelTimed.
+type faultModelKernel struct {
+	*faultKernel
+	mt core.ModelTimed
+}
+
+func (f *faultModelKernel) ModelSeconds() float64 { return f.mt.ModelSeconds() }

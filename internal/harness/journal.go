@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Outcome statuses, shared by journal records and campaign outcomes.
+const (
+	// StatusOK: the run completed (possibly after retries).
+	StatusOK = "ok"
+	// StatusDegraded: the run completed on a fallback format after the
+	// memory-budget guard rejected the requested one.
+	StatusDegraded = "degraded"
+	// StatusFailed: all attempts failed; Class and Error say why.
+	StatusFailed = "failed"
+	// StatusSkipped: the run was already recorded in the journal and was
+	// replayed, not re-executed (resume).
+	StatusSkipped = "skipped"
+)
+
+// Record is one journal line — the durable outcome of one campaign run.
+// The journal is append-only JSONL: one self-contained JSON object per
+// line, so a crash can at worst tear the final line.
+type Record struct {
+	// ID is the campaign-unique run identity (kernel|matrix|dims|params).
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Kernel string `json:"kernel"`
+	Matrix string `json:"matrix"`
+	// Substituted is the kernel actually run after degradation.
+	Substituted string `json:"substituted,omitempty"`
+	// Attempts is how many attempts were made (>1 means retries happened).
+	Attempts int `json:"attempts"`
+	// Class is the failure class for failed runs.
+	Class string `json:"class,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Result is the benchmark outcome for successful runs.
+	Result *core.Result `json:"result,omitempty"`
+}
+
+// Journal appends campaign records to a JSONL file, flushing every record
+// so an interrupted campaign loses at most the run in flight.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens (creating if needed) the journal at path for appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: open journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append writes one record as a single JSON line.
+func (j *Journal) Append(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("harness: journal marshal: %w", err)
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("harness: journal write: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// ReadJournal loads every complete record from path. A missing file is an
+// empty journal (fresh campaign with -resume is fine). A torn final line —
+// the crash case Append's per-record flush bounds us to — is ignored; a
+// malformed line anywhere else is an error, since it means the file is not
+// a journal.
+func ReadJournal(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("harness: read journal: %w", err)
+	}
+	defer f.Close()
+
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	var pendingErr error
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		// A malformed line is only tolerable if it turns out to be the
+		// last one (torn by a crash mid-Append).
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
+		var rec Record
+		if err := json.Unmarshal(text, &rec); err != nil {
+			pendingErr = fmt.Errorf("harness: journal %s line %d: %w", path, line, err)
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("harness: read journal: %w", err)
+	}
+	return recs, nil
+}
+
+// CompletedIDs indexes journal records by run ID. Every recorded terminal
+// status counts as completed — a deterministic failure would only fail
+// again on resume. Later records for the same ID win.
+func CompletedIDs(recs []Record) map[string]Record {
+	done := make(map[string]Record, len(recs))
+	for _, r := range recs {
+		switch r.Status {
+		case StatusOK, StatusDegraded, StatusFailed:
+			done[r.ID] = r
+		}
+	}
+	return done
+}

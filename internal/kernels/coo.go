@@ -1,6 +1,8 @@
 package kernels
 
 import (
+	"context"
+
 	"repro/internal/matrix"
 	"repro/internal/parallel"
 )
@@ -18,6 +20,62 @@ func COOSerial[T matrix.Float](a *matrix.COO[T], b, c *matrix.Dense[T], k int) e
 		axpy(c.Data[r*c.Stride:], b.Data[col*b.Stride:], a.Vals[p], k)
 	}
 	return nil
+}
+
+// COOSerialCtx is COOSerial with cooperative cancellation: the triplet loop
+// checks ctx every cancelStride entries and returns ctx.Err() early, leaving
+// C partially accumulated. A nil ctx behaves exactly like COOSerial.
+func COOSerialCtx[T matrix.Float](ctx context.Context, a *matrix.COO[T], b, c *matrix.Dense[T], k int) error {
+	if ctx == nil {
+		return COOSerial(a, b, c, k)
+	}
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	zeroK(c, k)
+	nnz := a.NNZ()
+	for lo := 0; lo < nnz; lo += cancelStride {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for p := lo; p < min(lo+cancelStride, nnz); p++ {
+			r := int(a.RowIdx[p])
+			col := int(a.ColIdx[p])
+			axpy(c.Data[r*c.Stride:], b.Data[col*b.Stride:], a.Vals[p], k)
+		}
+	}
+	return ctx.Err()
+}
+
+// COOParallelCtx is COOParallel with cooperative cancellation: each worker
+// checks ctx every cancelStride triplets inside its row-aligned chunk. The
+// partition is identical to COOParallel's, so timings stay comparable.
+func COOParallelCtx[T matrix.Float](ctx context.Context, a *matrix.COO[T], b, c *matrix.Dense[T], k, threads int) error {
+	if ctx == nil {
+		return COOParallel(a, b, c, k, threads)
+	}
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	bounds := cooRowPartition(a, threads)
+	chunks := len(bounds) - 1
+	if err := parallel.ForCtx(ctx, c.Rows, threads, func(lo, hi, _ int) {
+		zeroKRows(c, k, lo, hi)
+	}); err != nil {
+		return err
+	}
+	return parallel.ForCtx(ctx, chunks, chunks, func(wlo, whi, _ int) {
+		for w := wlo; w < whi; w++ {
+			for p := bounds[w]; p < bounds[w+1]; p++ {
+				if (p-bounds[w])%cancelStride == 0 && ctx.Err() != nil {
+					return
+				}
+				r := int(a.RowIdx[p])
+				col := int(a.ColIdx[p])
+				axpy(c.Data[r*c.Stride:], b.Data[col*b.Stride:], a.Vals[p], k)
+			}
+		}
+	})
 }
 
 // cooRowPartition splits [0, nnz) into up to `threads` chunks whose

@@ -1,6 +1,8 @@
 package kernels
 
 import (
+	"context"
+
 	"repro/internal/formats"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
@@ -37,6 +39,45 @@ func CSRParallel[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], k, th
 		csrRows(a, b, c, k, lo, hi)
 	})
 	return nil
+}
+
+// CSRSerialCtx is CSRSerial with cooperative cancellation: the row loop
+// checks ctx every cancelStride rows and returns ctx.Err() early, leaving C
+// partially written. A nil ctx behaves exactly like CSRSerial.
+func CSRSerialCtx[T matrix.Float](ctx context.Context, a *formats.CSR[T], b, c *matrix.Dense[T], k int) error {
+	if ctx == nil {
+		return CSRSerial(a, b, c, k)
+	}
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	for lo := 0; lo < a.Rows; lo += cancelStride {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		csrRows(a, b, c, k, lo, min(lo+cancelStride, a.Rows))
+	}
+	return ctx.Err()
+}
+
+// CSRParallelCtx is CSRParallel with cooperative cancellation. It keeps
+// CSRParallel's static row partition (so timings are comparable) and adds a
+// ctx check every cancelStride rows inside each worker's chunk.
+func CSRParallelCtx[T matrix.Float](ctx context.Context, a *formats.CSR[T], b, c *matrix.Dense[T], k, threads int) error {
+	if ctx == nil {
+		return CSRParallel(a, b, c, k, threads)
+	}
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	return parallel.ForCtx(ctx, a.Rows, threads, func(lo, hi, _ int) {
+		for l := lo; l < hi; l += cancelStride {
+			if ctx.Err() != nil {
+				return
+			}
+			csrRows(a, b, c, k, l, min(l+cancelStride, hi))
+		}
+	})
 }
 
 // CSRParallelDynamic is CSRParallel with dynamic self-scheduling, for

@@ -20,6 +20,12 @@ import (
 // ErrShape is returned when operand dimensions are inconsistent.
 var ErrShape = errors.New("kernels: operand shape mismatch")
 
+// cancelStride is how many rows (or triplets) a cancellation-aware kernel
+// processes between context checks: small enough to cancel within
+// microseconds of work, large enough that the atomic load disappears in
+// the row loop's cost.
+const cancelStride = 1024
+
 // ErrUnsupportedK is returned by fixed-k kernels when no specialisation
 // exists for the requested k.
 var ErrUnsupportedK = errors.New("kernels: no fixed-k specialisation for this k")

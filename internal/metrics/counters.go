@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"sync"
+)
+
+// CounterSet is a small set of named monotonic counters with a stable
+// rendering order. The campaign harness uses one to tally run outcomes
+// (ok / retried / degraded / skipped / failed); any other subsystem that
+// needs cheap concurrent counters can reuse it. The zero value is not
+// usable — construct with NewCounterSet.
+type CounterSet struct {
+	mu    sync.Mutex
+	names []string
+	vals  map[string]int64
+}
+
+// NewCounterSet creates a counter set whose Table renders the given names
+// in order. Counters not listed here are appended in first-Add order.
+func NewCounterSet(names ...string) *CounterSet {
+	s := &CounterSet{names: append([]string(nil), names...), vals: make(map[string]int64)}
+	for _, n := range names {
+		s.vals[n] = 0
+	}
+	return s
+}
+
+// Add increments the named counter by delta, registering the name if new.
+func (s *CounterSet) Add(name string, delta int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.vals[name]; !ok {
+		s.names = append(s.names, name)
+	}
+	s.vals[name] += delta
+}
+
+// Get returns the named counter's value (zero for unknown names).
+func (s *CounterSet) Get(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (s *CounterSet) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.vals))
+	for k, v := range s.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// Table renders the counters as a two-column table in registration order.
+func (s *CounterSet) Table() *Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := NewTable("counter", "count")
+	for _, n := range s.names {
+		t.AddRow(n, s.vals[n])
+	}
+	return t
+}

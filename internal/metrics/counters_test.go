@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterSetBasics(t *testing.T) {
+	s := NewCounterSet("ok", "failed")
+	s.Add("ok", 2)
+	s.Add("failed", 1)
+	s.Add("extra", 5) // unregistered names append on first Add
+	if s.Get("ok") != 2 || s.Get("failed") != 1 || s.Get("extra") != 5 {
+		t.Fatalf("snapshot %v", s.Snapshot())
+	}
+	if s.Get("unknown") != 0 {
+		t.Fatal("unknown counter not zero")
+	}
+	var b strings.Builder
+	if err := s.Table().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	okPos, extraPos := strings.Index(out, "ok"), strings.Index(out, "extra")
+	if okPos < 0 || extraPos < 0 || okPos > extraPos {
+		t.Fatalf("registration order lost:\n%s", out)
+	}
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	s := NewCounterSet("n")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get("n"); got != 8000 {
+		t.Fatalf("n = %d, want 8000", got)
+	}
+}

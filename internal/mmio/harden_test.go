@@ -1,0 +1,84 @@
+package mmio
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRejectTrailingData: the declared entry count and the data lines must
+// agree exactly — extra lines mean the size line under-counted, and
+// silently dropping them would hand the kernels a different matrix than
+// the file holds.
+func TestRejectTrailingData(t *testing.T) {
+	cases := map[string]string{
+		"coordinate": "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 5.0\n",
+		"array":      "%%MatrixMarket matrix array real general\n2 1\n1.0\n2.0\n3.0\n",
+	}
+	for name, in := range cases {
+		_, err := ReadCOO[float64](strings.NewReader(in))
+		if !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: trailing data accepted (err %v)", name, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), "more data follows") {
+			t.Errorf("%s: error %q does not name the trailing data", name, err)
+		}
+	}
+}
+
+// TestRejectNonPositiveIndices: MatrixMarket is 1-based; zero or negative
+// indices indicate a 0-based or corrupt file, and the error must point at
+// the offending line.
+func TestRejectNonPositiveIndices(t *testing.T) {
+	cases := []struct {
+		name, in, wantLine string
+	}{
+		{"zero row", "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n", "line 3"},
+		{"zero col", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 0 1.0\n", "line 3"},
+		{"negative row", "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n-1 2 1.0\n", "line 4"},
+		{"pattern zero", "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 2\n", "line 3"},
+	}
+	for _, c := range cases {
+		_, err := ReadCOO[float64](strings.NewReader(c.in))
+		if !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: accepted (err %v)", c.name, err)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "must be >= 1") {
+			t.Errorf("%s: error %q does not explain the 1-based convention", c.name, msg)
+		}
+		if !strings.Contains(msg, c.wantLine) {
+			t.Errorf("%s: error %q does not point at %s", c.name, msg, c.wantLine)
+		}
+	}
+}
+
+// TestRejectOversizedDimensions: dimensions beyond the int32 index range
+// would overflow the COO indices and produce a matrix that fails Validate.
+func TestRejectOversizedDimensions(t *testing.T) {
+	cases := map[string]string{
+		"coordinate": "%%MatrixMarket matrix coordinate real general\n3000000000 1 0\n",
+		"array":      "%%MatrixMarket matrix array real general\n1 3000000000\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCOO[float64](strings.NewReader(in)); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: 3e9 dimension accepted (err %v)", name, err)
+		}
+	}
+}
+
+// TestHostileSizeLineDoesNotPreallocate: a bogus entry count far beyond the
+// actual data must fail cleanly (truncated-data error) instead of
+// committing gigabytes of triplet storage up front.
+func TestHostileSizeLineDoesNotPreallocate(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n1000000 1000000 2000000000\n1 1 1.0\n"
+	_, err := ReadCOO[float64](strings.NewReader(in))
+	if !errors.Is(err, ErrFormat) {
+		t.Fatalf("hostile size line: %v", err)
+	}
+	if !strings.Contains(err.Error(), "expected 2000000000 entries") {
+		t.Fatalf("error %q does not report the truncation", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -26,6 +27,11 @@ import (
 
 // ErrFormat is returned for malformed Matrix Market input.
 var ErrFormat = errors.New("mmio: malformed MatrixMarket input")
+
+// maxCapHint bounds how many triplets the readers preallocate on the word
+// of the (untrusted) size line; storage grows past it only as real data
+// lines arrive.
+const maxCapHint = 1 << 20
 
 // Header describes the banner line of a Matrix Market file.
 type Header struct {
@@ -138,13 +144,20 @@ func readCoordinate[T matrix.Float](sc *scanner, hdr Header, sizeLine string) (*
 	if err1 != nil || err2 != nil || err3 != nil || rows < 0 || cols < 0 || nnz < 0 {
 		return nil, fmt.Errorf("%w: line %d: bad size line %q", ErrFormat, sc.line, sizeLine)
 	}
+	if rows > math.MaxInt32 || cols > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: line %d: dimensions %dx%d exceed 32-bit index range",
+			ErrFormat, sc.line, rows, cols)
+	}
 
 	symmetric := hdr.Symmetry != "general"
 	capHint := nnz
 	if symmetric {
 		capHint = 2 * nnz
 	}
-	m := matrix.NewCOO[T](rows, cols, capHint)
+	// The size line is untrusted input: cap the preallocation so a bogus
+	// (or hostile) entry count cannot commit gigabytes before a single
+	// data line is read. Append grows past the hint as needed.
+	m := matrix.NewCOO[T](rows, cols, min(capHint, maxCapHint))
 
 	for i := 0; i < nnz; i++ {
 		line, err := sc.next()
@@ -168,10 +181,16 @@ func readCoordinate[T matrix.Float](sc *scanner, hdr Header, sizeLine string) (*
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("%w: line %d: bad indices in %q", ErrFormat, sc.line, line)
 		}
-		// MatrixMarket is 1-based.
+		// MatrixMarket is 1-based, so zero or negative indices are not
+		// merely out of range — they indicate a 0-based or corrupt file,
+		// worth a distinct message.
+		if r < 1 || c < 1 {
+			return nil, fmt.Errorf("%w: line %d: coordinate index (%d,%d) must be >= 1 (MatrixMarket is 1-based)",
+				ErrFormat, sc.line, r, c)
+		}
 		r--
 		c--
-		if r < 0 || r >= rows || c < 0 || c >= cols {
+		if r >= rows || c >= cols {
 			return nil, fmt.Errorf("%w: line %d: entry (%d,%d) outside %dx%d",
 				ErrFormat, sc.line, r+1, c+1, rows, cols)
 		}
@@ -191,6 +210,16 @@ func readCoordinate[T matrix.Float](sc *scanner, hdr Header, sizeLine string) (*
 			m.Append(int32(c), int32(r), T(off))
 		}
 	}
+	// The declared entry count and the data must agree exactly: trailing
+	// data lines mean the size line under-counted, and silently dropping
+	// them would hand the kernels a different matrix than the file holds.
+	if extra, err := sc.next(); err != io.EOF {
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: line %d: %d entries declared but more data follows (%q)",
+			ErrFormat, sc.line, nnz, extra)
+	}
 	m.SortRowMajor()
 	return m, nil
 }
@@ -206,7 +235,17 @@ func readArray[T matrix.Float](sc *scanner, sizeLine string) (*matrix.COO[T], er
 	if err1 != nil || err2 != nil || rows < 0 || cols < 0 {
 		return nil, fmt.Errorf("%w: line %d: bad size line %q", ErrFormat, sc.line, sizeLine)
 	}
-	m := matrix.NewCOO[T](rows, cols, rows*cols)
+	if rows > math.MaxInt32 || cols > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: line %d: dimensions %dx%d exceed 32-bit index range",
+			ErrFormat, sc.line, rows, cols)
+	}
+	// Cap the preallocation: rows*cols comes from an untrusted size line
+	// and may overflow or demand gigabytes up front (see readCoordinate).
+	capHint := rows * cols
+	if cols != 0 && capHint/cols != rows {
+		capHint = maxCapHint // multiplication overflowed
+	}
+	m := matrix.NewCOO[T](rows, cols, min(capHint, maxCapHint))
 	// Array layout is column-major, all entries present.
 	for c := 0; c < cols; c++ {
 		for r := 0; r < rows; r++ {
@@ -225,6 +264,13 @@ func readArray[T matrix.Float](sc *scanner, sizeLine string) (*matrix.COO[T], er
 				m.Append(int32(r), int32(c), T(v))
 			}
 		}
+	}
+	if extra, err := sc.next(); err != io.EOF {
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: line %d: %dx%d array complete but more data follows (%q)",
+			ErrFormat, sc.line, rows, cols, extra)
 	}
 	m.SortRowMajor()
 	return m, nil

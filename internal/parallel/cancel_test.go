@@ -1,0 +1,156 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForCtxCancelledBeforeStart: an already-cancelled context executes no
+// chunks and reports the cancellation.
+func TestForCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForCtx(ctx, 10_000, 8, func(lo, hi, worker int) {
+		ran.Add(int64(hi - lo))
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d iterations ran under a cancelled context", ran.Load())
+	}
+}
+
+// TestForCtxNilBehavesLikeFor: nil context covers the full range and
+// returns nil.
+func TestForCtxNilBehavesLikeFor(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForCtx(nil, 1000, 4, func(lo, hi, worker int) {
+		ran.Add(int64(hi - lo))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 1000 {
+		t.Fatalf("covered %d of 1000", ran.Load())
+	}
+}
+
+// TestForCtxCompletesUncancelled: a live context behaves like For and
+// covers every index exactly once.
+func TestForCtxCompletesUncancelled(t *testing.T) {
+	seen := make([]atomic.Int32, 997)
+	if err := ForCtx(context.Background(), len(seen), 7, func(lo, hi, worker int) {
+		for i := lo; i < hi; i++ {
+			seen[i].Add(1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, seen[i].Load())
+		}
+	}
+}
+
+// TestForDynamicCtxCancelledBeforeStart: no chunk is claimed under an
+// already-cancelled context, on both the serial and parallel paths.
+func TestForDynamicCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, threads := range []int{1, 8} {
+		var ran atomic.Int64
+		err := ForDynamicCtx(ctx, 10_000, threads, 16, func(lo, hi, worker int) {
+			ran.Add(int64(hi - lo))
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("threads=%d: err = %v", threads, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("threads=%d: %d iterations ran", threads, ran.Load())
+		}
+	}
+}
+
+// TestForDynamicCtxStopsMidLoop: cancelling from inside the body stops the
+// workers within one chunk each — the remaining chunks are never executed.
+func TestForDynamicCtxStopsMidLoop(t *testing.T) {
+	const n, chunk, threads = 100_000, 1, 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	err := ForDynamicCtx(ctx, n, threads, chunk, func(lo, hi, worker int) {
+		if ran.Add(int64(hi-lo)) >= 10 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Each worker may finish the chunk it already claimed, nothing more.
+	if got := ran.Load(); got > 10+threads*chunk {
+		t.Fatalf("ran %d iterations after cancellation (bound %d)", got, 10+threads*chunk)
+	}
+}
+
+// TestPoolRunCtxCancelledBeforeStart: the pool path of satellite (d) — a
+// worker-pool run with an already-cancelled context returns promptly
+// without executing any of the remaining chunks.
+func TestPoolRunCtxCancelledBeforeStart(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	start := time.Now()
+	err := p.RunCtx(ctx, 1_000_000, 8, func(lo, hi, worker int) {
+		ran.Add(int64(hi - lo))
+		time.Sleep(10 * time.Millisecond) // would make a full run take ~20ms+
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d iterations ran under a cancelled context", ran.Load())
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("RunCtx took %v on a cancelled context", d)
+	}
+}
+
+// TestPoolRunCtxDropsQueuedChunks: chunks still queued when the context is
+// cancelled are dropped; the pool stays usable afterwards.
+func TestPoolRunCtxDropsQueuedChunks(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	// 16 chunks on 2 workers: the first bodies cancel the context, so the
+	// chunks queued behind them must be dropped by their ctx re-check.
+	err := p.RunCtx(ctx, 1600, 16, func(lo, hi, worker int) {
+		ran.Add(1)
+		cancel()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got > 4 {
+		t.Fatalf("%d chunks ran after cancellation", got)
+	}
+	// The same pool still completes a fresh, uncancelled run.
+	var after atomic.Int64
+	if err := p.RunCtx(context.Background(), 100, 4, func(lo, hi, worker int) {
+		after.Add(int64(hi - lo))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if after.Load() != 100 {
+		t.Fatalf("pool covered %d of 100 after a cancelled run", after.Load())
+	}
+}

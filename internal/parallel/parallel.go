@@ -7,6 +7,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -61,6 +62,47 @@ func For(n, threads int, body func(lo, hi, worker int)) {
 	wg.Wait()
 }
 
+// ForCtx is For with cooperative cancellation: each worker checks ctx once
+// before running its chunk, and the call returns ctx.Err() if the context
+// was cancelled at any point. A chunk that has already started runs to
+// completion (long-running bodies should check ctx themselves for finer
+// granularity). A nil ctx behaves exactly like For.
+func ForCtx(ctx context.Context, n, threads int, body func(lo, hi, worker int)) error {
+	if ctx == nil {
+		For(n, threads, body)
+		return nil
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > n {
+		threads = max(n, 1)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if threads == 1 {
+		body(0, n, 0)
+		return ctx.Err()
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		go func(w int) {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			lo, hi := ChunkBounds(n, threads, w)
+			if lo < hi {
+				body(lo, hi, w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
 // ForDynamic executes body over [0, n) using self-scheduled chunks of the
 // given size (OpenMP "schedule(dynamic, chunk)"). It balances irregular row
 // costs better than For at the price of an atomic fetch per chunk.
@@ -92,6 +134,55 @@ func ForDynamic(n, threads, chunk int, body func(lo, hi, worker int)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// ForDynamicCtx is ForDynamic with cooperative cancellation: every worker
+// checks ctx before claiming each chunk, so a cancelled context stops the
+// loop within one chunk's worth of work per worker. Remaining chunks are
+// never executed. A nil ctx behaves exactly like ForDynamic.
+func ForDynamicCtx(ctx context.Context, n, threads, chunk int, body func(lo, hi, worker int)) error {
+	if ctx == nil {
+		ForDynamic(n, threads, chunk, body)
+		return nil
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if threads == 1 {
+		for lo := 0; lo < n; lo += chunk {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			body(lo, min(lo+chunk, n), 0)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				body(lo, min(lo+chunk, n), w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
 }
 
 // Pool is a persistent worker pool. The benchmark runner keeps one pool per
@@ -157,6 +248,50 @@ func (p *Pool) Run(n, threads int, body func(lo, hi, worker int)) {
 		}
 	}
 	wg.Wait()
+}
+
+// RunCtx is Run with cooperative cancellation. An already-cancelled context
+// returns immediately without enqueueing any chunk; otherwise each queued
+// chunk re-checks ctx before executing, so remaining chunks are dropped as
+// soon as the context is cancelled. A nil ctx behaves exactly like Run.
+func (p *Pool) RunCtx(ctx context.Context, n, threads int, body func(lo, hi, worker int)) error {
+	if ctx == nil {
+		p.Run(n, threads, body)
+		return nil
+	}
+	if p.closed.Load() {
+		panic("parallel: RunCtx on closed Pool")
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > n {
+		threads = max(n, 1)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if threads == 1 {
+		body(0, n, 0)
+		return ctx.Err()
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		w := w
+		p.tasks <- func() {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			lo, hi := ChunkBounds(n, threads, w)
+			if lo < hi {
+				body(lo, hi, w)
+			}
+		}
+	}
+	wg.Wait()
+	return ctx.Err()
 }
 
 // Close shuts the pool down. Run must not be called after Close.

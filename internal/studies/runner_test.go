@@ -1,0 +1,38 @@
+package studies
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// TestConfigRunnerRoutesEveryBenchmark: every benchmark a study executes
+// must flow through the installed Runner — that is the contract the
+// spmmstudy CLI relies on to add harness resilience without the studies
+// knowing.
+func TestConfigRunnerRoutesEveryBenchmark(t *testing.T) {
+	var calls atomic.Int64
+	cfg := tinyConfig()
+	cfg.Matrices = cfg.Matrices[:1]
+	cfg.Runner = func(kernelName string, opts core.Options, a *matrix.COO[float64],
+		matrixName string, p core.Params) (core.Result, error) {
+		calls.Add(1)
+		k, err := core.New(kernelName, opts)
+		if err != nil {
+			return core.Result{}, err
+		}
+		return core.Run(k, a, matrixName, p)
+	}
+	sections, err := Run("1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sections) == 0 {
+		t.Fatal("no sections")
+	}
+	if calls.Load() == 0 {
+		t.Fatal("installed Runner was never invoked")
+	}
+}

@@ -27,6 +27,13 @@ import (
 	"repro/internal/metrics"
 )
 
+// RunnerFunc executes one benchmark run. The spmmstudy CLI installs the
+// resilient harness runner here so studies gain panic containment,
+// per-run timeouts, transient-failure retries and journal-based resume
+// without the studies code knowing about any of it.
+type RunnerFunc func(kernelName string, opts core.Options, a *matrix.COO[float64],
+	matrixName string, p core.Params) (core.Result, error)
+
 // Config controls a study run.
 type Config struct {
 	// Scale shrinks the registry matrices for CPU studies (0 < Scale <= 1).
@@ -40,6 +47,9 @@ type Config struct {
 	Matrices []string
 	// Verify checks every kernel result against the COO reference.
 	Verify bool
+	// Runner, when non-nil, replaces the direct core.Run call for every
+	// benchmark the studies execute.
+	Runner RunnerFunc
 }
 
 // DefaultConfig returns a configuration that completes the full suite in
@@ -152,13 +162,17 @@ func (e *env) params() core.Params {
 	return p
 }
 
-// run benchmarks one registry kernel on one matrix.
+// run benchmarks one registry kernel on one matrix, through the configured
+// Runner when one is installed.
 func (e *env) run(kernelName, matrixName string, scale float64, p core.Params, opts core.Options) (core.Result, error) {
-	k, err := core.New(kernelName, opts)
+	m, err := e.matrix(matrixName, scale)
 	if err != nil {
 		return core.Result{}, err
 	}
-	m, err := e.matrix(matrixName, scale)
+	if e.cfg.Runner != nil {
+		return e.cfg.Runner(kernelName, opts, m, matrixName, p)
+	}
+	k, err := core.New(kernelName, opts)
 	if err != nil {
 		return core.Result{}, err
 	}

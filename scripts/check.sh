@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# check.sh — the pre-commit gate for the suite: static checks plus the
+# race-sensitive packages (the threading substrate and the campaign
+# harness) under the race detector.
+#
+#   ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go test -race (parallel, harness) =="
+go test -race ./internal/parallel/... ./internal/harness/...
+
+echo "check.sh: all checks passed"
