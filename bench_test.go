@@ -8,6 +8,7 @@ package spmmbench
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/formats"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/vendorlib"
 )
 
@@ -552,6 +554,136 @@ func BenchmarkAblationBlockedGPU(b *testing.B) {
 			modelled = res.Seconds
 		}
 		b.ReportMetric(metrics.MFLOPS(kernels.SpMMFlops(m.NNZ(), k), modelled), "model-MFLOPS")
+	})
+}
+
+// ---- Perf-baseline benches (scripts/bench.sh) ----
+//
+// These three are the regression gate's subjects: scripts/bench.sh runs
+// them with -benchmem, snapshots ns/op, B/op and allocs/op into
+// results/bench/BENCH_<date>.json, and fails when a number regresses past
+// the tolerance against the previous baseline.
+
+// powerLawBench builds the hub-heavy matrix the scheduling benches use: a
+// few rows own most nonzeros, so row-static chunking leaves threads idle.
+func powerLawBench(b *testing.B) (*formats.CSR[float64], int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(5))
+	m := matrix.NewCOO[float64](4000, 600, 0)
+	for i := 0; i < 4000; i++ {
+		u := rng.Float64()
+		deg := int(u * u * u * 600)
+		if i%17 == 0 {
+			deg = 0
+		}
+		if i == 4000/3 {
+			deg = 600
+		}
+		for d := 0; d < deg; d++ {
+			m.Append(int32(i), int32(rng.Intn(600)), rng.NormFloat64())
+		}
+	}
+	m.Dedup()
+	return formats.CSRFromCOO(m), m.NNZ()
+}
+
+// BenchmarkCalculate is the steady-state Calculate cost per format and
+// mode. The serial rows double as the zero-allocation audit's perf face:
+// their allocs/op column in the committed baseline must read 0.
+func BenchmarkCalculate(b *testing.B) {
+	m := benchMatrix(b)
+	const k = 128
+	bb := matrix.NewDenseRand[float64](m.Cols, k, 1)
+	c := matrix.NewDense[float64](m.Rows, k)
+	csr := formats.CSRFromCOO(m)
+	ell := formats.ELLFromCOO(m, formats.RowMajor)
+	bcsr, err := formats.BCSRFromCOO(m, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runs := []struct {
+		name string
+		fn   func() error
+	}{
+		{"csr-serial", func() error { return kernels.CSRSerial(csr, bb, c, k) }},
+		{"ell-serial", func() error { return kernels.ELLSerial(ell, bb, c, k) }},
+		{"bcsr-serial", func() error { return kernels.BCSRSerial(bcsr, bb, c, k) }},
+		{"csr-omp", func() error { return kernels.CSRParallel(csr, bb, c, k, 4) }},
+		{"ell-omp", func() error { return kernels.ELLParallel(ell, bb, c, k, 4) }},
+		{"bcsr-omp", func() error { return kernels.BCSRParallel(bcsr, bb, c, k, 4) }},
+	}
+	for _, r := range runs {
+		b.Run(r.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := r.fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportMFLOPS(b, m.NNZ(), k)
+		})
+	}
+}
+
+// BenchmarkSchedule races row-static against nonzero-balanced chunking on
+// the power-law matrix at 4+ threads — the wall-clock face of the sched
+// study. On a multi-core host balanced wins; on a single core the two
+// coincide (the partition is precomputed either way).
+func BenchmarkSchedule(b *testing.B) {
+	csr, nnz := powerLawBench(b)
+	const k, threads = 128, 4
+	bb := matrix.NewDenseRand[float64](csr.Cols, k, 1)
+	c := matrix.NewDense[float64](csr.Rows, k)
+	csr.BalancedBounds(threads) // warm the partition cache, as Prepare does
+	b.Run("static", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := kernels.CSRParallel(csr, bb, c, k, threads); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportMFLOPS(b, nnz, k)
+	})
+	b.Run("balanced", func(b *testing.B) {
+		b.ReportAllocs()
+		o := kernels.Opts{Schedule: kernels.ScheduleBalanced}
+		for i := 0; i < b.N; i++ {
+			if err := kernels.CSRParallelOpts(csr, bb, c, k, threads, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportMFLOPS(b, nnz, k)
+	})
+}
+
+// BenchmarkPool races per-call goroutine spawning against the persistent
+// worker pool — the dispatch overhead a long campaign amortises away.
+func BenchmarkPool(b *testing.B) {
+	csr, nnz := powerLawBench(b)
+	const k, threads = 128, 4
+	bb := matrix.NewDenseRand[float64](csr.Cols, k, 1)
+	c := matrix.NewDense[float64](csr.Rows, k)
+	b.Run("spawn", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := kernels.CSRParallel(csr, bb, c, k, threads); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportMFLOPS(b, nnz, k)
+	})
+	b.Run("pooled", func(b *testing.B) {
+		pool := parallel.NewPool(threads)
+		defer pool.Close()
+		o := kernels.Opts{Pool: pool}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := kernels.CSRParallelOpts(csr, bb, c, k, threads, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportMFLOPS(b, nnz, k)
 	})
 }
 

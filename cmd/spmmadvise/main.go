@@ -46,8 +46,12 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("matrix %s: %dx%d, %d nonzeros\n", *name, f.Rows, f.Cols, f.NNZ)
-	fmt.Printf("features: ratio %.1f, ell-overhead %.1fx, 4x4-block fill %.2f, density %.2g\n\n",
+	fmt.Printf("features: ratio %.1f, ell-overhead %.1fx, 4x4-block fill %.2f, density %.2g\n",
 		f.Ratio, f.ELLOverhead, f.BCSRFill4, f.Density)
+	fmt.Printf("row balance: max %d / avg %.1f nonzeros per row (ratio %.1f), gini %.2f\n",
+		f.MaxRow, f.AvgRow, f.Ratio, f.Gini)
+	sched := advisor.RecommendSchedule(f)
+	fmt.Printf("schedule: %s — %s\n\n", sched.Format, sched.Reason)
 	if *spy {
 		if err := metrics.SpyPlot(os.Stdout, m, 72, 24); err != nil {
 			fatal(err)

@@ -24,12 +24,27 @@
 //
 //	spmmbench -kernel csr-omp,ell-omp -matrix cant,torso1 \
 //	    -timeout 60s -retries 2 -mem-budget 1GiB -journal camp.jsonl -resume
+//
+// Scheduling: -schedule balanced switches the CPU-parallel kernels from
+// row-static chunks (the thesis' OpenMP baseline) to nonzero-balanced
+// chunks, and -pool runs them on one persistent worker pool — in campaign
+// mode the whole sweep reuses the same warmed workers:
+//
+//	spmmbench -kernel csr-omp -matrix torso1 -t 8 -schedule balanced -pool
+//
+// Perf gate: -perf-baseline parses `go test -bench` output, snapshots it
+// as <dir>/BENCH_<date>.json and fails against the previous baseline when
+// ns/op grows past -perf-tolerance or allocs/op grows at all
+// (scripts/bench.sh is the normal driver):
+//
+//	go test -run '^$' -bench . -benchmem . | spmmbench -perf-baseline results/bench
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -39,9 +54,12 @@ import (
 	"repro/internal/gen"
 	"repro/internal/gpusim"
 	"repro/internal/harness"
+	"repro/internal/kernels"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
 	"repro/internal/mmio"
+	"repro/internal/parallel"
+	"repro/internal/perf"
 )
 
 func main() {
@@ -60,13 +78,41 @@ func main() {
 		debug       = flag.Bool("debug", false, "verbose output")
 		list        = flag.Bool("list", false, "list available kernels and matrices, then exit")
 
+		schedule = flag.String("schedule", "static", "parallel work partition: static (equal rows, the thesis' OpenMP baseline) or balanced (equal nonzeros, for skewed matrices)")
+		usePool  = flag.Bool("pool", false, "run parallel kernels on one persistent worker pool instead of spawning goroutines per call")
+
 		timeout   = flag.Duration("timeout", 0, "campaign: per-run timeout (0 disables)")
 		retries   = flag.Int("retries", 0, "campaign: extra attempts for transient failures")
 		memBudget = flag.String("mem-budget", "", "campaign: per-run format footprint budget, e.g. 512MiB")
 		journal   = flag.String("journal", "", "campaign: JSONL checkpoint journal path")
 		resume    = flag.Bool("resume", false, "campaign: skip runs already recorded in -journal")
+
+		perfBaseline = flag.String("perf-baseline", "", "perf gate: parse `go test -bench` output (stdin or -perf-input), snapshot a dated baseline into this directory and compare against the previous one")
+		perfInput    = flag.String("perf-input", "", "perf gate: bench output file (default: stdin)")
+		perfTol      = flag.Float64("perf-tolerance", 0.25, "perf gate: allowed fractional ns/op growth before failing (allocs/op growth always fails)")
+		perfLabel    = flag.String("perf-label", "", "perf gate: provenance note stored in the baseline")
 	)
 	flag.Parse()
+
+	if *perfBaseline != "" {
+		runPerfGate(*perfBaseline, *perfInput, *perfTol, *perfLabel)
+		return
+	}
+
+	var sched kernels.Schedule
+	switch *schedule {
+	case "static":
+		sched = kernels.ScheduleStatic
+	case "balanced":
+		sched = kernels.ScheduleBalanced
+	default:
+		fatal(fmt.Errorf("unknown -schedule %q (static or balanced)", *schedule))
+	}
+	var pool *parallel.Pool
+	if *usePool {
+		pool = parallel.NewPool(*threads)
+		defer pool.Close()
+	}
 
 	if *list {
 		fmt.Println("spmm kernels:")
@@ -102,7 +148,7 @@ func main() {
 			}
 		}
 		p := core.Params{Reps: *reps, Threads: *threads, BlockSize: *block, K: *kArg,
-			Verify: *verify, Debug: *debug, Seed: 1}
+			Verify: *verify, Debug: *debug, Seed: 1, Schedule: sched, Pool: pool}
 		cfg := harness.Config{
 			Timeout: *timeout, Retries: *retries, MemBudget: budget,
 			Journal: *journal, Resume: *resume, Seed: 1, Log: os.Stderr,
@@ -158,6 +204,8 @@ func main() {
 		Verify:    *verify,
 		Debug:     *debug,
 		Seed:      1,
+		Schedule:  sched,
+		Pool:      pool,
 	}
 
 	props := metrics.Compute(a)
@@ -196,6 +244,63 @@ func main() {
 		fatal(err)
 	}
 	report(r, *debug)
+}
+
+// runPerfGate is the benchmark-regression harness's CLI face: it parses
+// `go test -bench` output, writes today's BENCH_<date>.json into dir, and
+// fails (exit 2) when a benchmark regresses past the tolerance against the
+// most recent previous baseline. scripts/bench.sh is the normal driver.
+func runPerfGate(dir, input string, tol float64, label string) {
+	var r io.Reader = os.Stdin
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	entries, err := perf.Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	date := time.Now().Format("2006-01-02")
+	prev, prevPath, havePrev, err := perf.Latest(dir, date)
+	if err != nil {
+		fatal(err)
+	}
+	path, err := perf.Write(dir, perf.Baseline{Date: date, Label: label, Benchmarks: entries})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("perf baseline: %s (%d benchmarks)\n", path, len(entries))
+	if !havePrev {
+		fmt.Println("perf gate: no previous baseline — nothing to compare against")
+		return
+	}
+	deltas := perf.Compare(prev.Benchmarks, entries, tol)
+	t := metrics.NewTable("benchmark", "old ns/op", "new ns/op", "ratio", "allocs", "verdict")
+	for _, d := range deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED: " + d.Reason
+		}
+		allocs := "-"
+		if d.NewAllocs >= 0 {
+			allocs = fmt.Sprintf("%.0f", d.NewAllocs)
+		}
+		t.AddRow(d.Name, fmt.Sprintf("%.0f", d.OldNs), fmt.Sprintf("%.0f", d.NewNs),
+			fmt.Sprintf("%.2f", d.Ratio), allocs, verdict)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if reg := perf.Regressions(deltas); len(reg) > 0 {
+		fmt.Fprintf(os.Stderr, "spmmbench: perf gate FAILED vs %s: %d regression(s)\n", prevPath, len(reg))
+		os.Exit(2)
+	}
+	fmt.Printf("perf gate: ok vs %s (%d benchmarks compared, tolerance %.0f%%)\n",
+		prevPath, len(deltas), tol*100)
 }
 
 func splitList(s string) []string {

@@ -54,7 +54,7 @@ func writeCSVs(dir, id string, sections []studies.Section) error {
 
 func main() {
 	var (
-		study    = flag.String("study", "all", "study id: props, 1, 2, 3, 3.1, 4, 5, 6, 7, 8, 9, mem, or a comma list, or 'all'")
+		study    = flag.String("study", "all", "study id: props, 1, 2, 3, 3.1, 4, 5, 6, 7, 8, 9, mem, sched, or a comma list, or 'all'")
 		scale    = flag.Float64("scale", 0.05, "matrix scale factor for CPU studies (0 < s <= 1)")
 		gpuScale = flag.Float64("gpuscale", 0.02, "matrix scale factor for simulated-GPU studies")
 		reps     = flag.Int("reps", 3, "timed repetitions per kernel")

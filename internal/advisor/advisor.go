@@ -169,6 +169,36 @@ func scoreBCSR(f Features, env Environment) Advice {
 	return Advice{Format: "bcsr", Score: s, Reason: reason}
 }
 
+// RecommendSchedule advises between the parallel CPU kernels' two work
+// partitions (the spmmbench -schedule flag): row-static chunking — the
+// thesis' OpenMP-static baseline — or nonzero-balanced chunking. The signal
+// is row-nonzero imbalance: under static chunking the wall clock is set by
+// the worker that drew the heaviest rows, so a high Gini coefficient or
+// column ratio means balanced scheduling recovers the idle time. On uniform
+// matrices the two partitions coincide and static's zero setup cost wins.
+func RecommendSchedule(f Features) Advice {
+	switch {
+	case f.Gini >= 0.5 || f.Ratio >= 16:
+		return Advice{
+			Format: "balanced",
+			Score:  1.5,
+			Reason: fmt.Sprintf("skewed rows (gini %.2f, max/avg %.1f): static chunking leaves workers idle behind the hub rows — run with -schedule=balanced", f.Gini, f.Ratio),
+		}
+	case f.Gini >= 0.3 || f.Ratio >= 8:
+		return Advice{
+			Format: "balanced",
+			Score:  1.1,
+			Reason: fmt.Sprintf("moderate row imbalance (gini %.2f, max/avg %.1f): -schedule=balanced likely helps at high thread counts", f.Gini, f.Ratio),
+		}
+	default:
+		return Advice{
+			Format: "static",
+			Score:  1.0,
+			Reason: fmt.Sprintf("near-uniform rows (gini %.2f): static chunking is already balanced and costs nothing", f.Gini),
+		}
+	}
+}
+
 // Measure benchmarks the four formats' kernels in the environment through
 // the suite and returns the empirically best format with all results.
 // For GPUEnv an Options.Device must be supplied.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/matrix"
+	"repro/internal/metrics"
 )
 
 func features(t *testing.T, name string, scale float64) Features {
@@ -132,5 +133,24 @@ func TestMeasureGPURequiresDevice(t *testing.T) {
 func TestEnvironmentStrings(t *testing.T) {
 	if SerialCPU.String() != "serial-cpu" || ParallelCPU.String() != "parallel-cpu" || GPUEnv.String() != "gpu" {
 		t.Fatal("environment strings")
+	}
+}
+
+func TestRecommendSchedule(t *testing.T) {
+	balanced := RecommendSchedule(Features{Properties: metrics.Properties{Gini: 0.62, Ratio: 30}})
+	if balanced.Format != "balanced" || balanced.Reason == "" {
+		t.Fatalf("skewed matrix: %+v, want balanced", balanced)
+	}
+	static := RecommendSchedule(Features{Properties: metrics.Properties{Gini: 0.08, Ratio: 1.3}})
+	if static.Format != "static" {
+		t.Fatalf("uniform matrix: %+v, want static", static)
+	}
+	if balanced.Score <= static.Score {
+		t.Fatal("skew recommendation should score above the uniform default")
+	}
+	// The ratio alone (one hub row in an otherwise uniform matrix) triggers it.
+	hub := RecommendSchedule(Features{Properties: metrics.Properties{Gini: 0.1, Ratio: 20}})
+	if hub.Format != "balanced" {
+		t.Fatalf("hub-row matrix: %+v, want balanced", hub)
 	}
 }

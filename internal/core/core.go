@@ -11,7 +11,9 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/kernels"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
 
 // ErrUnknownKernel is returned when a kernel name is not registered.
@@ -65,6 +67,16 @@ type Params struct {
 	Debug bool
 	// Seed drives the deterministic generation of the dense B operand.
 	Seed int64
+	// Schedule selects the work partition of the CPU-parallel kernels:
+	// ScheduleStatic (equal rows per worker — OpenMP static, the thesis'
+	// baseline) or ScheduleBalanced (equal nonzeros per worker, for skewed
+	// matrices). Serial, GPU, fixed-k and transposed kernels ignore it.
+	Schedule kernels.Schedule
+	// Pool, when non-nil, is a persistent worker pool the CPU-parallel
+	// kernels run on instead of spawning goroutines per Calculate call. A
+	// campaign creates one pool up front and every run reuses its warmed
+	// workers; nil keeps the pool-free per-call path for one-off runs.
+	Pool *parallel.Pool
 	// Ctx, when non-nil, cancels a run cooperatively: the runner checks it
 	// between repetitions and around Prepare/verify, and
 	// cancellation-aware kernels (CSR, COO) check it inside their row
@@ -79,6 +91,19 @@ func (p Params) Context() context.Context {
 		return context.Background()
 	}
 	return p.Ctx
+}
+
+// kernelOpts packs the scheduling parameters for the kernels' Opts
+// variants.
+func (p Params) kernelOpts() kernels.Opts {
+	return kernels.Opts{Schedule: p.Schedule, Pool: p.Pool}
+}
+
+// scheduled reports whether the run asks for non-default parallel machinery
+// (a balanced schedule or a persistent pool), routing Calculate through the
+// kernels' Opts variants.
+func (p Params) scheduled() bool {
+	return p.Schedule != kernels.ScheduleStatic || p.Pool != nil
 }
 
 // DefaultParams returns the evaluation defaults of §5.1: k=128, 32 threads,

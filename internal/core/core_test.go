@@ -7,7 +7,9 @@ import (
 	"testing"
 
 	"repro/internal/gpusim"
+	"repro/internal/kernels"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
 
 func testCOO(seed int64, rows, cols, nnz int) *matrix.COO[float64] {
@@ -268,5 +270,38 @@ func TestGPUKernelUsesModelTime(t *testing.T) {
 func TestFormatsList(t *testing.T) {
 	if len(Formats()) != 6 {
 		t.Fatalf("formats: %v", Formats())
+	}
+}
+
+func TestRunScheduledPooledVerified(t *testing.T) {
+	// The scheduling layer must be invisible to correctness: every CPU-
+	// parallel kernel run with the balanced schedule on a persistent pool
+	// still verifies against the COO reference.
+	a := testCOO(3, 80, 60, 500)
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	for _, name := range []string{"coo-omp", "csr-omp", "ell-omp", "bcsr-omp", "bell-omp", "sellcs-omp"} {
+		for _, p := range []Params{
+			func() Params { p := smallParams(); p.Schedule = kernels.ScheduleBalanced; return p }(),
+			func() Params { p := smallParams(); p.Pool = pool; return p }(),
+			func() Params {
+				p := smallParams()
+				p.Schedule = kernels.ScheduleBalanced
+				p.Pool = pool
+				return p
+			}(),
+		} {
+			k, err := New(name, Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			r, err := Run(k, a, "test", p)
+			if err != nil {
+				t.Fatalf("%s (sched=%v pool=%v): %v", name, p.Schedule, p.Pool != nil, err)
+			}
+			if !r.Verified {
+				t.Fatalf("%s (sched=%v pool=%v): not verified", name, p.Schedule, p.Pool != nil)
+			}
+		}
 	}
 }

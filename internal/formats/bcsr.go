@@ -25,6 +25,8 @@ type BCSR[T matrix.Float] struct {
 	// Vals holds the dense blocks, each BR*BC values in row-major order,
 	// concatenated in block order.
 	Vals []T
+
+	balanced partitionCache // memoized block-balanced block-row splits
 }
 
 // BCSRFromCOO converts a COO matrix to BCSR with BR×BC blocks using a

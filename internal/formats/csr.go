@@ -13,6 +13,8 @@ type CSR[T matrix.Float] struct {
 	RowPtr []int32
 	ColIdx []int32
 	Vals   []T
+
+	balanced partitionCache // memoized nnz-balanced row splits
 }
 
 // CSRFromCOO converts a COO matrix to CSR. The input is sorted row-major

@@ -1,0 +1,60 @@
+package formats
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+func skewedCOO(rows, cols int) *matrix.COO[float64] {
+	m := matrix.NewCOO[float64](rows, cols, 0)
+	for i := 0; i < rows; i++ {
+		// Row 0 is a hub touching every column; the rest hold one entry.
+		if i == 0 {
+			for j := 0; j < cols; j++ {
+				m.Append(0, int32(j), 1)
+			}
+			continue
+		}
+		m.Append(int32(i), int32(i%cols), 1)
+	}
+	m.SortRowMajor()
+	return m
+}
+
+func TestCSRBalancedBoundsValidAndMemoized(t *testing.T) {
+	c := CSRFromCOO(skewedCOO(200, 100))
+	for _, chunks := range []int{1, 3, 8, 1000} {
+		b := c.BalancedBounds(chunks)
+		if err := parallel.ValidateBounds(b, c.Rows); err != nil {
+			t.Fatalf("chunks=%d: %v", chunks, err)
+		}
+		b2 := c.BalancedBounds(chunks)
+		if &b[0] != &b2[0] {
+			t.Fatalf("chunks=%d: bounds not memoized", chunks)
+		}
+	}
+}
+
+func TestBCSRBalancedBounds(t *testing.T) {
+	b, err := BCSRFromCOO(skewedCOO(64, 64), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := b.BalancedBounds(8)
+	if err := parallel.ValidateBounds(bounds, b.BlockRows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSELLCSBalancedBounds(t *testing.T) {
+	s, err := SELLCSFromCOO(skewedCOO(100, 50), 8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := s.BalancedBounds(4)
+	if err := parallel.ValidateBounds(bounds, s.NumSlices()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -34,6 +34,8 @@ type SELLCS[T matrix.Float] struct {
 	// last real column with value 0.
 	ColIdx []int32
 	Vals   []T
+
+	balanced partitionCache // memoized element-balanced slice splits
 }
 
 // SELLCSFromCOO converts a COO matrix to SELL-C-σ form. c must be >= 1 and

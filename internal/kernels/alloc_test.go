@@ -1,0 +1,83 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/formats"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// The zero-allocation audit: steady-state Calculate must not touch the
+// heap. Serial kernels (tiled and fixed-k, above and below the tile width)
+// must be exactly 0 allocs/op; the pooled parallel path is allowed only the
+// caller's body closure. testing.AllocsPerRun pins both so any slice-header
+// or closure escape that creeps into the hot loops fails the build.
+
+func allocFixtures(tb testing.TB, k int) (*matrix.COO[float64], *formats.CSR[float64], *formats.ELL[float64], *formats.BCSR[float64], *matrix.Dense[float64], *matrix.Dense[float64]) {
+	coo := powerLawCOO(300, 100, 9)
+	csr := formats.CSRFromCOO(coo)
+	ell := formats.ELLFromCOO(coo, formats.RowMajor)
+	bcsr, err := formats.BCSRFromCOO(coo, 4, 4)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b := matrix.NewDenseRand[float64](100, k, 5)
+	c := matrix.NewDense[float64](300, k)
+	return coo, csr, ell, bcsr, b, c
+}
+
+func TestSerialCalculateZeroAlloc(t *testing.T) {
+	for _, k := range []int{128, 336} { // single panel and tiled
+		_, csr, ell, bcsr, b, c := allocFixtures(t, k)
+		for name, run := range map[string]func(){
+			"csr":  func() { _ = CSRSerial(csr, b, c, k) },
+			"ell":  func() { _ = ELLSerial(ell, b, c, k) },
+			"bcsr": func() { _ = BCSRSerial(bcsr, b, c, k) },
+		} {
+			if n := testing.AllocsPerRun(10, run); n != 0 {
+				t.Errorf("%s serial k=%d: %.0f allocs/op, want 0", name, k, n)
+			}
+		}
+	}
+}
+
+func TestFixedKCalculateZeroAlloc(t *testing.T) {
+	for _, k := range []int{128, 256} { // unrolled and tiled composition
+		_, csr, ell, bcsr, b, c := allocFixtures(t, k)
+		for name, run := range map[string]func(){
+			"csr-fixed":  func() { _ = CSRSerialFixed(csr, b, c, k) },
+			"ell-fixed":  func() { _ = ELLSerialFixed(ell, b, c, k) },
+			"bcsr-fixed": func() { _ = BCSRSerialFixed(bcsr, b, c, k) },
+		} {
+			if n := testing.AllocsPerRun(10, run); n != 0 {
+				t.Errorf("%s k=%d: %.0f allocs/op, want 0", name, k, n)
+			}
+		}
+	}
+}
+
+func TestPooledBalancedCalculateAllocBound(t *testing.T) {
+	// The pooled balanced path may allocate only the kernel's own body
+	// closure (the partition is memoized, the pool dispatch is struct
+	// sends, the join WaitGroup lives in the pool). Two allocs of headroom
+	// keep the bound robust across compiler versions while still catching
+	// per-chunk or per-row escapes.
+	const k, threads = 128, 4
+	pool := parallel.NewPool(threads)
+	defer pool.Close()
+	coo, csr, ell, bcsr, b, c := allocFixtures(t, k)
+	o := Opts{Schedule: ScheduleBalanced, Pool: pool}
+	csr.BalancedBounds(threads) // warm, as Prepare does
+	bcsr.BalancedBounds(threads)
+	for name, run := range map[string]func(){
+		"csr":  func() { _ = CSRParallelOpts(csr, b, c, k, threads, o) },
+		"ell":  func() { _ = ELLParallelOpts(ell, b, c, k, threads, o) },
+		"bcsr": func() { _ = BCSRParallelOpts(bcsr, b, c, k, threads, o) },
+		"coo":  func() { _ = COOParallelOpts(coo, b, c, k, threads, o) },
+	} {
+		if n := testing.AllocsPerRun(10, run); n > 3 {
+			t.Errorf("%s pooled balanced: %.0f allocs/op, want <= 3", name, n)
+		}
+	}
+}

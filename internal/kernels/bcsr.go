@@ -19,27 +19,41 @@ func BCSRSerial[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T], k int
 
 // bcsrBlockRows processes block rows [lo, hi). A trailing padded fringe
 // (rows/cols beyond the logical dimensions) is guarded explicitly; interior
-// padding is plain zero values.
+// padding is plain zero values. The dense-column loop is k-tiled like
+// csrRows so wide-k runs keep each B panel cache-hot across the band.
 func bcsrBlockRows[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T], k, lo, hi int) {
+	if k <= tileK {
+		bcsrBlockRowsPanel(a, b, c, 0, k, lo, hi)
+		return
+	}
+	for j0 := 0; j0 < k; j0 += tileK {
+		bcsrBlockRowsPanel(a, b, c, j0, min(tileK, k-j0), lo, hi)
+	}
+}
+
+func bcsrBlockRowsPanel[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T], j0, jw, lo, hi int) {
 	br, bc := a.BR, a.BC
 	for bri := lo; bri < hi; bri++ {
 		rowBase := bri * br
 		rowLim := min(br, a.Rows-rowBase)
 		for r := 0; r < rowLim; r++ {
-			clear(c.Data[(rowBase+r)*c.Stride : (rowBase+r)*c.Stride+k])
+			o := (rowBase+r)*c.Stride + j0
+			clear(c.Data[o : o+jw])
 		}
 		for p := a.RowPtr[bri]; p < a.RowPtr[bri+1]; p++ {
 			colBase := int(a.ColIdx[p]) * bc
 			colLim := min(bc, a.Cols-colBase)
 			blk := a.Block(int(p))
 			for r := 0; r < rowLim; r++ {
-				crow := c.Data[(rowBase+r)*c.Stride : (rowBase+r)*c.Stride+k]
+				o := (rowBase+r)*c.Stride + j0
+				crow := c.Data[o : o+jw : o+jw]
 				for cc := 0; cc < colLim; cc++ {
 					v := blk[r*bc+cc]
 					if v == 0 {
 						continue
 					}
-					axpy(crow, b.Data[(colBase+cc)*b.Stride:], v, k)
+					bo := (colBase+cc)*b.Stride + j0
+					axpy(crow, b.Data[bo:bo+jw:bo+jw], v, jw)
 				}
 			}
 		}

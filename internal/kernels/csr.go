@@ -17,13 +17,29 @@ func CSRSerial[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], k int) 
 	return nil
 }
 
-// csrRows runs the CSR row loop over rows [lo, hi).
+// csrRows runs the CSR row loop over rows [lo, hi), processing B in panels
+// of tileK columns so a panel stays cache-hot across the whole row band
+// (see tileK). For k <= tileK this is a single panel — the classic loop.
 func csrRows[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], k, lo, hi int) {
+	if k <= tileK {
+		csrRowsPanel(a, b, c, 0, k, lo, hi)
+		return
+	}
+	for j0 := 0; j0 < k; j0 += tileK {
+		csrRowsPanel(a, b, c, j0, min(tileK, k-j0), lo, hi)
+	}
+}
+
+// csrRowsPanel accumulates columns [j0, j0+jw) of C for rows [lo, hi). The
+// full-slice expressions on both operands drop the inner bounds checks.
+func csrRowsPanel[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], j0, jw, lo, hi int) {
 	for i := lo; i < hi; i++ {
-		crow := c.Data[i*c.Stride : i*c.Stride+k]
+		o := i*c.Stride + j0
+		crow := c.Data[o : o+jw : o+jw]
 		clear(crow)
 		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-			axpy(crow, b.Data[int(a.ColIdx[p])*b.Stride:], a.Vals[p], k)
+			bo := int(a.ColIdx[p])*b.Stride + j0
+			axpy(crow, b.Data[bo:bo+jw:bo+jw], a.Vals[p], jw)
 		}
 	}
 }

@@ -18,10 +18,23 @@ func ELLSerial[T matrix.Float](a *formats.ELL[T], b, c *matrix.Dense[T], k int) 
 	return nil
 }
 
+// ellRows runs the ELL row loop over rows [lo, hi), k-tiled like csrRows so
+// wide-k runs keep each B panel cache-hot across the row band.
 func ellRows[T matrix.Float](a *formats.ELL[T], b, c *matrix.Dense[T], k, lo, hi int) {
+	if k <= tileK {
+		ellRowsPanel(a, b, c, 0, k, lo, hi)
+		return
+	}
+	for j0 := 0; j0 < k; j0 += tileK {
+		ellRowsPanel(a, b, c, j0, min(tileK, k-j0), lo, hi)
+	}
+}
+
+func ellRowsPanel[T matrix.Float](a *formats.ELL[T], b, c *matrix.Dense[T], j0, jw, lo, hi int) {
 	if a.Layout == formats.ColMajor {
 		for i := lo; i < hi; i++ {
-			crow := c.Data[i*c.Stride : i*c.Stride+k]
+			o := i*c.Stride + j0
+			crow := c.Data[o : o+jw : o+jw]
 			clear(crow)
 			for s := 0; s < a.Width; s++ {
 				idx := s*a.Rows + i
@@ -29,22 +42,25 @@ func ellRows[T matrix.Float](a *formats.ELL[T], b, c *matrix.Dense[T], k, lo, hi
 				if v == 0 {
 					continue
 				}
-				axpy(crow, b.Data[int(a.ColIdx[idx])*b.Stride:], v, k)
+				bo := int(a.ColIdx[idx])*b.Stride + j0
+				axpy(crow, b.Data[bo:bo+jw:bo+jw], v, jw)
 			}
 		}
 		return
 	}
 	for i := lo; i < hi; i++ {
-		crow := c.Data[i*c.Stride : i*c.Stride+k]
+		o := i*c.Stride + j0
+		crow := c.Data[o : o+jw : o+jw]
 		clear(crow)
 		base := i * a.Width
-		cols := a.ColIdx[base : base+a.Width]
-		vals := a.Vals[base : base+a.Width]
+		cols := a.ColIdx[base : base+a.Width : base+a.Width]
+		vals := a.Vals[base : base+a.Width : base+a.Width]
 		for s, v := range vals {
 			if v == 0 {
 				continue
 			}
-			axpy(crow, b.Data[int(cols[s])*b.Stride:], v, k)
+			bo := int(cols[s])*b.Stride + j0
+			axpy(crow, b.Data[bo:bo+jw:bo+jw], v, jw)
 		}
 	}
 }

@@ -9,22 +9,26 @@ import (
 // This file is the Go analogue of the thesis' manual-optimisation study
 // (Study 9). The C++ suite used templates to "hard-code the value of k in
 // the loop" so the compiler could unroll and vectorise; Go has no value
-// generics, so the same effect is achieved with hand-specialised inner
-// loops whose trip counts are compile-time constants, selected by a
-// dispatcher. The A value load is hoisted out of the k loop exactly as the
-// thesis' optimisation does.
+// generics, so the same effect is achieved with hand-unrolled panel
+// kernels whose trip counts are compile-time constants, chained from
+// widest to narrowest by axpyFixedTiled. The A value load is hoisted out
+// of the k loop exactly as the thesis' optimisation does.
+//
+// Dispatch is by plain comparisons inside axpyFixedTiled rather than a
+// func-value table: a generic func value carries an instantiation
+// dictionary whose closure is heap-allocated per call, which the
+// zero-allocation audit (alloc_test.go) forbids in the kernels' steady
+// state.
 
-// FixedKs lists the k values with a compiled specialisation.
+// FixedKs lists the k values served by a single fully unrolled panel. Any
+// other positive multiple of 8 is served by chaining those panels, so
+// HasFixedK accepts the whole k % 8 == 0 family.
 var FixedKs = []int{8, 16, 32, 64, 128}
 
-// HasFixedK reports whether a specialised kernel exists for k.
+// HasFixedK reports whether a specialised kernel exists for k: any
+// positive multiple of 8.
 func HasFixedK(k int) bool {
-	for _, v := range FixedKs {
-		if v == k {
-			return true
-		}
-	}
-	return false
+	return k > 0 && k%8 == 0
 }
 
 // axpy8 computes c[j] += v*b[j] for j in [0,8) with a fully unrolled body.
@@ -62,65 +66,73 @@ func axpy128[T matrix.Float](c, b []T, v T) {
 	axpy64(c[64:128], b[64:128], v)
 }
 
-// fixedAxpy returns the specialised inner loop for k, or nil.
-func fixedAxpy[T matrix.Float](k int) func(c, b []T, v T) {
-	switch k {
-	case 8:
-		return axpy8[T]
-	case 16:
-		return axpy16[T]
-	case 32:
-		return axpy32[T]
-	case 64:
-		return axpy64[T]
-	case 128:
-		return axpy128[T]
+// axpyFixedTiled computes c[j] += v*b[j] for j in [0, k), k a positive
+// multiple of 8, by chaining the unrolled panels from widest to narrowest.
+// For the exact panel sizes (8..128) this collapses to the single unrolled
+// call plus a handful of integer compares; for wider k it is the fixed-k
+// rendition of the k-tiled inner loop. Every trip count the compiler sees
+// is a constant.
+func axpyFixedTiled[T matrix.Float](c, b []T, v T, k int) {
+	for k >= 128 {
+		axpy128(c, b, v)
+		c, b, k = c[128:], b[128:], k-128
 	}
-	return nil
+	if k >= 64 {
+		axpy64(c, b, v)
+		c, b, k = c[64:], b[64:], k-64
+	}
+	if k >= 32 {
+		axpy32(c, b, v)
+		c, b, k = c[32:], b[32:], k-32
+	}
+	if k >= 16 {
+		axpy16(c, b, v)
+		c, b, k = c[16:], b[16:], k-16
+	}
+	if k >= 8 {
+		axpy8(c, b, v)
+	}
 }
 
 // CSRSerialFixed is CSRSerial with the k loop specialised at compile time.
 func CSRSerialFixed[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], k int) error {
-	fn := fixedAxpy[T](k)
-	if fn == nil {
+	if !HasFixedK(k) {
 		return ErrUnsupportedK
 	}
 	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
 		return err
 	}
-	csrRowsFixed(a, b, c, k, 0, a.Rows, fn)
+	csrRowsFixed(a, b, c, k, 0, a.Rows)
 	return nil
 }
 
-func csrRowsFixed[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], k, lo, hi int, fn func(c, b []T, v T)) {
+func csrRowsFixed[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], k, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		crow := c.Data[i*c.Stride : i*c.Stride+k]
 		clear(crow)
 		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-			fn(crow, b.Data[int(a.ColIdx[p])*b.Stride:], a.Vals[p])
+			axpyFixedTiled(crow, b.Data[int(a.ColIdx[p])*b.Stride:], a.Vals[p], k)
 		}
 	}
 }
 
 // CSRParallelFixed is CSRParallel with the k loop specialised.
 func CSRParallelFixed[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], k, threads int) error {
-	fn := fixedAxpy[T](k)
-	if fn == nil {
+	if !HasFixedK(k) {
 		return ErrUnsupportedK
 	}
 	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
 		return err
 	}
 	parallel.For(a.Rows, threads, func(lo, hi, _ int) {
-		csrRowsFixed(a, b, c, k, lo, hi, fn)
+		csrRowsFixed(a, b, c, k, lo, hi)
 	})
 	return nil
 }
 
 // COOSerialFixed is COOSerial with the k loop specialised.
 func COOSerialFixed[T matrix.Float](a *matrix.COO[T], b, c *matrix.Dense[T], k int) error {
-	fn := fixedAxpy[T](k)
-	if fn == nil {
+	if !HasFixedK(k) {
 		return ErrUnsupportedK
 	}
 	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
@@ -130,15 +142,14 @@ func COOSerialFixed[T matrix.Float](a *matrix.COO[T], b, c *matrix.Dense[T], k i
 	for p := range a.Vals {
 		r := int(a.RowIdx[p])
 		col := int(a.ColIdx[p])
-		fn(c.Data[r*c.Stride:], b.Data[col*b.Stride:], a.Vals[p])
+		axpyFixedTiled(c.Data[r*c.Stride:], b.Data[col*b.Stride:], a.Vals[p], k)
 	}
 	return nil
 }
 
 // COOParallelFixed is COOParallel with the k loop specialised.
 func COOParallelFixed[T matrix.Float](a *matrix.COO[T], b, c *matrix.Dense[T], k, threads int) error {
-	fn := fixedAxpy[T](k)
-	if fn == nil {
+	if !HasFixedK(k) {
 		return ErrUnsupportedK
 	}
 	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
@@ -154,7 +165,7 @@ func COOParallelFixed[T matrix.Float](a *matrix.COO[T], b, c *matrix.Dense[T], k
 			for p := bounds[w]; p < bounds[w+1]; p++ {
 				r := int(a.RowIdx[p])
 				col := int(a.ColIdx[p])
-				fn(c.Data[r*c.Stride:], b.Data[col*b.Stride:], a.Vals[p])
+				axpyFixedTiled(c.Data[r*c.Stride:], b.Data[col*b.Stride:], a.Vals[p], k)
 			}
 		}
 	})
@@ -163,18 +174,17 @@ func COOParallelFixed[T matrix.Float](a *matrix.COO[T], b, c *matrix.Dense[T], k
 
 // ELLSerialFixed is ELLSerial with the k loop specialised.
 func ELLSerialFixed[T matrix.Float](a *formats.ELL[T], b, c *matrix.Dense[T], k int) error {
-	fn := fixedAxpy[T](k)
-	if fn == nil {
+	if !HasFixedK(k) {
 		return ErrUnsupportedK
 	}
 	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
 		return err
 	}
-	ellRowsFixed(a, b, c, k, 0, a.Rows, fn)
+	ellRowsFixed(a, b, c, k, 0, a.Rows)
 	return nil
 }
 
-func ellRowsFixed[T matrix.Float](a *formats.ELL[T], b, c *matrix.Dense[T], k, lo, hi int, fn func(c, b []T, v T)) {
+func ellRowsFixed[T matrix.Float](a *formats.ELL[T], b, c *matrix.Dense[T], k, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		crow := c.Data[i*c.Stride : i*c.Stride+k]
 		clear(crow)
@@ -183,40 +193,38 @@ func ellRowsFixed[T matrix.Float](a *formats.ELL[T], b, c *matrix.Dense[T], k, l
 			if v == 0 {
 				continue
 			}
-			fn(crow, b.Data[int(col)*b.Stride:], v)
+			axpyFixedTiled(crow, b.Data[int(col)*b.Stride:], v, k)
 		}
 	}
 }
 
 // ELLParallelFixed is ELLParallel with the k loop specialised.
 func ELLParallelFixed[T matrix.Float](a *formats.ELL[T], b, c *matrix.Dense[T], k, threads int) error {
-	fn := fixedAxpy[T](k)
-	if fn == nil {
+	if !HasFixedK(k) {
 		return ErrUnsupportedK
 	}
 	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
 		return err
 	}
 	parallel.For(a.Rows, threads, func(lo, hi, _ int) {
-		ellRowsFixed(a, b, c, k, lo, hi, fn)
+		ellRowsFixed(a, b, c, k, lo, hi)
 	})
 	return nil
 }
 
 // BCSRSerialFixed is BCSRSerial with the k loop specialised.
 func BCSRSerialFixed[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T], k int) error {
-	fn := fixedAxpy[T](k)
-	if fn == nil {
+	if !HasFixedK(k) {
 		return ErrUnsupportedK
 	}
 	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
 		return err
 	}
-	bcsrBlockRowsFixed(a, b, c, k, 0, a.BlockRows, fn)
+	bcsrBlockRowsFixed(a, b, c, k, 0, a.BlockRows)
 	return nil
 }
 
-func bcsrBlockRowsFixed[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T], k, lo, hi int, fn func(c, b []T, v T)) {
+func bcsrBlockRowsFixed[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T], k, lo, hi int) {
 	br, bc := a.BR, a.BC
 	for bri := lo; bri < hi; bri++ {
 		rowBase := bri * br
@@ -235,7 +243,7 @@ func bcsrBlockRowsFixed[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T
 					if v == 0 {
 						continue
 					}
-					fn(crow, b.Data[(colBase+cc)*b.Stride:], v)
+					axpyFixedTiled(crow, b.Data[(colBase+cc)*b.Stride:], v, k)
 				}
 			}
 		}
@@ -244,15 +252,14 @@ func bcsrBlockRowsFixed[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T
 
 // BCSRParallelFixed is BCSRParallel with the k loop specialised.
 func BCSRParallelFixed[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T], k, threads int) error {
-	fn := fixedAxpy[T](k)
-	if fn == nil {
+	if !HasFixedK(k) {
 		return ErrUnsupportedK
 	}
 	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
 		return err
 	}
 	parallel.For(a.BlockRows, threads, func(lo, hi, _ int) {
-		bcsrBlockRowsFixed(a, b, c, k, lo, hi, fn)
+		bcsrBlockRowsFixed(a, b, c, k, lo, hi)
 	})
 	return nil
 }

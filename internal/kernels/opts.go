@@ -1,0 +1,155 @@
+package kernels
+
+import (
+	"repro/internal/formats"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// This file is the scheduling layer of the parallel kernels: every
+// row-partitioned format gets an Opts variant selecting the work partition
+// (row-static, as the thesis' OpenMP baseline, or nonzero-balanced) and the
+// execution machinery (fresh goroutines per call or a persistent pool). The
+// plain *Parallel entry points stay exactly as the thesis measures them;
+// the Opts variants are the optimisation study on top.
+
+// Schedule selects how a parallel kernel partitions its rows over workers.
+type Schedule int
+
+const (
+	// ScheduleStatic splits rows into equal-count contiguous chunks —
+	// OpenMP schedule(static), the thesis' baseline. Best when row lengths
+	// are uniform (ELL-friendly matrices).
+	ScheduleStatic Schedule = iota
+	// ScheduleBalanced splits rows into equal-nonzero contiguous chunks
+	// read off the format's prefix-sum array (merge-path style). Best for
+	// skewed (power-law) matrices whose heavy rows serialise a static
+	// partition. The split is memoized on the format, so steady-state
+	// calls pay nothing for it.
+	ScheduleBalanced
+)
+
+// String returns the flag spelling of the schedule.
+func (s Schedule) String() string {
+	if s == ScheduleBalanced {
+		return "balanced"
+	}
+	return "static"
+}
+
+// Opts selects the execution machinery of a parallel kernel variant. The
+// zero value reproduces the plain Parallel kernel: static schedule, fresh
+// goroutines per call.
+type Opts struct {
+	Schedule Schedule
+	// Pool, when non-nil, runs the chunks on the persistent worker pool
+	// instead of spawning goroutines per call.
+	Pool *parallel.Pool
+}
+
+// CSRParallelOpts is CSRParallel under the given scheduling options.
+// Balanced scheduling partitions rows by nonzero count from the memoized
+// CSR prefix-sum splits; results are bitwise identical to CSRSerial for
+// every option combination (only the partition changes, never the
+// per-element accumulation order).
+func CSRParallelOpts[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], k, threads int, o Opts) error {
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	e := parallel.Exec{Pool: o.Pool}
+	if o.Schedule == ScheduleBalanced {
+		e.Bounds = a.BalancedBounds(threads)
+	}
+	e.Run(a.Rows, threads, func(lo, hi, _ int) {
+		csrRows(a, b, c, k, lo, hi)
+	})
+	return nil
+}
+
+// BCSRParallelOpts is BCSRParallel under the given scheduling options;
+// balanced scheduling equalises stored blocks per worker.
+func BCSRParallelOpts[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T], k, threads int, o Opts) error {
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	e := parallel.Exec{Pool: o.Pool}
+	if o.Schedule == ScheduleBalanced {
+		e.Bounds = a.BalancedBounds(threads)
+	}
+	e.Run(a.BlockRows, threads, func(lo, hi, _ int) {
+		bcsrBlockRows(a, b, c, k, lo, hi)
+	})
+	return nil
+}
+
+// SELLCSParallelOpts is SELLCSParallel under the given scheduling options;
+// balanced scheduling equalises stored (padded) elements per worker, read
+// off SlicePtr.
+func SELLCSParallelOpts[T matrix.Float](a *formats.SELLCS[T], b, c *matrix.Dense[T], k, threads int, o Opts) error {
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	e := parallel.Exec{Pool: o.Pool}
+	if o.Schedule == ScheduleBalanced {
+		e.Bounds = a.BalancedBounds(threads)
+	}
+	e.Run(a.NumSlices(), threads, func(lo, hi, _ int) {
+		sellSlices(a, b, c, k, lo, hi)
+	})
+	return nil
+}
+
+// ELLParallelOpts is ELLParallel under the given scheduling options. ELL
+// rows all store exactly Width slots, so the static partition is already
+// nonzero-balanced — ScheduleBalanced is accepted and means the same thing.
+// The pool option still applies.
+func ELLParallelOpts[T matrix.Float](a *formats.ELL[T], b, c *matrix.Dense[T], k, threads int, o Opts) error {
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	e := parallel.Exec{Pool: o.Pool}
+	e.Run(a.Rows, threads, func(lo, hi, _ int) {
+		ellRows(a, b, c, k, lo, hi)
+	})
+	return nil
+}
+
+// BELLParallelOpts is BELLParallel under the given scheduling options. Like
+// ELL, every block row stores exactly Width blocks, so static already is
+// balanced; only the pool option changes the machinery.
+func BELLParallelOpts[T matrix.Float](a *formats.BELL[T], b, c *matrix.Dense[T], k, threads int, o Opts) error {
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	e := parallel.Exec{Pool: o.Pool}
+	e.Run(a.BlockRows, threads, func(lo, hi, _ int) {
+		bellBlockRows(a, b, c, k, lo, hi)
+	})
+	return nil
+}
+
+// COOParallelOpts is COOParallel under the given scheduling options. The
+// COO partition is already nonzero-balanced by construction (triplets split
+// at row boundaries), so the schedule option changes nothing; the pool
+// option reuses warmed workers for both the zeroing and accumulation
+// passes.
+func COOParallelOpts[T matrix.Float](a *matrix.COO[T], b, c *matrix.Dense[T], k, threads int, o Opts) error {
+	if err := checkSpMM(a.Rows, a.Cols, b, c, k); err != nil {
+		return err
+	}
+	bounds := cooRowPartition(a, threads)
+	chunks := len(bounds) - 1
+	e := parallel.Exec{Pool: o.Pool}
+	e.Run(c.Rows, threads, func(lo, hi, _ int) {
+		zeroKRows(c, k, lo, hi)
+	})
+	be := parallel.Exec{Pool: o.Pool, Bounds: bounds}
+	be.Run(a.NNZ(), chunks, func(plo, phi, _ int) {
+		for p := plo; p < phi; p++ {
+			r := int(a.RowIdx[p])
+			col := int(a.ColIdx[p])
+			axpy(c.Data[r*c.Stride:], b.Data[col*b.Stride:], a.Vals[p], k)
+		}
+	})
+	return nil
+}

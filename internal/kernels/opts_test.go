@@ -1,0 +1,183 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/formats"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// powerLawCOO builds a hub-heavy matrix: row degrees follow a squared-
+// uniform draw so a few rows hold most of the nonzeros — the skew that
+// breaks row-static scheduling. Some rows stay empty on purpose.
+func powerLawCOO(rows, cols int, seed int64) *matrix.COO[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.NewCOO[float64](rows, cols, 0)
+	for i := 0; i < rows; i++ {
+		u := rng.Float64()
+		deg := int(u * u * u * float64(cols)) // heavy tail, many near-zero
+		if i%17 == 0 {
+			deg = 0 // explicit empty rows
+		}
+		if i == rows/3 {
+			deg = cols // one full hub row
+		}
+		for d := 0; d < deg; d++ {
+			m.Append(int32(i), int32(rng.Intn(cols)), rng.NormFloat64())
+		}
+	}
+	m.Dedup()
+	return m
+}
+
+// TestOptsVariantsBitwiseEqual pins the strongest property the scheduling
+// layer offers: balanced scheduling, pooled execution and k-tiling never
+// change the per-element accumulation order, so every Opts variant must be
+// *bitwise* identical to its format's serial kernel — on skewed matrices
+// with empty rows, with rows >> threads and threads >> rows, and for k both
+// below and above the tile width.
+func TestOptsVariantsBitwiseEqual(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+
+	for _, shape := range []struct{ rows, cols int }{
+		{500, 120}, // rows >> threads
+		{7, 40},    // threads >> rows
+	} {
+		coo := powerLawCOO(shape.rows, shape.cols, 42)
+		csr := formats.CSRFromCOO(coo)
+		ell := formats.ELLFromCOO(coo, formats.RowMajor)
+		bcsr, err := formats.BCSRFromCOO(coo, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bell, err := formats.BELLFromCOO(coo, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sell, err := formats.SELLCSFromCOO(coo, 8, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, k := range []int{5, 64, 128, 200, 336} { // 200, 336 > tileK
+			b := matrix.NewDenseRand[float64](shape.cols, k, 7)
+			serial := map[string]*matrix.Dense[float64]{}
+			for name, run := range map[string]func(out *matrix.Dense[float64]) error{
+				"csr":  func(out *matrix.Dense[float64]) error { return CSRSerial(csr, b, out, k) },
+				"ell":  func(out *matrix.Dense[float64]) error { return ELLSerial(ell, b, out, k) },
+				"bcsr": func(out *matrix.Dense[float64]) error { return BCSRSerial(bcsr, b, out, k) },
+				"bell": func(out *matrix.Dense[float64]) error { return BELLSerial(bell, b, out, k) },
+				"sell": func(out *matrix.Dense[float64]) error { return SELLCSSerial(sell, b, out, k) },
+				"coo":  func(out *matrix.Dense[float64]) error { return COOSerial(coo, b, out, k) },
+			} {
+				out := matrix.NewDense[float64](shape.rows, k)
+				if err := run(out); err != nil {
+					t.Fatalf("%s serial (k=%d): %v", name, k, err)
+				}
+				serial[name] = out
+			}
+
+			for _, threads := range []int{1, 4, 64} {
+				for _, o := range []Opts{
+					{Schedule: ScheduleBalanced},
+					{Pool: pool},
+					{Schedule: ScheduleBalanced, Pool: pool},
+				} {
+					label := fmt.Sprintf("k=%d threads=%d sched=%s pool=%v",
+						k, threads, o.Schedule, o.Pool != nil)
+					variants := map[string]func(out *matrix.Dense[float64]) error{
+						"csr": func(out *matrix.Dense[float64]) error {
+							return CSRParallelOpts(csr, b, out, k, threads, o)
+						},
+						"ell": func(out *matrix.Dense[float64]) error {
+							return ELLParallelOpts(ell, b, out, k, threads, o)
+						},
+						"bcsr": func(out *matrix.Dense[float64]) error {
+							return BCSRParallelOpts(bcsr, b, out, k, threads, o)
+						},
+						"bell": func(out *matrix.Dense[float64]) error {
+							return BELLParallelOpts(bell, b, out, k, threads, o)
+						},
+						"sell": func(out *matrix.Dense[float64]) error {
+							return SELLCSParallelOpts(sell, b, out, k, threads, o)
+						},
+						"coo": func(out *matrix.Dense[float64]) error {
+							return COOParallelOpts(coo, b, out, k, threads, o)
+						},
+					}
+					for name, run := range variants {
+						out := matrix.NewDense[float64](shape.rows, k)
+						for i := range out.Data {
+							out.Data[i] = 1e301 // poison: kernel must overwrite
+						}
+						if err := run(out); err != nil {
+							t.Fatalf("%s %s: %v", name, label, err)
+						}
+						if !out.EqualTol(serial[name], 0) {
+							t.Fatalf("%s %s: not bitwise equal to serial (rows=%d)",
+								name, label, shape.rows)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFixedTiledMatchesGeneric pins the tiled fixed-k composition: any
+// k % 8 == 0 outside the unrolled set must match the generic kernel
+// bitwise, serial and parallel.
+func TestFixedTiledMatchesGeneric(t *testing.T) {
+	coo := powerLawCOO(120, 80, 3)
+	csr := formats.CSRFromCOO(coo)
+	ell := formats.ELLFromCOO(coo, formats.RowMajor)
+	bcsr, err := formats.BCSRFromCOO(coo, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{24, 40, 136, 256, 328} {
+		if !HasFixedK(k) {
+			t.Fatalf("HasFixedK(%d) = false, want true", k)
+		}
+		b := matrix.NewDenseRand[float64](80, k, 11)
+		want := matrix.NewDense[float64](120, k)
+		if err := CSRSerial(csr, b, want, k); err != nil {
+			t.Fatal(err)
+		}
+		for name, run := range map[string]func(out *matrix.Dense[float64]) error{
+			"csr-fixed":      func(out *matrix.Dense[float64]) error { return CSRSerialFixed(csr, b, out, k) },
+			"csr-fixed-par":  func(out *matrix.Dense[float64]) error { return CSRParallelFixed(csr, b, out, k, 4) },
+			"ell-fixed":      func(out *matrix.Dense[float64]) error { return ELLSerialFixed(ell, b, out, k) },
+			"ell-fixed-par":  func(out *matrix.Dense[float64]) error { return ELLParallelFixed(ell, b, out, k, 4) },
+			"bcsr-fixed":     func(out *matrix.Dense[float64]) error { return BCSRSerialFixed(bcsr, b, out, k) },
+			"bcsr-fixed-par": func(out *matrix.Dense[float64]) error { return BCSRParallelFixed(bcsr, b, out, k, 4) },
+			"coo-fixed":      func(out *matrix.Dense[float64]) error { return COOSerialFixed(coo, b, out, k) },
+			"coo-fixed-par":  func(out *matrix.Dense[float64]) error { return COOParallelFixed(coo, b, out, k, 4) },
+		} {
+			out := matrix.NewDense[float64](120, k)
+			for i := range out.Data {
+				out.Data[i] = 1e301
+			}
+			if err := run(out); err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			if !out.EqualTol(want, 0) {
+				t.Fatalf("%s k=%d: not bitwise equal to generic serial", name, k)
+			}
+		}
+	}
+	for _, k := range []int{0, 7, 12, 129} {
+		if HasFixedK(k) {
+			t.Fatalf("HasFixedK(%d) = true, want false", k)
+		}
+		out := matrix.NewDense[float64](120, max(k, 1))
+		b := matrix.NewDenseRand[float64](80, max(k, 1), 11)
+		if err := CSRSerialFixed(csr, b, out, k); err != ErrUnsupportedK {
+			t.Fatalf("CSRSerialFixed k=%d: err %v, want ErrUnsupportedK", k, err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/formats"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
 
 // Multicore extends a single-core Profile to a full socket, modelling the
@@ -105,14 +106,32 @@ func chunkBounds(n, chunks, i int) (lo, hi int) {
 // simulateParallel runs the trace over [0, n) split into `threads` static
 // chunks and combines the per-thread costs per the scheduling model.
 func (mc Multicore) simulateParallel(n, threads, k int, trace chunkTrace) (Result, error) {
-	if err := mc.Validate(); err != nil {
-		return Result{}, err
-	}
 	if threads < 1 {
 		return Result{}, fmt.Errorf("machine: threads %d < 1", threads)
 	}
 	if threads > n && n > 0 {
 		threads = n
+	}
+	bounds := make([]int, threads+1)
+	for w := 0; w < threads; w++ {
+		lo, hi := chunkBounds(n, threads, w)
+		bounds[w], bounds[w+1] = lo, hi
+	}
+	return mc.simulateParallelBounds(bounds, k, trace)
+}
+
+// simulateParallelBounds runs the trace over explicit chunk bounds
+// (bounds[w], bounds[w+1]) — static or nonzero-balanced — and combines the
+// per-chunk costs per the scheduling model. The chunk count plays the role
+// of the thread count: one software thread per chunk, placed round-robin
+// on the physical cores.
+func (mc Multicore) simulateParallelBounds(bounds []int, k int, trace chunkTrace) (Result, error) {
+	if err := mc.Validate(); err != nil {
+		return Result{}, err
+	}
+	threads := len(bounds) - 1
+	if threads < 1 {
+		return Result{}, fmt.Errorf("machine: bounds describe %d chunks", threads)
 	}
 	coreLoad := make([]float64, min(threads, mc.Cores))
 	coreChunks := make([]int, len(coreLoad))
@@ -124,7 +143,7 @@ func (mc Multicore) simulateParallel(n, threads, k int, trace chunkTrace) (Resul
 		nnz             int
 	)
 	for w := 0; w < threads; w++ {
-		lo, hi := chunkBounds(n, threads, w)
+		lo, hi := bounds[w], bounds[w+1]
 		m, err := New(mc.Prof)
 		if err != nil {
 			return Result{}, err
@@ -191,6 +210,22 @@ func (mc Multicore) COOParallel(a *matrix.COO[float64], k, threads int) (Result,
 // CSRParallel simulates the parallel CSR kernel with static row chunks.
 func (mc Multicore) CSRParallel(a *formats.CSR[float64], k, threads int) (Result, error) {
 	return mc.simulateParallel(a.Rows, threads, k, func(m *Machine, lo, hi int) int {
+		return traceCSR(m, a, k, lo, hi)
+	})
+}
+
+// CSRParallelBalanced simulates the parallel CSR kernel under the
+// nonzero-balanced schedule: chunk boundaries come from
+// parallel.BalancedBounds over the row-pointer prefix sums, so every chunk
+// carries a near-equal share of the nonzeros instead of a near-equal share
+// of the rows. On row-skewed matrices this is what keeps the slowest core —
+// which sets the simulated wall clock — from owning the hub rows alone.
+func (mc Multicore) CSRParallelBalanced(a *formats.CSR[float64], k, threads int) (Result, error) {
+	if threads < 1 {
+		return Result{}, fmt.Errorf("machine: threads %d < 1", threads)
+	}
+	bounds := parallel.BalancedBounds(a.RowPtr, threads)
+	return mc.simulateParallelBounds(bounds, k, func(m *Machine, lo, hi int) int {
 		return traceCSR(m, a, k, lo, hi)
 	})
 }

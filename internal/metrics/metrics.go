@@ -5,6 +5,7 @@ package metrics
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/matrix"
 )
@@ -25,6 +26,12 @@ type Properties struct {
 	// Variance and StdDev describe the spread of nonzeros per row.
 	Variance float64
 	StdDev   float64
+	// Gini is the Gini coefficient of the nonzeros-per-row distribution:
+	// 0 when every row holds the same count, approaching 1 when a few hub
+	// rows own nearly all nonzeros. It is the scheduling-imbalance metric —
+	// a high Gini means row-static chunking hands some worker far more work
+	// than the rest, and nonzero-balanced scheduling pays off.
+	Gini float64
 }
 
 // Compute derives the Table 5.1 properties of a COO matrix.
@@ -52,7 +59,30 @@ func Compute[T matrix.Float](m *matrix.COO[T]) Properties {
 	}
 	p.Variance = ss / float64(m.Rows)
 	p.StdDev = math.Sqrt(p.Variance)
+	p.Gini = gini(counts)
 	return p
+}
+
+// gini computes the Gini coefficient of a count distribution via the
+// sorted-rank formula G = (2·Σᵢ i·xᵢ)/(n·Σᵢ xᵢ) − (n+1)/n, i 1-based over
+// ascending xᵢ. Returns 0 for empty or all-zero input.
+func gini(counts []int) float64 {
+	n := len(counts)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]int, n)
+	copy(sorted, counts)
+	sort.Ints(sorted)
+	var total, weighted float64
+	for i, c := range sorted {
+		total += float64(c)
+		weighted += float64(i+1) * float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	return 2*weighted/(float64(n)*total) - float64(n+1)/float64(n)
 }
 
 // ELLWidth reports the ELLPACK row width the matrix would format to

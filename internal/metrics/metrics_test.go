@@ -31,6 +31,36 @@ func TestComputeKnownMatrix(t *testing.T) {
 	}
 }
 
+func TestGini(t *testing.T) {
+	// Uniform distribution: Gini 0.
+	if g := gini([]int{5, 5, 5, 5}); g != 0 {
+		t.Fatalf("uniform gini = %v, want 0", g)
+	}
+	// One row owns everything: Gini -> (n-1)/n.
+	if g := gini([]int{0, 0, 0, 100}); math.Abs(g-0.75) > 1e-12 {
+		t.Fatalf("concentrated gini = %v, want 0.75", g)
+	}
+	// Order must not matter.
+	if gini([]int{1, 2, 3, 4}) != gini([]int{4, 1, 3, 2}) {
+		t.Fatal("gini must be order-invariant")
+	}
+	if g := gini(nil); g != 0 {
+		t.Fatalf("empty gini = %v, want 0", g)
+	}
+	if g := gini([]int{0, 0}); g != 0 {
+		t.Fatalf("all-zero gini = %v, want 0", g)
+	}
+	// Compute wires it through: the hub matrix must report a high Gini.
+	m := matrix.NewCOO[float64](4, 8, 0)
+	for j := int32(0); j < 8; j++ {
+		m.Append(0, j, 1)
+	}
+	m.Append(1, 0, 1)
+	if p := Compute(m); p.Gini < 0.5 {
+		t.Fatalf("hub matrix gini = %v, want >= 0.5", p.Gini)
+	}
+}
+
 func TestComputeEmpty(t *testing.T) {
 	m := matrix.NewCOO[float64](0, 0, 0)
 	p := Compute(m)

@@ -36,7 +36,14 @@ func ChunkBounds(n, chunks, i int) (lo, hi int) {
 
 // For executes body over [0, n) split into `threads` contiguous chunks, one
 // goroutine per chunk (OpenMP "schedule(static)"). threads < 1 is treated as
-// 1. body receives its chunk bounds and a worker id in [0, threads).
+// 1.
+//
+// Worker-id contract: body receives its chunk bounds and a worker id that is
+// the *chunk index*, in [0, min(threads, n)) — when threads exceeds n the
+// thread count is clamped to n and ids stay dense. Every loop runner in this
+// package (For, ForCtx, Pool.Run, Pool.RunBounds, ForBounds, Exec.Run)
+// follows the same contract, so per-worker scratch indexed by the id is safe
+// regardless of the machinery; the id is never a pool-goroutine identity.
 func For(n, threads int, body func(lo, hi, worker int)) {
 	if threads < 1 {
 		threads = 1
@@ -185,14 +192,30 @@ func ForDynamicCtx(ctx context.Context, n, threads, chunk int, body func(lo, hi,
 	return ctx.Err()
 }
 
-// Pool is a persistent worker pool. The benchmark runner keeps one pool per
-// process so repeated kernel invocations do not pay goroutine start-up cost,
-// mirroring a warmed OpenMP thread team.
+// Pool is a persistent worker pool — a warmed OpenMP thread team. A
+// campaign keeps one pool per process so repeated kernel invocations reuse
+// the same goroutines instead of paying spawn plus WaitGroup churn per
+// Calculate call, which dominates at small k and in best-thread sweeps.
+//
+// Dispatch is allocation-free: chunks travel to workers as plain structs
+// over a buffered channel and the fork/join WaitGroup lives in the pool, so
+// the only steady-state heap traffic of a pooled kernel call is the caller's
+// own body closure. Run serialises concurrent callers (one fork/join region
+// at a time), matching the single OpenMP team the thesis' suite uses.
 type Pool struct {
-	workers int
-	tasks   chan func()
-	wg      sync.WaitGroup
-	closed  atomic.Bool
+	workers  int
+	tasks    chan poolTask
+	mu       sync.Mutex     // serialises Run/RunBounds/RunCtx
+	joinWG   sync.WaitGroup // completion of the current region's chunks
+	workerWG sync.WaitGroup // worker goroutine lifetimes
+	closed   atomic.Bool
+}
+
+// poolTask is one chunk of a fork/join region. ctx is nil for non-Ctx runs.
+type poolTask struct {
+	lo, hi, worker int
+	body           func(lo, hi, worker int)
+	ctx            context.Context
 }
 
 // NewPool starts a pool of the given number of worker goroutines.
@@ -202,12 +225,17 @@ func NewPool(workers int) *Pool {
 	}
 	p := &Pool{
 		workers: workers,
-		tasks:   make(chan func(), workers),
+		tasks:   make(chan poolTask, workers),
 	}
+	p.workerWG.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
-			for task := range p.tasks {
-				task()
+			defer p.workerWG.Done()
+			for t := range p.tasks {
+				if t.ctx == nil || t.ctx.Err() == nil {
+					t.body(t.lo, t.hi, t.worker)
+				}
+				p.joinWG.Done()
 			}
 		}()
 	}
@@ -220,11 +248,9 @@ func (p *Pool) Workers() int { return p.workers }
 // Run executes body over [0, n) in `threads` static chunks using pool
 // workers. If threads exceeds the pool size, the extra chunks queue behind
 // the busy workers — the same oversubscription behaviour as For, with reuse
-// of the warmed goroutines.
+// of the warmed goroutines. Worker ids follow the For contract: the chunk
+// index in [0, min(threads, n)), not a pool-goroutine identity.
 func (p *Pool) Run(n, threads int, body func(lo, hi, worker int)) {
-	if p.closed.Load() {
-		panic("parallel: Run on closed Pool")
-	}
 	if threads < 1 {
 		threads = 1
 	}
@@ -235,19 +261,21 @@ func (p *Pool) Run(n, threads int, body func(lo, hi, worker int)) {
 		body(0, n, 0)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for w := 0; w < threads; w++ {
-		w := w
-		p.tasks <- func() {
-			defer wg.Done()
-			lo, hi := ChunkBounds(n, threads, w)
-			if lo < hi {
-				body(lo, hi, w)
-			}
-		}
+	p.dispatch(nil, n, threads, nil, body)
+}
+
+// RunBounds executes body over the precomputed chunks (for example from
+// BalancedBounds) on pool workers. body's worker id is the chunk index.
+func (p *Pool) RunBounds(bounds []int, body func(lo, hi, worker int)) {
+	chunks := len(bounds) - 1
+	if chunks <= 0 {
+		return
 	}
-	wg.Wait()
+	if chunks == 1 {
+		body(bounds[0], bounds[1], 0)
+		return
+	}
+	p.dispatch(nil, 0, chunks, bounds, body)
 }
 
 // RunCtx is Run with cooperative cancellation. An already-cancelled context
@@ -258,9 +286,6 @@ func (p *Pool) RunCtx(ctx context.Context, n, threads int, body func(lo, hi, wor
 	if ctx == nil {
 		p.Run(n, threads, body)
 		return nil
-	}
-	if p.closed.Load() {
-		panic("parallel: RunCtx on closed Pool")
 	}
 	if threads < 1 {
 		threads = 1
@@ -275,29 +300,43 @@ func (p *Pool) RunCtx(ctx context.Context, n, threads int, body func(lo, hi, wor
 		body(0, n, 0)
 		return ctx.Err()
 	}
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for w := 0; w < threads; w++ {
-		w := w
-		p.tasks <- func() {
-			defer wg.Done()
-			if ctx.Err() != nil {
-				return
-			}
-			lo, hi := ChunkBounds(n, threads, w)
-			if lo < hi {
-				body(lo, hi, w)
-			}
-		}
-	}
-	wg.Wait()
+	p.dispatch(ctx, n, threads, nil, body)
 	return ctx.Err()
 }
 
-// Close shuts the pool down. Run must not be called after Close.
+// dispatch queues one fork/join region of `chunks` chunks and waits for the
+// join. With nil bounds the region is the static partition of [0, n); with
+// bounds set they hold the precomputed splits. The pool-level mutex keeps
+// regions from interleaving so the shared join WaitGroup stays coherent, and
+// nothing here reaches the heap — chunks are plain struct sends.
+func (p *Pool) dispatch(ctx context.Context, n, chunks int, bounds []int, body func(lo, hi, worker int)) {
+	if p.closed.Load() {
+		panic("parallel: Run on closed Pool")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.joinWG.Add(chunks)
+	for w := 0; w < chunks; w++ {
+		var lo, hi int
+		if bounds != nil {
+			lo, hi = bounds[w], bounds[w+1]
+		} else {
+			lo, hi = ChunkBounds(n, chunks, w)
+		}
+		if lo >= hi {
+			p.joinWG.Done()
+			continue
+		}
+		p.tasks <- poolTask{lo: lo, hi: hi, worker: w, body: body, ctx: ctx}
+	}
+	p.joinWG.Wait()
+}
+
+// Close shuts the pool down and waits for the workers to exit. Run must not
+// be called after Close.
 func (p *Pool) Close() {
 	if p.closed.CompareAndSwap(false, true) {
 		close(p.tasks)
 	}
-	p.wg.Wait()
+	p.workerWG.Wait()
 }

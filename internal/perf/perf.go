@@ -1,0 +1,228 @@
+// Package perf is the benchmark-regression harness: it parses `go test
+// -bench` output, snapshots the numbers as a dated JSON baseline, and
+// compares a fresh run against the previous baseline with a tolerance
+// gate. scripts/bench.sh drives it through `spmmbench -perf-baseline`, so
+// a perf regression fails the same way a broken test does — before it
+// lands, not three PRs later.
+package perf
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's measurement.
+type Entry struct {
+	// N is the iteration count the harness settled on.
+	N int64 `json:"n"`
+	// NsPerOp is wall time per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp come from -benchmem; -1 when the run
+	// didn't report them.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric units (MFLOPS, model-MFLOPS, …).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is a dated snapshot of a benchmark run.
+type Baseline struct {
+	// Date is the snapshot day, YYYY-MM-DD — it names the file.
+	Date string `json:"date"`
+	// Label is free-form provenance (host, flags); informational only.
+	Label string `json:"label,omitempty"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// measurement.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName-8   123   456 ns/op   [value unit]...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// Parse reads `go test -bench` output and returns the benchmark entries,
+// keyed by name with the trailing -GOMAXPROCS suffix stripped so baselines
+// stay comparable across hosts. Non-benchmark lines (PASS, ok, logs) are
+// ignored. Duplicate names keep the last occurrence.
+func Parse(r io.Reader) (map[string]Entry, error) {
+	out := map[string]Entry{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{N: n, BytesPerOp: -1, AllocsPerOp: -1}
+		fields := strings.Fields(m[3])
+		// Measurements come in "value unit" pairs.
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("perf: bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[unit] = v
+			}
+		}
+		if e.NsPerOp == 0 && e.Metrics == nil {
+			continue // header or malformed line that happened to match
+		}
+		out[m[1]] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("perf: no benchmark lines found")
+	}
+	return out, nil
+}
+
+// Delta is one benchmark's old-vs-new comparison.
+type Delta struct {
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	Ratio     float64 // NewNs / OldNs; 1.0 = unchanged
+	OldAllocs float64
+	NewAllocs float64
+	// Regressed is set when the delta trips the gate; Reason says why.
+	Regressed bool
+	Reason    string
+}
+
+// Compare gates a new run against a baseline. A benchmark regresses when
+// its ns/op exceeds the baseline by more than tol (e.g. 0.25 = +25%), or
+// when its allocs/op grows at all — allocation counts are deterministic,
+// so any increase is a real leak, not noise. Benchmarks present in only
+// one of the two sets are skipped (new benches aren't regressions).
+// Deltas come back sorted worst-ratio first.
+func Compare(base, fresh map[string]Entry, tol float64) []Delta {
+	deltas := []Delta{}
+	for name, nw := range fresh {
+		old, ok := base[name]
+		if !ok {
+			continue
+		}
+		d := Delta{
+			Name:      name,
+			OldNs:     old.NsPerOp,
+			NewNs:     nw.NsPerOp,
+			OldAllocs: old.AllocsPerOp,
+			NewAllocs: nw.AllocsPerOp,
+		}
+		if old.NsPerOp > 0 {
+			d.Ratio = nw.NsPerOp / old.NsPerOp
+		}
+		switch {
+		case old.NsPerOp > 0 && nw.NsPerOp > old.NsPerOp*(1+tol):
+			d.Regressed = true
+			d.Reason = fmt.Sprintf("%.0f ns/op -> %.0f ns/op (+%.0f%%, tolerance %.0f%%)",
+				old.NsPerOp, nw.NsPerOp, (d.Ratio-1)*100, tol*100)
+		case old.AllocsPerOp >= 0 && nw.AllocsPerOp > old.AllocsPerOp:
+			d.Regressed = true
+			d.Reason = fmt.Sprintf("allocs/op grew %.0f -> %.0f", old.AllocsPerOp, nw.AllocsPerOp)
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].Ratio != deltas[j].Ratio {
+			return deltas[i].Ratio > deltas[j].Ratio
+		}
+		return deltas[i].Name < deltas[j].Name
+	})
+	return deltas
+}
+
+// Regressions filters a comparison down to the gate failures.
+func Regressions(deltas []Delta) []Delta {
+	out := []Delta{}
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FileName returns the baseline file name for a date: BENCH_<date>.json.
+func FileName(date string) string { return "BENCH_" + date + ".json" }
+
+// Write stores a baseline as dir/BENCH_<date>.json (creating dir),
+// overwriting any same-day snapshot.
+func Write(dir string, b Baseline) (string, error) {
+	if b.Date == "" {
+		return "", fmt.Errorf("perf: baseline needs a date")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("perf: %w", err)
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("perf: %w", err)
+	}
+	path := filepath.Join(dir, FileName(b.Date))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("perf: %w", err)
+	}
+	return path, nil
+}
+
+// Load reads one baseline file.
+func Load(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, fmt.Errorf("perf: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// Latest returns the newest baseline in dir, excluding any file for
+// excludeDate (so today's fresh snapshot is never compared to itself).
+// The dated file names sort chronologically, so lexicographic order is
+// enough. Returns ok=false when no prior baseline exists.
+func Latest(dir, excludeDate string) (Baseline, string, bool, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return Baseline{}, "", false, fmt.Errorf("perf: %w", err)
+	}
+	sort.Strings(matches)
+	for i := len(matches) - 1; i >= 0; i-- {
+		if excludeDate != "" && filepath.Base(matches[i]) == FileName(excludeDate) {
+			continue
+		}
+		b, err := Load(matches[i])
+		if err != nil {
+			return Baseline{}, "", false, err
+		}
+		return b, matches[i], true, nil
+	}
+	return Baseline{}, "", false, nil
+}

@@ -1,0 +1,125 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: some CPU
+BenchmarkCalculate/csr-serial-4         	     100	  11853175 ns/op	  5123 MFLOPS	       0 B/op	       0 allocs/op
+BenchmarkCalculate/ell-serial-4         	      50	  22000000 ns/op	       16 B/op	       1 allocs/op
+BenchmarkSchedule/static-4              	     200	   5000000 ns/op
+BenchmarkSchedule/balanced              	     300	   4000000 ns/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d entries, want 4: %v", len(got), got)
+	}
+	csr := got["BenchmarkCalculate/csr-serial"]
+	if csr.N != 100 || csr.NsPerOp != 11853175 || csr.BytesPerOp != 0 || csr.AllocsPerOp != 0 {
+		t.Fatalf("csr entry wrong: %+v", csr)
+	}
+	if csr.Metrics["MFLOPS"] != 5123 {
+		t.Fatalf("custom metric lost: %+v", csr)
+	}
+	// GOMAXPROCS suffix stripped, with and without.
+	if _, ok := got["BenchmarkSchedule/static"]; !ok {
+		t.Fatal("suffix not stripped")
+	}
+	if _, ok := got["BenchmarkSchedule/balanced"]; !ok {
+		t.Fatal("suffix-free name lost")
+	}
+	// Missing -benchmem leaves the mem fields at -1.
+	if e := got["BenchmarkSchedule/static"]; e.BytesPerOp != -1 || e.AllocsPerOp != -1 {
+		t.Fatalf("absent benchmem fields should be -1: %+v", e)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("no benchmark lines must error")
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := map[string]Entry{
+		"a": {NsPerOp: 1000, AllocsPerOp: 0},
+		"b": {NsPerOp: 1000, AllocsPerOp: 2},
+		"c": {NsPerOp: 1000, AllocsPerOp: -1},
+		"d": {NsPerOp: 1000, AllocsPerOp: 0},
+	}
+	fresh := map[string]Entry{
+		"a": {NsPerOp: 1100, AllocsPerOp: 0},  // +10%: within 25% tolerance
+		"b": {NsPerOp: 900, AllocsPerOp: 3},   // faster but leaks an alloc
+		"c": {NsPerOp: 2000, AllocsPerOp: -1}, // +100%: regression
+		"e": {NsPerOp: 9999, AllocsPerOp: 9},  // new benchmark: skipped
+	}
+	deltas := Compare(base, fresh, 0.25)
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3 (d and e skipped): %+v", len(deltas), deltas)
+	}
+	// Sorted worst ratio first.
+	if deltas[0].Name != "c" || !deltas[0].Regressed {
+		t.Fatalf("worst delta should be c: %+v", deltas[0])
+	}
+	reg := Regressions(deltas)
+	if len(reg) != 2 {
+		t.Fatalf("got %d regressions, want 2 (c time, b allocs): %+v", len(reg), reg)
+	}
+	for _, d := range reg {
+		if d.Name == "a" {
+			t.Fatal("a is within tolerance and must not regress")
+		}
+		if d.Reason == "" {
+			t.Fatalf("regression without reason: %+v", d)
+		}
+	}
+}
+
+func TestWriteLoadLatest(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bench")
+	for _, date := range []string{"2026-07-01", "2026-07-15", "2026-08-06"} {
+		if _, err := Write(dir, Baseline{
+			Date:       date,
+			Benchmarks: map[string]Entry{"x": {NsPerOp: 42}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, path, ok, err := Latest(dir, "")
+	if err != nil || !ok {
+		t.Fatalf("Latest: %v ok=%v", err, ok)
+	}
+	if b.Date != "2026-08-06" || filepath.Base(path) != "BENCH_2026-08-06.json" {
+		t.Fatalf("latest = %s (%s)", b.Date, path)
+	}
+	// Excluding today's snapshot steps back to the previous one.
+	prev, _, ok, err := Latest(dir, "2026-08-06")
+	if err != nil || !ok {
+		t.Fatalf("Latest exclude: %v ok=%v", err, ok)
+	}
+	if prev.Date != "2026-07-15" {
+		t.Fatalf("previous = %s, want 2026-07-15", prev.Date)
+	}
+	if prev.Benchmarks["x"].NsPerOp != 42 {
+		t.Fatalf("roundtrip lost data: %+v", prev)
+	}
+	// Empty dir: no baseline, no error.
+	if _, _, ok, err := Latest(t.TempDir(), ""); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	if _, err := Write(dir, Baseline{}); err == nil {
+		t.Fatal("dateless baseline accepted")
+	}
+}

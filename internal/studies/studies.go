@@ -190,7 +190,7 @@ func (e *env) newDevice(cfg gpusim.Config) (*gpusim.Device, error) {
 // studies of Chapter 5, and the memory-footprint analysis of future-work
 // §6.3.5.
 func All() []string {
-	return []string{"props", "1", "2", "3", "3.1", "4", "5", "6", "7", "8", "9", "mem"}
+	return []string{"props", "1", "2", "3", "3.1", "4", "5", "6", "7", "8", "9", "mem", "sched"}
 }
 
 // Run dispatches a study by identifier.
@@ -224,6 +224,8 @@ func Run(id string, cfg Config) ([]Section, error) {
 		return e.study9()
 	case "mem":
 		return e.studyMem()
+	case "sched":
+		return e.studySched()
 	default:
 		return nil, fmt.Errorf("studies: unknown study %q (have %v)", id, All())
 	}
@@ -231,7 +233,7 @@ func Run(id string, cfg Config) ([]Section, error) {
 
 // studyProps regenerates Table 5.1: the properties of each matrix.
 func (e *env) studyProps() ([]Section, error) {
-	t := metrics.NewTable("matrix", "size", "nonzeros", "max", "avg", "ratio", "variance", "stddev")
+	t := metrics.NewTable("matrix", "size", "nonzeros", "max", "avg", "ratio", "variance", "stddev", "gini")
 	for _, name := range e.cfg.matrixNames() {
 		m, err := e.matrix(name, e.cfg.Scale)
 		if err != nil {
@@ -242,7 +244,8 @@ func (e *env) studyProps() ([]Section, error) {
 			fmt.Sprintf("%.0f", p.AvgRow),
 			fmt.Sprintf("%.0f", p.Ratio),
 			fmt.Sprintf("%.0f", p.Variance),
-			fmt.Sprintf("%.0f", p.StdDev))
+			fmt.Sprintf("%.0f", p.StdDev),
+			fmt.Sprintf("%.2f", p.Gini))
 	}
 	title := fmt.Sprintf("Table 5.1: Properties of Each Matrix (scale %g)", e.cfg.Scale)
 	return []Section{{Title: title, Table: t}}, nil

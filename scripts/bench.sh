@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# bench.sh — the benchmark-regression flow: run the perf-baseline benches
+# with -benchmem, snapshot the numbers as results/bench/BENCH_<date>.json,
+# and gate against the previous baseline (exit 2 on regression).
+#
+#   ./scripts/bench.sh                   # full gate run
+#   BENCHTIME=1x ./scripts/bench.sh      # smoke: one iteration per bench
+#   TOLERANCE=0.10 ./scripts/bench.sh    # tighter ns/op gate
+#   FILTER='^BenchmarkCalculate$' ./scripts/bench.sh
+#
+# The default filter covers the steady-state Calculate costs per format,
+# the static-vs-balanced schedule race and the pooled-vs-spawn dispatch
+# race. Numbers are host-dependent: commit a refreshed baseline when the
+# hardware or the kernels legitimately change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME=${BENCHTIME:-0.5s}
+TOLERANCE=${TOLERANCE:-0.25}
+FILTER=${FILTER:-'^(BenchmarkCalculate|BenchmarkSchedule|BenchmarkPool)$'}
+DIR=${DIR:-results/bench}
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+echo "== go test -bench $FILTER (benchtime $BENCHTIME) =="
+go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" . | tee "$out"
+
+echo
+echo "== perf gate (tolerance $TOLERANCE) =="
+go run ./cmd/spmmbench -perf-baseline "$DIR" -perf-input "$out" \
+    -perf-tolerance "$TOLERANCE" -perf-label "bench.sh benchtime=$BENCHTIME"

@@ -21,4 +21,7 @@ fi
 echo "== go test -race (parallel, harness) =="
 go test -race ./internal/parallel/... ./internal/harness/...
 
+echo "== bench smoke (1 iteration per bench) =="
+go test -run '^$' -bench . -benchtime=1x . > /dev/null
+
 echo "check.sh: all checks passed"

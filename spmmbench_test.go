@@ -113,7 +113,7 @@ func TestFacadeListings(t *testing.T) {
 	if len(KernelNames()) == 0 {
 		t.Fatal("kernel names")
 	}
-	if len(StudyIDs()) != 12 {
+	if len(StudyIDs()) != 13 {
 		t.Fatalf("study ids: %v", StudyIDs())
 	}
 	if len(ArchProfiles()) != 2 {
