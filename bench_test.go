@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/formats"
 	"repro/internal/gen"
 	"repro/internal/gpusim"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 	"repro/internal/vendorlib"
 )
 
@@ -685,6 +687,74 @@ func BenchmarkPool(b *testing.B) {
 		}
 		reportMFLOPS(b, nnz, k)
 	})
+}
+
+// BenchmarkTraceOverhead pins the tracer's cost contract on the serial CSR
+// Calculate. The "disabled" row must read 0 allocs/op and stay within the
+// perf gate's tolerance of BenchmarkCalculate/csr-serial — a tracer that
+// taxes instrumented-but-untraced runs is a regression even if every other
+// number holds. The "enabled" row documents the recording cost for scale.
+func BenchmarkTraceOverhead(b *testing.B) {
+	m := benchMatrix(b)
+	const k = 128
+	bb := matrix.NewDenseRand[float64](m.Cols, k, 1)
+	c := matrix.NewDense[float64](m.Rows, k)
+	csr := formats.CSRFromCOO(m)
+	run := func(b *testing.B, tr *trace.Tracer) {
+		parallel.SetTracer(tr)
+		defer parallel.SetTracer(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := tr.Start()
+			if err := kernels.CSRSerial(csr, bb, c, k); err != nil {
+				b.Fatal(err)
+			}
+			tr.EndDetail(0, trace.PhaseCalculate, "csr-serial", s, 0)
+		}
+		reportMFLOPS(b, m.NNZ(), k)
+	}
+	b.Run("disabled", func(b *testing.B) {
+		run(b, trace.New(8, 1<<10)) // constructed but never enabled
+	})
+	b.Run("enabled", func(b *testing.B) {
+		tr := trace.New(8, 1<<10)
+		tr.SetEnabled(true)
+		run(b, tr)
+	})
+}
+
+// BenchmarkPhaseMix runs the full benchmark pipeline (prepare, warm-up,
+// calculate, verify) with tracing enabled and reports the per-phase time
+// shares and worker idle fraction as custom metrics. perf.Parse stores
+// custom units in the baseline JSON, so scripts/bench.sh makes regressions
+// in phase *mix* — not just end-to-end ns/op — diffable across baselines.
+func BenchmarkPhaseMix(b *testing.B) {
+	m := benchMatrix(b)
+	tr := trace.New(8, 1<<14)
+	tr.SetEnabled(true)
+	parallel.SetTracer(tr)
+	defer parallel.SetTracer(nil)
+	k, err := core.New("csr-omp", core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.DefaultParams()
+	p.Reps = 1
+	p.Threads = 4
+	p.Trace = tr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(k, m, "bcsstk17", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	mix := metrics.PhaseMixFrom(tr.Summary())
+	for _, phase := range []string{trace.PhasePrepare, trace.PhaseCalculate, trace.PhaseVerify} {
+		b.ReportMetric(mix.Shares[phase]*100, phase+"-%")
+	}
+	b.ReportMetric(mix.WorkerIdleFraction*100, "worker-idle-%")
 }
 
 // BenchmarkSpMV covers the future-work SpMV path (§6.3.4) per format.

@@ -45,6 +45,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof" // -pprof opt-in profiling endpoint
 	"os"
 	"strconv"
 	"strings"
@@ -60,6 +62,7 @@ import (
 	"repro/internal/mmio"
 	"repro/internal/parallel"
 	"repro/internal/perf"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -87,6 +90,10 @@ func main() {
 		journal   = flag.String("journal", "", "campaign: JSONL checkpoint journal path")
 		resume    = flag.Bool("resume", false, "campaign: skip runs already recorded in -journal")
 
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (open in chrome://tracing or https://ui.perfetto.dev)")
+		traceSum  = flag.Bool("trace-summary", false, "print the per-phase time summary table after the run")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the run executes")
+
 		perfBaseline = flag.String("perf-baseline", "", "perf gate: parse `go test -bench` output (stdin or -perf-input), snapshot a dated baseline into this directory and compare against the previous one")
 		perfInput    = flag.String("perf-input", "", "perf gate: bench output file (default: stdin)")
 		perfTol      = flag.Float64("perf-tolerance", 0.25, "perf gate: allowed fractional ns/op growth before failing (allocs/op growth always fails)")
@@ -97,6 +104,53 @@ func main() {
 	if *perfBaseline != "" {
 		runPerfGate(*perfBaseline, *perfInput, *perfTol, *perfLabel)
 		return
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "spmmbench: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "spmmbench: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	// The tracer is sized to one pipeline lane plus one lane per worker the
+	// run can use; the ring keeps the newest 32Ki spans per lane.
+	var tracer *trace.Tracer
+	if *traceOut != "" || *traceSum {
+		lanes := *threads + 2
+		for _, tok := range strings.Split(*threadsList, ",") {
+			if v, err := strconv.Atoi(strings.TrimSpace(tok)); err == nil && v+2 > lanes {
+				lanes = v + 2
+			}
+		}
+		tracer = trace.New(lanes, 1<<15)
+		tracer.SetEnabled(true)
+		parallel.SetTracer(tracer)
+		defer func() {
+			parallel.SetTracer(nil)
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					fatal(err)
+				}
+				if err := tracer.WriteChromeTrace(f); err != nil {
+					f.Close()
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "spmmbench: trace written to %s (%d spans)\n", *traceOut, tracer.Len())
+			}
+			if *traceSum {
+				fmt.Println()
+				if err := tracer.Summary().WriteTable(os.Stdout); err != nil {
+					fatal(err)
+				}
+			}
+		}()
 	}
 
 	var sched kernels.Schedule
@@ -148,19 +202,21 @@ func main() {
 			}
 		}
 		p := core.Params{Reps: *reps, Threads: *threads, BlockSize: *block, K: *kArg,
-			Verify: *verify, Debug: *debug, Seed: 1, Schedule: sched, Pool: pool}
+			Verify: *verify, Debug: *debug, Seed: 1, Schedule: sched, Pool: pool, Trace: tracer}
 		cfg := harness.Config{
 			Timeout: *timeout, Retries: *retries, MemBudget: budget,
-			Journal: *journal, Resume: *resume, Seed: 1, Log: os.Stderr,
+			Journal: *journal, Resume: *resume, Seed: 1, Log: os.Stderr, Trace: tracer,
 		}
 		runCampaign(splitList(*kernelName), splitList(*matrixName), *scale, *device, p, cfg)
 		return
 	}
 
+	span := tracer.Start()
 	a, err := loadMatrix(*matrixName, *scale)
 	if err != nil {
 		fatal(err)
 	}
+	tracer.EndDetail(0, trace.PhaseLoad, *matrixName, span, int64(a.NNZ()))
 
 	if *op == "spmv" {
 		k, err := core.NewSpMV(*kernelName)
@@ -206,6 +262,7 @@ func main() {
 		Seed:      1,
 		Schedule:  sched,
 		Pool:      pool,
+		Trace:     tracer,
 	}
 
 	props := metrics.Compute(a)
@@ -341,7 +398,14 @@ func runCampaign(kernels, matrices []string, scale float64, device string, p cor
 			plan = append(plan, harness.Spec{
 				Kernel: kName,
 				Matrix: mName,
-				Load:   func() (*matrix.COO[float64], error) { return loadMatrix(mName, scale) },
+				Load: func() (*matrix.COO[float64], error) {
+					span := cfg.Trace.Start()
+					m, err := loadMatrix(mName, scale)
+					if err == nil {
+						cfg.Trace.EndDetail(0, trace.PhaseLoad, mName, span, int64(m.NNZ()))
+					}
+					return m, err
+				},
 				Opts:   opts,
 				Params: p,
 			})

@@ -19,8 +19,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
 	"repro/internal/studies"
+	"repro/internal/trace"
 )
 
 var unsafeChars = regexp.MustCompile(`[^a-zA-Z0-9._-]+`)
@@ -64,6 +68,9 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each section as a CSV file into this directory")
 		chart    = flag.Bool("chart", false, "render bar charts (the figures' shape) instead of tables")
 
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the study run to this file (open in chrome://tracing or https://ui.perfetto.dev)")
+		traceSum = flag.Bool("trace-summary", false, "print the per-phase time summary table after the studies")
+
 		timeout   = flag.Duration("timeout", 0, "harness: per-benchmark timeout (0 disables)")
 		retries   = flag.Int("retries", 0, "harness: extra attempts for transient failures")
 		memBudget = flag.String("mem-budget", "", "harness: per-run format footprint budget, e.g. 512MiB")
@@ -79,6 +86,39 @@ func main() {
 	cfg.Verify = *verify
 	if *matrices != "" {
 		cfg.Matrices = strings.Split(*matrices, ",")
+	}
+
+	// Tracing: per-worker chunk spans come from the parallel package hook;
+	// pipeline phase spans ride in via a Runner wrapper that stamps the
+	// tracer onto every benchmark's Params.
+	var tracer *trace.Tracer
+	if *traceOut != "" || *traceSum {
+		tracer = trace.New(parallel.MaxThreads()*2+2, 1<<15)
+		tracer.SetEnabled(true)
+		parallel.SetTracer(tracer)
+		defer func() {
+			parallel.SetTracer(nil)
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err == nil {
+					err = tracer.WriteChromeTrace(f)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "spmmstudy: trace: %v\n", err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "spmmstudy: trace written to %s (%d spans)\n", *traceOut, tracer.Len())
+			}
+			if *traceSum {
+				fmt.Println()
+				if err := tracer.Summary().WriteTable(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "spmmstudy: %v\n", err)
+				}
+			}
+		}()
 	}
 
 	// Any resilience flag routes every benchmark through the campaign
@@ -101,7 +141,7 @@ func main() {
 		}
 		hcfg := harness.Config{
 			Timeout: *timeout, Retries: *retries, MemBudget: budget,
-			Journal: *journal, Resume: *resume, Seed: 1,
+			Journal: *journal, Resume: *resume, Seed: 1, Trace: tracer,
 		}
 		if !*quiet {
 			hcfg.Log = os.Stderr
@@ -114,6 +154,25 @@ func main() {
 		}
 		defer h.Close()
 		cfg.Runner = h.Runner()
+	}
+
+	if tracer != nil {
+		// Stamp the tracer onto every benchmark's Params so the runner's
+		// phase spans (prepare/warmup/calculate/verify) are recorded whether
+		// or not the harness is in the loop.
+		base := cfg.Runner
+		cfg.Runner = func(kernelName string, opts core.Options, a *matrix.COO[float64],
+			matrixName string, p core.Params) (core.Result, error) {
+			p.Trace = tracer
+			if base != nil {
+				return base(kernelName, opts, a, matrixName, p)
+			}
+			k, err := core.New(kernelName, opts)
+			if err != nil {
+				return core.Result{}, err
+			}
+			return core.Run(k, a, matrixName, p)
+		}
 	}
 
 	ids := studies.All()

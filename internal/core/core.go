@@ -14,6 +14,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // ErrUnknownKernel is returned when a kernel name is not registered.
@@ -83,6 +84,11 @@ type Params struct {
 	// loops. It rides in Params because the Kernel interface's Calculate
 	// signature is fixed; nil means run to completion.
 	Ctx context.Context
+	// Trace, when non-nil and enabled, receives pipeline spans from the
+	// runner (prepare/warmup/calculate/verify on lane 0) and is forwarded
+	// to the kernels' Opts variants for per-dispatch spans. Nil is a valid,
+	// free no-op — see internal/trace.
+	Trace *trace.Tracer
 }
 
 // Context returns p.Ctx, or context.Background() when unset.
@@ -96,7 +102,7 @@ func (p Params) Context() context.Context {
 // kernelOpts packs the scheduling parameters for the kernels' Opts
 // variants.
 func (p Params) kernelOpts() kernels.Opts {
-	return kernels.Opts{Schedule: p.Schedule, Pool: p.Pool}
+	return kernels.Opts{Schedule: p.Schedule, Pool: p.Pool, Trace: p.Trace}
 }
 
 // scheduled reports whether the run asks for non-default parallel machinery

@@ -415,6 +415,11 @@ func (k *gpuKernel) Bytes() int {
 }
 
 func (k *gpuKernel) Calculate(b, c *matrix.Dense[float64], p Params) error {
+	if p.Trace != nil && k.dev != nil {
+		// Forward the run's tracer so every Launch lands a simulated-time
+		// span; the device keeps it for subsequent launches.
+		k.dev.Trace = p.Trace
+	}
 	var res gpusim.LaunchResult
 	var err error
 	switch {

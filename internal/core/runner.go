@@ -9,6 +9,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Run benchmarks one kernel on one matrix: Prepare is timed as the
@@ -45,10 +46,12 @@ func Run(k Kernel, a *matrix.COO[float64], matrixName string, p Params) (Result,
 		Block:   p.BlockSize,
 	}
 
+	span := p.Trace.Start()
 	start := time.Now()
 	if err := k.Prepare(a, p); err != nil {
 		return Result{}, fmt.Errorf("core: %s: prepare: %w", k.Name(), err)
 	}
+	p.Trace.EndDetail(0, trace.PhasePrepare, k.Name(), span, int64(a.NNZ()))
 	res.FormatSeconds = time.Since(start).Seconds()
 	res.FormatBytes = k.Bytes()
 
@@ -68,9 +71,11 @@ func Run(k Kernel, a *matrix.COO[float64], matrixName string, p Params) (Result,
 		reps = 1
 	} else {
 		// Warm-up (untimed), also surfacing calculation errors early.
+		span = p.Trace.Start()
 		if err := k.Calculate(operand, c, p); err != nil {
 			return Result{}, fmt.Errorf("core: %s: calculate: %w", k.Name(), err)
 		}
+		p.Trace.EndDetail(0, trace.PhaseWarmup, k.Name(), span, 0)
 	}
 
 	var total, minSec float64
@@ -79,6 +84,7 @@ func Run(k Kernel, a *matrix.COO[float64], matrixName string, p Params) (Result,
 			return Result{}, fmt.Errorf("core: %s: rep %d: %w", k.Name(), rep, err)
 		}
 		var secs float64
+		span = p.Trace.Start()
 		if k.Transposed() {
 			// The transpose is part of the measured work.
 			t0 := time.Now()
@@ -94,6 +100,7 @@ func Run(k Kernel, a *matrix.COO[float64], matrixName string, p Params) (Result,
 			}
 			secs = time.Since(t0).Seconds()
 		}
+		p.Trace.EndDetail(0, trace.PhaseCalculate, k.Name(), span, int64(rep))
 		if isModel {
 			secs = model.ModelSeconds()
 		}
@@ -110,6 +117,8 @@ func Run(k Kernel, a *matrix.COO[float64], matrixName string, p Params) (Result,
 		if err := p.Context().Err(); err != nil {
 			return Result{}, fmt.Errorf("core: %s: verify: %w", k.Name(), err)
 		}
+		span = p.Trace.Start()
+		defer func() { p.Trace.EndDetail(0, trace.PhaseVerify, k.Name(), span, 0) }()
 		ref := matrix.NewDense[float64](a.Rows, p.K)
 		if err := kernels.COOSerialCtx(p.Ctx, a, b, ref, p.K); err != nil {
 			return Result{}, fmt.Errorf("core: reference kernel: %w", err)

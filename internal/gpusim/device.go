@@ -3,6 +3,8 @@ package gpusim
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/trace"
 )
 
 // Device is a simulated GPU. Allocate buffers, then Launch warp-synchronous
@@ -12,6 +14,10 @@ type Device struct {
 	allocated int64
 	nextBase  uint64
 	l2        *l2cache
+	// Trace, when non-nil and enabled, receives one simulated-time span per
+	// Launch (the modelled kernel duration on the tracer's simulated
+	// timeline — same schema as real runs, separate Chrome-trace process).
+	Trace *trace.Tracer
 }
 
 // NewDevice creates a device from the configuration.
@@ -276,10 +282,19 @@ func (d *Device) Launch(blocks, threadsPerBlock int, kernel func(w *Warp)) (Laun
 			worst, bound = cycles, b
 		}
 	}
-	return LaunchResult{
+	res := LaunchResult{
 		Cycles:  worst,
 		Seconds: worst / (d.cfg.ClockGHz * 1e9),
 		Stats:   agg,
 		Bound:   bound,
-	}, nil
+	}
+	if d.Trace.Enabled() {
+		durNs := int64(res.Seconds * 1e9)
+		if durNs < 1 {
+			durNs = 1
+		}
+		start := d.Trace.SimAdvance(durNs)
+		d.Trace.AddSim(0, trace.PhaseSimKernel, res.Bound, start, durNs, int64(res.Cycles))
+	}
+	return res, nil
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Config controls a campaign's resilience features. The zero value runs
@@ -43,6 +44,11 @@ type Config struct {
 	Injector *Injector
 	// Log receives one-line progress notes; nil discards them.
 	Log io.Writer
+	// Trace, when non-nil and enabled, receives recovery-machinery spans
+	// (attempt/backoff intervals, retry/degrade/skip instants on lane 0)
+	// and is forwarded to core.Params so the benchmark phases of
+	// harness-driven runs land in the same trace.
+	Trace *trace.Tracer
 }
 
 // Spec identifies one run of a campaign plan.
@@ -196,9 +202,13 @@ func (h *Harness) RunOne(ctx context.Context, s Spec) Outcome {
 // runLoaded is RunOne past the matrix-loading step.
 func (h *Harness) runLoaded(ctx context.Context, s Spec, m *matrix.COO[float64]) Outcome {
 	id := s.id(m)
+	if s.Params.Trace == nil {
+		s.Params.Trace = h.cfg.Trace
+	}
 
 	if rec, ok := h.done[id]; ok {
 		h.counters.Add("skipped", 1)
+		h.cfg.Trace.Instant(0, trace.PhaseSkip, id, 0)
 		h.logf("skip %s: already journaled (%s)", id, rec.Status)
 		out := Outcome{Spec: s, ID: id, Status: StatusSkipped, RanKernel: rec.Kernel}
 		if rec.Substituted != "" {
@@ -233,7 +243,9 @@ func (h *Harness) runLoaded(ctx context.Context, s Spec, m *matrix.COO[float64])
 		_, isModel := k.(core.ModelTimed)
 		k = h.cfg.Injector.Wrap(id, k)
 
+		span := h.cfg.Trace.Start()
 		res, err := h.safeRun(ctx, k, m, s.Matrix, s.Params)
+		h.cfg.Trace.EndDetail(0, trace.PhaseAttempt, id, span, int64(attempts))
 		if err == nil {
 			status := StatusOK
 			if degraded {
@@ -253,7 +265,10 @@ func (h *Harness) runLoaded(ctx context.Context, s Spec, m *matrix.COO[float64])
 		if attempts == 1 {
 			h.counters.Add("retried", 1)
 		}
+		h.cfg.Trace.Instant(0, trace.PhaseRetry, class.String(), int64(attempts))
+		span = h.cfg.Trace.Start()
 		h.sleep(h.cfg.Backoff.Delay(attempts, h.rng))
+		h.cfg.Trace.End(0, trace.PhaseBackoff, span, int64(attempts))
 	}
 
 	out := Outcome{Spec: s, ID: id, Status: StatusFailed, RanKernel: kernelName,
@@ -284,6 +299,7 @@ func (h *Harness) applyBudget(s Spec, m *matrix.COO[float64]) (string, bool, err
 				ErrOverBudget, format, s.Matrix, FormatBytesHuman(est), FormatBytesHuman(h.cfg.MemBudget))
 		}
 		next := fallbackKernel(kernelName, format, fb)
+		h.cfg.Trace.Instant(0, trace.PhaseDegrade, format+"->"+fb, 0)
 		h.logf("degrade %s on %s: %s needs ~%s > budget %s, falling back to %s",
 			s.Kernel, s.Matrix, format, FormatBytesHuman(est),
 			FormatBytesHuman(h.cfg.MemBudget), next)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/formats"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // The zero-allocation audit: steady-state Calculate must not touch the
@@ -54,6 +55,42 @@ func TestFixedKCalculateZeroAlloc(t *testing.T) {
 				t.Errorf("%s k=%d: %.0f allocs/op, want 0", name, k, n)
 			}
 		}
+	}
+}
+
+// TestSerialCalculateZeroAllocTracerInstalled re-runs the serial audit with
+// a disabled tracer installed both as the parallel package hook and in the
+// Start/End bracket pattern the pipeline uses — the tracer's "disabled is
+// free" contract, pinned where it matters (the acceptance criterion of the
+// observability layer: 0 allocs/op with tracing disabled on serial
+// CSR/ELL/BCSR Calculate).
+func TestSerialCalculateZeroAllocTracerInstalled(t *testing.T) {
+	tr := trace.New(4, 64) // constructed but never enabled
+	parallel.SetTracer(tr)
+	defer parallel.SetTracer(nil)
+	const k = 128
+	_, csr, ell, bcsr, b, c := allocFixtures(t, k)
+	for name, run := range map[string]func(){
+		"csr":  func() { s := tr.Start(); _ = CSRSerial(csr, b, c, k); tr.End(0, trace.PhaseCalculate, s, 0) },
+		"ell":  func() { s := tr.Start(); _ = ELLSerial(ell, b, c, k); tr.End(0, trace.PhaseCalculate, s, 0) },
+		"bcsr": func() { s := tr.Start(); _ = BCSRSerial(bcsr, b, c, k); tr.End(0, trace.PhaseCalculate, s, 0) },
+	} {
+		if n := testing.AllocsPerRun(10, run); n != 0 {
+			t.Errorf("%s serial with disabled tracer: %.0f allocs/op, want 0", name, n)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("disabled tracer recorded %d spans", tr.Len())
+	}
+
+	// The pooled parallel path must stay within its existing closure-only
+	// budget when the hook holds a disabled tracer (the unpooled path's
+	// per-call goroutine spawns dominate its allocs either way).
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	o := Opts{Pool: pool, Trace: tr}
+	if n := testing.AllocsPerRun(10, func() { _ = CSRParallelOpts(csr, b, c, k, 4, o) }); n > 3 {
+		t.Errorf("csr pooled opts with disabled tracer: %.0f allocs/op, want <= 3", n)
 	}
 }
 

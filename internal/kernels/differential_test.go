@@ -1,0 +1,199 @@
+package kernels
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"math"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// The differential sweep: every registered kernel variant (serial, parallel,
+// pooled, balanced, transposed-B, fixed-k, every format) runs against the
+// dense GEMM reference on five structurally adversarial matrix classes.
+// Variants whose accumulation order matches the serial per-element order
+// must agree bit for bit; the reassociating variants (private-accumulator
+// reductions) must agree within one ULP of the accumulated magnitude per
+// partial sum — the tightest bound reassociation admits, since an element
+// whose terms cancel can legitimately sit many result-ULPs away while still
+// being correctly rounded at the magnitude it was summed at. A go/parser
+// completeness
+// check closes the loop: an exported SpMM kernel that is not in the registry
+// fails the test, so new variants cannot dodge the sweep.
+
+// sweepK is a multiple of 8 so the fixed-k specialisations participate, and
+// above 8 so the tiled panel chaining (16 = 8+8) is exercised too.
+const sweepK = 16
+
+const sweepThreads = 4
+
+// sweepMatrices builds the five matrix classes of the sweep. All are small
+// enough that the whole registry runs in well under a second.
+func sweepMatrices() map[string]*matrix.COO[float64] {
+	random := matrix.NewCOO[float64](40, 31, 0)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 260; i++ {
+		random.Append(int32(rng.Intn(40)), int32(rng.Intn(31)), rng.NormFloat64())
+	}
+	random.Dedup()
+
+	// Rows 0, 5, 10, ... stay empty, including the first and last row —
+	// the zero-row-length edge every partitioner must step over.
+	empty := matrix.NewCOO[float64](45, 23, 0)
+	for i := 0; i < 200; i++ {
+		r := int32(rng.Intn(45))
+		if r%5 == 0 {
+			continue
+		}
+		empty.Append(r, int32(rng.Intn(23)), rng.NormFloat64())
+	}
+	empty.Dedup()
+
+	// Every nonzero in one interior row: the degenerate imbalance that
+	// collapses the row-aligned COO partition to a single chunk.
+	single := matrix.NewCOO[float64](50, 29, 0)
+	for j := 0; j < 29; j += 2 {
+		single.Append(17, int32(j), rng.NormFloat64())
+	}
+	single.Dedup()
+
+	return map[string]*matrix.COO[float64]{
+		"random":     random,
+		"power-law":  powerLawCOO(120, 60, 7),
+		"empty-row":  empty,
+		"single-row": single,
+		"all-zero":   matrix.NewCOO[float64](30, 17, 0),
+	}
+}
+
+// eps is the float64 machine epsilon: one ULP at magnitude 1.
+const eps = 0x1p-52
+
+// sumAbsRef returns Σ|a[i,l]·b[l,j]| per output element — the accumulated
+// magnitude each C element was summed at. One ULP at that magnitude,
+// per reassociation boundary, is the error budget of the non-bitwise
+// variants: splitting a sum into t partials moves the result by at most
+// about t·eps·Σ|terms| regardless of how the terms cancel.
+func sumAbsRef(t *testing.T, coo *matrix.COO[float64], b *matrix.Dense[float64], k int) *matrix.Dense[float64] {
+	absA := coo.ToDense()
+	for i := range absA.Data {
+		absA.Data[i] = math.Abs(absA.Data[i])
+	}
+	absB := b.Clone()
+	for i := range absB.Data {
+		absB.Data[i] = math.Abs(absB.Data[i])
+	}
+	out := matrix.NewDense[float64](coo.Rows, k)
+	if err := GEMM(absA, absB, out); err != nil {
+		t.Fatalf("abs reference: %v", err)
+	}
+	return out
+}
+
+func TestDifferentialSweep(t *testing.T) {
+	pool := parallel.NewPool(sweepThreads)
+	defer pool.Close()
+	variants := Variants()
+	for class, coo := range sweepMatrices() {
+		in, err := NewVariantInput(coo, sweepK, sweepThreads, 3, 4, 8, 21)
+		if err != nil {
+			t.Fatalf("%s: fixture: %v", class, err)
+		}
+		in.Pool = pool
+
+		ref := matrix.NewDense[float64](coo.Rows, sweepK)
+		if err := GEMM(coo.ToDense(), in.B, ref); err != nil {
+			t.Fatalf("%s: reference: %v", class, err)
+		}
+		sumAbs := sumAbsRef(t, coo, in.B, sweepK)
+
+		for _, v := range variants {
+			t.Run(class+"/"+v.Name, func(t *testing.T) {
+				out := matrix.NewDense[float64](coo.Rows, sweepK)
+				for i := range out.Data {
+					out.Data[i] = 1e301 // poison: the kernel must overwrite
+				}
+				if err := v.Run(in, out); err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				for i := 0; i < coo.Rows; i++ {
+					for j := 0; j < sweepK; j++ {
+						got, want := out.At(i, j), ref.At(i, j)
+						if v.Bitwise {
+							if math.Float64bits(got) != math.Float64bits(want) {
+								t.Fatalf("C[%d,%d] = %v (%#x), dense reference %v (%#x): bitwise contract broken",
+									i, j, got, math.Float64bits(got), want, math.Float64bits(want))
+							}
+						} else if tol := float64(sweepThreads+1) * eps * sumAbs.At(i, j); math.Abs(got-want) > tol {
+							t.Fatalf("C[%d,%d] = %v, dense reference %v: off by %g, tolerance %g (1 ULP at accumulated magnitude %g per partial sum)",
+								i, j, got, want, math.Abs(got-want), tol, sumAbs.At(i, j))
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// kernelFuncPattern matches the exported SpMM kernel entry points: a format
+// prefix followed by a machinery suffix. SpMV kernels, flops helpers and
+// the dense GEMM reference are outside the sweep's scope.
+var kernelFuncPattern = regexp.MustCompile(`^(COO|CSR|CSC|ELL|BCSR|BELL|SELLCS)[A-Za-z]*$`)
+
+// TestVariantRegistryComplete parses the package source and cross-checks
+// the declared kernel entry points against the registry, in both
+// directions: an exported kernel missing from the registry fails (adding a
+// variant without sweep coverage is a test failure), and a registry Func
+// naming no declared function fails (catches renames and typos).
+func TestVariantRegistryComplete(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv != nil || !fd.Name.IsExported() {
+					continue
+				}
+				name := fd.Name.Name
+				if kernelFuncPattern.MatchString(name) && !strings.Contains(name, "SpMV") {
+					declared[name] = false // not yet seen in the registry
+				}
+			}
+		}
+	}
+	if len(declared) == 0 {
+		t.Fatal("parsed no kernel entry points — pattern or directory wrong")
+	}
+
+	registered := map[string]bool{}
+	for _, v := range Variants() {
+		registered[v.Func] = true
+		if _, ok := declared[v.Func]; ok {
+			declared[v.Func] = true
+		}
+	}
+	for name, covered := range declared {
+		if !covered {
+			t.Errorf("exported kernel %s has no entry in the variant registry — add it to Variants() so the differential sweep covers it", name)
+		}
+	}
+	for name := range registered {
+		if _, ok := declared[name]; !ok {
+			t.Errorf("registry names %s but the package declares no such kernel", name)
+		}
+	}
+}

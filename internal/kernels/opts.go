@@ -4,6 +4,7 @@ import (
 	"repro/internal/formats"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // This file is the scheduling layer of the parallel kernels: every
@@ -45,6 +46,10 @@ type Opts struct {
 	// Pool, when non-nil, runs the chunks on the persistent worker pool
 	// instead of spawning goroutines per call.
 	Pool *parallel.Pool
+	// Trace, when non-nil and enabled, receives one "kernel" span per Opts
+	// dispatch (lane 0, detail = format, arg = thread count). Per-worker
+	// chunk spans come from internal/parallel's own hook, not from here.
+	Trace *trace.Tracer
 }
 
 // CSRParallelOpts is CSRParallel under the given scheduling options.
@@ -60,9 +65,11 @@ func CSRParallelOpts[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], k
 	if o.Schedule == ScheduleBalanced {
 		e.Bounds = a.BalancedBounds(threads)
 	}
+	span := o.Trace.Start()
 	e.Run(a.Rows, threads, func(lo, hi, _ int) {
 		csrRows(a, b, c, k, lo, hi)
 	})
+	o.Trace.EndDetail(0, trace.PhaseKernel, "csr", span, int64(threads))
 	return nil
 }
 
@@ -76,9 +83,11 @@ func BCSRParallelOpts[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T],
 	if o.Schedule == ScheduleBalanced {
 		e.Bounds = a.BalancedBounds(threads)
 	}
+	span := o.Trace.Start()
 	e.Run(a.BlockRows, threads, func(lo, hi, _ int) {
 		bcsrBlockRows(a, b, c, k, lo, hi)
 	})
+	o.Trace.EndDetail(0, trace.PhaseKernel, "bcsr", span, int64(threads))
 	return nil
 }
 
@@ -93,9 +102,11 @@ func SELLCSParallelOpts[T matrix.Float](a *formats.SELLCS[T], b, c *matrix.Dense
 	if o.Schedule == ScheduleBalanced {
 		e.Bounds = a.BalancedBounds(threads)
 	}
+	span := o.Trace.Start()
 	e.Run(a.NumSlices(), threads, func(lo, hi, _ int) {
 		sellSlices(a, b, c, k, lo, hi)
 	})
+	o.Trace.EndDetail(0, trace.PhaseKernel, "sellcs", span, int64(threads))
 	return nil
 }
 
@@ -108,9 +119,11 @@ func ELLParallelOpts[T matrix.Float](a *formats.ELL[T], b, c *matrix.Dense[T], k
 		return err
 	}
 	e := parallel.Exec{Pool: o.Pool}
+	span := o.Trace.Start()
 	e.Run(a.Rows, threads, func(lo, hi, _ int) {
 		ellRows(a, b, c, k, lo, hi)
 	})
+	o.Trace.EndDetail(0, trace.PhaseKernel, "ell", span, int64(threads))
 	return nil
 }
 
@@ -122,9 +135,11 @@ func BELLParallelOpts[T matrix.Float](a *formats.BELL[T], b, c *matrix.Dense[T],
 		return err
 	}
 	e := parallel.Exec{Pool: o.Pool}
+	span := o.Trace.Start()
 	e.Run(a.BlockRows, threads, func(lo, hi, _ int) {
 		bellBlockRows(a, b, c, k, lo, hi)
 	})
+	o.Trace.EndDetail(0, trace.PhaseKernel, "bell", span, int64(threads))
 	return nil
 }
 
@@ -139,6 +154,7 @@ func COOParallelOpts[T matrix.Float](a *matrix.COO[T], b, c *matrix.Dense[T], k,
 	}
 	bounds := cooRowPartition(a, threads)
 	chunks := len(bounds) - 1
+	span := o.Trace.Start()
 	e := parallel.Exec{Pool: o.Pool}
 	e.Run(c.Rows, threads, func(lo, hi, _ int) {
 		zeroKRows(c, k, lo, hi)
@@ -151,5 +167,6 @@ func COOParallelOpts[T matrix.Float](a *matrix.COO[T], b, c *matrix.Dense[T], k,
 			axpy(c.Data[r*c.Stride:], b.Data[col*b.Stride:], a.Vals[p], k)
 		}
 	})
+	o.Trace.EndDetail(0, trace.PhaseKernel, "coo", span, int64(threads))
 	return nil
 }

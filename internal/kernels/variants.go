@@ -1,0 +1,334 @@
+package kernels
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/formats"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// This file is the kernel-variant registry behind the differential-testing
+// sweep: every exported SpMM entry point (serial, goroutine-per-call,
+// pooled, balanced, transposed-B, fixed-k, every format) is listed here
+// exactly once per distinct code path, with its accumulation-order contract
+// (bitwise vs. reassociated) recorded next to it. The sweep runs the whole
+// registry against the dense reference; a completeness test parses the
+// package and fails if an exported kernel is missing from the registry, so
+// a new variant cannot land without sweep coverage.
+
+// VariantInput bundles one sparse matrix in every format the suite knows,
+// plus the dense operands, so a single fixture drives every registered
+// variant. Build it with NewVariantInput.
+type VariantInput struct {
+	COO   *matrix.COO[float64]
+	CSR   *formats.CSR[float64]
+	CSC   *formats.CSC[float64]
+	ELL   *formats.ELL[float64] // row-major value layout
+	ELLCM *formats.ELL[float64] // column-major value layout
+	BCSR  *formats.BCSR[float64]
+	BELL  *formats.BELL[float64]
+	SELL  *formats.SELLCS[float64]
+
+	B  *matrix.Dense[float64] // n×k dense operand
+	BT *matrix.Dense[float64] // k×n transpose for the *T kernels
+
+	K       int
+	Threads int
+	// Pool, when non-nil, backs the pooled Opts variants; nil degrades them
+	// to goroutine-per-call (still correct, just a different machinery).
+	Pool *parallel.Pool
+}
+
+// NewVariantInput converts coo into every format and materialises the dense
+// operands. block is the BCSR/BELL block edge, c and sigma the SELL-C-σ
+// parameters, seed the B fill.
+func NewVariantInput(coo *matrix.COO[float64], k, threads, block, c, sigma int, seed int64) (*VariantInput, error) {
+	bcsr, err := formats.BCSRFromCOO(coo, block, block)
+	if err != nil {
+		return nil, fmt.Errorf("bcsr: %w", err)
+	}
+	bell, err := formats.BELLFromCOO(coo, block, block)
+	if err != nil {
+		return nil, fmt.Errorf("bell: %w", err)
+	}
+	sell, err := formats.SELLCSFromCOO(coo, c, sigma)
+	if err != nil {
+		return nil, fmt.Errorf("sellcs: %w", err)
+	}
+	b := matrix.NewDenseRand[float64](coo.Cols, k, seed)
+	return &VariantInput{
+		COO:     coo,
+		CSR:     formats.CSRFromCOO(coo),
+		CSC:     formats.CSCFromCOO(coo),
+		ELL:     formats.ELLFromCOO(coo, formats.RowMajor),
+		ELLCM:   formats.ELLFromCOO(coo, formats.ColMajor),
+		BCSR:    bcsr,
+		BELL:    bell,
+		SELL:    sell,
+		B:       b,
+		BT:      b.Transpose(),
+		K:       k,
+		Threads: threads,
+	}, nil
+}
+
+// Variant is one registered kernel entry point.
+type Variant struct {
+	// Name is the sweep identifier, "<format>/<machinery>".
+	Name string
+	// Format is the sparse format the variant consumes.
+	Format string
+	// Func is the exported kernel function the variant exercises. The
+	// completeness test cross-checks this set against the package's
+	// declarations, in both directions.
+	Func string
+	// Bitwise records the accumulation-order contract: true means the
+	// variant preserves the serial per-element accumulation order (ascending
+	// column per output element) and must match the dense reference bit for
+	// bit; false means it reassociates partial sums (replicated/private
+	// accumulators) and is only required to match within tolerance.
+	Bitwise bool
+	// NeedsFixedK marks the fixed-k specialisations, defined only for
+	// k % 8 == 0 (HasFixedK); sweeps with other k skip these.
+	NeedsFixedK bool
+	// Run executes the variant, overwriting out[:, :K].
+	Run func(in *VariantInput, out *matrix.Dense[float64]) error
+}
+
+// Variants returns the full registry. The list is rebuilt per call so tests
+// may not corrupt shared state.
+func Variants() []Variant {
+	ctx := context.Background()
+	pooled := func(in *VariantInput, sched Schedule) Opts {
+		return Opts{Schedule: sched, Pool: in.Pool}
+	}
+	return []Variant{
+		// COO — the verification format. Row-aligned partitions keep the
+		// per-element order; only the replicated ablation reassociates.
+		{Name: "coo/serial", Format: "coo", Func: "COOSerial", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error { return COOSerial(in.COO, in.B, out, in.K) }},
+		{Name: "coo/serial-ctx", Format: "coo", Func: "COOSerialCtx", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return COOSerialCtx(ctx, in.COO, in.B, out, in.K)
+			}},
+		{Name: "coo/parallel", Format: "coo", Func: "COOParallel", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return COOParallel(in.COO, in.B, out, in.K, in.Threads)
+			}},
+		{Name: "coo/parallel-ctx", Format: "coo", Func: "COOParallelCtx", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return COOParallelCtx(ctx, in.COO, in.B, out, in.K, in.Threads)
+			}},
+		{Name: "coo/parallel-replicated", Format: "coo", Func: "COOParallelReplicated", Bitwise: false,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return COOParallelReplicated(in.COO, in.B, out, in.K, in.Threads)
+			}},
+		{Name: "coo/serial-bt", Format: "coo", Func: "COOSerialT", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error { return COOSerialT(in.COO, in.BT, out, in.K) }},
+		{Name: "coo/parallel-bt", Format: "coo", Func: "COOParallelT", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return COOParallelT(in.COO, in.BT, out, in.K, in.Threads)
+			}},
+		{Name: "coo/serial-fixed", Format: "coo", Func: "COOSerialFixed", Bitwise: true, NeedsFixedK: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return COOSerialFixed(in.COO, in.B, out, in.K)
+			}},
+		{Name: "coo/parallel-fixed", Format: "coo", Func: "COOParallelFixed", Bitwise: true, NeedsFixedK: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return COOParallelFixed(in.COO, in.B, out, in.K, in.Threads)
+			}},
+		{Name: "coo/opts-static", Format: "coo", Func: "COOParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return COOParallelOpts(in.COO, in.B, out, in.K, in.Threads, Opts{})
+			}},
+		{Name: "coo/opts-pool", Format: "coo", Func: "COOParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return COOParallelOpts(in.COO, in.B, out, in.K, in.Threads, pooled(in, ScheduleStatic))
+			}},
+
+		// CSR — the workhorse. Every variant partitions whole rows, so all
+		// are bitwise, including dynamic scheduling and the balanced splits.
+		{Name: "csr/serial", Format: "csr", Func: "CSRSerial", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error { return CSRSerial(in.CSR, in.B, out, in.K) }},
+		{Name: "csr/serial-ctx", Format: "csr", Func: "CSRSerialCtx", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return CSRSerialCtx(ctx, in.CSR, in.B, out, in.K)
+			}},
+		{Name: "csr/parallel", Format: "csr", Func: "CSRParallel", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return CSRParallel(in.CSR, in.B, out, in.K, in.Threads)
+			}},
+		{Name: "csr/parallel-ctx", Format: "csr", Func: "CSRParallelCtx", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return CSRParallelCtx(ctx, in.CSR, in.B, out, in.K, in.Threads)
+			}},
+		{Name: "csr/parallel-dynamic", Format: "csr", Func: "CSRParallelDynamic", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return CSRParallelDynamic(in.CSR, in.B, out, in.K, in.Threads, 4)
+			}},
+		{Name: "csr/serial-bt", Format: "csr", Func: "CSRSerialT", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error { return CSRSerialT(in.CSR, in.BT, out, in.K) }},
+		{Name: "csr/parallel-bt", Format: "csr", Func: "CSRParallelT", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return CSRParallelT(in.CSR, in.BT, out, in.K, in.Threads)
+			}},
+		{Name: "csr/serial-fixed", Format: "csr", Func: "CSRSerialFixed", Bitwise: true, NeedsFixedK: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return CSRSerialFixed(in.CSR, in.B, out, in.K)
+			}},
+		{Name: "csr/parallel-fixed", Format: "csr", Func: "CSRParallelFixed", Bitwise: true, NeedsFixedK: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return CSRParallelFixed(in.CSR, in.B, out, in.K, in.Threads)
+			}},
+		{Name: "csr/opts-static", Format: "csr", Func: "CSRParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return CSRParallelOpts(in.CSR, in.B, out, in.K, in.Threads, Opts{})
+			}},
+		{Name: "csr/opts-balanced", Format: "csr", Func: "CSRParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return CSRParallelOpts(in.CSR, in.B, out, in.K, in.Threads, Opts{Schedule: ScheduleBalanced})
+			}},
+		{Name: "csr/opts-pool", Format: "csr", Func: "CSRParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return CSRParallelOpts(in.CSR, in.B, out, in.K, in.Threads, pooled(in, ScheduleStatic))
+			}},
+		{Name: "csr/opts-balanced-pool", Format: "csr", Func: "CSRParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return CSRParallelOpts(in.CSR, in.B, out, in.K, in.Threads, pooled(in, ScheduleBalanced))
+			}},
+
+		// CSC — column orientation. The serial kernel still visits each
+		// output element's terms in ascending column order (bitwise); the
+		// parallel kernel reduces private replicas (reassociated).
+		{Name: "csc/serial", Format: "csc", Func: "CSCSerial", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error { return CSCSerial(in.CSC, in.B, out, in.K) }},
+		{Name: "csc/parallel", Format: "csc", Func: "CSCParallel", Bitwise: false,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return CSCParallel(in.CSC, in.B, out, in.K, in.Threads)
+			}},
+
+		// ELL — both value layouts through the same entry points; padding
+		// slots contribute exact-zero terms that cannot perturb the sum.
+		{Name: "ell/serial", Format: "ell", Func: "ELLSerial", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error { return ELLSerial(in.ELL, in.B, out, in.K) }},
+		{Name: "ell/serial-colmajor", Format: "ell", Func: "ELLSerial", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error { return ELLSerial(in.ELLCM, in.B, out, in.K) }},
+		{Name: "ell/parallel", Format: "ell", Func: "ELLParallel", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return ELLParallel(in.ELL, in.B, out, in.K, in.Threads)
+			}},
+		{Name: "ell/parallel-colmajor", Format: "ell", Func: "ELLParallel", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return ELLParallel(in.ELLCM, in.B, out, in.K, in.Threads)
+			}},
+		{Name: "ell/serial-bt", Format: "ell", Func: "ELLSerialT", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error { return ELLSerialT(in.ELL, in.BT, out, in.K) }},
+		{Name: "ell/parallel-bt", Format: "ell", Func: "ELLParallelT", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return ELLParallelT(in.ELL, in.BT, out, in.K, in.Threads)
+			}},
+		{Name: "ell/serial-fixed", Format: "ell", Func: "ELLSerialFixed", Bitwise: true, NeedsFixedK: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return ELLSerialFixed(in.ELL, in.B, out, in.K)
+			}},
+		{Name: "ell/parallel-fixed", Format: "ell", Func: "ELLParallelFixed", Bitwise: true, NeedsFixedK: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return ELLParallelFixed(in.ELL, in.B, out, in.K, in.Threads)
+			}},
+		{Name: "ell/opts-static", Format: "ell", Func: "ELLParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return ELLParallelOpts(in.ELL, in.B, out, in.K, in.Threads, Opts{})
+			}},
+		{Name: "ell/opts-pool", Format: "ell", Func: "ELLParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return ELLParallelOpts(in.ELL, in.B, out, in.K, in.Threads, pooled(in, ScheduleStatic))
+			}},
+
+		// BCSR — block storage with explicit zero padding inside partial
+		// blocks; the inner-parallel regression variant splits block rows,
+		// never an output element's terms, so even it stays bitwise.
+		{Name: "bcsr/serial", Format: "bcsr", Func: "BCSRSerial", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error { return BCSRSerial(in.BCSR, in.B, out, in.K) }},
+		{Name: "bcsr/parallel", Format: "bcsr", Func: "BCSRParallel", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return BCSRParallel(in.BCSR, in.B, out, in.K, in.Threads)
+			}},
+		{Name: "bcsr/parallel-inner", Format: "bcsr", Func: "BCSRParallelInner", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return BCSRParallelInner(in.BCSR, in.B, out, in.K, in.Threads)
+			}},
+		{Name: "bcsr/serial-bt", Format: "bcsr", Func: "BCSRSerialT", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return BCSRSerialT(in.BCSR, in.BT, out, in.K)
+			}},
+		{Name: "bcsr/parallel-bt", Format: "bcsr", Func: "BCSRParallelT", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return BCSRParallelT(in.BCSR, in.BT, out, in.K, in.Threads)
+			}},
+		{Name: "bcsr/serial-fixed", Format: "bcsr", Func: "BCSRSerialFixed", Bitwise: true, NeedsFixedK: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return BCSRSerialFixed(in.BCSR, in.B, out, in.K)
+			}},
+		{Name: "bcsr/parallel-fixed", Format: "bcsr", Func: "BCSRParallelFixed", Bitwise: true, NeedsFixedK: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return BCSRParallelFixed(in.BCSR, in.B, out, in.K, in.Threads)
+			}},
+		{Name: "bcsr/opts-static", Format: "bcsr", Func: "BCSRParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return BCSRParallelOpts(in.BCSR, in.B, out, in.K, in.Threads, Opts{})
+			}},
+		{Name: "bcsr/opts-balanced", Format: "bcsr", Func: "BCSRParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return BCSRParallelOpts(in.BCSR, in.B, out, in.K, in.Threads, Opts{Schedule: ScheduleBalanced})
+			}},
+		{Name: "bcsr/opts-pool", Format: "bcsr", Func: "BCSRParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return BCSRParallelOpts(in.BCSR, in.B, out, in.K, in.Threads, pooled(in, ScheduleStatic))
+			}},
+		{Name: "bcsr/opts-balanced-pool", Format: "bcsr", Func: "BCSRParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return BCSRParallelOpts(in.BCSR, in.B, out, in.K, in.Threads, pooled(in, ScheduleBalanced))
+			}},
+
+		// BELL — blocked ELL: uniform block rows, so static already balances.
+		{Name: "bell/serial", Format: "bell", Func: "BELLSerial", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error { return BELLSerial(in.BELL, in.B, out, in.K) }},
+		{Name: "bell/parallel", Format: "bell", Func: "BELLParallel", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return BELLParallel(in.BELL, in.B, out, in.K, in.Threads)
+			}},
+		{Name: "bell/opts-static", Format: "bell", Func: "BELLParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return BELLParallelOpts(in.BELL, in.B, out, in.K, in.Threads, Opts{})
+			}},
+		{Name: "bell/opts-pool", Format: "bell", Func: "BELLParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return BELLParallelOpts(in.BELL, in.B, out, in.K, in.Threads, pooled(in, ScheduleStatic))
+			}},
+
+		// SELL-C-σ — σ-sorting permutes row storage order, never the order
+		// of one row's terms, so every variant stays bitwise.
+		{Name: "sellcs/serial", Format: "sellcs", Func: "SELLCSSerial", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return SELLCSSerial(in.SELL, in.B, out, in.K)
+			}},
+		{Name: "sellcs/parallel", Format: "sellcs", Func: "SELLCSParallel", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return SELLCSParallel(in.SELL, in.B, out, in.K, in.Threads)
+			}},
+		{Name: "sellcs/opts-static", Format: "sellcs", Func: "SELLCSParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return SELLCSParallelOpts(in.SELL, in.B, out, in.K, in.Threads, Opts{})
+			}},
+		{Name: "sellcs/opts-balanced", Format: "sellcs", Func: "SELLCSParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return SELLCSParallelOpts(in.SELL, in.B, out, in.K, in.Threads, Opts{Schedule: ScheduleBalanced})
+			}},
+		{Name: "sellcs/opts-pool", Format: "sellcs", Func: "SELLCSParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return SELLCSParallelOpts(in.SELL, in.B, out, in.K, in.Threads, pooled(in, ScheduleStatic))
+			}},
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/formats"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
+	tr "repro/internal/trace" // aliased: `trace` names this file's replay callbacks
 )
 
 // Multicore extends a single-core Profile to a full socket, modelling the
@@ -47,6 +48,11 @@ type Multicore struct {
 	// ForkJoinCycles is the per-thread cost of opening and closing a
 	// parallel region.
 	ForkJoinCycles float64
+	// Trace, when non-nil and enabled, receives simulated-time spans: one
+	// sim-chunk span per software thread (its steady-state chunk latency)
+	// and one sim-kernel span for the combined region wall time, all on the
+	// tracer's simulated timeline.
+	Trace *tr.Tracer
 }
 
 // GraceMachine models the thesis' Grace Hopper CPU socket: 72 cores, no
@@ -142,6 +148,7 @@ func (mc Multicore) simulateParallelBounds(bounds []int, k int, trace chunkTrace
 		totalStreamMiss int64
 		nnz             int
 	)
+	simStart := mc.Trace.SimNow()
 	for w := 0; w < threads; w++ {
 		lo, hi := bounds[w], bounds[w+1]
 		m, err := New(mc.Prof)
@@ -159,6 +166,13 @@ func (mc Multicore) simulateParallelBounds(bounds []int, k int, trace chunkTrace
 		core := w % len(coreLoad)
 		coreLoad[core] += m.Cycles()
 		coreChunks[core]++
+		if mc.Trace.Enabled() {
+			// Chunk spans share the region's simulated start (the model runs
+			// them concurrently) and carry the chunk's pre-contention
+			// latency; the region span below carries the combined wall.
+			chunkNs := int64(m.Cycles() / (mc.Prof.ClockGHz * 1e9) * 1e9)
+			mc.Trace.AddSim(w+1, tr.PhaseSimChunk, mc.Prof.Name, simStart, chunkNs, int64(hi-lo))
+		}
 		totalMemBytes += float64(m.memMiss) * float64(m.lineBytes())
 		totalAccesses += m.accesses
 		totalMisses += m.memMiss
@@ -196,6 +210,14 @@ func (mc Multicore) simulateParallelBounds(bounds []int, k int, trace chunkTrace
 	bandwidth := totalMemBytes / mc.BytesPerCycle
 	wall := max(wallLatency, bandwidth) + mc.ForkJoinCycles*float64(threads)
 	secs := wall / (mc.Prof.ClockGHz * 1e9)
+	if mc.Trace.Enabled() {
+		wallNs := int64(secs * 1e9)
+		if wallNs < 1 {
+			wallNs = 1
+		}
+		mc.Trace.AddSim(0, tr.PhaseSimKernel, mc.Prof.Name, simStart, wallNs, int64(nnz))
+		mc.Trace.SimAdvance(wallNs)
+	}
 	return resultFor(mc.Prof.Name, secs, wall, nnz, k, missRate), nil
 }
 

@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// PhaseMix folds a trace's span aggregates into the metrics layer: the
+// share of attributed time per pipeline phase plus the worker idle
+// fraction. It is the "phase mix" the perf gate diffs — a run whose ns/op
+// held steady but whose prepare share doubled (or whose workers went idle)
+// regressed in a way end-to-end timing alone cannot show.
+type PhaseMix struct {
+	// Shares maps phase name to its fraction of the total attributed span
+	// time, in [0, 1]. Simulated phases are excluded: their nanoseconds are
+	// modelled, not spent.
+	Shares map[string]float64
+	// WorkerIdleFraction is 1 − busy/capacity over the worker lanes that
+	// recorded chunk spans (0 when the trace has no parallel work).
+	WorkerIdleFraction float64
+}
+
+// PhaseMixFrom derives the phase mix from a trace summary.
+func PhaseMixFrom(s trace.Summary) PhaseMix {
+	mix := PhaseMix{Shares: map[string]float64{}, WorkerIdleFraction: s.WorkerIdleFraction}
+	var total int64
+	for _, p := range s.Phases {
+		if !p.Sim {
+			total += p.TotalNs
+		}
+	}
+	if total == 0 {
+		return mix
+	}
+	for _, p := range s.Phases {
+		if !p.Sim {
+			mix.Shares[p.Name] = float64(p.TotalNs) / float64(total)
+		}
+	}
+	return mix
+}
+
+// Table renders the mix with phases sorted by descending share.
+func (m PhaseMix) Table() *Table {
+	names := make([]string, 0, len(m.Shares))
+	for n := range m.Shares {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if m.Shares[names[i]] != m.Shares[names[j]] {
+			return m.Shares[names[i]] > m.Shares[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	t := NewTable("phase", "share")
+	for _, n := range names {
+		t.AddRow(n, fmt.Sprintf("%.1f%%", m.Shares[n]*100))
+	}
+	t.AddRow("worker idle", fmt.Sprintf("%.1f%%", m.WorkerIdleFraction*100))
+	return t
+}

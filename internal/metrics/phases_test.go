@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestPhaseMixFrom(t *testing.T) {
+	s := trace.Summarize([]trace.Span{
+		{Name: trace.PhaseCalculate, Lane: 0, Start: 0, Dur: 750},
+		{Name: trace.PhasePrepare, Lane: 0, Start: 0, Dur: 250},
+		{Name: trace.PhaseSimKernel, Lane: 0, Start: 0, Dur: 9999, Sim: true},
+	}, 0)
+	mix := PhaseMixFrom(s)
+	if got := mix.Shares[trace.PhaseCalculate]; got != 0.75 {
+		t.Fatalf("calculate share = %v, want 0.75", got)
+	}
+	if got := mix.Shares[trace.PhasePrepare]; got != 0.25 {
+		t.Fatalf("prepare share = %v, want 0.25", got)
+	}
+	if _, ok := mix.Shares[trace.PhaseSimKernel]; ok {
+		t.Fatal("simulated phase leaked into the wall-clock mix")
+	}
+}
+
+func TestPhaseMixEmpty(t *testing.T) {
+	mix := PhaseMixFrom(trace.Summarize(nil, 0))
+	if len(mix.Shares) != 0 || mix.WorkerIdleFraction != 0 {
+		t.Fatalf("empty trace mix = %+v, want zero", mix)
+	}
+}
+
+func TestPhaseMixTable(t *testing.T) {
+	s := trace.Summarize([]trace.Span{
+		{Name: trace.PhaseCalculate, Lane: 0, Start: 0, Dur: 900},
+		{Name: trace.PhaseChunk, Lane: 1, Start: 0, Dur: 100},
+	}, 0)
+	var sb strings.Builder
+	if err := PhaseMixFrom(s).Table().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{trace.PhaseCalculate, "90.0%", "worker idle"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("phase mix table missing %q:\n%s", want, out)
+		}
+	}
+	// The biggest share renders first.
+	if strings.Index(out, trace.PhaseCalculate) > strings.Index(out, trace.PhaseChunk) {
+		t.Fatalf("phases not sorted by descending share:\n%s", out)
+	}
+}

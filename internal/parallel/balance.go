@@ -98,6 +98,7 @@ func ValidateBounds(bounds []int, n int) error {
 // chunk. body receives the chunk's half-open range and the chunk index as
 // its worker id (the same worker-id contract as For).
 func ForBounds(bounds []int, body func(lo, hi, worker int)) {
+	body = traceBody(body)
 	chunks := len(bounds) - 1
 	if chunks <= 0 {
 		return

@@ -45,6 +45,7 @@ func ChunkBounds(n, chunks, i int) (lo, hi int) {
 // follows the same contract, so per-worker scratch indexed by the id is safe
 // regardless of the machinery; the id is never a pool-goroutine identity.
 func For(n, threads int, body func(lo, hi, worker int)) {
+	body = traceBody(body)
 	if threads < 1 {
 		threads = 1
 	}
@@ -79,6 +80,7 @@ func ForCtx(ctx context.Context, n, threads int, body func(lo, hi, worker int)) 
 		For(n, threads, body)
 		return nil
 	}
+	body = traceBody(body)
 	if threads < 1 {
 		threads = 1
 	}
@@ -114,6 +116,7 @@ func ForCtx(ctx context.Context, n, threads int, body func(lo, hi, worker int)) 
 // given size (OpenMP "schedule(dynamic, chunk)"). It balances irregular row
 // costs better than For at the price of an atomic fetch per chunk.
 func ForDynamic(n, threads, chunk int, body func(lo, hi, worker int)) {
+	body = traceBody(body)
 	if threads < 1 {
 		threads = 1
 	}
@@ -152,6 +155,7 @@ func ForDynamicCtx(ctx context.Context, n, threads, chunk int, body func(lo, hi,
 		ForDynamic(n, threads, chunk, body)
 		return nil
 	}
+	body = traceBody(body)
 	if threads < 1 {
 		threads = 1
 	}
@@ -251,6 +255,7 @@ func (p *Pool) Workers() int { return p.workers }
 // of the warmed goroutines. Worker ids follow the For contract: the chunk
 // index in [0, min(threads, n)), not a pool-goroutine identity.
 func (p *Pool) Run(n, threads int, body func(lo, hi, worker int)) {
+	body = traceBody(body)
 	if threads < 1 {
 		threads = 1
 	}
@@ -267,6 +272,7 @@ func (p *Pool) Run(n, threads int, body func(lo, hi, worker int)) {
 // RunBounds executes body over the precomputed chunks (for example from
 // BalancedBounds) on pool workers. body's worker id is the chunk index.
 func (p *Pool) RunBounds(bounds []int, body func(lo, hi, worker int)) {
+	body = traceBody(body)
 	chunks := len(bounds) - 1
 	if chunks <= 0 {
 		return
@@ -287,6 +293,7 @@ func (p *Pool) RunCtx(ctx context.Context, n, threads int, body func(lo, hi, wor
 		p.Run(n, threads, body)
 		return nil
 	}
+	body = traceBody(body)
 	if threads < 1 {
 		threads = 1
 	}

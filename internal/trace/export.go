@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// chromeEvent is one Chrome trace_event record. The "X" (complete) phase
+// carries both timestamp and duration; "i" marks instants. Timestamps are
+// microseconds, as the format demands.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeMeta is a metadata record naming a process or thread.
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// Chrome-trace process ids: wall-clock spans and simulated-time spans live
+// in separate processes so their unrelated timelines never interleave.
+const (
+	chromePidWall = 1
+	chromePidSim  = 2
+)
+
+// WriteChromeTrace exports the recorded spans as Chrome trace_event JSON
+// (the {"traceEvents": [...]} envelope). Load the file in chrome://tracing
+// or https://ui.perfetto.dev. Lane 0 renders as the "pipeline" thread,
+// lane 1+w as "worker w"; simulated spans land in a second process named
+// "simulated time".
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	events := make([]any, 0, len(spans)+8)
+	events = append(events,
+		chromeMeta{Name: "process_name", Ph: "M", Pid: chromePidWall, Args: map[string]string{"name": "spmm-bench"}},
+		chromeMeta{Name: "thread_name", Ph: "M", Pid: chromePidWall, Tid: 0, Args: map[string]string{"name": "pipeline"}},
+	)
+	simSeen := false
+	laneSeen := map[int]bool{}
+	for _, s := range spans {
+		pid := chromePidWall
+		if s.Sim {
+			pid = chromePidSim
+			if !simSeen {
+				simSeen = true
+				events = append(events,
+					chromeMeta{Name: "process_name", Ph: "M", Pid: chromePidSim, Args: map[string]string{"name": "simulated time"}})
+			}
+		} else if s.Lane > 0 && !laneSeen[s.Lane] {
+			laneSeen[s.Lane] = true
+			events = append(events, chromeMeta{Name: "thread_name", Ph: "M", Pid: chromePidWall, Tid: s.Lane,
+				Args: map[string]string{"name": fmt.Sprintf("worker %d", s.Lane-1)}})
+		}
+		ev := chromeEvent{
+			Name: s.Name,
+			Ts:   float64(s.Start) / 1e3,
+			Pid:  pid,
+			Tid:  s.Lane,
+		}
+		if s.Dur > 0 {
+			ev.Ph = "X"
+			ev.Dur = float64(s.Dur) / 1e3
+		} else {
+			ev.Ph = "i"
+			ev.S = "t" // thread-scoped instant
+		}
+		if s.Detail != "" || s.Arg != 0 {
+			ev.Args = map[string]any{}
+			if s.Detail != "" {
+				ev.Args["detail"] = s.Detail
+			}
+			if s.Arg != 0 {
+				ev.Args["arg"] = s.Arg
+			}
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// PhaseStat aggregates every span sharing one name.
+type PhaseStat struct {
+	Name  string
+	Count int
+	// TotalNs sums the spans' durations; Share is TotalNs over the summed
+	// duration of all phases (self-times overlap across lanes and nesting
+	// levels, so shares describe attribution weight, not wall fractions).
+	TotalNs int64
+	MaxNs   int64
+	Share   float64
+	Sim     bool
+}
+
+// Summary is the flat per-phase aggregation of a trace.
+type Summary struct {
+	Phases []PhaseStat
+	// WallNs is the wall-clock window covered: last span end minus first
+	// span start over the non-simulated spans.
+	WallNs int64
+	// WorkerBusyNs sums chunk-span durations; WorkerIdleFraction is
+	// 1 − busy/(lanes × window) over the worker lanes that recorded chunk
+	// spans — the visual imbalance number, folded flat.
+	WorkerBusyNs       int64
+	WorkerIdleFraction float64
+	Dropped            int64
+}
+
+// Summarize aggregates spans into per-phase totals plus the worker idle
+// fraction derived from chunk spans.
+func Summarize(spans []Span, dropped int64) Summary {
+	sum := Summary{Dropped: dropped}
+	byName := map[string]*PhaseStat{}
+	var order []string
+	var wallLo, wallHi int64
+	var chunkLo, chunkHi int64
+	chunkLanes := map[int]bool{}
+	first := true
+	chunkFirst := true
+	var total int64
+	for _, s := range spans {
+		st, ok := byName[s.Name]
+		if !ok {
+			st = &PhaseStat{Name: s.Name, Sim: s.Sim}
+			byName[s.Name] = st
+			order = append(order, s.Name)
+		}
+		st.Count++
+		st.TotalNs += s.Dur
+		if s.Dur > st.MaxNs {
+			st.MaxNs = s.Dur
+		}
+		total += s.Dur
+		if !s.Sim {
+			if first || s.Start < wallLo {
+				wallLo = s.Start
+			}
+			if end := s.Start + s.Dur; first || end > wallHi {
+				wallHi = end
+			}
+			first = false
+		}
+		if s.Name == PhaseChunk && !s.Sim {
+			sum.WorkerBusyNs += s.Dur
+			chunkLanes[s.Lane] = true
+			if chunkFirst || s.Start < chunkLo {
+				chunkLo = s.Start
+			}
+			if end := s.Start + s.Dur; chunkFirst || end > chunkHi {
+				chunkHi = end
+			}
+			chunkFirst = false
+		}
+	}
+	if !first {
+		sum.WallNs = wallHi - wallLo
+	}
+	if n := len(chunkLanes); n > 0 && chunkHi > chunkLo {
+		capacity := int64(n) * (chunkHi - chunkLo)
+		idle := 1 - float64(sum.WorkerBusyNs)/float64(capacity)
+		if idle < 0 {
+			idle = 0
+		}
+		sum.WorkerIdleFraction = idle
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		st := byName[name]
+		if total > 0 {
+			st.Share = float64(st.TotalNs) / float64(total)
+		}
+		sum.Phases = append(sum.Phases, *st)
+	}
+	return sum
+}
+
+// Summary aggregates the tracer's recorded spans.
+func (t *Tracer) Summary() Summary {
+	return Summarize(t.Spans(), t.Dropped())
+}
+
+// WriteTable renders the summary as an aligned text table: one row per
+// phase plus the idle-fraction and dropped-span footers.
+func (s Summary) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\tcount\ttotal ms\tmax ms\tshare")
+	for _, p := range s.Phases {
+		name := p.Name
+		if p.Sim {
+			name += " (sim)"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%.1f%%\n",
+			name, p.Count, float64(p.TotalNs)/1e6, float64(p.MaxNs)/1e6, p.Share*100)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wall: %.3f ms", float64(s.WallNs)/1e6)
+	if s.WorkerBusyNs > 0 {
+		fmt.Fprintf(w, "  worker idle: %.1f%%", s.WorkerIdleFraction*100)
+	}
+	if s.Dropped > 0 {
+		fmt.Fprintf(w, "  dropped: %d", s.Dropped)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,224 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+	"repro/internal/trace"
+)
+
+// The trace-schema golden test: a fixed-seed mini-campaign (a CPU-parallel
+// run, a simulated-GPU run, and a manual load span — the same span sources
+// a real spmmbench -trace invocation hits) is exported as Chrome
+// trace_event JSON, and the output is held to the schema contract:
+// it parses, every event carries a pinned phase name, no duration is
+// negative, worker spans nest inside the pipeline window, and simulated
+// time stays on its own process id.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+func runGoldenCampaign(t *testing.T) *trace.Tracer {
+	t.Helper()
+	const threads = 3
+	tr := trace.New(threads+2, 1<<12)
+	tr.SetEnabled(true)
+	parallel.SetTracer(tr)
+	t.Cleanup(func() { parallel.SetTracer(nil) })
+
+	rng := rand.New(rand.NewSource(42))
+	coo := matrix.NewCOO[float64](80, 60, 0)
+	for i := 0; i < 400; i++ {
+		coo.Append(int32(rng.Intn(80)), int32(rng.Intn(60)), rng.NormFloat64())
+	}
+	coo.Dedup()
+
+	// The load span spmmbench emits around matrix loading.
+	span := tr.Start()
+	tr.EndDetail(0, trace.PhaseLoad, "golden", span, int64(coo.NNZ()))
+
+	// CPU-parallel run: prepare/warmup/calculate/verify plus per-worker
+	// chunk spans through the parallel hook.
+	k, err := core.New("csr-omp", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{Reps: 2, Threads: threads, K: 16, BlockSize: 4, Verify: true, Seed: 1, Trace: tr}
+	if _, err := core.Run(k, coo, "golden", p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulated-GPU run: sim-kernel spans on the simulated-time process.
+	dev, err := gpusim.NewDevice(gpusim.TestDevice(64 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gk, err := core.New("csr-gpu", core.Options{Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := core.Params{Reps: 1, Threads: 1, K: 8, BlockSize: 4, Verify: false, Seed: 1, Trace: tr}
+	if _, err := core.Run(gk, coo, "golden", gp); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	tr := runGoldenCampaign(t)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("exported trace has no events")
+	}
+
+	pinned := map[string]bool{}
+	for _, name := range trace.Phases() {
+		pinned[name] = true
+	}
+
+	seen := map[string]bool{}
+	var spans []chromeEvent
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M": // process/thread metadata carries display names, not phases
+			continue
+		case "X":
+			if ev.Dur < 0 {
+				t.Errorf("span %q at ts=%v has negative duration %v", ev.Name, ev.Ts, ev.Dur)
+			}
+			spans = append(spans, ev)
+		case "i":
+			if ev.S != "t" {
+				t.Errorf("instant %q has scope %q, want thread scope \"t\"", ev.Name, ev.S)
+			}
+		default:
+			t.Errorf("event %q has unknown phase type %q", ev.Name, ev.Ph)
+			continue
+		}
+		if !pinned[ev.Name] {
+			t.Errorf("event name %q is not in the pinned phase set %v", ev.Name, trace.Phases())
+		}
+		if ev.Pid != 1 && ev.Pid != 2 {
+			t.Errorf("event %q on pid %d, want 1 (wall) or 2 (simulated)", ev.Name, ev.Pid)
+		}
+		if ev.Ts < 0 {
+			t.Errorf("event %q has negative timestamp %v", ev.Name, ev.Ts)
+		}
+		seen[ev.Name] = true
+	}
+
+	// The mini-campaign must have produced the whole pipeline vocabulary.
+	for _, want := range []string{
+		trace.PhaseLoad, trace.PhasePrepare, trace.PhaseWarmup, trace.PhaseCalculate,
+		trace.PhaseVerify, trace.PhaseChunk, trace.PhaseSimKernel,
+	} {
+		if !seen[want] {
+			t.Errorf("mini-campaign emitted no %q event", want)
+		}
+	}
+
+	// Nesting within a lane: overlapping spans on the same (pid, tid) must
+	// be properly nested — a span starting inside another ends inside it.
+	// The exporter rounds ns to µs floats, so allow that much slack.
+	const slack = 0.002
+	for i, a := range spans {
+		for j, b := range spans {
+			if i == j || a.Pid != b.Pid || a.Tid != b.Tid {
+				continue
+			}
+			if a.Ts <= b.Ts && b.Ts < a.Ts+a.Dur {
+				if b.Ts+b.Dur > a.Ts+a.Dur+slack {
+					t.Errorf("span %q [%v, %v] starts inside %q [%v, %v] but ends outside it",
+						b.Name, b.Ts, b.Ts+b.Dur, a.Name, a.Ts, a.Ts+a.Dur)
+				}
+			}
+		}
+	}
+
+	// Cross-lane: every worker chunk span must fall inside the wall-clock
+	// pipeline window spanned by lane 0 (chunks only run under a pipeline
+	// phase, never before the first or after the last).
+	var lo, hi float64
+	first := true
+	for _, s := range spans {
+		if s.Pid == 1 && s.Tid == 0 {
+			if first || s.Ts < lo {
+				lo = s.Ts
+			}
+			if first || s.Ts+s.Dur > hi {
+				hi = s.Ts + s.Dur
+			}
+			first = false
+		}
+	}
+	if first {
+		t.Fatal("no lane-0 pipeline spans in the trace")
+	}
+	for _, s := range spans {
+		if s.Pid != 1 || s.Tid == 0 || s.Name != trace.PhaseChunk {
+			continue
+		}
+		if s.Ts < lo-slack || s.Ts+s.Dur > hi+slack {
+			t.Errorf("worker chunk [%v, %v] on tid %d escapes the pipeline window [%v, %v]",
+				s.Ts, s.Ts+s.Dur, s.Tid, lo, hi)
+		}
+	}
+
+	// Simulated-time events stay on the simulated process, and vice versa:
+	// sim phases never leak onto the wall-clock pid.
+	for _, s := range spans {
+		isSimName := s.Name == trace.PhaseSimKernel || s.Name == trace.PhaseSimChunk
+		if (s.Pid == 2) != isSimName {
+			t.Errorf("span %q on pid %d: simulated phases and pid 2 must coincide", s.Name, s.Pid)
+		}
+	}
+}
+
+// TestSummaryGolden pins the summary derived from the same campaign: every
+// phase share is a valid fraction, wall time is positive, and nothing was
+// dropped at this buffer size.
+func TestSummaryGolden(t *testing.T) {
+	tr := runGoldenCampaign(t)
+	s := tr.Summary()
+	if s.WallNs <= 0 {
+		t.Fatalf("wall = %d ns, want > 0", s.WallNs)
+	}
+	if s.Dropped != 0 {
+		t.Fatalf("dropped %d spans at a 4096-span buffer", s.Dropped)
+	}
+	if s.WorkerIdleFraction < 0 || s.WorkerIdleFraction > 1 {
+		t.Fatalf("worker idle fraction %v outside [0, 1]", s.WorkerIdleFraction)
+	}
+	for _, p := range s.Phases {
+		if p.Share < 0 || p.Share > 1 {
+			t.Errorf("phase %s share %v outside [0, 1]", p.Name, p.Share)
+		}
+		if p.Count <= 0 || p.TotalNs < 0 || p.MaxNs < 0 {
+			t.Errorf("phase %s has degenerate stats: %+v", p.Name, p)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsFree(t *testing.T) {
+	tr := New(2, 16)
+	allocs := testing.AllocsPerRun(100, func() {
+		s := tr.Start()
+		tr.End(0, PhaseCalculate, s, 0)
+		tr.Instant(0, PhaseRetry, "", 1)
+		tr.Add(1, PhaseChunk, "", 10, 20, 30)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocated %.1f allocs/op, want 0", allocs)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("disabled tracer recorded %d spans, want 0", tr.Len())
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(100, func() {
+		s := tr.Start()
+		tr.End(0, PhaseCalculate, s, 0)
+		tr.EndDetail(0, PhaseCalculate, "x", s, 0)
+		tr.Instant(0, PhaseRetry, "", 0)
+		tr.Add(0, PhaseChunk, "", 1, 2, 3)
+		tr.AddSim(0, PhaseSimKernel, "", 1, 2, 3)
+		tr.SetEnabled(true)
+		_ = tr.Enabled()
+		_ = tr.Now()
+		_ = tr.SimNow()
+		_ = tr.SimAdvance(5)
+		_ = tr.Dropped()
+		_ = tr.Len()
+		_ = tr.Spans()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestEnabledRecordsSpans(t *testing.T) {
+	tr := New(3, 8)
+	tr.SetEnabled(true)
+	s := tr.Start()
+	if s == 0 {
+		t.Fatal("enabled Start returned the disabled token 0")
+	}
+	time.Sleep(time.Millisecond)
+	tr.EndDetail(0, PhaseCalculate, "csr/parallel", s, 7)
+	tr.Instant(0, PhaseRetry, "timeout", 2)
+	tr.Add(1, PhaseChunk, "", 100, 50, 10)
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	var calc *Span
+	for i := range spans {
+		if spans[i].Name == PhaseCalculate {
+			calc = &spans[i]
+		}
+	}
+	if calc == nil {
+		t.Fatal("calculate span missing")
+	}
+	if calc.Dur <= 0 {
+		t.Fatalf("calculate span has non-positive duration %d", calc.Dur)
+	}
+	if calc.Detail != "csr/parallel" || calc.Arg != 7 {
+		t.Fatalf("calculate span detail/arg = %q/%d", calc.Detail, calc.Arg)
+	}
+}
+
+func TestRingKeepsNewest(t *testing.T) {
+	tr := New(1, 4)
+	tr.SetEnabled(true)
+	for i := int64(1); i <= 10; i++ {
+		tr.Add(0, PhaseChunk, "", i, 1, i)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want ring capacity 4", len(spans))
+	}
+	for i, s := range spans {
+		want := int64(7 + i)
+		if s.Arg != want {
+			t.Fatalf("span %d has arg %d, want %d (newest 4 kept in order)", i, s.Arg, want)
+		}
+	}
+}
+
+func TestOutOfRangeLaneDropped(t *testing.T) {
+	tr := New(1, 4)
+	tr.SetEnabled(true)
+	tr.Add(5, PhaseChunk, "", 1, 1, 0)
+	tr.Add(-1, PhaseChunk, "", 1, 1, 0)
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", tr.Len())
+	}
+}
+
+func TestSimCursor(t *testing.T) {
+	tr := New(1, 8)
+	tr.SetEnabled(true)
+	s1 := tr.SimAdvance(100)
+	s2 := tr.SimAdvance(250)
+	if s1 != 0 || s2 != 100 || tr.SimNow() != 350 {
+		t.Fatalf("sim cursor: starts %d,%d now %d; want 0,100,350", s1, s2, tr.SimNow())
+	}
+	tr.AddSim(0, PhaseSimKernel, "csr", s1, 100, 0)
+	tr.AddSim(0, PhaseSimKernel, "csr", s2, 250, 0)
+	spans := tr.Spans()
+	if len(spans) != 2 || !spans[0].Sim || !spans[1].Sim {
+		t.Fatalf("want 2 simulated spans, got %+v", spans)
+	}
+	if spans[1].Start != spans[0].Start+spans[0].Dur {
+		t.Fatal("simulated spans are not laid out sequentially")
+	}
+}
+
+func TestSpansOrder(t *testing.T) {
+	tr := New(3, 8)
+	tr.SetEnabled(true)
+	tr.Add(2, PhaseChunk, "", 50, 10, 0)
+	tr.Add(1, PhaseChunk, "", 30, 10, 0)
+	tr.AddSim(0, PhaseSimKernel, "", 10, 5, 0)
+	tr.Add(0, PhaseCalculate, "", 20, 100, 0)
+	spans := tr.Spans()
+	wantStarts := []int64{20, 30, 50, 10} // wall by start, sim last
+	for i, s := range spans {
+		if s.Start != wantStarts[i] {
+			t.Fatalf("span %d start = %d, want %d (order %+v)", i, s.Start, wantStarts[i], spans)
+		}
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := New(2, 16)
+	tr.SetEnabled(true)
+	s := tr.Start()
+	tr.EndDetail(0, PhaseCalculate, "csr/parallel", s, 3)
+	tr.Add(1, PhaseChunk, "", 1000, 500, 42)
+	tr.Instant(0, PhaseDegrade, "bcsr->csr", 0)
+	tr.AddSim(0, PhaseSimKernel, "ell", 0, 2000, 64)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var complete, instant, meta, sim int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			if ev["dur"].(float64) <= 0 {
+				t.Fatalf("complete event with non-positive dur: %v", ev)
+			}
+		case "i":
+			instant++
+		case "M":
+			meta++
+		}
+		if ev["pid"].(float64) == 2 && ev["ph"] != "M" {
+			sim++
+		}
+	}
+	if complete != 3 || instant != 1 || sim != 1 {
+		t.Fatalf("event mix complete=%d instant=%d sim=%d, want 3/1/1", complete, instant, sim)
+	}
+	if meta < 3 {
+		t.Fatalf("only %d metadata records; want process/thread names for both pids", meta)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	spans := []Span{
+		{Name: PhaseCalculate, Lane: 0, Start: 0, Dur: 600},
+		{Name: PhaseChunk, Lane: 1, Start: 0, Dur: 300},
+		{Name: PhaseChunk, Lane: 2, Start: 0, Dur: 100},
+	}
+	s := Summarize(spans, 1)
+	if s.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", s.Dropped)
+	}
+	if s.WallNs != 600 {
+		t.Fatalf("WallNs = %d, want 600", s.WallNs)
+	}
+	if s.WorkerBusyNs != 400 {
+		t.Fatalf("WorkerBusyNs = %d, want 400", s.WorkerBusyNs)
+	}
+	// 2 worker lanes over a 300ns chunk window → capacity 600, busy 400.
+	wantIdle := 1 - 400.0/600.0
+	if diff := s.WorkerIdleFraction - wantIdle; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("WorkerIdleFraction = %v, want %v", s.WorkerIdleFraction, wantIdle)
+	}
+	var calc, chunk *PhaseStat
+	for i := range s.Phases {
+		switch s.Phases[i].Name {
+		case PhaseCalculate:
+			calc = &s.Phases[i]
+		case PhaseChunk:
+			chunk = &s.Phases[i]
+		}
+	}
+	if calc == nil || chunk == nil {
+		t.Fatalf("phases missing: %+v", s.Phases)
+	}
+	if calc.Count != 1 || calc.TotalNs != 600 || chunk.Count != 2 || chunk.TotalNs != 400 || chunk.MaxNs != 300 {
+		t.Fatalf("bad aggregation: calc=%+v chunk=%+v", calc, chunk)
+	}
+	if calc.Share != 0.6 || chunk.Share != 0.4 {
+		t.Fatalf("shares calc=%v chunk=%v, want 0.6/0.4", calc.Share, chunk.Share)
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	tr := New(2, 8)
+	tr.SetEnabled(true)
+	tr.Add(0, PhaseCalculate, "", 0, 1_000_000, 0)
+	tr.Add(1, PhaseChunk, "", 0, 500_000, 0)
+	tr.AddSim(0, PhaseSimKernel, "", 0, 42, 0)
+	var buf bytes.Buffer
+	if err := tr.Summary().WriteTable(&buf); err != nil {
+		t.Fatalf("WriteTable: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{PhaseCalculate, PhaseChunk, "sim-kernel (sim)", "wall:", "worker idle:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPhasesPinned(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Phases() {
+		if seen[p] {
+			t.Fatalf("duplicate phase name %q", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 14 {
+		t.Fatalf("pinned phase set has %d names, want 14 — update this test AND the golden schema test together", len(seen))
+	}
+}
+
+func TestConcurrentLanes(t *testing.T) {
+	const lanes, per = 8, 200
+	tr := New(lanes, per)
+	tr.SetEnabled(true)
+	done := make(chan struct{})
+	for l := 0; l < lanes; l++ {
+		go func(l int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				s := tr.Start()
+				tr.End(l, PhaseChunk, s, int64(i))
+			}
+		}(l)
+	}
+	for l := 0; l < lanes; l++ {
+		<-done
+	}
+	if got := tr.Len(); got != lanes*per {
+		t.Fatalf("Len() = %d, want %d", got, lanes*per)
+	}
+	for _, s := range tr.Spans() {
+		if s.Dur < 0 {
+			t.Fatalf("negative duration span: %+v", s)
+		}
+	}
+}
