@@ -19,6 +19,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/trace"
 	"repro/internal/vendorlib"
@@ -722,6 +723,46 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		tr.SetEnabled(true)
 		run(b, tr)
 	})
+}
+
+// BenchmarkObsOverhead pins the metric registry's cost contract on the
+// serial CSR Calculate. The "bare" row is the uninstrumented kernel; the
+// "instrumented" row adds the same shape of metric traffic the kernels
+// dispatch layer emits per call (dispatch counter, rows/nonzeros totals,
+// imbalance gauge, one latency observation) against live registered
+// instruments. Both rows must read 0 allocs/op — the registry's hot path
+// is a handful of atomic adds, and the perf gate holds it there.
+func BenchmarkObsOverhead(b *testing.B) {
+	m := benchMatrix(b)
+	const k = 128
+	bb := matrix.NewDenseRand[float64](m.Cols, k, 1)
+	c := matrix.NewDense[float64](m.Rows, k)
+	csr := formats.CSRFromCOO(m)
+	dispatch := obs.NewCounter("spmm_bench_obs_dispatch_total", "bench-only dispatch counter")
+	rows := obs.NewCounter("spmm_bench_obs_rows_total", "bench-only rows counter")
+	nnz := obs.NewCounter("spmm_bench_obs_nonzeros_total", "bench-only nonzeros counter")
+	imbalance := obs.NewGauge("spmm_bench_obs_imbalance_ratio", "bench-only imbalance gauge")
+	seconds := obs.NewHistogram("spmm_bench_obs_seconds", "bench-only latency histogram")
+	run := func(b *testing.B, instrumented bool) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := b.Elapsed()
+			if err := kernels.CSRSerial(csr, bb, c, k); err != nil {
+				b.Fatal(err)
+			}
+			if instrumented {
+				dispatch.Inc()
+				rows.Add(int64(csr.Rows))
+				nnz.Add(int64(csr.NNZ()))
+				imbalance.Set(1)
+				seconds.Observe((b.Elapsed() - start).Seconds())
+			}
+		}
+		reportMFLOPS(b, m.NNZ(), k)
+	}
+	b.Run("bare", func(b *testing.B) { run(b, false) })
+	b.Run("instrumented", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkPhaseMix runs the full benchmark pipeline (prepare, warm-up,

@@ -45,11 +45,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // -pprof opt-in profiling endpoint
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -60,6 +63,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/metrics"
 	"repro/internal/mmio"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/perf"
 	"repro/internal/trace"
@@ -94,6 +98,10 @@ func main() {
 		traceSum  = flag.Bool("trace-summary", false, "print the per-phase time summary table after the run")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the run executes")
 
+		serveAddr = flag.String("serve", "", "serve /metrics (Prometheus), /healthz, /debug/vars and /debug/pprof on this address for the duration of the run, e.g. :9090 (use :0 for an ephemeral port)")
+		logFormat = flag.String("log-format", "text", "structured log format on stderr: text or json")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+
 		perfBaseline = flag.String("perf-baseline", "", "perf gate: parse `go test -bench` output (stdin or -perf-input), snapshot a dated baseline into this directory and compare against the previous one")
 		perfInput    = flag.String("perf-input", "", "perf gate: bench output file (default: stdin)")
 		perfTol      = flag.Float64("perf-tolerance", 0.25, "perf gate: allowed fractional ns/op growth before failing (allocs/op growth always fails)")
@@ -104,6 +112,26 @@ func main() {
 	if *perfBaseline != "" {
 		runPerfGate(*perfBaseline, *perfInput, *perfTol, *perfLabel)
 		return
+	}
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		fatal(err)
+	}
+
+	// The observability endpoint lives for the whole run: scrape
+	// http://<addr>/metrics mid-campaign to watch progress counters climb.
+	var srv *obs.Server
+	if *serveAddr != "" {
+		srv, err = obs.Serve(*serveAddr, obs.ServerOpts{Pprof: true, Log: logger})
+		if err != nil {
+			fatal(err)
+		}
+		defer closeServer(srv, logger)
 	}
 
 	if *pprofAddr != "" {
@@ -205,9 +233,17 @@ func main() {
 			Verify: *verify, Debug: *debug, Seed: 1, Schedule: sched, Pool: pool, Trace: tracer}
 		cfg := harness.Config{
 			Timeout: *timeout, Retries: *retries, MemBudget: budget,
-			Journal: *journal, Resume: *resume, Seed: 1, Log: os.Stderr, Trace: tracer,
+			Journal: *journal, Resume: *resume, Seed: 1, Logger: logger, Trace: tracer,
 		}
-		runCampaign(splitList(*kernelName), splitList(*matrixName), *scale, *device, p, cfg)
+		// SIGINT/SIGTERM cancels the campaign between runs (and inside
+		// cancellation-aware kernels) and shuts the metrics server down with
+		// it; on normal completion the deferred closeServer does the same.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if srv != nil {
+			go srv.CloseOn(ctx)
+		}
+		runCampaign(ctx, logger, splitList(*kernelName), splitList(*matrixName), *scale, *device, p, cfg)
 		return
 	}
 
@@ -370,9 +406,24 @@ func splitList(s string) []string {
 	return out
 }
 
+// closeServer gracefully shuts the observability endpoint down, bounding the
+// drain of in-flight scrapes to two seconds.
+func closeServer(srv *obs.Server, logger *slog.Logger) {
+	if srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		logger.Warn("metrics server shutdown", "err", err)
+	}
+}
+
 // runCampaign executes the kernels × matrices cross product through the
 // resilient harness and reports per-run lines plus the campaign counters.
-func runCampaign(kernels, matrices []string, scale float64, device string, p core.Params, cfg harness.Config) {
+// ctx cancels the campaign between runs (SIGINT wiring lives in main).
+func runCampaign(ctx context.Context, logger *slog.Logger, kernels, matrices []string,
+	scale float64, device string, p core.Params, cfg harness.Config) {
 	h, err := harness.New(cfg)
 	if err != nil {
 		fatal(err)
@@ -413,7 +464,9 @@ func runCampaign(kernels, matrices []string, scale float64, device string, p cor
 	}
 
 	start := time.Now()
-	outs, execErr := h.Execute(context.Background(), plan)
+	logger.Info("campaign starting", "runs", len(plan),
+		"kernels", len(kernels), "matrices", len(matrices))
+	outs, execErr := h.Execute(ctx, plan)
 	for _, o := range outs {
 		switch o.Status {
 		case harness.StatusFailed:
@@ -435,8 +488,8 @@ func runCampaign(kernels, matrices []string, scale float64, device string, p cor
 		}
 	}
 	fmt.Printf("\ncampaign: %d runs in %v\n", len(outs), time.Since(start).Round(time.Millisecond))
-	if err := h.Counters().Table().Render(os.Stdout); err != nil {
-		fatal(err)
+	for _, cv := range h.Counters().Snapshot() {
+		fmt.Printf("  %-10s %d\n", cv.Name, cv.Value)
 	}
 	if execErr != nil {
 		fatal(execErr)

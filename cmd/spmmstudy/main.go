@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/studies"
 	"repro/internal/trace"
@@ -76,8 +78,36 @@ func main() {
 		memBudget = flag.String("mem-budget", "", "harness: per-run format footprint budget, e.g. 512MiB")
 		journal   = flag.String("journal", "", "harness: JSONL checkpoint journal path")
 		resume    = flag.Bool("resume", false, "harness: replay runs already recorded in -journal")
+
+		serveAddr = flag.String("serve", "", "serve /metrics (Prometheus), /healthz, /debug/vars and /debug/pprof on this address while the studies run, e.g. :9090")
+		logFormat = flag.String("log-format", "text", "structured log format on stderr: text or json")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spmmstudy: %v\n", err)
+		os.Exit(1)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spmmstudy: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *serveAddr != "" {
+		srv, err := obs.Serve(*serveAddr, obs.ServerOpts{Pprof: true, Log: logger})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmmstudy: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Close(ctx)
+		}()
+	}
 
 	cfg := studies.DefaultConfig()
 	cfg.Scale = *scale
@@ -144,7 +174,7 @@ func main() {
 			Journal: *journal, Resume: *resume, Seed: 1, Trace: tracer,
 		}
 		if !*quiet {
-			hcfg.Log = os.Stderr
+			hcfg.Logger = logger
 		}
 		var err error
 		h, err = harness.New(hcfg)
@@ -204,13 +234,14 @@ func main() {
 		}
 		fmt.Println()
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "[study %s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+			logger.Info("study done", "study", id,
+				"elapsed", time.Since(start).Round(time.Millisecond).String())
 		}
 	}
 	if h != nil && !*quiet {
 		fmt.Fprintln(os.Stderr, "[harness counters]")
-		if err := h.Counters().Table().Render(os.Stderr); err != nil {
-			fmt.Fprintf(os.Stderr, "spmmstudy: %v\n", err)
+		for _, cv := range h.Counters().Snapshot() {
+			fmt.Fprintf(os.Stderr, "  %-10s %d\n", cv.Name, cv.Value)
 		}
 	}
 }

@@ -1,0 +1,17 @@
+package core
+
+import "repro/internal/obs"
+
+// Benchmark-runner metrics, exported to the process-wide registry: how many
+// benchmarks ran, how many timed repetitions they took, the distribution of
+// per-repetition calculate times, and verification failures.
+var (
+	obsRuns = obs.NewCounter("spmm_core_runs_total",
+		"Benchmark runs started by the core runner.")
+	obsReps = obs.NewCounter("spmm_core_reps_total",
+		"Timed calculate repetitions executed.")
+	obsCalcSeconds = obs.NewHistogram("spmm_core_calculate_seconds",
+		"Wall time of each timed calculate repetition, in seconds.")
+	obsVerifyFailures = obs.NewCounter("spmm_core_verify_failures_total",
+		"Runs whose result diverged from the COO reference kernel.")
+)

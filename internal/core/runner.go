@@ -36,6 +36,7 @@ func Run(k Kernel, a *matrix.COO[float64], matrixName string, p Params) (Result,
 		return Result{}, fmt.Errorf("core: %s: %w", k.Name(), err)
 	}
 
+	obsRuns.Inc()
 	res := Result{
 		Kernel:  k.Name(),
 		Format:  k.Format(),
@@ -104,6 +105,8 @@ func Run(k Kernel, a *matrix.COO[float64], matrixName string, p Params) (Result,
 		if isModel {
 			secs = model.ModelSeconds()
 		}
+		obsReps.Inc()
+		obsCalcSeconds.Observe(secs)
 		total += secs
 		if rep == 0 || secs < minSec {
 			minSec = secs
@@ -129,6 +132,7 @@ func Run(k Kernel, a *matrix.COO[float64], matrixName string, p Params) (Result,
 		}
 		res.MaxAbsDiff = diff
 		if !c.EqualTol(ref, matrix.DefaultTol[float64]()) {
+			obsVerifyFailures.Inc()
 			return res, fmt.Errorf("%w: %s on %s: max abs diff %g",
 				ErrVerify, k.Name(), matrixName, diff)
 		}

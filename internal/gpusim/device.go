@@ -282,6 +282,7 @@ func (d *Device) Launch(blocks, threadsPerBlock int, kernel func(w *Warp)) (Laun
 			worst, bound = cycles, b
 		}
 	}
+	flushObs(d.cfg, agg, smWarps)
 	res := LaunchResult{
 		Cycles:  worst,
 		Seconds: worst / (d.cfg.ClockGHz * 1e9),

@@ -1,0 +1,69 @@
+package gpusim
+
+import "repro/internal/obs"
+
+// Simulated hardware counters, exported to the process-wide metrics
+// registry. Handles are resolved once at package init and each Launch does a
+// fixed handful of atomic adds at the end — nothing per warp, so the
+// simulator's inner loop cost is untouched.
+var (
+	obsLaunches = obs.NewCounter("spmm_gpusim_launches_total",
+		"Kernel launches executed by the GPU simulator.")
+	obsWarps = obs.NewCounter("spmm_gpusim_warps_total",
+		"Warps executed across all launches.")
+	obsFMAInstrs = obs.NewCounter("spmm_gpusim_fma_instrs_total",
+		"Warp-level FMA instructions issued.")
+	obsMemInstrs = obs.NewCounter("spmm_gpusim_mem_instrs_total",
+		"Warp-level memory instructions issued.")
+	obsL1Hits = obs.NewCounter("spmm_gpusim_l1_hits_total",
+		"Memory transactions served from L1.")
+	obsL1Misses = obs.NewCounter("spmm_gpusim_l1_misses_total",
+		"Memory transactions that missed L1 (served by L2 or DRAM).")
+	obsL2Hits = obs.NewCounter("spmm_gpusim_l2_hits_total",
+		"Memory transactions served from the device-wide L2.")
+	obsL2Misses = obs.NewCounter("spmm_gpusim_l2_misses_total",
+		"Memory transactions that missed L2 and went to DRAM.")
+	obsDRAMBytes = obs.NewCounter("spmm_gpusim_dram_bytes_total",
+		"Modelled DRAM traffic in bytes (DRAM transactions x cache line).")
+	obsCoalesced = obs.NewCounter("spmm_gpusim_coalesced_transactions_total",
+		"Transactions a perfectly coalesced access pattern would have issued.")
+	obsUncoalesced = obs.NewCounter("spmm_gpusim_uncoalesced_transactions_total",
+		"Excess transactions over the perfectly coalesced minimum.")
+	obsAtomics = obs.NewCounter("spmm_gpusim_atomic_transactions_total",
+		"Atomic memory transactions issued.")
+	obsOccupancy = obs.NewGauge("spmm_gpusim_occupancy_ratio",
+		"Resident-warp occupancy of the last launch: mean over active SMs of resident/max warps.")
+)
+
+// flushObs exports one launch's aggregate statistics.
+func flushObs(cfg Config, s Stats, smWarps []int) {
+	obsLaunches.Inc()
+	obsWarps.Add(int64(s.Warps))
+	obsFMAInstrs.Add(s.FMAInstrs)
+	obsMemInstrs.Add(s.MemInstrs)
+	obsL1Hits.Add(s.L1Transactions)
+	obsL1Misses.Add(s.L2Transactions + s.DRAMTransactions)
+	obsL2Hits.Add(s.L2Transactions)
+	obsL2Misses.Add(s.DRAMTransactions)
+	obsDRAMBytes.Add(s.DRAMTransactions * int64(cfg.CachelineBytes))
+	obsCoalesced.Add(s.IdealTransactions)
+	obsUncoalesced.Add(s.Transactions - s.IdealTransactions)
+	obsAtomics.Add(s.AtomicTransacts)
+
+	// Occupancy: mean over SMs that received work of resident warps over the
+	// architectural maximum — the figure a profiler's "achieved occupancy"
+	// counter reports for the launch.
+	if cfg.MaxWarpsPerSM > 0 {
+		sum, active := 0.0, 0
+		for _, w := range smWarps {
+			if w == 0 {
+				continue
+			}
+			active++
+			sum += float64(min(w, cfg.MaxWarpsPerSM)) / float64(cfg.MaxWarpsPerSM)
+		}
+		if active > 0 {
+			obsOccupancy.Set(sum / float64(active))
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"runtime/debug"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -42,8 +44,13 @@ type Config struct {
 	Seed int64
 	// Injector injects test faults; nil in production.
 	Injector *Injector
-	// Log receives one-line progress notes; nil discards them.
+	// Log receives progress notes as text records; nil discards them.
+	// Ignored when Logger is set.
 	Log io.Writer
+	// Logger, when non-nil, receives structured progress records (the
+	// CLIs pass their -log-format/-log-level logger here). When nil but
+	// Log is set, a plain text logger over Log is built.
+	Logger *slog.Logger
 	// Trace, when non-nil and enabled, receives recovery-machinery spans
 	// (attempt/backoff intervals, retry/degrade/skip instants on lane 0)
 	// and is forwarded to core.Params so the benchmark phases of
@@ -105,6 +112,8 @@ type Harness struct {
 	done     map[string]Record
 	rng      *rand.Rand
 	matrices map[string]*matrix.COO[float64]
+	// log is the structured progress logger; nil discards records.
+	log *slog.Logger
 	// sleep is time.Sleep, replaceable by tests.
 	sleep func(time.Duration)
 }
@@ -118,6 +127,16 @@ func New(cfg Config) (*Harness, error) {
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		matrices: map[string]*matrix.COO[float64]{},
 		sleep:    time.Sleep,
+	}
+	h.log = cfg.Logger
+	if h.log == nil && cfg.Log != nil {
+		// Legacy io.Writer sink: wrap it in a text handler so callers that
+		// only set Log keep getting human-readable progress lines.
+		log, err := obs.NewLogger(cfg.Log, "text", slog.LevelInfo)
+		if err != nil {
+			return nil, err
+		}
+		h.log = log
 	}
 	if cfg.Resume && cfg.Journal != "" {
 		recs, err := ReadJournal(cfg.Journal)
@@ -148,9 +167,18 @@ func (h *Harness) Close() error {
 // skipped / failed).
 func (h *Harness) Counters() *metrics.CounterSet { return h.counters }
 
-func (h *Harness) logf(format string, args ...any) {
-	if h.cfg.Log != nil {
-		fmt.Fprintf(h.cfg.Log, "harness: "+format+"\n", args...)
+// logInfo and logWarn emit one structured progress record; both are no-ops
+// without a configured logger. ctx may carry campaign attributes installed
+// with obs.WithLogAttrs.
+func (h *Harness) logInfo(ctx context.Context, msg string, args ...any) {
+	if h.log != nil {
+		h.log.InfoContext(ctx, msg, args...)
+	}
+}
+
+func (h *Harness) logWarn(ctx context.Context, msg string, args ...any) {
+	if h.log != nil {
+		h.log.WarnContext(ctx, msg, args...)
 	}
 }
 
@@ -205,11 +233,14 @@ func (h *Harness) runLoaded(ctx context.Context, s Spec, m *matrix.COO[float64])
 	if s.Params.Trace == nil {
 		s.Params.Trace = h.cfg.Trace
 	}
+	ctx = obs.WithLogAttrs(ctx,
+		slog.String("kernel", s.Kernel), slog.String("matrix", s.Matrix))
 
 	if rec, ok := h.done[id]; ok {
 		h.counters.Add("skipped", 1)
+		countOutcome(StatusSkipped)
 		h.cfg.Trace.Instant(0, trace.PhaseSkip, id, 0)
-		h.logf("skip %s: already journaled (%s)", id, rec.Status)
+		h.logInfo(ctx, "skip: already journaled", "run", id, "status", rec.Status)
 		out := Outcome{Spec: s, ID: id, Status: StatusSkipped, RanKernel: rec.Kernel}
 		if rec.Substituted != "" {
 			out.RanKernel = rec.Substituted
@@ -258,16 +289,20 @@ func (h *Harness) runLoaded(ctx context.Context, s Spec, m *matrix.COO[float64])
 		}
 		lastErr = err
 		class := Classify(err)
-		h.logf("run %s: attempt %d/%d failed (%s): %v", id, attempts, maxAttempts, class, err)
+		h.logWarn(ctx, "attempt failed", "run", id,
+			"attempt", attempts, "max", maxAttempts, "class", class.String(), "err", err)
 		if !class.Retryable() || isModel || attempts >= maxAttempts {
 			break
 		}
 		if attempts == 1 {
 			h.counters.Add("retried", 1)
 		}
+		obsRetries.Inc()
 		h.cfg.Trace.Instant(0, trace.PhaseRetry, class.String(), int64(attempts))
+		delay := h.cfg.Backoff.Delay(attempts, h.rng)
+		obsBackoffSeconds.Observe(delay.Seconds())
 		span = h.cfg.Trace.Start()
-		h.sleep(h.cfg.Backoff.Delay(attempts, h.rng))
+		h.sleep(delay)
 		h.cfg.Trace.End(0, trace.PhaseBackoff, span, int64(attempts))
 	}
 
@@ -299,10 +334,12 @@ func (h *Harness) applyBudget(s Spec, m *matrix.COO[float64]) (string, bool, err
 				ErrOverBudget, format, s.Matrix, FormatBytesHuman(est), FormatBytesHuman(h.cfg.MemBudget))
 		}
 		next := fallbackKernel(kernelName, format, fb)
+		obsDegrades.Inc()
 		h.cfg.Trace.Instant(0, trace.PhaseDegrade, format+"->"+fb, 0)
-		h.logf("degrade %s on %s: %s needs ~%s > budget %s, falling back to %s",
-			s.Kernel, s.Matrix, format, FormatBytesHuman(est),
-			FormatBytesHuman(h.cfg.MemBudget), next)
+		h.logInfo(context.Background(), "degrade: format over budget",
+			"kernel", s.Kernel, "matrix", s.Matrix, "format", format,
+			"estimate", FormatBytesHuman(est),
+			"budget", FormatBytesHuman(h.cfg.MemBudget), "fallback", next)
 		kernelName, format, degraded = next, fb, true
 	}
 	return kernelName, degraded, nil
@@ -348,7 +385,8 @@ func (h *Harness) safeRun(ctx context.Context, k core.Kernel, m *matrix.COO[floa
 		case r := <-ch:
 			return r.res, r.err
 		case <-grace.C:
-			h.logf("abandoning unresponsive run of %s on %s after %v", k.Name(), matrixName, h.cfg.Timeout)
+			h.logWarn(ctx, "abandoning unresponsive run",
+				"kernel", k.Name(), "matrix", matrixName, "timeout", h.cfg.Timeout)
 			return core.Result{}, &RunError{Class: ClassTimeout, Err: runCtx.Err()}
 		}
 	}
@@ -378,6 +416,7 @@ func (h *Harness) record(out Outcome) {
 	default:
 		h.counters.Add("ok", 1)
 	}
+	countOutcome(out.Status)
 	if h.journal == nil {
 		return
 	}
@@ -399,8 +438,10 @@ func (h *Harness) record(out Outcome) {
 		rec.Result = &res
 	}
 	if err := h.journal.Append(rec); err != nil {
-		h.logf("journal append failed: %v", err)
+		h.logWarn(context.Background(), "journal append failed", "err", err)
+		return
 	}
+	lastAppend.Store(time.Now().UnixNano())
 }
 
 // Runner returns a drop-in replacement for core.Run for callers that drive

@@ -1,0 +1,72 @@
+package kernels
+
+import (
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// Scheduling-layer metrics, exported to the process-wide registry. The Opts
+// dispatchers do a handful of atomic adds per call (never per row), plus an
+// allocation-free walk of the CSR row pointers to publish the chunk
+// imbalance the chosen schedule produces — the live counterpart of the
+// schedule study's imbalance tables.
+var (
+	obsDispatchCSR = obs.NewCounter(`spmm_kernels_dispatch_total{format="csr"}`,
+		"Parallel kernel dispatches by format.")
+	obsDispatchBCSR = obs.NewCounter(`spmm_kernels_dispatch_total{format="bcsr"}`,
+		"Parallel kernel dispatches by format.")
+	obsDispatchSELLCS = obs.NewCounter(`spmm_kernels_dispatch_total{format="sellcs"}`,
+		"Parallel kernel dispatches by format.")
+	obsDispatchELL = obs.NewCounter(`spmm_kernels_dispatch_total{format="ell"}`,
+		"Parallel kernel dispatches by format.")
+	obsDispatchBELL = obs.NewCounter(`spmm_kernels_dispatch_total{format="bell"}`,
+		"Parallel kernel dispatches by format.")
+	obsDispatchCOO = obs.NewCounter(`spmm_kernels_dispatch_total{format="coo"}`,
+		"Parallel kernel dispatches by format.")
+	obsRows = obs.NewCounter("spmm_kernels_rows_total",
+		"Rows (or block rows / slices) covered by Opts dispatches.")
+	obsNonzeros = obs.NewCounter("spmm_kernels_nonzeros_total",
+		"Stored nonzeros covered by Opts dispatches (formats with O(1) counts).")
+	obsImbalance = obs.NewGauge("spmm_kernels_chunk_imbalance_ratio",
+		"Nonzero imbalance of the last CSR dispatch: max chunk nnz over fair share (1 = perfectly balanced).")
+)
+
+// recordCSRImbalance publishes the nonzero imbalance of the partition the
+// dispatch is about to run: the heaviest chunk's nonzeros divided by the
+// fair share nnz/chunks. bounds is nil for the static row partition.
+func recordCSRImbalance(rowPtr []int32, rows, threads int, bounds []int) {
+	nnz := int(rowPtr[rows])
+	if nnz == 0 {
+		obsImbalance.Set(1)
+		return
+	}
+	var chunks int
+	if bounds != nil {
+		chunks = len(bounds) - 1
+		if chunks < 1 {
+			obsImbalance.Set(1)
+			return
+		}
+	} else {
+		chunks = threads
+		if chunks < 1 {
+			chunks = 1
+		}
+		if chunks > rows {
+			chunks = max(rows, 1)
+		}
+	}
+	var maxChunk int32
+	for w := 0; w < chunks; w++ {
+		var lo, hi int
+		if bounds != nil {
+			lo, hi = bounds[w], bounds[w+1]
+		} else {
+			lo, hi = parallel.ChunkBounds(rows, chunks, w)
+		}
+		if c := rowPtr[hi] - rowPtr[lo]; c > maxChunk {
+			maxChunk = c
+		}
+	}
+	obsImbalance.Set(float64(maxChunk) * float64(chunks) / float64(nnz))
+}

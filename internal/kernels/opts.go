@@ -65,6 +65,10 @@ func CSRParallelOpts[T matrix.Float](a *formats.CSR[T], b, c *matrix.Dense[T], k
 	if o.Schedule == ScheduleBalanced {
 		e.Bounds = a.BalancedBounds(threads)
 	}
+	obsDispatchCSR.Inc()
+	obsRows.Add(int64(a.Rows))
+	obsNonzeros.Add(int64(a.NNZ()))
+	recordCSRImbalance(a.RowPtr, a.Rows, threads, e.Bounds)
 	span := o.Trace.Start()
 	e.Run(a.Rows, threads, func(lo, hi, _ int) {
 		csrRows(a, b, c, k, lo, hi)
@@ -83,6 +87,8 @@ func BCSRParallelOpts[T matrix.Float](a *formats.BCSR[T], b, c *matrix.Dense[T],
 	if o.Schedule == ScheduleBalanced {
 		e.Bounds = a.BalancedBounds(threads)
 	}
+	obsDispatchBCSR.Inc()
+	obsRows.Add(int64(a.BlockRows))
 	span := o.Trace.Start()
 	e.Run(a.BlockRows, threads, func(lo, hi, _ int) {
 		bcsrBlockRows(a, b, c, k, lo, hi)
@@ -102,6 +108,8 @@ func SELLCSParallelOpts[T matrix.Float](a *formats.SELLCS[T], b, c *matrix.Dense
 	if o.Schedule == ScheduleBalanced {
 		e.Bounds = a.BalancedBounds(threads)
 	}
+	obsDispatchSELLCS.Inc()
+	obsRows.Add(int64(a.NumSlices()))
 	span := o.Trace.Start()
 	e.Run(a.NumSlices(), threads, func(lo, hi, _ int) {
 		sellSlices(a, b, c, k, lo, hi)
@@ -119,6 +127,8 @@ func ELLParallelOpts[T matrix.Float](a *formats.ELL[T], b, c *matrix.Dense[T], k
 		return err
 	}
 	e := parallel.Exec{Pool: o.Pool}
+	obsDispatchELL.Inc()
+	obsRows.Add(int64(a.Rows))
 	span := o.Trace.Start()
 	e.Run(a.Rows, threads, func(lo, hi, _ int) {
 		ellRows(a, b, c, k, lo, hi)
@@ -135,6 +145,8 @@ func BELLParallelOpts[T matrix.Float](a *formats.BELL[T], b, c *matrix.Dense[T],
 		return err
 	}
 	e := parallel.Exec{Pool: o.Pool}
+	obsDispatchBELL.Inc()
+	obsRows.Add(int64(a.BlockRows))
 	span := o.Trace.Start()
 	e.Run(a.BlockRows, threads, func(lo, hi, _ int) {
 		bellBlockRows(a, b, c, k, lo, hi)
@@ -154,6 +166,9 @@ func COOParallelOpts[T matrix.Float](a *matrix.COO[T], b, c *matrix.Dense[T], k,
 	}
 	bounds := cooRowPartition(a, threads)
 	chunks := len(bounds) - 1
+	obsDispatchCOO.Inc()
+	obsRows.Add(int64(a.Rows))
+	obsNonzeros.Add(int64(a.NNZ()))
 	span := o.Trace.Start()
 	e := parallel.Exec{Pool: o.Pool}
 	e.Run(c.Rows, threads, func(lo, hi, _ int) {

@@ -16,12 +16,22 @@ type Machine struct {
 	// memMissStream counts the subset of memory misses that were
 	// streamed (prefetchable); the rest were demand misses.
 	memMissStream int64
+	// levelHits counts touches served per cache level (index = level).
+	levelHits [maxCacheLevels]int64
 }
+
+// maxCacheLevels bounds the hierarchy depth the per-level hit counters
+// cover; profiles deeper than this are rejected by New.
+const maxCacheLevels = 4
 
 // New builds a machine for the profile.
 func New(prof Profile) (*Machine, error) {
 	if prof.ClockGHz <= 0 || prof.ScalarIPC <= 0 || prof.FMAPipes <= 0 || prof.VectorElems < 1 {
 		return nil, fmt.Errorf("machine: invalid profile %q", prof.Name)
+	}
+	if len(prof.Caches) > maxCacheLevels {
+		return nil, fmt.Errorf("machine: profile %q has %d cache levels, max %d",
+			prof.Name, len(prof.Caches), maxCacheLevels)
 	}
 	m := &Machine{prof: prof}
 	for _, cc := range prof.Caches {
@@ -44,9 +54,10 @@ func (m *Machine) Profile() Profile { return m.prof }
 // cost is bandwidth, not latency.
 func (m *Machine) touchLine(addr uint64, streamed bool) {
 	m.accesses++
-	for _, c := range m.caches {
+	for i, c := range m.caches {
 		if c.Access(addr) {
 			m.cycles += c.cfg.HitCycles
+			m.levelHits[i]++
 			return
 		}
 		// Miss: the line is installed at this level, continue down.
@@ -188,11 +199,12 @@ func (m *Machine) StreamMissShare() float64 {
 // contents — used to measure a warmed (steady-state) pass.
 func (m *Machine) ResetCosts() {
 	m.cycles, m.flops, m.accesses, m.memMiss, m.memMissStream = 0, 0, 0, 0, 0
+	m.levelHits = [maxCacheLevels]int64{}
 }
 
 // Reset clears cycles, counters and cache contents.
 func (m *Machine) Reset() {
-	m.cycles, m.flops, m.accesses, m.memMiss, m.memMissStream = 0, 0, 0, 0, 0
+	m.ResetCosts()
 	for _, c := range m.caches {
 		c.Reset()
 	}

@@ -177,6 +177,7 @@ func (mc Multicore) simulateParallelBounds(bounds []int, k int, trace chunkTrace
 		totalAccesses += m.accesses
 		totalMisses += m.memMiss
 		totalStreamMiss += m.memMissStream
+		m.flushObs()
 	}
 
 	missRate := 0.0

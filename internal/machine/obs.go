@@ -1,0 +1,48 @@
+package machine
+
+import "repro/internal/obs"
+
+// Simulated CPU hardware counters, exported to the process-wide metrics
+// registry. One flush per simulated machine (the serial simulations flush in
+// finish, the multicore model flushes each chunk's private core after its
+// measured pass), so the trace-replay inner loops stay counter-free except
+// for the plain int64 fields they already maintain.
+var (
+	obsSims = obs.NewCounter("spmm_machine_sims_total",
+		"Simulated machine passes flushed (one per core/chunk measured).")
+	obsAccesses = obs.NewCounter("spmm_machine_accesses_total",
+		"Line-granularity memory touches replayed.")
+	obsCacheHits = [maxCacheLevels]*obs.Counter{
+		obs.NewCounter(`spmm_machine_cache_hits_total{level="L1"}`,
+			"Memory touches served per cache level."),
+		obs.NewCounter(`spmm_machine_cache_hits_total{level="L2"}`,
+			"Memory touches served per cache level."),
+		obs.NewCounter(`spmm_machine_cache_hits_total{level="L3"}`,
+			"Memory touches served per cache level."),
+		obs.NewCounter(`spmm_machine_cache_hits_total{level="L4"}`,
+			"Memory touches served per cache level."),
+	}
+	obsMemMisses = obs.NewCounter("spmm_machine_mem_misses_total",
+		"Memory touches that missed every cache level.")
+	obsStreamMisses = obs.NewCounter("spmm_machine_stream_misses_total",
+		"Memory misses priced as streamed (prefetcher-covered).")
+	obsDRAMBytes = obs.NewCounter("spmm_machine_dram_bytes_total",
+		"Modelled DRAM traffic in bytes (memory misses x cache line).")
+	obsFlops = obs.NewCounter("spmm_machine_flops_total",
+		"Floating-point operations replayed.")
+)
+
+// flushObs exports the machine's accumulated counters. Call once per
+// measured pass — the counters are cumulative since the last
+// ResetCosts/Reset, so flushing mid-run would double-count.
+func (m *Machine) flushObs() {
+	obsSims.Inc()
+	obsAccesses.Add(m.accesses)
+	for i := range m.levelHits {
+		obsCacheHits[i].Add(m.levelHits[i])
+	}
+	obsMemMisses.Add(m.memMiss)
+	obsStreamMisses.Add(m.memMissStream)
+	obsDRAMBytes.Add(m.memMiss * int64(m.lineBytes()))
+	obsFlops.Add(m.flops)
+}

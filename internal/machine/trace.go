@@ -34,6 +34,7 @@ type Result struct {
 }
 
 func finish(m *Machine, nnz, k int) Result {
+	m.flushObs()
 	return resultFor(m.prof.Name, m.Seconds(), m.Cycles(), nnz, k, m.MemMissRate())
 }
 

@@ -42,24 +42,30 @@ func (s *CounterSet) Get(name string) int64 {
 	return s.vals[name]
 }
 
-// Snapshot returns a copy of all counters.
-func (s *CounterSet) Snapshot() map[string]int64 {
+// CounterValue is one (name, value) pair of a Snapshot.
+type CounterValue struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot returns an ordered copy of all counters in registration order —
+// the same order Table renders — so callers can read values without parsing
+// rendered output.
+func (s *CounterSet) Snapshot() []CounterValue {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make(map[string]int64, len(s.vals))
-	for k, v := range s.vals {
-		out[k] = v
+	out := make([]CounterValue, 0, len(s.names))
+	for _, n := range s.names {
+		out = append(out, CounterValue{Name: n, Value: s.vals[n]})
 	}
 	return out
 }
 
 // Table renders the counters as a two-column table in registration order.
 func (s *CounterSet) Table() *Table {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	t := NewTable("counter", "count")
-	for _, n := range s.names {
-		t.AddRow(n, s.vals[n])
+	for _, cv := range s.Snapshot() {
+		t.AddRow(cv.Name, cv.Value)
 	}
 	return t
 }

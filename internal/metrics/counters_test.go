@@ -17,6 +17,16 @@ func TestCounterSetBasics(t *testing.T) {
 	if s.Get("unknown") != 0 {
 		t.Fatal("unknown counter not zero")
 	}
+	want := []CounterValue{{"ok", 2}, {"failed", 1}, {"extra", 5}}
+	snap := s.Snapshot()
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d entries, want %d: %v", len(snap), len(want), snap)
+	}
+	for i, cv := range want {
+		if snap[i] != cv {
+			t.Fatalf("snapshot[%d] = %+v, want %+v", i, snap[i], cv)
+		}
+	}
 	var b strings.Builder
 	if err := s.Table().Render(&b); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusExpositionGolden pins the exposition schema: metric names,
+// HELP/TYPE lines, label ordering, histogram expansion. Any change to the
+// rendered format — intentional or not — must update this golden string, so
+// scrapers and dashboards never drift silently.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+
+	// Register out of sorted order on purpose: the writer must sort
+	// families by name and series within a family by label text.
+	r.NewCounter(`spmm_runs_total{status="ok"}`, "Completed benchmark runs by status.").Add(7)
+	r.NewCounter(`spmm_runs_total{status="failed"}`, "Completed benchmark runs by status.").Add(2)
+	r.NewGauge("spmm_chunk_imbalance_ratio", "Max over mean nonzeros per chunk.").Set(1.25)
+	r.NewGaugeFunc("spmm_checkpoint_age_seconds", "Seconds since the journal last grew.",
+		func() float64 { return 12.5 })
+	h := r.NewHistogram("spmm_calculate_seconds", "Wall time of the calculate phase.")
+	h.Observe(5e-4) // le 1e-3
+	h.Observe(3e-2) // le 1e-1
+	r.NewCounter("spmm_dram_bytes_total", "Bytes of modelled DRAM traffic.").Add(4096)
+
+	const want = `# HELP spmm_calculate_seconds Wall time of the calculate phase.
+# TYPE spmm_calculate_seconds histogram
+spmm_calculate_seconds_bucket{le="1e-09"} 0
+spmm_calculate_seconds_bucket{le="1e-08"} 0
+spmm_calculate_seconds_bucket{le="1e-07"} 0
+spmm_calculate_seconds_bucket{le="1e-06"} 0
+spmm_calculate_seconds_bucket{le="1e-05"} 0
+spmm_calculate_seconds_bucket{le="0.0001"} 0
+spmm_calculate_seconds_bucket{le="0.001"} 1
+spmm_calculate_seconds_bucket{le="0.01"} 1
+spmm_calculate_seconds_bucket{le="0.1"} 2
+spmm_calculate_seconds_bucket{le="1"} 2
+spmm_calculate_seconds_bucket{le="10"} 2
+spmm_calculate_seconds_bucket{le="100"} 2
+spmm_calculate_seconds_bucket{le="1000"} 2
+spmm_calculate_seconds_bucket{le="+Inf"} 2
+spmm_calculate_seconds_sum 0.0305
+spmm_calculate_seconds_count 2
+# HELP spmm_checkpoint_age_seconds Seconds since the journal last grew.
+# TYPE spmm_checkpoint_age_seconds gauge
+spmm_checkpoint_age_seconds 12.5
+# HELP spmm_chunk_imbalance_ratio Max over mean nonzeros per chunk.
+# TYPE spmm_chunk_imbalance_ratio gauge
+spmm_chunk_imbalance_ratio 1.25
+# HELP spmm_dram_bytes_total Bytes of modelled DRAM traffic.
+# TYPE spmm_dram_bytes_total counter
+spmm_dram_bytes_total 4096
+# HELP spmm_runs_total Completed benchmark runs by status.
+# TYPE spmm_runs_total counter
+spmm_runs_total{status="failed"} 2
+spmm_runs_total{status="ok"} 7
+`
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Errorf("exposition format drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+		gotLines, wantLines := strings.Split(got, "\n"), strings.Split(want, "\n")
+		for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+			g, w := "", ""
+			if i < len(gotLines) {
+				g = gotLines[i]
+			}
+			if i < len(wantLines) {
+				w = wantLines[i]
+			}
+			if g != w {
+				t.Fatalf("first divergence at line %d:\n  got:  %q\n  want: %q", i+1, g, w)
+			}
+		}
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("t_esc_total", "line one\nback\\slash")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `# HELP t_esc_total line one\nback\\slash`) {
+		t.Fatalf("help text not escaped:\n%s", b.String())
+	}
+}

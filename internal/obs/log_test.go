@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerJSONWithContextAttrs(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithLogAttrs(context.Background(),
+		slog.String("campaign", "sweep-1"), slog.String("kernel", "csr"))
+	ctx = WithLogAttrs(ctx, slog.String("matrix", "tri-64")) // accumulates
+	log.InfoContext(ctx, "run complete", "reps", 3)
+
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &rec); err != nil {
+		t.Fatalf("output is not one JSON record: %v\n%s", err, b.String())
+	}
+	for k, want := range map[string]any{
+		"msg": "run complete", "campaign": "sweep-1",
+		"kernel": "csr", "matrix": "tri-64", "reps": float64(3),
+	} {
+		if rec[k] != want {
+			t.Errorf("record[%q] = %v, want %v", k, rec[k], want)
+		}
+	}
+}
+
+func TestNewLoggerTextAndLeveling(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "text", slog.LevelWarn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("shown")
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("info record leaked through warn level:\n%s", out)
+	}
+	if !strings.Contains(out, "shown") {
+		t.Fatalf("warn record missing:\n%s", out)
+	}
+}
+
+func TestNewLoggerRejectsUnknownFormat(t *testing.T) {
+	if _, err := NewLogger(&strings.Builder{}, "xml", slog.LevelInfo); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+		" ERROR ": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("verbose"); err == nil {
+		t.Fatal("expected error for unknown level")
+	}
+}
+
+func TestCtxHandlerWithGroup(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithLogAttrs(context.Background(), slog.String("campaign", "c1"))
+	log.WithGroup("run").InfoContext(ctx, "msg", "rep", 1)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &rec); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, b.String())
+	}
+	grp, _ := rec["run"].(map[string]any)
+	if grp == nil || grp["rep"] != float64(1) {
+		t.Fatalf("grouped attr missing: %v", rec)
+	}
+}

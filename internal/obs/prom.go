@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format v0.0.4: one `# HELP` and `# TYPE` header per family,
+// families sorted by name, series within a family sorted by their label
+// sets, histograms expanded into cumulative `_bucket{le=...}` series plus
+// `_sum` and `_count`. The output is deterministic for a given set of
+// values — the golden test pins the schema.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, series := range r.snapshot() {
+		head := series[0]
+		if head.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(head.family)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(head.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(head.family)
+		bw.WriteByte(' ')
+		bw.WriteString(head.kind.String())
+		bw.WriteByte('\n')
+		for _, m := range series {
+			switch m.kind {
+			case kindCounter:
+				writeSample(bw, m.family, m.labels, "", formatInt(m.ctr.Value()))
+			case kindGauge:
+				writeSample(bw, m.family, m.labels, "", formatFloat(m.gauge.Value()))
+			case kindGaugeFunc:
+				v := 0.0
+				if m.fn != nil {
+					v = m.fn()
+				}
+				writeSample(bw, m.family, m.labels, "", formatFloat(v))
+			case kindHistogram:
+				counts := m.hist.bucketCounts()
+				for i, bound := range HistogramBounds {
+					writeSample(bw, m.family+"_bucket", m.labels,
+						`le="`+formatFloat(bound)+`"`, formatInt(counts[i]))
+				}
+				writeSample(bw, m.family+"_bucket", m.labels, `le="+Inf"`,
+					formatInt(counts[histBuckets-1]))
+				writeSample(bw, m.family+"_sum", m.labels, "", formatFloat(m.hist.Sum()))
+				writeSample(bw, m.family+"_count", m.labels, "", formatInt(m.hist.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample writes one exposition line. labels and extra are raw
+// `name="value"` lists; either may be empty.
+func writeSample(bw *bufio.Writer, name, labels, extra, value string) {
+	bw.WriteString(name)
+	if labels != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"context"
+	"expvar"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// ServerOpts configures the observability HTTP server.
+type ServerOpts struct {
+	// Registry is the metric source for /metrics; nil means Default.
+	Registry *Registry
+	// Pprof mounts net/http/pprof under /debug/pprof/ (the mux-local
+	// equivalent of spmmbench's PR-3 `-pprof` endpoint).
+	Pprof bool
+	// Log receives server lifecycle notes; nil discards them.
+	Log *slog.Logger
+}
+
+// publishExpvarOnce guards the one-time expvar publication of the Default
+// registry snapshot (expvar.Publish panics on duplicate names).
+var publishExpvarOnce sync.Once
+
+// NewMux builds the observability mux: /metrics (Prometheus text format),
+// /healthz (liveness), /debug/vars (expvar) and, when opts.Pprof is set,
+// /debug/pprof/.
+func NewMux(opts ServerOpts) *http.ServeMux {
+	reg := opts.Registry
+	if reg == nil {
+		reg = Default
+	}
+	publishExpvarOnce.Do(func() {
+		expvar.Publish("spmm_metric_families", expvar.Func(func() any {
+			n := 0
+			Default.mu.Lock()
+			n = len(Default.families)
+			Default.mu.Unlock()
+			return n
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil && opts.Log != nil {
+			opts.Log.Warn("metrics write failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Server is a running observability endpoint. It owns its listener, so
+// `:0` addresses work (Addr reports the bound port) and Close shuts the
+// handler pool down gracefully — no goroutine outlives a completed Close.
+type Server struct {
+	srv  *http.Server
+	addr string
+	done chan struct{}
+	err  error
+}
+
+// Serve binds addr and starts serving the observability mux in a
+// background goroutine. The returned Server reports the bound address
+// (useful with ":0") and must be Closed to release the port.
+func Serve(addr string, opts ServerOpts) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		srv: &http.Server{
+			Handler:           NewMux(opts),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+		addr: ln.Addr().String(),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.err = err
+			if opts.Log != nil {
+				opts.Log.Error("metrics server failed", "addr", s.addr, "err", err)
+			}
+		}
+	}()
+	if opts.Log != nil {
+		opts.Log.Info("metrics server listening",
+			"addr", s.addr, "endpoints", "/metrics /healthz /debug/vars")
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.addr
+}
+
+// Close gracefully shuts the server down: in-flight requests finish (bounded
+// by ctx), the listener closes, and the serve goroutine exits before Close
+// returns. Closing a nil server is a no-op.
+func (s *Server) Close(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	if err == nil {
+		err = s.err
+	}
+	return err
+}
+
+// CloseOn shuts the server down as soon as ctx is cancelled — the campaign
+// wiring: `go srv.CloseOn(ctx)` ties the endpoint's lifetime to the
+// campaign context, so SIGINT (signal.NotifyContext) stops the server
+// cleanly along with the run. The shutdown grace period is fixed at two
+// seconds.
+func (s *Server) CloseOn(ctx context.Context) {
+	if s == nil {
+		return
+	}
+	<-ctx.Done()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	s.Close(shutCtx)
+}

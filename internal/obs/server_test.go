@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("t_srv_total", "help").Add(5)
+	s, err := Serve("127.0.0.1:0", ServerOpts{Registry: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+	base := "http://" + s.Addr()
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, "t_srv_total 5\n") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body, _ = get(t, base+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q, want 200 \"ok\\n\"", code, body)
+	}
+
+	code, body, _ = get(t, base+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "spmm_metric_families") {
+		t.Fatalf("/debug/vars = %d, body missing spmm_metric_families:\n%s", code, body)
+	}
+}
+
+func TestServerPprofMount(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", ServerOpts{Registry: NewRegistry(), Pprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+	code, _, _ := get(t, "http://"+s.Addr()+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status = %d", code)
+	}
+}
+
+// TestServerGracefulShutdownNoLeak asserts the whole server lifecycle leaves
+// no goroutine behind: serve, scrape, Close, and the goroutine count returns
+// to its starting point.
+func TestServerGracefulShutdownNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s, err := Serve("127.0.0.1:0", ServerOpts{Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	get(t, "http://"+addr+"/healthz")
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A fresh Serve on the same port must succeed: the listener is released.
+	s2, err := Serve(addr, ServerOpts{Registry: NewRegistry()})
+	if err != nil {
+		t.Fatalf("rebinding freed address %s: %v", addr, err)
+	}
+	if err := s2.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Goroutines wind down asynchronously after Shutdown returns; poll
+	// briefly before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after shutdown", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerCloseOnContextCancel covers the campaign wiring: the server is
+// tied to a context (campaign completion or SIGINT via signal.NotifyContext)
+// and stops serving once that context is cancelled.
+func TestServerCloseOnContextCancel(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", ServerOpts{Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go s.CloseOn(ctx)
+
+	base := "http://" + s.Addr()
+	if code, _, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz before cancel = %d", code)
+	}
+
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := http.Get(base + "/healthz"); err != nil {
+			break // connection refused: server is down
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server still serving 2s after context cancellation")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestNilServerIsNoOp(t *testing.T) {
+	var s *Server
+	if s.Addr() != "" {
+		t.Fatal("nil server Addr should be empty")
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatalf("nil server Close: %v", err)
+	}
+	s.CloseOn(context.Background()) // must not block or panic on nil
+}

@@ -103,6 +103,7 @@ func ForBounds(bounds []int, body func(lo, hi, worker int)) {
 	if chunks <= 0 {
 		return
 	}
+	countRegion(obsRegionsBounds, chunks, boundsItems(bounds))
 	if chunks == 1 {
 		body(bounds[0], bounds[1], 0)
 		return

@@ -1,0 +1,37 @@
+package parallel
+
+import "repro/internal/obs"
+
+// Dispatch counters, exported to the process-wide metrics registry. Each
+// fork/join region does two or three atomic adds at entry — never per chunk
+// and never inside body — so the package's no-alloc dispatch contract and
+// the kernels' allocation audit are unaffected.
+var (
+	obsRegionsStatic = obs.NewCounter(`spmm_parallel_regions_total{mode="static"}`,
+		"Fork/join regions dispatched, by scheduling machinery.")
+	obsRegionsDynamic = obs.NewCounter(`spmm_parallel_regions_total{mode="dynamic"}`,
+		"Fork/join regions dispatched, by scheduling machinery.")
+	obsRegionsBounds = obs.NewCounter(`spmm_parallel_regions_total{mode="bounds"}`,
+		"Fork/join regions dispatched, by scheduling machinery.")
+	obsRegionsPool = obs.NewCounter(`spmm_parallel_regions_total{mode="pool"}`,
+		"Fork/join regions dispatched, by scheduling machinery.")
+	obsChunks = obs.NewCounter("spmm_parallel_chunks_total",
+		"Chunks dispatched across all regions.")
+	obsItems = obs.NewCounter("spmm_parallel_items_total",
+		"Loop iterations (rows/triplets/slices) covered by dispatched regions.")
+)
+
+// countRegion records one region of `chunks` chunks over `items` iterations.
+func countRegion(mode *obs.Counter, chunks, items int) {
+	mode.Inc()
+	obsChunks.Add(int64(chunks))
+	obsItems.Add(int64(items))
+}
+
+// boundsItems returns the iteration count a bounds slice covers.
+func boundsItems(bounds []int) int {
+	if len(bounds) < 2 {
+		return 0
+	}
+	return bounds[len(bounds)-1] - bounds[0]
+}

@@ -52,6 +52,7 @@ func For(n, threads int, body func(lo, hi, worker int)) {
 	if threads > n {
 		threads = max(n, 1)
 	}
+	countRegion(obsRegionsStatic, threads, n)
 	if threads == 1 {
 		body(0, n, 0)
 		return
@@ -90,6 +91,7 @@ func ForCtx(ctx context.Context, n, threads int, body func(lo, hi, worker int)) 
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	countRegion(obsRegionsStatic, threads, n)
 	if threads == 1 {
 		body(0, n, 0)
 		return ctx.Err()
@@ -123,6 +125,7 @@ func ForDynamic(n, threads, chunk int, body func(lo, hi, worker int)) {
 	if chunk < 1 {
 		chunk = 1
 	}
+	countRegion(obsRegionsDynamic, (n+chunk-1)/chunk, n)
 	if threads == 1 {
 		body(0, n, 0)
 		return
@@ -165,6 +168,7 @@ func ForDynamicCtx(ctx context.Context, n, threads, chunk int, body func(lo, hi,
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	countRegion(obsRegionsDynamic, (n+chunk-1)/chunk, n)
 	if threads == 1 {
 		for lo := 0; lo < n; lo += chunk {
 			if err := ctx.Err(); err != nil {
@@ -262,6 +266,7 @@ func (p *Pool) Run(n, threads int, body func(lo, hi, worker int)) {
 	if threads > n {
 		threads = max(n, 1)
 	}
+	countRegion(obsRegionsPool, threads, n)
 	if threads == 1 {
 		body(0, n, 0)
 		return
@@ -277,6 +282,7 @@ func (p *Pool) RunBounds(bounds []int, body func(lo, hi, worker int)) {
 	if chunks <= 0 {
 		return
 	}
+	countRegion(obsRegionsPool, chunks, boundsItems(bounds))
 	if chunks == 1 {
 		body(bounds[0], bounds[1], 0)
 		return
@@ -303,6 +309,7 @@ func (p *Pool) RunCtx(ctx context.Context, n, threads int, body func(lo, hi, wor
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	countRegion(obsRegionsPool, threads, n)
 	if threads == 1 {
 		body(0, n, 0)
 		return ctx.Err()

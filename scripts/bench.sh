@@ -11,15 +11,16 @@
 # The default filter covers the steady-state Calculate costs per format,
 # the static-vs-balanced schedule race, the pooled-vs-spawn dispatch race,
 # the tracer's disabled-path overhead (must stay 0 allocs/op and within the
-# ns/op gate on CSR Calculate), and the per-phase time mix. Numbers are
-# host-dependent: commit a refreshed baseline when the hardware or the
-# kernels legitimately change.
+# ns/op gate on CSR Calculate), the metric registry's overhead (both rows of
+# BenchmarkObsOverhead must stay 0 allocs/op), and the per-phase time mix.
+# Numbers are host-dependent: commit a refreshed baseline when the hardware
+# or the kernels legitimately change.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME=${BENCHTIME:-0.5s}
 TOLERANCE=${TOLERANCE:-0.25}
-FILTER=${FILTER:-'^(BenchmarkCalculate|BenchmarkSchedule|BenchmarkPool|BenchmarkTraceOverhead|BenchmarkPhaseMix)$'}
+FILTER=${FILTER:-'^(BenchmarkCalculate|BenchmarkSchedule|BenchmarkPool|BenchmarkTraceOverhead|BenchmarkObsOverhead|BenchmarkPhaseMix)$'}
 DIR=${DIR:-results/bench}
 
 out=$(mktemp)

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # check.sh — the pre-commit gate for the suite: static checks plus the
 # race-sensitive packages (the threading substrate, the campaign harness,
-# and the lock-free tracer) under the race detector.
+# the lock-free tracer, and the metric registry) under the race detector.
 #
 #   ./scripts/check.sh
 set -euo pipefail
@@ -18,8 +18,8 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go test -race (parallel, harness, trace) =="
-go test -race -short ./internal/parallel/... ./internal/harness/... ./internal/trace/...
+echo "== go test -race (parallel, harness, trace, obs) =="
+go test -race -short ./internal/parallel/... ./internal/harness/... ./internal/trace/... ./internal/obs/...
 
 echo "== bench smoke (1 iteration per bench) =="
 go test -run '^$' -bench . -benchtime=1x . > /dev/null
