@@ -9,9 +9,11 @@
 //	spmmadvise -matrix torso1 -scale 0.05
 //	spmmadvise -matrix path/to/matrix.mtx -env parallel -measure
 //	spmmadvise -matrix cant -spy
+//	spmmadvise -matrix cant -json | jq .environments[0].ranked[0]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +36,7 @@ func main() {
 		spy     = flag.Bool("spy", false, "print the sparsity pattern")
 		threads = flag.Int("t", 8, "threads for -measure in the parallel environment")
 		kArg    = flag.Int("k", 128, "k for -measure")
+		asJSON  = flag.Bool("json", false, "emit the recommendation as machine-readable JSON (the advisor.Report schema the serving layer also returns)")
 	)
 	flag.Parse()
 
@@ -44,6 +47,10 @@ func main() {
 	f, err := advisor.Extract(m)
 	if err != nil {
 		fatal(err)
+	}
+	if *asJSON {
+		emitJSON(*name, *env, f, m, *measure, *threads, *kArg)
+		return
 	}
 	fmt.Printf("matrix %s: %dx%d, %d nonzeros\n", *name, f.Rows, f.Cols, f.NNZ)
 	fmt.Printf("features: ratio %.1f, ell-overhead %.1fx, 4x4-block fill %.2f, density %.2g\n",
@@ -59,17 +66,9 @@ func main() {
 		fmt.Println()
 	}
 
-	envs := []advisor.Environment{advisor.SerialCPU, advisor.ParallelCPU, advisor.GPUEnv}
-	switch *env {
-	case "serial":
-		envs = envs[:1]
-	case "parallel":
-		envs = envs[1:2]
-	case "gpu":
-		envs = envs[2:]
-	case "all":
-	default:
-		fatal(fmt.Errorf("unknown environment %q", *env))
+	envs, err := selectEnvs(*env)
+	if err != nil {
+		fatal(err)
 	}
 
 	for _, e := range envs {
@@ -97,6 +96,67 @@ func main() {
 			fmt.Printf("  measured winner: %s\n", best)
 		}
 		fmt.Println()
+	}
+}
+
+// selectEnvs maps the -env flag onto advisor environments.
+func selectEnvs(env string) ([]advisor.Environment, error) {
+	envs := []advisor.Environment{advisor.SerialCPU, advisor.ParallelCPU, advisor.GPUEnv}
+	switch env {
+	case "serial":
+		return envs[:1], nil
+	case "parallel":
+		return envs[1:2], nil
+	case "gpu":
+		return envs[2:], nil
+	case "all":
+		return envs, nil
+	default:
+		return nil, fmt.Errorf("unknown environment %q", env)
+	}
+}
+
+// measuredEnv is the optional -measure section of the JSON output.
+type measuredEnv struct {
+	Env     string        `json:"env"`
+	Winner  string        `json:"winner"`
+	Results []core.Result `json:"results"`
+}
+
+// jsonReport is the -json output: the shared advisor.Report (the same
+// struct internal/serve returns in register responses) plus measured
+// results when -measure ran.
+type jsonReport struct {
+	advisor.Report
+	Measured []measuredEnv `json:"measured,omitempty"`
+}
+
+func emitJSON(name, env string, f advisor.Features, m *matrix.COO[float64], measure bool, threads, k int) {
+	envs, err := selectEnvs(env)
+	if err != nil {
+		fatal(err)
+	}
+	out := jsonReport{Report: advisor.NewReport(name, f, envs)}
+	if measure {
+		for _, e := range envs {
+			if e == advisor.GPUEnv {
+				continue
+			}
+			p := core.DefaultParams()
+			p.Threads = threads
+			p.K = k
+			p.Reps = 3
+			best, results, err := advisor.Measure(m, e, p, core.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			out.Measured = append(out.Measured, measuredEnv{Env: e.String(), Winner: best, Results: results})
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
 	}
 }
 

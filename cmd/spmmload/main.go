@@ -1,0 +1,210 @@
+// Command spmmload drives a live spmmserve endpoint: it registers a matrix,
+// fires concurrent multiply requests through internal/serve's client
+// library, verifies every response bitwise against a local serial kernel of
+// the server-chosen format, and reports latency percentiles, throughput,
+// cache-hit and batching behaviour, and shed counts.
+//
+// Examples:
+//
+//	spmmload -addr http://127.0.0.1:8080 -matrix cant -scale 0.05 -workers 8 -n 200
+//	spmmload -addr http://127.0.0.1:8080 -mtx path/to/matrix.mtx -k 64
+//	spmmload -addr http://127.0.0.1:8080 -matrix torso1 -scale 0.02 -deadline 100ms
+//
+// Exit status is non-zero when any verified response mismatches or every
+// request failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+	"repro/internal/mmio"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "spmmserve base URL")
+		name     = flag.String("matrix", "cant", "generator-registry matrix name")
+		scale    = flag.Float64("scale", 0.05, "generator scale factor")
+		mtxPath  = flag.String("mtx", "", "MatrixMarket file to upload instead of a generator spec")
+		kArg     = flag.Int("k", 32, "dense columns per multiply request")
+		workers  = flag.Int("workers", 8, "concurrent client workers")
+		requests = flag.Int("n", 200, "total multiply requests")
+		deadline = flag.Duration("deadline", 0, "per-request deadline (0 = server default)")
+		verify   = flag.Bool("verify", true, "verify responses bitwise against a local serial kernel")
+	)
+	flag.Parse()
+
+	client := serve.NewClient(strings.TrimRight(*addr, "/"))
+
+	req := serve.RegisterRequest{Name: *name, Scale: *scale}
+	var local *matrix.COO[float64]
+	var err error
+	if *mtxPath != "" {
+		data, rerr := os.ReadFile(*mtxPath)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		req = serve.RegisterRequest{MTX: string(data)}
+		local, err = mmio.ReadCOO[float64](strings.NewReader(string(data)))
+	} else {
+		local, _, err = gen.GenerateScaled(*name, *scale)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	reg, err := client.Register(req)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("registered %s: %dx%d, %d nnz, format %s (%s schedule), existed=%v\n",
+		reg.ID, reg.Rows, reg.Cols, reg.NNZ, reg.Format, reg.Schedule, reg.Existed)
+	if best := reg.Advice.Best(advisor.ParallelCPU); best.Format != "" {
+		fmt.Printf("advisor: %s — %s\n", best.Format, best.Reason)
+	}
+
+	// The local reference: the same canonical COO the server hashed,
+	// prepared into the same format, multiplied serially. Parallel kernels
+	// preserve per-row accumulation order, so server results must match
+	// bitwise.
+	var ref core.Kernel
+	if *verify {
+		serve.Canonicalize(local)
+		if got := serve.ContentID(local); got != reg.ID {
+			fatal(fmt.Errorf("local matrix hashes to %s but server registered %s — different inputs", got, reg.ID))
+		}
+		ref, err = core.New(reg.Format+"-serial", core.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		p := core.DefaultParams()
+		p.BlockSize = reg.Block
+		p.K = *kArg
+		if err := ref.Prepare(local, p); err != nil {
+			fatal(err)
+		}
+	}
+
+	var (
+		mu         sync.Mutex
+		latencies  []time.Duration
+		mismatches int64
+		sheds      int64
+		failures   int64
+		hits       int64
+		batched    int64
+		maxWidth   int64
+		next       atomic.Int64
+	)
+	refC := matrix.NewDense[float64](reg.Rows, *kArg)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(*requests) {
+					return
+				}
+				b := matrix.NewDenseRand[float64](reg.Cols, *kArg, 1000+i)
+				t0 := time.Now()
+				res, err := client.Multiply(reg.ID, reg.Rows, b, *kArg, *deadline)
+				lat := time.Since(t0)
+				if err != nil {
+					if se, ok := err.(*serve.StatusError); ok && se.Overloaded() {
+						atomic.AddInt64(&sheds, 1)
+					} else {
+						atomic.AddInt64(&failures, 1)
+						fmt.Fprintf(os.Stderr, "spmmload: request %d: %v\n", i, err)
+					}
+					continue
+				}
+				if res.CacheHit {
+					atomic.AddInt64(&hits, 1)
+				}
+				if res.BatchWidth > 1 {
+					atomic.AddInt64(&batched, 1)
+				}
+				for {
+					old := atomic.LoadInt64(&maxWidth)
+					if int64(res.BatchWidth) <= old || atomic.CompareAndSwapInt64(&maxWidth, old, int64(res.BatchWidth)) {
+						break
+					}
+				}
+				mu.Lock()
+				latencies = append(latencies, lat)
+				if ref != nil {
+					// Serial reference under the same lock: one scratch C,
+					// and the serial rep keeps the client honest about what
+					// the server actually computed.
+					p := core.DefaultParams()
+					p.BlockSize = reg.Block
+					p.K = *kArg
+					if err := ref.Calculate(b, refC, p); err != nil {
+						fatal(err)
+					}
+					if diff, _ := res.C.MaxAbsDiff(refC); diff != 0 {
+						atomic.AddInt64(&mismatches, 1)
+						fmt.Fprintf(os.Stderr, "spmmload: request %d: result differs from serial %s by %g\n",
+							i, reg.Format, diff)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ok := len(latencies)
+	fmt.Printf("\n%d requests in %.2fs: %d ok, %d shed (429), %d failed\n",
+		*requests, elapsed.Seconds(), ok, sheds, failures)
+	if ok > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) time.Duration {
+			return latencies[min(int(p*float64(ok)), ok-1)]
+		}
+		flops := kernels.SpMMFlops(reg.NNZ, *kArg) * float64(ok)
+		fmt.Printf("latency p50 %s  p90 %s  p99 %s  max %s\n",
+			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), latencies[ok-1].Round(time.Microsecond))
+		fmt.Printf("throughput %.1f req/s, %.1f MFLOPS aggregate\n",
+			float64(ok)/elapsed.Seconds(), flops/elapsed.Seconds()/1e6)
+		fmt.Printf("cache hits %d/%d, batched responses %d (max width %d)\n",
+			hits, ok, batched, maxWidth)
+	}
+	if stats, err := client.Stats(); err == nil {
+		fmt.Printf("server: %d multiplies over %d dispatches, cache %d/%d prepared (%d prepares, %d evictions), shed %d\n",
+			stats.Multiplies, stats.Batches, stats.Cache.Entries, stats.Matrices,
+			stats.Cache.Prepares, stats.Cache.Evictions, stats.Shed)
+	}
+	if *verify {
+		if mismatches > 0 {
+			fatal(fmt.Errorf("%d responses mismatched the serial %s kernel", mismatches, reg.Format))
+		}
+		fmt.Printf("verified: all %d responses bitwise-identical to serial %s\n", ok, reg.Format)
+	}
+	if ok == 0 && *requests > 0 {
+		fatal(fmt.Errorf("no request succeeded"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spmmload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,161 @@
+// Command spmmserve runs the SpMM service: a long-lived HTTP server that
+// registers matrices (content-addressed), prepares each one once into its
+// advisor-chosen sparse format (bytes-bounded LRU cache), and serves
+// multiply requests with batching and admission control on the shared
+// worker pool. See internal/serve for the protocol.
+//
+// Examples:
+//
+//	spmmserve -addr :8080 -metrics :9090
+//	spmmserve -addr :8080 -cache-mb 64 -batch-window 2ms -max-inflight 8 -queue 32
+//	spmmserve -addr :8080 -trace /tmp/serve.trace.json   # Chrome trace on exit
+//
+// SIGINT drains gracefully: the listener closes, in-flight multiplies (and
+// open batches) finish, then the pool and the metrics endpoint shut down.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "service listen address (use :0 for an ephemeral port)")
+		metricsAddr = flag.String("metrics", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. :9090)")
+		threads     = flag.Int("t", parallel.MaxThreads(), "kernel threads per dispatch")
+		cacheMB     = flag.Int("cache-mb", 256, "prepared-format cache budget in MiB (0 = unbounded)")
+		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "coalescing window for same-matrix requests (0 disables batching)")
+		maxBatchK   = flag.Int("batch-maxk", 512, "max dense columns per coalesced dispatch")
+		maxK        = flag.Int("maxk", 1024, "max dense columns per request")
+		maxInFlight = flag.Int("max-inflight", 0, "max concurrently executing multiplies (0 = 2x threads)")
+		queue       = flag.Int("queue", -1, "admission queue depth before 429 shedding (-1 = 4x max-inflight)")
+		deadline    = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+		traceOut    = flag.String("trace", "", "write a Chrome trace of the serving session to this file on exit")
+		logFormat   = flag.String("log-format", "text", "log format: text or json")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		drainGrace  = flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGINT")
+	)
+	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		fatal(err)
+	}
+
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		tr = trace.New(*threads+2, 1<<16)
+		tr.SetEnabled(true)
+		parallel.SetTracer(tr)
+	}
+
+	// serve.Config sentinel mapping: 0 means "default", negative means "no
+	// queue at all" — translate the flag's -1=default / 0=none spelling.
+	queueDepth := *queue
+	switch {
+	case queueDepth < 0:
+		queueDepth = 0
+	case queueDepth == 0:
+		queueDepth = -1
+	}
+	cfg := serve.Config{
+		Threads:         *threads,
+		CacheBytes:      int64(*cacheMB) << 20,
+		BatchWindow:     *batchWindow,
+		MaxBatchK:       *maxBatchK,
+		MaxK:            *maxK,
+		MaxInFlight:     *maxInFlight,
+		QueueDepth:      queueDepth,
+		DefaultDeadline: *deadline,
+		Tracer:          tr,
+		Log:             logger,
+	}
+	srv := serve.New(cfg)
+	defer srv.Close()
+
+	var monitor *obs.Server
+	if *metricsAddr != "" {
+		monitor, err = obs.Serve(*metricsAddr, obs.ServerOpts{Pprof: true, Log: logger})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			done <- err
+			return
+		}
+		done <- nil
+	}()
+	logger.Info("spmmserve listening", "addr", ln.Addr().String(),
+		"threads", *threads, "cache_mb", *cacheMB,
+		"batch_window", batchWindow.String(), "metrics", *metricsAddr)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		logger.Info("draining", "grace", drainGrace.String())
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			logger.Warn("drain incomplete", "err", err)
+		}
+		cancel()
+		<-done
+	}
+	if monitor != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		monitor.Close(shutCtx)
+		cancel()
+	}
+	if tr != nil {
+		parallel.SetTracer(nil)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		logger.Info("trace written", "path", *traceOut)
+	}
+	logger.Info("spmmserve stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spmmserve:", err)
+	os.Exit(1)
+}

@@ -77,15 +77,17 @@ func Extract(m *matrix.COO[float64]) (Features, error) {
 	return f, nil
 }
 
-// Advice is one ranked recommendation.
+// Advice is one ranked recommendation. The JSON tags are part of the
+// machine-readable output contract shared by `spmmadvise -json` and the
+// serving layer's register response (see Report).
 type Advice struct {
 	// Format is the format family: "coo", "csr", "ell" or "bcsr".
-	Format string
+	Format string `json:"format"`
 	// Score is a unitless preference; higher is better. Scores are
 	// comparable within one Recommend call only.
-	Score float64
+	Score float64 `json:"score"`
 	// Reason explains the dominant factor in one sentence.
-	Reason string
+	Reason string `json:"reason"`
 }
 
 // Recommend ranks the four main formats for the environment, best first.

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,9 +23,14 @@ type ServerOpts struct {
 	Log *slog.Logger
 }
 
-// publishExpvarOnce guards the one-time expvar publication of the Default
-// registry snapshot (expvar.Publish panics on duplicate names).
-var publishExpvarOnce sync.Once
+// publishExpvarOnce guards the one-time expvar publication of the metric-
+// family mirror (expvar.Publish panics on duplicate names). The published
+// func reads expvarRegistry at call time, so later NewMux calls with a
+// different registry retarget the mirror instead of being stuck on Default.
+var (
+	publishExpvarOnce sync.Once
+	expvarRegistry    atomic.Pointer[Registry]
+)
 
 // NewMux builds the observability mux: /metrics (Prometheus text format),
 // /healthz (liveness), /debug/vars (expvar) and, when opts.Pprof is set,
@@ -34,12 +40,16 @@ func NewMux(opts ServerOpts) *http.ServeMux {
 	if reg == nil {
 		reg = Default
 	}
+	expvarRegistry.Store(reg)
 	publishExpvarOnce.Do(func() {
 		expvar.Publish("spmm_metric_families", expvar.Func(func() any {
-			n := 0
-			Default.mu.Lock()
-			n = len(Default.families)
-			Default.mu.Unlock()
+			r := expvarRegistry.Load()
+			if r == nil {
+				r = Default
+			}
+			r.mu.Lock()
+			n := len(r.families)
+			r.mu.Unlock()
 			return n
 		}))
 	})

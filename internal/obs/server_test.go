@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"runtime"
@@ -147,4 +148,31 @@ func TestNilServerIsNoOp(t *testing.T) {
 		t.Fatalf("nil server Close: %v", err)
 	}
 	s.CloseOn(context.Background()) // must not block or panic on nil
+}
+
+// TestExpvarMirrorTracksConfiguredRegistry pins the NewMux fix: the expvar
+// spmm_metric_families mirror must report the registry the mux was
+// configured with, not unconditionally snapshot obs.Default.
+func TestExpvarMirrorTracksConfiguredRegistry(t *testing.T) {
+	custom := NewRegistry()
+	custom.NewCounter("t_expvar_a_total", "help")
+	custom.NewCounter("t_expvar_b_total", "help")
+	custom.NewGauge("t_expvar_c", "help")
+
+	s, err := Serve("127.0.0.1:0", ServerOpts{Registry: custom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+
+	_, body, _ := get(t, "http://"+s.Addr()+"/debug/vars")
+	var vars struct {
+		Families int `json:"spmm_metric_families"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("parsing /debug/vars: %v", err)
+	}
+	if vars.Families != 3 {
+		t.Fatalf("spmm_metric_families = %d, want 3 (the configured registry's families, not Default's)", vars.Families)
+	}
 }

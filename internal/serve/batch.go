@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/trace"
+)
+
+// batcher coalesces concurrent multiply requests against one matrix into a
+// single wider-k kernel dispatch. SpMM throughput grows with k (the B-panel
+// width) because every loaded nonzero of A is reused across all k columns —
+// so stacking the B panels of requests that arrive within a short window
+// and running one A×[B1|B2|...] multiplies the arithmetic intensity of the
+// dispatch at the cost of two panel copies. The window is the classic
+// latency/throughput trade: a solo request waits out the window before it
+// runs; a loaded server amortizes one kernel launch over the whole batch.
+type batcher struct {
+	s *Server
+	m *Matrix
+
+	mu       sync.Mutex
+	pending  []*batchRequest
+	pendingK int
+	timer    *time.Timer
+}
+
+// batchRequest is one caller's panel waiting in the batch. done is buffered
+// so the flusher never blocks on a caller that gave up (deadline expired).
+type batchRequest struct {
+	kern core.Kernel
+	b    *matrix.Dense[float64]
+	k    int
+	done chan batchResult
+}
+
+// batchResult is what a flush hands back to each coalesced caller.
+type batchResult struct {
+	c     *matrix.Dense[float64]
+	width int // requests coalesced into the dispatch
+	k     int // total dense columns of the dispatch
+	err   error
+}
+
+// multiply runs one request through the batcher. With batching disabled
+// (window <= 0) or a panel already at the batch-width cap it dispatches
+// immediately; otherwise it joins the open batch (starting the window timer
+// if it is the first) and waits for the flush or the caller's deadline,
+// whichever comes first.
+func (t *batcher) multiply(ctx context.Context, kern core.Kernel, b *matrix.Dense[float64], k int) batchResult {
+	if t.s.cfg.BatchWindow <= 0 || k >= t.s.cfg.MaxBatchK {
+		req := &batchRequest{kern: kern, b: b, k: k, done: make(chan batchResult, 1)}
+		t.run([]*batchRequest{req})
+		return <-req.done
+	}
+	req := &batchRequest{kern: kern, b: b, k: k, done: make(chan batchResult, 1)}
+	t.mu.Lock()
+	t.pending = append(t.pending, req)
+	t.pendingK += k
+	if len(t.pending) == 1 {
+		t.timer = time.AfterFunc(t.s.cfg.BatchWindow, t.flushPending)
+	}
+	var full []*batchRequest
+	if t.pendingK >= t.s.cfg.MaxBatchK {
+		full = t.takeLocked()
+	}
+	t.mu.Unlock()
+	if full != nil {
+		t.run(full)
+	}
+	select {
+	case res := <-req.done:
+		return res
+	case <-ctx.Done():
+		// The batch may still execute and discard this caller's column
+		// block; the buffered done channel lets the flusher move on.
+		return batchResult{err: ctx.Err()}
+	}
+}
+
+// takeLocked claims the open batch and disarms its timer. Callers hold t.mu.
+func (t *batcher) takeLocked() []*batchRequest {
+	batch := t.pending
+	t.pending = nil
+	t.pendingK = 0
+	if t.timer != nil {
+		t.timer.Stop()
+		t.timer = nil
+	}
+	return batch
+}
+
+// flushPending is the window-timer callback.
+func (t *batcher) flushPending() {
+	t.mu.Lock()
+	batch := t.takeLocked()
+	t.mu.Unlock()
+	if len(batch) > 0 {
+		t.run(batch)
+	}
+}
+
+// run dispatches one batch as a single kernel call and distributes the
+// result columns back to the callers. A width-1 batch skips the panel
+// copies and dispatches on the caller's B directly.
+func (t *batcher) run(batch []*batchRequest) {
+	s := t.s
+	totalK := 0
+	for _, req := range batch {
+		totalK += req.k
+	}
+	rows := t.m.COO.Rows
+	cols := t.m.COO.Cols
+	kern := batch[0].kern
+
+	span := s.tracer.Start()
+	var err error
+	var combC *matrix.Dense[float64]
+	if len(batch) == 1 {
+		combC = matrix.NewDense[float64](rows, batch[0].k)
+		err = kern.Calculate(batch[0].b, combC, s.params(t.m, batch[0].k))
+	} else {
+		combB := matrix.NewDense[float64](cols, totalK)
+		for i := 0; i < cols; i++ {
+			dst := combB.Row(i)
+			off := 0
+			for _, req := range batch {
+				copy(dst[off:off+req.k], req.b.Row(i)[:req.k])
+				off += req.k
+			}
+		}
+		combC = matrix.NewDense[float64](rows, totalK)
+		err = kern.Calculate(combB, combC, s.params(t.m, totalK))
+	}
+	s.tracer.EndDetail(0, trace.PhaseBatch, t.m.Format, span, int64(len(batch)))
+
+	s.batches.Add(1)
+	s.batchedRequests.Add(int64(len(batch)))
+	s.multiplies.Add(int64(len(batch)))
+	obsBatches.Inc()
+	obsBatchedRequests.Add(int64(len(batch)))
+	obsMultiplies.Add(int64(len(batch)))
+	obsBatchWidth.Observe(float64(len(batch)))
+
+	if err != nil {
+		for _, req := range batch {
+			req.done <- batchResult{err: err, width: len(batch), k: totalK}
+		}
+		return
+	}
+	if len(batch) == 1 {
+		batch[0].done <- batchResult{c: combC, width: 1, k: totalK}
+		return
+	}
+	off := 0
+	for _, req := range batch {
+		c := matrix.NewDense[float64](rows, req.k)
+		for i := 0; i < rows; i++ {
+			copy(c.Row(i), combC.Row(i)[off:off+req.k])
+		}
+		off += req.k
+		req.done <- batchResult{c: c, width: len(batch), k: totalK}
+	}
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/matrix"
+)
+
+// benchServer builds a warmed server + client for the serving-path
+// benchmarks: matrix registered, format prepared, so the measured loop is
+// pure steady-state (admission → cache hit → dispatch → panel write).
+func benchServer(b *testing.B, cfg Config) (*Client, *RegisterResponse, func()) {
+	b.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	tr := &http.Transport{MaxIdleConnsPerHost: 64}
+	c := NewClient(ts.URL)
+	c.HTTP = &http.Client{Transport: tr}
+	reg, err := c.Register(RegisterRequest{Name: "dw4096", Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, reg, func() {
+		tr.CloseIdleConnections()
+		ts.Close()
+		s.Close()
+	}
+}
+
+// BenchmarkServeCachedMultiply is the single-client round-trip latency of a
+// cached multiply: HTTP overhead + panel codec + one kernel dispatch, zero
+// preparation. This is the serving layer's perf-baseline number.
+func BenchmarkServeCachedMultiply(b *testing.B) {
+	const k = 32
+	client, reg, done := benchServer(b, Config{BatchWindow: 0})
+	defer done()
+	panel := matrix.NewDenseRand[float64](reg.Cols, k, 1)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := client.Multiply(reg.ID, reg.Rows, panel, k, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CacheHit {
+			b.Fatal("benchmark multiply missed the prepared-format cache")
+		}
+	}
+}
+
+// BenchmarkServeUnbatched is concurrent throughput with coalescing off:
+// every request pays its own kernel launch.
+func BenchmarkServeUnbatched(b *testing.B) {
+	benchConcurrent(b, 0)
+}
+
+// BenchmarkServeBatched is the same load with a 500µs window: concurrent
+// same-matrix requests stack into wider-k dispatches. Comparing against
+// BenchmarkServeUnbatched prices the coalescing machinery.
+func BenchmarkServeBatched(b *testing.B) {
+	benchConcurrent(b, 500*time.Microsecond)
+}
+
+func benchConcurrent(b *testing.B, window time.Duration) {
+	const k = 32
+	client, reg, done := benchServer(b, Config{BatchWindow: window, MaxBatchK: 4096})
+	defer done()
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		panel := matrix.NewDenseRand[float64](reg.Cols, k, 1)
+		for pb.Next() {
+			if _, err := client.Multiply(reg.ID, reg.Rows, panel, k, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

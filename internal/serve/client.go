@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/matrix"
+)
+
+// Client is the Go client for a spmmserve endpoint — the library behind
+// cmd/spmmload and the end-to-end tests. It speaks the same wire protocol
+// the handlers do: JSON control plane, raw float64 panels on the data
+// plane.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient builds a client for the given base URL.
+func NewClient(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// StatusError is a non-2xx server reply.
+type StatusError struct {
+	Code int
+	// RetryAfter is the parsed Retry-After header (zero when absent).
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: server returned %d: %s", e.Code, e.Message)
+}
+
+// Overloaded reports a 429 shed.
+func (e *StatusError) Overloaded() bool { return e.Code == http.StatusTooManyRequests }
+
+func statusError(resp *http.Response) error {
+	var msg ErrorResponse
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err := json.Unmarshal(body, &msg); err != nil || msg.Error == "" {
+		msg.Error = string(body)
+	}
+	e := &StatusError{Code: resp.StatusCode, Message: msg.Error}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
+
+func (c *Client) postJSON(path string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Post(c.Base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.http().Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Register uploads a matrix (generator spec or MatrixMarket text).
+func (c *Client) Register(req RegisterRequest) (*RegisterResponse, error) {
+	var out RegisterResponse
+	if err := c.postJSON("/v1/matrices", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Matrices lists the registered matrices.
+func (c *Client) Matrices() ([]MatrixInfo, error) {
+	var out []MatrixInfo
+	if err := c.getJSON("/v1/matrices", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats fetches the serving counters.
+func (c *Client) Stats() (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.getJSON("/v1/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MultiplyResult is one multiply's payload plus its serving metadata.
+type MultiplyResult struct {
+	// C is the rows×k result panel.
+	C *matrix.Dense[float64]
+	// Format is the sparse format the server dispatched on.
+	Format string
+	// CacheHit reports the prepared format was already resident.
+	CacheHit bool
+	// BatchWidth is how many requests shared the dispatch (1 = alone).
+	BatchWidth int
+	// BatchK is the dispatch's total dense-column count.
+	BatchK int
+}
+
+// Multiply computes C[:, :k] = A×B[:, :k] on the server for the registered
+// matrix. b must have the matrix's column count as rows and at least k
+// columns; deadline 0 leaves the server default in force.
+func (c *Client) Multiply(id string, rows int, b *matrix.Dense[float64], k int, deadline time.Duration) (*MultiplyResult, error) {
+	var payload bytes.Buffer
+	payload.Grow(b.Rows * k * 8)
+	if err := WritePanel(&payload, b, k); err != nil {
+		return nil, err
+	}
+	url := fmt.Sprintf("%s/v1/matrices/%s/multiply?k=%d", c.Base, id, k)
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if deadline > 0 {
+		req.Header.Set(HeaderDeadlineMs, strconv.Itoa(int(deadline.Milliseconds())))
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp)
+	}
+	out, err := ReadPanel(resp.Body, rows, k)
+	if err != nil {
+		return nil, err
+	}
+	width, _ := strconv.Atoi(resp.Header.Get(HeaderBatchWidth))
+	batchK, _ := strconv.Atoi(resp.Header.Get(HeaderBatchK))
+	return &MultiplyResult{
+		C:          out,
+		Format:     resp.Header.Get(HeaderFormat),
+		CacheHit:   resp.Header.Get(HeaderCache) == "hit",
+		BatchWidth: width,
+		BatchK:     batchK,
+	}, nil
+}

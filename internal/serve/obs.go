@@ -1,0 +1,40 @@
+package serve
+
+import "repro/internal/obs"
+
+// Serving-layer metrics, registered into the process-wide registry so a
+// `-metrics` monitor (obs.Serve) exposes them next to the kernel and
+// scheduling counters. Per-Server totals for /v1/stats live on the Server
+// itself; these globals are the Prometheus view.
+var (
+	obsRequests = obs.NewCounter("spmm_serve_requests_total",
+		"HTTP requests received by the serving layer.")
+	obsMultiplies = obs.NewCounter("spmm_serve_multiplies_total",
+		"Multiply requests completed (each coalesced request counts once).")
+	obsBatches = obs.NewCounter("spmm_serve_batches_total",
+		"Kernel dispatches issued by the batcher (a width-w batch is one).")
+	obsBatchedRequests = obs.NewCounter("spmm_serve_batched_requests_total",
+		"Multiply requests that travelled through a batch dispatch.")
+	obsBatchWidth = obs.NewHistogram("spmm_serve_batch_width",
+		"Requests coalesced per dispatch.")
+	obsShed = obs.NewCounter("spmm_serve_shed_total",
+		"Requests shed with 429 because the admission queue was full.")
+	obsTimeouts = obs.NewCounter("spmm_serve_timeouts_total",
+		"Requests whose deadline expired while queued for admission.")
+	obsQueueDepth = obs.NewGauge("spmm_serve_queue_depth",
+		"Admitted requests currently waiting for an execution slot.")
+	obsInflight = obs.NewGauge("spmm_serve_in_flight",
+		"Requests currently holding an execution slot.")
+	obsRequestSeconds = obs.NewHistogram("spmm_serve_request_seconds",
+		"Multiply request latency, admission to response write.")
+	obsCacheHits = obs.NewCounter("spmm_serve_cache_hits_total",
+		"Multiplies served from an already-prepared format.")
+	obsCacheMisses = obs.NewCounter("spmm_serve_cache_misses_total",
+		"Multiplies that found no prepared format resident.")
+	obsCachePrepares = obs.NewCounter("spmm_serve_cache_prepares_total",
+		"Format preparations performed by the cache.")
+	obsCacheEvictions = obs.NewCounter("spmm_serve_cache_evictions_total",
+		"Prepared formats evicted to fit the cache byte budget.")
+	obsCacheBytes = obs.NewGauge("spmm_serve_cache_bytes",
+		"Bytes of prepared formats currently resident.")
+)

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/advisor"
+	"repro/internal/matrix"
+)
+
+// The wire protocol: control-plane messages are JSON, data-plane payloads
+// (dense B panels in, C panels out) are raw little-endian float64 arrays in
+// row-major order — the same layout matrix.Dense stores, so encode/decode is
+// one pass with no per-element framing. Metadata about a multiply rides in
+// response headers (see the X-Spmm-* constants) so the body stays pure
+// payload.
+
+// Multiply metadata headers.
+const (
+	// HeaderFormat reports the sparse format the multiply dispatched on.
+	HeaderFormat = "X-Spmm-Format"
+	// HeaderCache is "hit" when the prepared format was already cached,
+	// "prepare" when this request (or its batch) had to prepare it.
+	HeaderCache = "X-Spmm-Cache"
+	// HeaderBatchWidth is the number of requests coalesced into the
+	// dispatch that served this response (1 = unbatched).
+	HeaderBatchWidth = "X-Spmm-Batch-Width"
+	// HeaderBatchK is the total dense-column count of that dispatch.
+	HeaderBatchK = "X-Spmm-Batch-K"
+	// HeaderDeadlineMs is the request header carrying the client's
+	// deadline in milliseconds; absent means the server default applies.
+	HeaderDeadlineMs = "X-Spmm-Deadline-Ms"
+)
+
+// RegisterRequest uploads a matrix. Exactly one source must be set: a
+// generator spec (Name, optionally Scale) or inline MatrixMarket text (MTX).
+type RegisterRequest struct {
+	// Name is a generator-registry matrix name (gen.Names).
+	Name string `json:"name,omitempty"`
+	// Scale shrinks the generator spec; 0 means 1.0 (full size).
+	Scale float64 `json:"scale,omitempty"`
+	// MTX is inline MatrixMarket text.
+	MTX string `json:"mtx,omitempty"`
+}
+
+// RegisterResponse describes the registered matrix. Registration is
+// idempotent: the ID is content-addressed, so re-uploading the same matrix
+// returns the same ID with Existed set.
+type RegisterResponse struct {
+	ID   string `json:"id"`
+	Rows int    `json:"rows"`
+	Cols int    `json:"cols"`
+	NNZ  int    `json:"nnz"`
+	// Format is the sparse format the advisor selected for serving.
+	Format string `json:"format"`
+	// Schedule is the selected work partition ("static" or "balanced").
+	Schedule string `json:"schedule"`
+	// Block is the BCSR/BELL block edge multiplies will use.
+	Block int `json:"block"`
+	// Existed reports that the matrix was already registered.
+	Existed bool `json:"existed"`
+	// FormatBytes is the prepared format's footprint.
+	FormatBytes int `json:"format_bytes"`
+	// Advice is the full advisor report behind the format selection — the
+	// same struct `spmmadvise -json` emits.
+	Advice advisor.Report `json:"advice"`
+}
+
+// MatrixInfo is one registry listing entry.
+type MatrixInfo struct {
+	ID       string `json:"id"`
+	Rows     int    `json:"rows"`
+	Cols     int    `json:"cols"`
+	NNZ      int    `json:"nnz"`
+	Format   string `json:"format"`
+	Schedule string `json:"schedule"`
+	Block    int    `json:"block"`
+	// Prepared reports whether the prepared format is currently cached.
+	Prepared bool `json:"prepared"`
+}
+
+// CacheStats is the prepared-format cache section of StatsResponse.
+type CacheStats struct {
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	CapacityBytes int64 `json:"capacity_bytes"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Prepares      int64 `json:"prepares"`
+	Evictions     int64 `json:"evictions"`
+}
+
+// StatsResponse is the /v1/stats snapshot.
+type StatsResponse struct {
+	Matrices        int        `json:"matrices"`
+	Requests        int64      `json:"requests"`
+	Multiplies      int64      `json:"multiplies"`
+	Batches         int64      `json:"batches"`
+	BatchedRequests int64      `json:"batched_requests"`
+	Shed            int64      `json:"shed"`
+	Timeouts        int64      `json:"timeouts"`
+	InFlight        int64      `json:"in_flight"`
+	Queued          int64      `json:"queued"`
+	Cache           CacheStats `json:"cache"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// WritePanel writes the first k columns of d as raw little-endian float64s,
+// row-major: rows*k values, no framing.
+func WritePanel(w io.Writer, d *matrix.Dense[float64], k int) error {
+	if k < 0 || k > d.Cols {
+		return fmt.Errorf("serve: panel k=%d outside [0, %d]", k, d.Cols)
+	}
+	buf := make([]byte, k*8)
+	for i := 0; i < d.Rows; i++ {
+		row := d.Row(i)
+		for j := 0; j < k; j++ {
+			binary.LittleEndian.PutUint64(buf[j*8:], math.Float64bits(row[j]))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPanel reads a rows×k raw little-endian float64 panel written by
+// WritePanel. It fails if the stream holds fewer than rows*k values; extra
+// trailing bytes are the caller's concern.
+func ReadPanel(r io.Reader, rows, k int) (*matrix.Dense[float64], error) {
+	if rows < 0 || k < 0 {
+		return nil, fmt.Errorf("serve: negative panel shape %dx%d", rows, k)
+	}
+	d := matrix.NewDense[float64](rows, k)
+	buf := make([]byte, k*8)
+	for i := 0; i < rows; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("serve: short panel read at row %d: %w", i, err)
+		}
+		row := d.Row(i)
+		for j := 0; j < k; j++ {
+			row[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+)
+
+// Registry is the server's matrix store: uploaded matrices keyed by
+// content-addressed IDs, plus a bytes-bounded LRU cache of prepared formats.
+// The registry owns the COO base representations permanently (they are the
+// ground truth a prepared format can always be rebuilt from); the prepared
+// formats — the expensive, large artifacts — live in the LRU and are evicted
+// when the byte budget fills. A cache hit means a multiply pays zero
+// preparation: the thesis' amortization argument (§6.2, preparation cost
+// only pays off across repeated multiplies) turned into a serving policy.
+type Registry struct {
+	capacity int64 // prepared-cache byte budget; <= 0 means unbounded
+	threads  int   // partition-warm target for prepared formats
+	opts     core.Options
+
+	mu       sync.Mutex
+	matrices map[string]*Matrix
+	order    []string // registration order, for stable listings
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used; holds *cacheEntry
+	used     int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	prepares  atomic.Int64
+	evictions atomic.Int64
+}
+
+// Matrix is one registered matrix with its serving plan: the advisor-chosen
+// format, schedule, and block size every multiply against it uses.
+type Matrix struct {
+	ID  string
+	COO *matrix.COO[float64]
+	// Format is the advisor's pick for the parallel-CPU serving path.
+	Format string
+	// Schedule is the advisor's work-partition pick.
+	Schedule kernels.Schedule
+	// Block is the BCSR block edge used when Format is "bcsr".
+	Block int
+	// Report is the full advisor report behind the selection.
+	Report advisor.Report
+}
+
+// cacheEntry is one prepared format in the LRU. ready closes once prepare
+// finished (err set on failure), so concurrent requests for the same matrix
+// share a single preparation instead of racing duplicate ones.
+type cacheEntry struct {
+	id     string
+	kernel core.Kernel
+	bytes  int64
+	ready  chan struct{}
+	err    error
+}
+
+// NewRegistry builds a registry whose prepared-format cache holds at most
+// capacityBytes of formatted matrices (<= 0 disables the bound). threads is
+// the worker count prepared formats warm their balanced partitions for.
+func NewRegistry(capacityBytes int64, threads int) *Registry {
+	if threads < 1 {
+		threads = 1
+	}
+	return &Registry{
+		capacity: capacityBytes,
+		threads:  threads,
+		matrices: map[string]*Matrix{},
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+	}
+}
+
+// Canonicalize sorts m row-major and merges duplicate entries — the
+// canonical form ContentID hashes and every format conversion starts from.
+// Clients that verify results against a local kernel must canonicalize
+// their copy the same way before preparing it.
+func Canonicalize[T matrix.Float](m *matrix.COO[T]) {
+	if !m.IsSortedRowMajor() {
+		m.SortRowMajor()
+	}
+	m.Dedup()
+}
+
+// ContentID returns the content-addressed ID of a canonicalized matrix:
+// the first 16 hex digits of the SHA-256 over dims and the row-major
+// triplet stream. Two uploads of the same matrix — whether from a file or a
+// generator spec — collapse to one registry entry.
+func ContentID(m *matrix.COO[float64]) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(m.Rows))
+	put(uint64(m.Cols))
+	put(uint64(m.NNZ()))
+	for i := range m.Vals {
+		put(uint64(uint32(m.RowIdx[i]))<<32 | uint64(uint32(m.ColIdx[i])))
+		put(math.Float64bits(m.Vals[i]))
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Register adds a matrix to the registry, choosing its serving plan via the
+// advisor, and reports whether it already existed. The registry takes
+// ownership of m and canonicalizes it in place. Registration does not
+// prepare the format — the first multiply (or an explicit Prepared call)
+// does, so a registration burst cannot blow the cache budget.
+func (r *Registry) Register(m *matrix.COO[float64]) (*Matrix, bool, error) {
+	if err := m.Validate(); err != nil {
+		return nil, false, fmt.Errorf("serve: register: %w", err)
+	}
+	Canonicalize(m)
+	id := ContentID(m)
+
+	r.mu.Lock()
+	if got, ok := r.matrices[id]; ok {
+		r.mu.Unlock()
+		return got, true, nil
+	}
+	r.mu.Unlock()
+
+	// Feature extraction and scoring run outside the lock: they cost a
+	// pass over the nonzeros and must not stall concurrent multiplies.
+	f, err := advisor.Extract(m)
+	if err != nil {
+		return nil, false, err
+	}
+	report := advisor.NewReport(id, f, []advisor.Environment{advisor.ParallelCPU})
+	best := report.Best(advisor.ParallelCPU)
+	sched := kernels.ScheduleStatic
+	if report.Schedule.Format == "balanced" {
+		sched = kernels.ScheduleBalanced
+	}
+	entry := &Matrix{
+		ID:       id,
+		COO:      m,
+		Format:   best.Format,
+		Schedule: sched,
+		Block:    4,
+		Report:   report,
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if got, ok := r.matrices[id]; ok { // lost a concurrent register race
+		return got, true, nil
+	}
+	r.matrices[id] = entry
+	r.order = append(r.order, id)
+	return entry, false, nil
+}
+
+// Get returns the registered matrix by ID.
+func (r *Registry) Get(id string) (*Matrix, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.matrices[id]
+	return m, ok
+}
+
+// List returns the registered matrices in registration order, with their
+// current cache residency.
+func (r *Registry) List() []MatrixInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MatrixInfo, 0, len(r.order))
+	for _, id := range r.order {
+		m := r.matrices[id]
+		_, prepared := r.entries[id]
+		out = append(out, MatrixInfo{
+			ID: m.ID, Rows: m.COO.Rows, Cols: m.COO.Cols, NNZ: m.COO.NNZ(),
+			Format: m.Format, Schedule: m.Schedule.String(), Block: m.Block,
+			Prepared: prepared,
+		})
+	}
+	return out
+}
+
+// Prepared returns the matrix's prepared-format kernel, preparing (and
+// caching) it on a miss. hit reports whether the prepared format was
+// already resident — the "zero preparation" steady state. Concurrent
+// callers for the same matrix share one preparation; ctx bounds the wait.
+func (r *Registry) Prepared(ctx context.Context, id string) (k core.Kernel, hit bool, err error) {
+	r.mu.Lock()
+	m, ok := r.matrices[id]
+	if !ok {
+		r.mu.Unlock()
+		return nil, false, fmt.Errorf("serve: unknown matrix %q", id)
+	}
+	if el, ok := r.entries[id]; ok {
+		r.lru.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		r.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if e.err != nil {
+			return nil, false, e.err
+		}
+		r.hits.Add(1)
+		obsCacheHits.Inc()
+		return e.kernel, true, nil
+	}
+	// Miss: insert a pending entry under the lock so concurrent callers
+	// wait on it, then prepare outside the lock.
+	e := &cacheEntry{id: id, ready: make(chan struct{})}
+	r.entries[id] = r.lru.PushFront(e)
+	r.mu.Unlock()
+	r.misses.Add(1)
+	obsCacheMisses.Inc()
+
+	e.kernel, e.err = r.prepare(m)
+	if e.err != nil {
+		close(e.ready)
+		r.mu.Lock()
+		if el, ok := r.entries[id]; ok && el.Value.(*cacheEntry) == e {
+			r.lru.Remove(el)
+			delete(r.entries, id)
+		}
+		r.mu.Unlock()
+		return nil, false, e.err
+	}
+	e.bytes = int64(e.kernel.Bytes())
+	close(e.ready)
+
+	r.mu.Lock()
+	r.used += e.bytes
+	r.evictLocked(e)
+	obsCacheBytes.Set(float64(r.used))
+	r.mu.Unlock()
+	return e.kernel, false, nil
+}
+
+// prepare builds and formats the matrix's serving kernel, warming the
+// balanced-partition cache for the registry's thread count so steady-state
+// multiplies never compute a partition either.
+func (r *Registry) prepare(m *Matrix) (core.Kernel, error) {
+	r.prepares.Add(1)
+	obsCachePrepares.Inc()
+	k, err := core.New(m.Format+"-omp", r.opts)
+	if err != nil {
+		return nil, err
+	}
+	p := core.Params{
+		Reps: 1, Threads: r.threads, BlockSize: m.Block, K: 1,
+		Schedule: m.Schedule,
+	}
+	if err := k.Prepare(m.COO, p); err != nil {
+		return nil, fmt.Errorf("serve: prepare %s as %s: %w", m.ID, m.Format, err)
+	}
+	return k, nil
+}
+
+// evictLocked drops least-recently-used prepared formats until the cache
+// fits the byte budget. keep (the entry just inserted) is never evicted:
+// a single matrix larger than the whole budget must still be servable, it
+// just monopolizes the cache until something else displaces it.
+func (r *Registry) evictLocked(keep *cacheEntry) {
+	if r.capacity <= 0 {
+		return
+	}
+	for r.used > r.capacity {
+		el := r.lru.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*cacheEntry)
+		if e == keep {
+			return
+		}
+		r.lru.Remove(el)
+		delete(r.entries, e.id)
+		r.used -= e.bytes
+		r.evictions.Add(1)
+		obsCacheEvictions.Inc()
+	}
+}
+
+// CachedIDs returns the prepared-cache residents, most recently used first
+// — the observable LRU order the eviction tests pin.
+func (r *Registry) CachedIDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, r.lru.Len())
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).id)
+	}
+	return out
+}
+
+// Stats snapshots the cache counters.
+func (r *Registry) Stats() CacheStats {
+	r.mu.Lock()
+	entries, used := r.lru.Len(), r.used
+	r.mu.Unlock()
+	return CacheStats{
+		Entries:       entries,
+		Bytes:         used,
+		CapacityBytes: r.capacity,
+		Hits:          r.hits.Load(),
+		Misses:        r.misses.Load(),
+		Prepares:      r.prepares.Load(),
+		Evictions:     r.evictions.Load(),
+	}
+}
+
+// Len reports the number of registered matrices.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.matrices)
+}

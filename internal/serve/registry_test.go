@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+)
+
+// testMatrix builds a small deterministic random matrix.
+func testMatrix(tb testing.TB, rows, cols int, density float64, seed int64) *matrix.COO[float64] {
+	tb.Helper()
+	m, err := gen.UniformRandom[float64](rows, cols, density, seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+func TestContentIDCanonical(t *testing.T) {
+	a := testMatrix(t, 50, 40, 0.05, 1)
+	b := a.Clone()
+	// Shuffle b's triplet order: the ID must not depend on it.
+	for i := range b.Vals {
+		j := (i * 7) % len(b.Vals)
+		b.RowIdx[i], b.RowIdx[j] = b.RowIdx[j], b.RowIdx[i]
+		b.ColIdx[i], b.ColIdx[j] = b.ColIdx[j], b.ColIdx[i]
+		b.Vals[i], b.Vals[j] = b.Vals[j], b.Vals[i]
+	}
+	Canonicalize(a)
+	Canonicalize(b)
+	if ida, idb := ContentID(a), ContentID(b); ida != idb {
+		t.Fatalf("triplet order changed the content ID: %s vs %s", ida, idb)
+	}
+	c := testMatrix(t, 50, 40, 0.05, 2)
+	Canonicalize(c)
+	if ContentID(a) == ContentID(c) {
+		t.Fatal("different matrices collided on one content ID")
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry(0, 2)
+	m1, existed, err := r.Register(testMatrix(t, 60, 60, 0.04, 7))
+	if err != nil || existed {
+		t.Fatalf("first register: existed=%v err=%v", existed, err)
+	}
+	m2, existed, err := r.Register(testMatrix(t, 60, 60, 0.04, 7))
+	if err != nil || !existed {
+		t.Fatalf("second register: existed=%v err=%v", existed, err)
+	}
+	if m1 != m2 {
+		t.Fatal("re-registering the same content returned a different entry")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("registry holds %d matrices, want 1", r.Len())
+	}
+}
+
+// TestCacheBytesAccounting pins that the cache's byte gauge is exactly the
+// sum of the resident prepared formats' footprints.
+func TestCacheBytesAccounting(t *testing.T) {
+	r := NewRegistry(0, 2)
+	ctx := context.Background()
+	var want int64
+	for seed := int64(1); seed <= 3; seed++ {
+		m, _, err := r.Register(testMatrix(t, 80, 80, 0.03, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, hit, err := r.Prepared(ctx, m.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
+			t.Fatalf("first Prepared of %s reported a cache hit", m.ID)
+		}
+		want += int64(k.Bytes())
+	}
+	st := r.Stats()
+	if st.Entries != 3 {
+		t.Fatalf("cache entries = %d, want 3", st.Entries)
+	}
+	if st.Bytes != want {
+		t.Fatalf("cache bytes = %d, want %d (sum of prepared footprints)", st.Bytes, want)
+	}
+	if st.Prepares != 3 || st.Misses != 3 || st.Hits != 0 {
+		t.Fatalf("counters = %+v, want 3 prepares, 3 misses, 0 hits", st)
+	}
+}
+
+// TestLRUEvictionOrder pins the eviction policy: least recently *used*
+// leaves first, and a hit refreshes recency.
+func TestLRUEvictionOrder(t *testing.T) {
+	// Measure one prepared footprint first, then budget for two.
+	probe := NewRegistry(0, 2)
+	pm, _, err := probe.Register(testMatrix(t, 100, 100, 0.03, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, _, err := probe.Prepared(context.Background(), pm.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := int64(pk.Bytes())
+
+	r := NewRegistry(2*one+one/2, 2)
+	ctx := context.Background()
+	ids := make([]string, 3)
+	for i, seed := range []int64{1, 2, 3} {
+		m, _, err := r.Register(testMatrix(t, 100, 100, 0.03, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = m.ID
+	}
+	mustPrepare := func(id string, wantHit bool) {
+		t.Helper()
+		if _, hit, err := r.Prepared(ctx, id); err != nil || hit != wantHit {
+			t.Fatalf("Prepared(%s): hit=%v err=%v, want hit=%v", id, hit, err, wantHit)
+		}
+	}
+	mustPrepare(ids[0], false) // cache: [0]
+	mustPrepare(ids[1], false) // cache: [1 0]
+	mustPrepare(ids[0], true)  // refresh 0 → cache: [0 1]
+	mustPrepare(ids[2], false) // budget forces eviction of 1 → [2 0]
+
+	got := r.CachedIDs()
+	if len(got) != 2 || got[0] != ids[2] || got[1] != ids[0] {
+		t.Fatalf("cache residents (MRU first) = %v, want [%s %s] — LRU must evict the least recently used, not the oldest insert", got, ids[2], ids[0])
+	}
+	if st := r.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// The evicted matrix re-prepares on demand (a miss, not an error).
+	mustPrepare(ids[1], false)
+}
+
+// TestSecondMultiplyZeroPrepare is the amortization contract: once a
+// matrix's format is resident, further multiplies perform zero preparation.
+func TestSecondMultiplyZeroPrepare(t *testing.T) {
+	r := NewRegistry(0, 2)
+	ctx := context.Background()
+	m, _, err := r.Register(testMatrix(t, 70, 50, 0.05, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Prepared(ctx, m.ID); err != nil {
+		t.Fatal(err)
+	}
+	base := r.Stats().Prepares
+	for i := 0; i < 5; i++ {
+		_, hit, err := r.Prepared(ctx, m.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hit {
+			t.Fatalf("multiply %d after warm-up missed the cache", i+2)
+		}
+	}
+	if got := r.Stats().Prepares; got != base {
+		t.Fatalf("prepare counter advanced from %d to %d on cached multiplies", base, got)
+	}
+}
+
+// TestConcurrentRegisterEvict hammers register + prepare + evict from many
+// goroutines under a budget that fits roughly one prepared format; run with
+// -race this is the cache's data-race audit.
+func TestConcurrentRegisterEvict(t *testing.T) {
+	probe := NewRegistry(0, 2)
+	pm, _, _ := probe.Register(testMatrix(t, 90, 90, 0.03, 1))
+	pk, _, err := probe.Prepared(context.Background(), pm.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(int64(pk.Bytes())+int64(pk.Bytes())/3, 2)
+
+	const workers = 8
+	const iters = 30
+	seeds := []int64{1, 2, 3, 4}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				seed := seeds[(w+i)%len(seeds)]
+				m, _, err := r.Register(testMatrix(t, 90, 90, 0.03, seed))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				kern, _, err := r.Prepared(ctx, m.ID)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if kern == nil || kern.Bytes() <= 0 {
+					t.Error("Prepared returned an unusable kernel")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != len(seeds) {
+		t.Fatalf("registry holds %d matrices, want %d", r.Len(), len(seeds))
+	}
+	st := r.Stats()
+	if st.Entries < 1 {
+		t.Fatalf("cache emptied entirely: %+v", st)
+	}
+	if st.Bytes < 0 {
+		t.Fatalf("negative cache bytes after churn: %+v", st)
+	}
+	if st.Hits+st.Misses != workers*iters {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, workers*iters)
+	}
+}

@@ -1,0 +1,398 @@
+// Package serve is the suite's network serving layer: SpMM as a service.
+// It exposes the existing pipeline — format conversion, advisor-driven
+// format selection, the pooled parallel kernels — as a long-running
+// HTTP/JSON (+ binary panel payload) service, turning the thesis' central
+// economic observation into an architecture: the best format depends on the
+// matrix, and preparation cost amortizes only across repeated multiplies,
+// so a server that prepares once per registered matrix and multiplies many
+// times is exactly where format selection pays.
+//
+// The server owns four pieces:
+//
+//   - A matrix registry with content-addressed IDs (upload MatrixMarket
+//     text or a generator spec; identical matrices collapse to one entry).
+//   - A bytes-bounded LRU cache of prepared formats, chosen per matrix by
+//     internal/advisor and warmed (balanced partitions included) so
+//     steady-state multiplies perform zero preparation.
+//   - A multiply endpoint with request batching: requests against the same
+//     matrix inside a short window are stacked into one wider-k dispatch
+//     through the kernels' Opts layer on the shared parallel.Pool.
+//   - Admission control: a bounded in-flight semaphore plus a bounded
+//     queue; overload sheds with 429 + Retry-After, deadlines cancel
+//     queued requests cooperatively, and shutdown drains in-flight work.
+//
+// Every stage is instrumented through internal/obs (request, batch,
+// queue-depth and cache metrics on the same monitor `spmmbench -serve`
+// uses) and internal/trace (one "batch" span per coalesced dispatch).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/matrix"
+	"repro/internal/mmio"
+	"repro/internal/parallel"
+	"repro/internal/trace"
+)
+
+// Config tunes a Server. The zero value is usable: defaults fill in New.
+type Config struct {
+	// Threads is the kernel thread count per dispatch (default
+	// parallel.MaxThreads).
+	Threads int
+	// CacheBytes bounds the prepared-format cache (<= 0: unbounded).
+	CacheBytes int64
+	// BatchWindow is how long the first request of a batch waits for
+	// company; 0 disables batching (every request dispatches alone).
+	BatchWindow time.Duration
+	// MaxBatchK caps the total dense columns of one coalesced dispatch
+	// (default 512). A single request at or above the cap bypasses the
+	// window.
+	MaxBatchK int
+	// MaxK caps one request's panel width (default 1024).
+	MaxK int
+	// MaxInFlight bounds concurrently executing multiplies (default
+	// 2×Threads — enough overlap to keep the batcher fed).
+	MaxInFlight int
+	// QueueDepth bounds admitted-but-waiting multiplies; beyond it the
+	// server sheds with 429 (default 4×MaxInFlight).
+	QueueDepth int
+	// DefaultDeadline applies when a request carries no deadline header
+	// (default 30s).
+	DefaultDeadline time.Duration
+	// Pool, when non-nil, is the worker pool kernels dispatch on; nil
+	// makes the server own one sized to Threads.
+	Pool *parallel.Pool
+	// Tracer receives batch and kernel spans; nil disables tracing.
+	Tracer *trace.Tracer
+	// Log receives serving lifecycle notes; nil discards them.
+	Log *slog.Logger
+}
+
+// Server is the SpMM service: registry, cache, batcher and admission gate
+// behind an http.Handler.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	adm     *admission
+	pool    *parallel.Pool
+	ownPool bool
+	tracer  *trace.Tracer
+	log     *slog.Logger
+
+	mu       sync.Mutex
+	batchers map[string]*batcher
+
+	requests        atomic.Int64
+	multiplies      atomic.Int64
+	batches         atomic.Int64
+	batchedRequests atomic.Int64
+}
+
+// New builds a Server, filling Config defaults.
+func New(cfg Config) *Server {
+	if cfg.Threads < 1 {
+		cfg.Threads = parallel.MaxThreads()
+	}
+	if cfg.MaxBatchK < 1 {
+		cfg.MaxBatchK = 512
+	}
+	if cfg.MaxK < 1 {
+		cfg.MaxK = 1024
+	}
+	if cfg.MaxInFlight < 1 {
+		cfg.MaxInFlight = 2 * cfg.Threads
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 4 * cfg.MaxInFlight
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = 30 * time.Second
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      NewRegistry(cfg.CacheBytes, cfg.Threads),
+		adm:      newAdmission(cfg.MaxInFlight, cfg.QueueDepth),
+		pool:     cfg.Pool,
+		tracer:   cfg.Tracer,
+		log:      cfg.Log,
+		batchers: map[string]*batcher{},
+	}
+	if s.pool == nil {
+		s.pool = parallel.NewPool(cfg.Threads)
+		s.ownPool = true
+	}
+	return s
+}
+
+// Registry exposes the matrix registry (the load generator's client and the
+// tests inspect cache behaviour through it).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close releases resources the server owns (its worker pool). Callers
+// drain in-flight HTTP requests first (http.Server.Shutdown); Close does
+// not interrupt running dispatches.
+func (s *Server) Close() {
+	if s.ownPool {
+		s.pool.Close()
+	}
+}
+
+// params assembles the kernel dispatch parameters for one multiply: the
+// matrix's advisor-chosen schedule and block size, the shared pool, and the
+// tracer — the same Opts path the benchmark pipeline uses.
+func (s *Server) params(m *Matrix, k int) core.Params {
+	return core.Params{
+		Reps: 1, Threads: s.cfg.Threads, BlockSize: m.Block, K: k, Seed: 1,
+		Schedule: m.Schedule, Pool: s.pool, Trace: s.tracer,
+	}
+}
+
+// Handler returns the service mux:
+//
+//	POST /v1/matrices              register (JSON in, JSON out)
+//	GET  /v1/matrices              list registered matrices
+//	GET  /v1/matrices/{id}         one matrix's info
+//	POST /v1/matrices/{id}/multiply?k=K   multiply (binary panels)
+//	GET  /v1/stats                 serving counters snapshot
+//	GET  /healthz                  liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/matrices", s.handleRegister)
+	mux.HandleFunc("GET /v1/matrices", s.handleList)
+	mux.HandleFunc("GET /v1/matrices/{id}", s.handleInfo)
+	mux.HandleFunc("POST /v1/matrices/{id}/multiply", s.handleMultiply)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// batcherFor returns the matrix's batcher, creating it on first use.
+func (s *Server) batcherFor(m *Matrix) *batcher {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.batchers[m.ID]
+	if !ok {
+		t = &batcher{s: s, m: m}
+		s.batchers[m.ID] = t
+	}
+	return t
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// loadUpload materializes the COO matrix a register request describes.
+func loadUpload(req RegisterRequest) (*matrix.COO[float64], error) {
+	switch {
+	case req.MTX != "" && req.Name != "":
+		return nil, errors.New("serve: register carries both a spec and MTX text")
+	case req.MTX != "":
+		return mmio.ReadCOO[float64](strings.NewReader(req.MTX))
+	case req.Name != "":
+		scale := req.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		m, _, err := gen.GenerateScaled(req.Name, scale)
+		return m, err
+	default:
+		return nil, errors.New("serve: register needs a generator spec or MTX text")
+	}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	obsRequests.Inc()
+	var req RegisterRequest
+	body := http.MaxBytesReader(w, r.Body, 256<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad register body: %w", err))
+		return
+	}
+	coo, err := loadUpload(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, existed, err := s.reg.Register(coo)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Warm the prepared format under the admission gate so a registration
+	// burst cannot saturate the CPU outside the server's own bounds.
+	var formatBytes int
+	if err := s.adm.acquire(r.Context()); err == nil {
+		kern, _, perr := s.reg.Prepared(r.Context(), m.ID)
+		s.adm.release()
+		if perr != nil {
+			writeError(w, http.StatusInternalServerError, perr)
+			return
+		}
+		formatBytes = kern.Bytes()
+	}
+	if s.log != nil {
+		s.log.Info("matrix registered", "id", m.ID, "rows", m.COO.Rows,
+			"nnz", m.COO.NNZ(), "format", m.Format,
+			"schedule", m.Schedule.String(), "existed", existed)
+	}
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		ID: m.ID, Rows: m.COO.Rows, Cols: m.COO.Cols, NNZ: m.COO.NNZ(),
+		Format: m.Format, Schedule: m.Schedule.String(), Block: m.Block,
+		Existed: existed, FormatBytes: formatBytes, Advice: m.Report,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	obsRequests.Inc()
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	obsRequests.Inc()
+	id := r.PathValue("id")
+	m, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown matrix %q", id))
+		return
+	}
+	for _, info := range s.reg.List() {
+		if info.ID == m.ID {
+			writeJSON(w, http.StatusOK, info)
+			return
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	obsRequests.Inc()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Matrices:        s.reg.Len(),
+		Requests:        s.requests.Load(),
+		Multiplies:      s.multiplies.Load(),
+		Batches:         s.batches.Load(),
+		BatchedRequests: s.batchedRequests.Load(),
+		Shed:            s.adm.shed.Load(),
+		Timeouts:        s.adm.timeouts.Load(),
+		InFlight:        s.adm.executing.Load(),
+		Queued:          s.adm.queued(),
+		Cache:           s.reg.Stats(),
+	})
+}
+
+// handleMultiply is the data path: admission, panel read, prepared-format
+// lookup (cache), batched dispatch, panel write.
+func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	obsRequests.Inc()
+	start := time.Now()
+
+	id := r.PathValue("id")
+	m, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown matrix %q", id))
+		return
+	}
+	k, err := strconv.Atoi(r.URL.Query().Get("k"))
+	if err != nil || k < 1 || k > s.cfg.MaxK {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: k must be an integer in [1, %d]", s.cfg.MaxK))
+		return
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if h := r.Header.Get(HeaderDeadlineMs); h != "" {
+		ms, err := strconv.Atoi(h)
+		if err != nil || ms < 1 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("serve: bad %s %q", HeaderDeadlineMs, h))
+			return
+		}
+		deadline = time.Duration(ms) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	// Admission before the body read: overload answers 429 without paying
+	// for the payload, and a queued request that times out leaves without
+	// executing — the harness' cooperative-cancellation contract.
+	if err := s.adm.acquire(ctx); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			writeError(w, http.StatusTooManyRequests, err)
+		} else {
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("serve: deadline expired in queue: %w", err))
+		}
+		return
+	}
+	defer s.adm.release()
+
+	b, err := ReadPanel(http.MaxBytesReader(w, r.Body, int64(m.COO.Cols)*int64(k)*8+8), m.COO.Cols, k)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	kern, hit, err := s.reg.Prepared(ctx, id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	res := s.batcherFor(m).multiply(ctx, kern, b, k)
+	if res.err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, res.err)
+		return
+	}
+
+	cache := "prepare"
+	if hit {
+		cache = "hit"
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(m.COO.Rows*k*8))
+	w.Header().Set(HeaderFormat, m.Format)
+	w.Header().Set(HeaderCache, cache)
+	w.Header().Set(HeaderBatchWidth, strconv.Itoa(res.width))
+	w.Header().Set(HeaderBatchK, strconv.Itoa(res.k))
+	if err := WritePanel(w, res.c, k); err != nil && s.log != nil {
+		s.log.Warn("multiply response write failed", "id", id, "err", err)
+	}
+	obsRequestSeconds.Observe(time.Since(start).Seconds())
+}

@@ -72,6 +72,7 @@ const (
 	PhaseSkip      = "skip"       // instant: journal resume skipped a run
 	PhaseSimKernel = "sim-kernel" // simulated-time kernel execution (gpusim/machine)
 	PhaseSimChunk  = "sim-chunk"  // simulated-time per-thread chunk (machine.Multicore)
+	PhaseBatch     = "batch"      // one coalesced serving-layer dispatch (internal/serve)
 )
 
 // Phases lists every pinned phase name; the golden schema test pins
@@ -80,7 +81,7 @@ func Phases() []string {
 	return []string{
 		PhaseLoad, PhasePrepare, PhaseWarmup, PhaseCalculate, PhaseVerify,
 		PhaseKernel, PhaseChunk, PhaseAttempt, PhaseBackoff, PhaseRetry,
-		PhaseDegrade, PhaseSkip, PhaseSimKernel, PhaseSimChunk,
+		PhaseDegrade, PhaseSkip, PhaseSimKernel, PhaseSimChunk, PhaseBatch,
 	}
 }
 

@@ -12,7 +12,9 @@
 # the static-vs-balanced schedule race, the pooled-vs-spawn dispatch race,
 # the tracer's disabled-path overhead (must stay 0 allocs/op and within the
 # ns/op gate on CSR Calculate), the metric registry's overhead (both rows of
-# BenchmarkObsOverhead must stay 0 allocs/op), and the per-phase time mix.
+# BenchmarkObsOverhead must stay 0 allocs/op), the per-phase time mix, and
+# the serving path (single-client cached-multiply latency plus batched vs
+# unbatched concurrent throughput from internal/serve).
 # Numbers are host-dependent: commit a refreshed baseline when the hardware
 # or the kernels legitimately change.
 set -euo pipefail
@@ -20,14 +22,14 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME=${BENCHTIME:-0.5s}
 TOLERANCE=${TOLERANCE:-0.25}
-FILTER=${FILTER:-'^(BenchmarkCalculate|BenchmarkSchedule|BenchmarkPool|BenchmarkTraceOverhead|BenchmarkObsOverhead|BenchmarkPhaseMix)$'}
+FILTER=${FILTER:-'^(BenchmarkCalculate|BenchmarkSchedule|BenchmarkPool|BenchmarkTraceOverhead|BenchmarkObsOverhead|BenchmarkPhaseMix|BenchmarkServeCachedMultiply|BenchmarkServeUnbatched|BenchmarkServeBatched)$'}
 DIR=${DIR:-results/bench}
 
 out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
 echo "== go test -bench $FILTER (benchtime $BENCHTIME) =="
-go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" . | tee "$out"
+go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" . ./internal/serve | tee "$out"
 
 echo
 echo "== perf gate (tolerance $TOLERANCE) =="

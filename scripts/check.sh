@@ -18,10 +18,10 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go test -race (parallel, harness, trace, obs) =="
-go test -race -short ./internal/parallel/... ./internal/harness/... ./internal/trace/... ./internal/obs/...
+echo "== go test -race (parallel, harness, trace, obs, serve) =="
+go test -race -short ./internal/parallel/... ./internal/harness/... ./internal/trace/... ./internal/obs/... ./internal/serve/...
 
 echo "== bench smoke (1 iteration per bench) =="
-go test -run '^$' -bench . -benchtime=1x . > /dev/null
+go test -run '^$' -bench . -benchtime=1x . ./internal/serve > /dev/null
 
 echo "check.sh: all checks passed"
