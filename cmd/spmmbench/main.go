@@ -92,6 +92,7 @@ func main() {
 		retries   = flag.Int("retries", 0, "campaign: extra attempts for transient failures")
 		memBudget = flag.String("mem-budget", "", "campaign: per-run format footprint budget, e.g. 512MiB")
 		journal   = flag.String("journal", "", "campaign: JSONL checkpoint journal path")
+		jnlNoSync = flag.Bool("journal-nosync", false, "campaign: skip the per-append journal fsync (faster, loses machine-crash durability)")
 		resume    = flag.Bool("resume", false, "campaign: skip runs already recorded in -journal")
 
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (open in chrome://tracing or https://ui.perfetto.dev)")
@@ -233,7 +234,7 @@ func main() {
 			Verify: *verify, Debug: *debug, Seed: 1, Schedule: sched, Pool: pool, Trace: tracer}
 		cfg := harness.Config{
 			Timeout: *timeout, Retries: *retries, MemBudget: budget,
-			Journal: *journal, Resume: *resume, Seed: 1, Logger: logger, Trace: tracer,
+			Journal: *journal, JournalNoSync: *jnlNoSync, Resume: *resume, Seed: 1, Logger: logger, Trace: tracer,
 		}
 		// SIGINT/SIGTERM cancels the campaign between runs (and inside
 		// cancellation-aware kernels) and shuts the metrics server down with

@@ -44,10 +44,14 @@ func main() {
 		requests = flag.Int("n", 200, "total multiply requests")
 		deadline = flag.Duration("deadline", 0, "per-request deadline (0 = server default)")
 		verify   = flag.Bool("verify", true, "verify responses bitwise against a local serial kernel")
+		retries  = flag.Int("retries", 0, "retries per request on 429/503 (capped exponential backoff + jitter, honoring Retry-After)")
+		retryCon = flag.Bool("retry-conn", false, "also retry transport errors — rides out a server crash-and-restart window")
 	)
 	flag.Parse()
 
 	client := serve.NewClient(strings.TrimRight(*addr, "/"))
+	client.MaxAttempts = *retries + 1
+	client.RetryConnErrors = *retryCon
 
 	req := serve.RegisterRequest{Name: *name, Scale: *scale}
 	var local *matrix.COO[float64]
@@ -174,6 +178,8 @@ func main() {
 	ok := len(latencies)
 	fmt.Printf("\n%d requests in %.2fs: %d ok, %d shed (429), %d failed\n",
 		*requests, elapsed.Seconds(), ok, sheds, failures)
+	fmt.Printf("attempts %d (%d retried) over %d calls\n",
+		client.Attempts(), client.Retries(), client.Attempts()-client.Retries())
 	if ok > 0 {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 		pct := func(p float64) time.Duration {

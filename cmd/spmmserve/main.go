@@ -43,6 +43,9 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 0, "max concurrently executing multiplies (0 = 2x threads)")
 		queue       = flag.Int("queue", -1, "admission queue depth before 429 shedding (-1 = 4x max-inflight)")
 		deadline    = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+		dataDir     = flag.String("data-dir", "", "durability directory: registrations are WAL-journaled (fsynced before ack) and recovered on restart; empty keeps the registry in memory only")
+		snapEvery   = flag.Int("snapshot-every", 64, "compact the WAL into a snapshot after this many registrations (<0 disables)")
+		fsync       = flag.Bool("fsync", true, "fsync every WAL append before acking a registration (disable only for throwaway data)")
 		traceOut    = flag.String("trace", "", "write a Chrome trace of the serving session to this file on exit")
 		logFormat   = flag.String("log-format", "text", "log format: text or json")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -86,8 +89,14 @@ func main() {
 		DefaultDeadline: *deadline,
 		Tracer:          tr,
 		Log:             logger,
+		DataDir:         *dataDir,
+		SnapshotEvery:   *snapEvery,
+		NoFsync:         !*fsync,
 	}
-	srv := serve.New(cfg)
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
 	defer srv.Close()
 
 	var monitor *obs.Server
@@ -126,6 +135,9 @@ func main() {
 		}
 	case <-ctx.Done():
 		logger.Info("draining", "grace", drainGrace.String())
+		// Flip the drain flag first: requests racing the listener teardown
+		// get a clean 503 + Retry-After instead of a connection reset.
+		srv.Drain()
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			logger.Warn("drain incomplete", "err", err)

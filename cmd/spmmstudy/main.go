@@ -77,6 +77,7 @@ func main() {
 		retries   = flag.Int("retries", 0, "harness: extra attempts for transient failures")
 		memBudget = flag.String("mem-budget", "", "harness: per-run format footprint budget, e.g. 512MiB")
 		journal   = flag.String("journal", "", "harness: JSONL checkpoint journal path")
+		jnlNoSync = flag.Bool("journal-nosync", false, "harness: skip the per-append journal fsync (faster, loses machine-crash durability)")
 		resume    = flag.Bool("resume", false, "harness: replay runs already recorded in -journal")
 
 		serveAddr = flag.String("serve", "", "serve /metrics (Prometheus), /healthz, /debug/vars and /debug/pprof on this address while the studies run, e.g. :9090")
@@ -171,7 +172,7 @@ func main() {
 		}
 		hcfg := harness.Config{
 			Timeout: *timeout, Retries: *retries, MemBudget: budget,
-			Journal: *journal, Resume: *resume, Seed: 1, Trace: tracer,
+			Journal: *journal, JournalNoSync: *jnlNoSync, Resume: *resume, Seed: 1, Trace: tracer,
 		}
 		if !*quiet {
 			hcfg.Logger = logger

@@ -38,6 +38,9 @@ type Config struct {
 	MemBudget int64
 	// Journal is the JSONL checkpoint path; "" disables journaling.
 	Journal string
+	// JournalNoSync skips the per-append journal fsync (crash-durable by
+	// default; opt out on fsync-bound disks).
+	JournalNoSync bool
 	// Resume skips (and replays from the journal) runs already recorded.
 	Resume bool
 	// Seed drives backoff jitter deterministically.
@@ -139,14 +142,18 @@ func New(cfg Config) (*Harness, error) {
 		h.log = log
 	}
 	if cfg.Resume && cfg.Journal != "" {
-		recs, err := ReadJournal(cfg.Journal)
+		recs, torn, err := ReadJournalTorn(cfg.Journal)
 		if err != nil {
 			return nil, err
+		}
+		if torn && h.log != nil {
+			h.log.Warn("journal: skipped torn trailing record on resume",
+				slog.String("path", cfg.Journal))
 		}
 		h.done = CompletedIDs(recs)
 	}
 	if cfg.Journal != "" {
-		j, err := OpenJournal(cfg.Journal)
+		j, err := OpenJournalOpts(cfg.Journal, JournalOpts{NoSync: cfg.JournalNoSync, Log: h.log})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -20,13 +21,31 @@ const (
 	// PointCalculate fires at the top of every Kernel.Calculate call
 	// (warm-up and timed repetitions alike).
 	PointCalculate
+	// PointWALAppend fires before a durability write-ahead-log record is
+	// written (serve's registry WAL and any other JSONL append path).
+	PointWALAppend
+	// PointWALSync fires before the WAL file is fsynced — the window where
+	// a disk that lies about durability would lose an acked record.
+	PointWALSync
+	// PointSnapshot fires during a snapshot body write, before the
+	// temp-file rename that publishes it.
+	PointSnapshot
 )
 
 func (p FaultPoint) String() string {
-	if p == PointPrepare {
+	switch p {
+	case PointPrepare:
 		return "prepare"
+	case PointCalculate:
+		return "calculate"
+	case PointWALAppend:
+		return "wal-append"
+	case PointWALSync:
+		return "wal-sync"
+	case PointSnapshot:
+		return "snapshot"
 	}
-	return "calculate"
+	return "unknown"
 }
 
 // FaultKind selects what an armed fault does when it fires.
@@ -41,6 +60,14 @@ const (
 	// FaultSlow sleeps for Delay (± seeded jitter) before proceeding,
 	// exercising the per-run timeout.
 	FaultSlow
+	// FaultErr returns the fault's Err (a generic injected I/O error when
+	// nil) — the disk-full / fsync-failure simulation for durability
+	// paths.
+	FaultErr
+	// FaultTorn returns an error wrapping ErrTornWrite; the write site is
+	// expected to persist only a prefix of the record before failing,
+	// simulating a crash mid-write.
+	FaultTorn
 )
 
 func (k FaultKind) String() string {
@@ -49,10 +76,18 @@ func (k FaultKind) String() string {
 		return "panic"
 	case FaultTransient:
 		return "transient"
+	case FaultErr:
+		return "err"
+	case FaultTorn:
+		return "torn"
 	default:
 		return "slow"
 	}
 }
+
+// ErrTornWrite marks an injected torn write: the fault site persisted only a
+// prefix of the record, as a crash mid-write would.
+var ErrTornWrite = errors.New("harness: injected torn write")
 
 // Fault arms Count firings of Kind at Point for runs whose ID contains Run
 // as a substring (run IDs start with "kernel|matrix|", so matching on
@@ -64,6 +99,9 @@ type Fault struct {
 	Count int
 	// Delay is the FaultSlow sleep.
 	Delay time.Duration
+	// Err is the error FaultErr returns; nil means a generic injected
+	// I/O error.
+	Err error
 }
 
 type armedFault struct {
@@ -110,6 +148,17 @@ func (in *Injector) Wrap(runID string, k core.Kernel) core.Kernel {
 	return fk
 }
 
+// Fire performs at most one armed fault matching (id, point) and returns
+// the injected error, if any. Kernel faults are wired automatically through
+// Wrap; non-kernel fault sites (the serve WAL and snapshot writers) call
+// Fire directly at their durability points. A nil *Injector never fires.
+func (in *Injector) Fire(id string, point FaultPoint) error {
+	if in == nil {
+		return nil
+	}
+	return in.fire(id, point)
+}
+
 // fire performs at most one armed fault matching (runID, point). It either
 // returns a transient error, panics, or sleeps — or does nothing when no
 // fault matches.
@@ -140,6 +189,13 @@ func (in *Injector) fire(runID string, point FaultPoint) error {
 		panic(fmt.Sprintf("harness: injected panic at %s of %s", point, runID))
 	case FaultTransient:
 		return fmt.Errorf("%w: injected at %s of %s", ErrTransient, point, runID)
+	case FaultErr:
+		if hit.Err != nil {
+			return fmt.Errorf("injected at %s of %s: %w", point, runID, hit.Err)
+		}
+		return fmt.Errorf("harness: injected i/o error at %s of %s", point, runID)
+	case FaultTorn:
+		return fmt.Errorf("%w: at %s of %s", ErrTornWrite, point, runID)
 	default:
 		time.Sleep(delay)
 		return nil

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
+	"log/slog"
 	"os"
 	"sync"
 
@@ -46,23 +48,101 @@ type Record struct {
 	Result *core.Result `json:"result,omitempty"`
 }
 
-// Journal appends campaign records to a JSONL file, flushing every record
-// so an interrupted campaign loses at most the run in flight.
+// Journal appends campaign records to a JSONL file, flushing (and by
+// default fsyncing) every record so an interrupted campaign loses at most
+// the run in flight — and a killed process loses nothing it acked.
 type Journal struct {
-	mu sync.Mutex
-	f  *os.File
+	mu   sync.Mutex
+	f    *os.File
+	sync bool
 }
 
-// OpenJournal opens (creating if needed) the journal at path for appending.
+// JournalOpts tunes OpenJournalOpts.
+type JournalOpts struct {
+	// NoSync skips the per-append fsync. Appends then survive a process
+	// crash (the kernel holds the write) but not a machine crash — the
+	// opt-out for fsync-bound campaigns on slow disks.
+	NoSync bool
+	// Log receives a warning when a torn trailing record is repaired;
+	// nil discards it.
+	Log *slog.Logger
+}
+
+// OpenJournal opens (creating if needed) the journal at path for appending,
+// with per-record fsync on.
 func OpenJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	return OpenJournalOpts(path, JournalOpts{})
+}
+
+// OpenJournalOpts opens the journal at path for appending. If the file ends
+// in a torn record — a crash mid-append left bytes after the last newline —
+// the partial record is truncated away (with a logged warning) so new
+// appends never fuse onto a half-written line and later resumes see a clean
+// JSONL stream.
+func OpenJournalOpts(path string, opts JournalOpts) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("harness: open journal: %w", err)
 	}
-	return &Journal{f: f}, nil
+	dropped, err := RepairTornTail(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("harness: journal %s: %w", path, err)
+	}
+	if dropped > 0 && opts.Log != nil {
+		opts.Log.Warn("journal: dropped torn trailing record",
+			"path", path, "bytes", dropped)
+	}
+	return &Journal{f: f, sync: !opts.NoSync}, nil
 }
 
-// Append writes one record as a single JSON line.
+// RepairTornTail truncates a trailing partial line (no final newline) left
+// by a crash mid-append, returning how many bytes were dropped. It is the
+// shared open-for-append repair for every JSONL log in the suite (campaign
+// journals here, the serve registry WAL).
+func RepairTornTail(f *os.File) (dropped int64, err error) {
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, fmt.Errorf("seek: %w", err)
+	}
+	if size == 0 {
+		return 0, nil
+	}
+	// Walk back from the end to the last newline. Torn records are bounded
+	// by one Append, so reading back in small chunks terminates quickly.
+	buf := make([]byte, 4096)
+	keep := int64(0) // bytes to keep: offset just past the last '\n'
+	for off := size; off > 0 && keep == 0; {
+		n := int64(len(buf))
+		if n > off {
+			n = off
+		}
+		off -= n
+		if _, err := f.ReadAt(buf[:n], off); err != nil {
+			return 0, fmt.Errorf("read tail: %w", err)
+		}
+		for i := n - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				keep = off + i + 1
+				break
+			}
+		}
+	}
+	if keep == size {
+		return 0, nil
+	}
+	if err := f.Truncate(keep); err != nil {
+		return 0, fmt.Errorf("truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(keep, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("seek: %w", err)
+	}
+	return size - keep, nil
+}
+
+// Append writes one record as a single JSON line and, unless the journal
+// was opened with NoSync, fsyncs it — the record is durable before Append
+// returns.
 func (j *Journal) Append(rec Record) error {
 	data, err := json.Marshal(rec)
 	if err != nil {
@@ -73,6 +153,11 @@ func (j *Journal) Append(rec Record) error {
 	defer j.mu.Unlock()
 	if _, err := j.f.Write(data); err != nil {
 		return fmt.Errorf("harness: journal write: %w", err)
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("harness: journal fsync: %w", err)
+		}
 	}
 	return nil
 }
@@ -90,16 +175,23 @@ func (j *Journal) Close() error {
 // malformed line anywhere else is an error, since it means the file is not
 // a journal.
 func ReadJournal(path string) ([]Record, error) {
+	recs, _, err := ReadJournalTorn(path)
+	return recs, err
+}
+
+// ReadJournalTorn is ReadJournal, additionally reporting whether a torn
+// (partial or malformed) final record was skipped — resume paths log it as
+// a warning instead of failing the whole campaign.
+func ReadJournalTorn(path string) (recs []Record, torn bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
-			return nil, nil
+			return nil, false, nil
 		}
-		return nil, fmt.Errorf("harness: read journal: %w", err)
+		return nil, false, fmt.Errorf("harness: read journal: %w", err)
 	}
 	defer f.Close()
 
-	var recs []Record
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	line := 0
@@ -113,7 +205,7 @@ func ReadJournal(path string) ([]Record, error) {
 		// A malformed line is only tolerable if it turns out to be the
 		// last one (torn by a crash mid-Append).
 		if pendingErr != nil {
-			return nil, pendingErr
+			return nil, false, pendingErr
 		}
 		var rec Record
 		if err := json.Unmarshal(text, &rec); err != nil {
@@ -123,9 +215,9 @@ func ReadJournal(path string) ([]Record, error) {
 		recs = append(recs, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("harness: read journal: %w", err)
+		return nil, false, fmt.Errorf("harness: read journal: %w", err)
 	}
-	return recs, nil
+	return recs, pendingErr != nil, nil
 }
 
 // CompletedIDs indexes journal records by run ID. Every recorded terminal

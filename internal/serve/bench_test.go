@@ -14,7 +14,10 @@ import (
 // pure steady-state (admission → cache hit → dispatch → panel write).
 func benchServer(b *testing.B, cfg Config) (*Client, *RegisterResponse, func()) {
 	b.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	tr := &http.Transport{MaxIdleConnsPerHost: 64}
 	c := NewClient(ts.URL)
@@ -62,6 +65,36 @@ func BenchmarkServeUnbatched(b *testing.B) {
 // BenchmarkServeUnbatched prices the coalescing machinery.
 func BenchmarkServeBatched(b *testing.B) {
 	benchConcurrent(b, 500*time.Microsecond)
+}
+
+// BenchmarkWALAppend prices the durability tax on registration: seal (two
+// JSON marshals + CRC32), write, fsync — per record, on a generator-spec
+// record (the common case, a few hundred bytes). The fsync dominates; the
+// NoFsync variant isolates the CPU cost of sealing.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		fsync bool
+	}{{"fsync", true}, {"nosync", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			w, err := openWAL(b.TempDir()+"/wal.jsonl", 0, mode.fsync, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := &walRecord{
+					ID: "benchbenchbench0", Rows: 8192, Cols: 8192,
+					Name: "dw4096", Scale: 1,
+					Format: "csr", Schedule: "static", Block: 4,
+				}
+				if _, err := w.append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func benchConcurrent(b *testing.B, window time.Duration) {

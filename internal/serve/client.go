@@ -5,10 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/harness"
 	"repro/internal/matrix"
 )
 
@@ -16,11 +20,33 @@ import (
 // cmd/spmmload and the end-to-end tests. It speaks the same wire protocol
 // the handlers do: JSON control plane, raw float64 panels on the data
 // plane.
+//
+// With MaxAttempts > 1 the client retries retryable failures — 429 sheds,
+// 503 unavailability (drain, queue deadline, durability hiccough) and,
+// when RetryConnErrors is set, transport-level errors (the restart window
+// of a crashed server). The pause before each retry is the larger of the
+// server's Retry-After hint and capped exponential backoff with jitter
+// (harness.Backoff), so a thundering herd of clients does not re-shed
+// itself in lockstep.
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8080".
 	Base string
 	// HTTP is the underlying client; nil uses http.DefaultClient.
 	HTTP *http.Client
+	// MaxAttempts caps tries per request; <= 1 disables retry.
+	MaxAttempts int
+	// Backoff paces retries; the zero value means harness.DefaultBackoff.
+	Backoff harness.Backoff
+	// RetryConnErrors extends retry to transport errors (connection
+	// refused/reset) — for riding out a server crash-and-restart window.
+	RetryConnErrors bool
+
+	attempts atomic.Int64
+	retries  atomic.Int64
+
+	rngOnce sync.Once
+	rngMu   sync.Mutex
+	rng     *rand.Rand
 }
 
 // NewClient builds a client for the given base URL.
@@ -32,6 +58,12 @@ func (c *Client) http() *http.Client {
 	}
 	return http.DefaultClient
 }
+
+// Attempts returns the total HTTP attempts made, retries included.
+func (c *Client) Attempts() int64 { return c.attempts.Load() }
+
+// Retries returns how many of those attempts were retries.
+func (c *Client) Retries() int64 { return c.retries.Load() }
 
 // StatusError is a non-2xx server reply.
 type StatusError struct {
@@ -48,6 +80,12 @@ func (e *StatusError) Error() string {
 // Overloaded reports a 429 shed.
 func (e *StatusError) Overloaded() bool { return e.Code == http.StatusTooManyRequests }
 
+// Retryable reports a reply worth retrying after a pause: a 429 shed or a
+// 503 (drain, queue deadline, durability unavailable).
+func (e *StatusError) Retryable() bool {
+	return e.Code == http.StatusTooManyRequests || e.Code == http.StatusServiceUnavailable
+}
+
 func statusError(resp *http.Response) error {
 	var msg ErrorResponse
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
@@ -63,35 +101,90 @@ func statusError(resp *http.Response) error {
 	return e
 }
 
+// retryDelay computes the pause before retry `attempt`, honoring the
+// server's Retry-After when it is longer than the backoff schedule.
+func (c *Client) retryDelay(attempt int, serverHint time.Duration) time.Duration {
+	c.rngOnce.Do(func() { c.rng = rand.New(rand.NewSource(time.Now().UnixNano())) })
+	c.rngMu.Lock()
+	d := c.Backoff.Delay(attempt, c.rng)
+	c.rngMu.Unlock()
+	if serverHint > d {
+		d = serverHint
+	}
+	return d
+}
+
+// do runs build→request with retry. build is re-invoked per attempt so the
+// request body is fresh each time.
+func (c *Client) do(build func() (*http.Request, error)) (*http.Response, error) {
+	maxAttempts := c.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		c.attempts.Add(1)
+		if attempt > 1 {
+			c.retries.Add(1)
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			if !c.RetryConnErrors || attempt >= maxAttempts {
+				return nil, err
+			}
+			time.Sleep(c.retryDelay(attempt, 0))
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			return resp, nil
+		}
+		serr := statusError(resp)
+		resp.Body.Close()
+		se, ok := serr.(*StatusError)
+		if !ok || !se.Retryable() || attempt >= maxAttempts {
+			return nil, serr
+		}
+		time.Sleep(c.retryDelay(attempt, se.RetryAfter))
+	}
+}
+
 func (c *Client) postJSON(path string, in, out any) error {
 	payload, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	resp, err := c.http().Post(c.Base+path, "application/json", bytes.NewReader(payload))
+	resp, err := c.do(func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, c.Base+path, bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return statusError(resp)
-	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 func (c *Client) getJSON(path string, out any) error {
-	resp, err := c.http().Get(c.Base + path)
+	resp, err := c.do(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.Base+path, nil)
+	})
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return statusError(resp)
-	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Register uploads a matrix (generator spec or MatrixMarket text).
+// Registration is content-addressed and idempotent, so retrying it — even
+// across a server restart — converges on the same ID.
 func (c *Client) Register(req RegisterRequest) (*RegisterResponse, error) {
 	var out RegisterResponse
 	if err := c.postJSON("/v1/matrices", req, &out); err != nil {
@@ -142,22 +235,21 @@ func (c *Client) Multiply(id string, rows int, b *matrix.Dense[float64], k int, 
 		return nil, err
 	}
 	url := fmt.Sprintf("%s/v1/matrices/%s/multiply?k=%d", c.Base, id, k)
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload.Bytes()))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	if deadline > 0 {
-		req.Header.Set(HeaderDeadlineMs, strconv.Itoa(int(deadline.Milliseconds())))
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.do(func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		if deadline > 0 {
+			req.Header.Set(HeaderDeadlineMs, strconv.Itoa(int(deadline.Milliseconds())))
+		}
+		return req, nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, statusError(resp)
-	}
 	out, err := ReadPanel(resp.Body, rows, k)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCrashRecoveryE2E is the kill-and-restart end-to-end: real spmmserve
+// and spmmload binaries, a real SIGKILL mid-load, a real restart on the
+// same data dir. The load generator registers a matrix, the server is
+// killed without warning while multiplies are in flight, a second server
+// process recovers the registry from the WAL, and spmmload — riding the
+// crash window on -retry-conn — finishes with every response verified
+// bitwise against its local serial kernel. Durable means exactly this.
+func TestCrashRecoveryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes; skipped with -short")
+	}
+
+	bin := t.TempDir()
+	dataDir := filepath.Join(bin, "data")
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cmd := range []string{"spmmserve", "spmmload"} {
+		build := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd)
+		build.Dir = root
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", cmd, err, out)
+		}
+	}
+
+	// Reserve a port both server processes will bind: spmmload needs one
+	// stable address across the crash.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	startServer := func() *exec.Cmd {
+		t.Helper()
+		srv := exec.Command(filepath.Join(bin, "spmmserve"),
+			"-addr", addr, "-data-dir", dataDir, "-t", "1")
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Poll /healthz until the listener answers.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get("http://" + addr + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				return srv
+			}
+			if time.Now().After(deadline) {
+				srv.Process.Kill()
+				t.Fatalf("spmmserve never became healthy on %s: %v", addr, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	srv1 := startServer()
+
+	// spmmload with enough retries (and -retry-conn) to ride out the
+	// restart window; its own bitwise verification is the test oracle.
+	load := exec.Command(filepath.Join(bin, "spmmload"),
+		"-addr", "http://"+addr, "-matrix", "dw4096", "-scale", "0.05",
+		"-workers", "4", "-n", "120", "-k", "8", "-retries", "8", "-retry-conn")
+	stdout, err := load.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	load.Stderr = load.Stdout // interleave; we only assert on the combined text
+	if err := load.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the registration ack — the moment durability is promised —
+	// then SIGKILL the server mid-load. No drain, no flush, no mercy.
+	sc := bufio.NewScanner(stdout)
+	var out strings.Builder
+	registered := false
+	for sc.Scan() {
+		line := sc.Text()
+		out.WriteString(line + "\n")
+		if strings.HasPrefix(line, "registered ") {
+			registered = true
+			break
+		}
+	}
+	if !registered {
+		load.Wait()
+		t.Fatalf("spmmload never registered:\n%s", out.String())
+	}
+	if err := srv1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	srv1.Wait()
+
+	// Restart on the same data dir and port: recovery replaces re-registration.
+	srv2 := startServer()
+	defer func() {
+		srv2.Process.Kill()
+		srv2.Wait()
+	}()
+
+	for sc.Scan() {
+		out.WriteString(sc.Text() + "\n")
+	}
+	if err := load.Wait(); err != nil {
+		t.Fatalf("spmmload failed across the crash: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "verified: all") {
+		t.Fatalf("spmmload finished without bitwise verification:\n%s", text)
+	}
+
+	// The restarted server must report the recovery in its stats.
+	resp, err := http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Durability.Enabled || stats.Durability.Recovered != 1 {
+		t.Fatalf("restarted server durability stats: %+v, want 1 recovered matrix",
+			stats.Durability)
+	}
+	if stats.Matrices != 1 {
+		t.Fatalf("restarted server lists %d matrices, want 1", stats.Matrices)
+	}
+	fmt.Println("crash e2e: registration survived SIGKILL; load verified bitwise across restart")
+}

@@ -37,4 +37,27 @@ var (
 		"Prepared formats evicted to fit the cache byte budget.")
 	obsCacheBytes = obs.NewGauge("spmm_serve_cache_bytes",
 		"Bytes of prepared formats currently resident.")
+
+	// Durability: the registry WAL, its snapshot compactor, and startup
+	// recovery. wal_fsync_seconds is the price of the ack-after-durable
+	// contract; BenchmarkWALAppend pins it, and it must never appear on
+	// the multiply path.
+	obsWALAppends = obs.NewCounter("spmm_serve_wal_appends_total",
+		"Registration records durably appended to the write-ahead log.")
+	obsWALAppendErrors = obs.NewCounter("spmm_serve_wal_append_errors_total",
+		"WAL appends that failed (write or fsync); the registration was not acked.")
+	obsWALFsyncSeconds = obs.NewHistogram("spmm_serve_wal_fsync_seconds",
+		"Per-append WAL fsync latency.")
+	obsWALBytes = obs.NewGauge("spmm_serve_wal_bytes",
+		"Current write-ahead-log length in bytes.")
+	obsSnapshots = obs.NewCounter("spmm_serve_snapshots_total",
+		"Registry snapshots published (each truncates the covered WAL prefix).")
+	obsSnapshotErrors = obs.NewCounter("spmm_serve_snapshot_errors_total",
+		"Snapshot attempts that failed; the WAL keeps growing until one lands.")
+	obsSnapshotSeconds = obs.NewHistogram("spmm_serve_snapshot_seconds",
+		"Snapshot write + WAL truncate latency.")
+	obsRecoverySeconds = obs.NewGauge("spmm_serve_recovery_seconds",
+		"Duration of the last startup registry recovery (snapshot + WAL replay).")
+	obsRecoveredMatrices = obs.NewGauge("spmm_serve_recovered_matrices",
+		"Registrations restored by the last startup recovery.")
 )

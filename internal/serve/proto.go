@@ -92,18 +92,36 @@ type CacheStats struct {
 	Evictions     int64 `json:"evictions"`
 }
 
+// DurabilityStats is the durability section of StatsResponse; the zero
+// value (Enabled false) means the server runs without a data dir.
+type DurabilityStats struct {
+	Enabled bool   `json:"enabled"`
+	Dir     string `json:"dir,omitempty"`
+	// WALBytes is the current write-ahead-log length (drops to ~0 after
+	// each snapshot compaction).
+	WALBytes int64 `json:"wal_bytes"`
+	// LastSeq is the newest WAL sequence number assigned.
+	LastSeq          uint64 `json:"last_seq"`
+	Snapshots        int64  `json:"snapshots"`
+	SnapshotFailures int64  `json:"snapshot_failures"`
+	// Recovered is how many registrations startup replay restored.
+	Recovered       int     `json:"recovered"`
+	RecoverySeconds float64 `json:"recovery_seconds"`
+}
+
 // StatsResponse is the /v1/stats snapshot.
 type StatsResponse struct {
-	Matrices        int        `json:"matrices"`
-	Requests        int64      `json:"requests"`
-	Multiplies      int64      `json:"multiplies"`
-	Batches         int64      `json:"batches"`
-	BatchedRequests int64      `json:"batched_requests"`
-	Shed            int64      `json:"shed"`
-	Timeouts        int64      `json:"timeouts"`
-	InFlight        int64      `json:"in_flight"`
-	Queued          int64      `json:"queued"`
-	Cache           CacheStats `json:"cache"`
+	Matrices        int             `json:"matrices"`
+	Requests        int64           `json:"requests"`
+	Multiplies      int64           `json:"multiplies"`
+	Batches         int64           `json:"batches"`
+	BatchedRequests int64           `json:"batched_requests"`
+	Shed            int64           `json:"shed"`
+	Timeouts        int64           `json:"timeouts"`
+	InFlight        int64           `json:"in_flight"`
+	Queued          int64           `json:"queued"`
+	Cache           CacheStats      `json:"cache"`
+	Durability      DurabilityStats `json:"durability"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// Store is the registry's durability engine: a fsynced write-ahead log of
+// registrations plus a background snapshotter that compacts the log into a
+// CRC-guarded snapshot and truncates it. Opening a store IS recovery — it
+// replays snapshot + WAL tail and hands the merged record set back so the
+// server can rebuild its registry before accepting traffic. Prepared
+// formats re-prepare lazily on first use, so recovery cost is parsing, not
+// format conversion.
+type Store struct {
+	dir    string
+	wal    *wal
+	every  int // appends between automatic snapshots; <= 0 disables
+	inject *harness.Injector
+	log    *slog.Logger
+
+	// dump serializes the current registry for compaction; the server
+	// points it at Registry.dumpRecords.
+	dump func() []walRecord
+
+	mu       sync.Mutex
+	pending  int // appends since the last snapshot
+	snapping bool
+	wg       sync.WaitGroup
+
+	recovered        int
+	recoverySeconds  float64
+	snapshots        int64
+	snapshotFailures int64
+}
+
+// StoreOpts tunes OpenStore.
+type StoreOpts struct {
+	// SnapshotEvery compacts the WAL after this many appends (<= 0
+	// disables automatic snapshots; the WAL then grows until Compact).
+	SnapshotEvery int
+	// NoFsync skips the per-append fsync — registrations then survive a
+	// process crash but not a machine crash.
+	NoFsync bool
+	// Injector arms durability fault points (tests only).
+	Injector *harness.Injector
+	// Log receives recovery and compaction notes; nil discards them.
+	Log *slog.Logger
+}
+
+// OpenStore opens (creating if needed) the data directory and recovers its
+// contents: the snapshot if it verifies, else a warning and full WAL
+// replay; then the WAL tail, tolerating a torn final record. The returned
+// records are deduplicated by content hash in first-seen order — ready to
+// rebuild a registry.
+func OpenStore(dir string, opts StoreOpts) (*Store, []walRecord, error) {
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("serve: store dir: %w", err)
+	}
+	st := &Store{
+		dir:    dir,
+		every:  opts.SnapshotEvery,
+		inject: opts.Injector,
+		log:    opts.Log,
+	}
+
+	snap, err := loadSnapshot(dir)
+	if err != nil {
+		// A corrupt snapshot is not fatal: the WAL is the ground truth and
+		// is only truncated after a snapshot verifiably landed. Worst case
+		// here is re-replaying records the snapshot had compacted.
+		st.warn("snapshot unreadable, falling back to full WAL replay", "err", err)
+		snap = nil
+	}
+
+	walPath := filepath.Join(dir, "wal.jsonl")
+	walRecs, torn, err := readWAL(walPath)
+	if err != nil {
+		// Mid-file corruption: keep the intact prefix, lose the rest. This
+		// should be impossible with fsynced appends — surface it loudly.
+		st.warn("WAL corrupt beyond its final record; recovering intact prefix",
+			"records", len(walRecs), "err", err)
+	} else if torn {
+		st.warn("WAL ended in a torn record (crash mid-append); skipped it")
+	}
+
+	// Merge: snapshot first, then the WAL. Content-addressed IDs make
+	// replay idempotent, so records the snapshot already covers (seq <=
+	// LastSeq, or duplicate registrations) dedup naturally.
+	var nextSeq uint64
+	seen := map[string]bool{}
+	var merged []walRecord
+	add := func(rec walRecord) {
+		if rec.Seq > nextSeq {
+			nextSeq = rec.Seq
+		}
+		if seen[rec.ID] {
+			return
+		}
+		seen[rec.ID] = true
+		merged = append(merged, rec)
+	}
+	if snap != nil {
+		if snap.LastSeq > nextSeq {
+			nextSeq = snap.LastSeq
+		}
+		for _, rec := range snap.Records {
+			add(rec)
+		}
+	}
+	for _, rec := range walRecs {
+		add(rec)
+	}
+
+	st.wal, err = openWAL(walPath, nextSeq, !opts.NoFsync, opts.Injector)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.recovered = len(merged)
+	st.recoverySeconds = time.Since(start).Seconds()
+	obsRecoverySeconds.Set(st.recoverySeconds)
+	obsRecoveredMatrices.Set(float64(st.recovered))
+	if st.log != nil && (st.recovered > 0 || snap != nil) {
+		st.log.Info("registry recovered", "dir", dir, "matrices", st.recovered,
+			"from_snapshot", snap != nil, "wal_tail", len(walRecs),
+			"seconds", st.recoverySeconds)
+	}
+	return st, merged, nil
+}
+
+// Append durably logs one registration. When it returns nil the record is
+// fsynced to disk — only then may the registration be acked.
+func (st *Store) Append(rec *walRecord) error {
+	if _, err := st.wal.append(rec); err != nil {
+		obsWALAppendErrors.Inc()
+		return err
+	}
+	st.mu.Lock()
+	st.pending++
+	trigger := st.every > 0 && st.pending >= st.every && !st.snapping
+	if trigger {
+		st.snapping = true
+		st.pending = 0
+		st.wg.Add(1)
+	}
+	st.mu.Unlock()
+	if trigger {
+		go func() {
+			defer st.wg.Done()
+			st.compact()
+		}()
+	}
+	return nil
+}
+
+// Compact synchronously snapshots the registry and truncates the WAL —
+// the background trigger's logic, exposed for shutdown and tests.
+func (st *Store) Compact() error {
+	st.mu.Lock()
+	if st.snapping {
+		st.mu.Unlock()
+		st.wg.Wait() // a background compaction is already running; join it
+		return nil
+	}
+	st.snapping = true
+	st.mu.Unlock()
+	return st.compact()
+}
+
+// compact writes the snapshot and truncates the covered WAL prefix. The
+// sequence number is read BEFORE dumping the registry, so the snapshot can
+// only over-cover (claim less than it holds), never under-cover — the
+// invariant that makes truncation safe.
+func (st *Store) compact() error {
+	defer func() {
+		st.mu.Lock()
+		st.snapping = false
+		st.mu.Unlock()
+	}()
+	upTo := st.wal.lastSeq()
+	snap := &snapshot{Version: 1, LastSeq: upTo, Records: st.dump()}
+	start := time.Now()
+	if err := writeSnapshot(st.dir, snap, st.inject); err != nil {
+		st.mu.Lock()
+		st.snapshotFailures++
+		st.mu.Unlock()
+		obsSnapshotErrors.Inc()
+		st.warn("snapshot failed; WAL keeps growing", "err", err)
+		return err
+	}
+	if err := st.wal.truncate(upTo); err != nil {
+		st.warn("WAL truncate after snapshot failed", "err", err)
+		return err
+	}
+	st.mu.Lock()
+	st.snapshots++
+	st.mu.Unlock()
+	obsSnapshots.Inc()
+	obsSnapshotSeconds.Observe(time.Since(start).Seconds())
+	if st.log != nil {
+		st.log.Info("registry snapshot", "dir", st.dir,
+			"matrices", len(snap.Records), "last_seq", upTo,
+			"seconds", time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// Close waits for any in-flight compaction and closes the WAL.
+func (st *Store) Close() error {
+	st.wg.Wait()
+	return st.wal.close()
+}
+
+// Stats snapshots the durability counters.
+func (st *Store) Stats() DurabilityStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return DurabilityStats{
+		Enabled:          true,
+		Dir:              st.dir,
+		WALBytes:         st.wal.size(),
+		LastSeq:          st.wal.lastSeq(),
+		Snapshots:        st.snapshots,
+		SnapshotFailures: st.snapshotFailures,
+		Recovered:        st.recovered,
+		RecoverySeconds:  st.recoverySeconds,
+	}
+}
+
+func (st *Store) warn(msg string, args ...any) {
+	if st.log != nil {
+		st.log.Warn(msg, args...)
+	}
+}

@@ -30,6 +30,12 @@ type Registry struct {
 	threads  int   // partition-warm target for prepared formats
 	opts     core.Options
 
+	// persist, when set, durably logs a registration BEFORE the matrix
+	// becomes visible; a persist failure fails the registration, so a
+	// successful Register is always recoverable. The server points it at
+	// Store.Append.
+	persist func(*Matrix) error
+
 	mu       sync.Mutex
 	matrices map[string]*Matrix
 	order    []string // registration order, for stable listings
@@ -56,6 +62,19 @@ type Matrix struct {
 	Block int
 	// Report is the full advisor report behind the selection.
 	Report advisor.Report
+	// Source records how the matrix was uploaded. A generator spec lets
+	// the WAL persist a few bytes and regenerate deterministically on
+	// recovery; without one the WAL stores the canonical triplets.
+	Source RegisterSource
+}
+
+// RegisterSource is the provenance of a registered matrix.
+type RegisterSource struct {
+	// Name is a generator-registry spec name ("" for direct uploads).
+	Name string
+	// Scale is the generator scale factor (normalized; never 0 when Name
+	// is set).
+	Scale float64
 }
 
 // cacheEntry is one prepared format in the LRU. ready closes once prepare
@@ -123,6 +142,15 @@ func ContentID(m *matrix.COO[float64]) string {
 // prepare the format — the first multiply (or an explicit Prepared call)
 // does, so a registration burst cannot blow the cache budget.
 func (r *Registry) Register(m *matrix.COO[float64]) (*Matrix, bool, error) {
+	return r.RegisterSourced(m, RegisterSource{})
+}
+
+// RegisterSourced is Register with upload provenance: a generator spec lets
+// the durability layer journal the spec instead of the triplets. When a
+// persist hook is installed, the registration is durably logged before the
+// matrix becomes visible — a persist failure fails the whole registration,
+// so nothing is ever acked that a restart would forget.
+func (r *Registry) RegisterSourced(m *matrix.COO[float64], src RegisterSource) (*Matrix, bool, error) {
 	if err := m.Validate(); err != nil {
 		return nil, false, fmt.Errorf("serve: register: %w", err)
 	}
@@ -148,6 +176,9 @@ func (r *Registry) Register(m *matrix.COO[float64]) (*Matrix, bool, error) {
 	if report.Schedule.Format == "balanced" {
 		sched = kernels.ScheduleBalanced
 	}
+	if src.Name != "" && src.Scale == 0 {
+		src.Scale = 1
+	}
 	entry := &Matrix{
 		ID:       id,
 		COO:      m,
@@ -155,6 +186,16 @@ func (r *Registry) Register(m *matrix.COO[float64]) (*Matrix, bool, error) {
 		Schedule: sched,
 		Block:    4,
 		Report:   report,
+		Source:   src,
+	}
+
+	// Durability before visibility. Two racing registrations of the same
+	// matrix may both journal it; replay dedups by content hash, so the
+	// duplicate record is harmless.
+	if r.persist != nil {
+		if err := r.persist(entry); err != nil {
+			return nil, false, fmt.Errorf("%w: %v", ErrNotDurable, err)
+		}
 	}
 
 	r.mu.Lock()
@@ -165,6 +206,90 @@ func (r *Registry) Register(m *matrix.COO[float64]) (*Matrix, bool, error) {
 	r.matrices[id] = entry
 	r.order = append(r.order, id)
 	return entry, false, nil
+}
+
+// restore inserts a recovered matrix directly, trusting the journaled
+// serving plan instead of re-running the advisor — registration work is
+// the state the WAL exists to preserve. Duplicates are ignored.
+func (r *Registry) restore(entry *Matrix) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.matrices[entry.ID]; ok {
+		return
+	}
+	r.matrices[entry.ID] = entry
+	r.order = append(r.order, entry.ID)
+}
+
+// recordFor serializes a matrix into its WAL/snapshot record.
+func recordFor(m *Matrix) *walRecord {
+	rec := &walRecord{
+		ID:       m.ID,
+		Rows:     m.COO.Rows,
+		Cols:     m.COO.Cols,
+		Format:   m.Format,
+		Schedule: m.Schedule.String(),
+		Block:    m.Block,
+		Report:   m.Report,
+	}
+	if m.Source.Name != "" {
+		rec.Name, rec.Scale = m.Source.Name, m.Source.Scale
+	} else {
+		rec.RowIdx, rec.ColIdx, rec.Vals = m.COO.RowIdx, m.COO.ColIdx, m.COO.Vals
+	}
+	return rec
+}
+
+// matrixFromRecord rebuilds a registered matrix from its durable record:
+// regenerate from the spec (and re-verify the content hash — the generator
+// must reproduce the exact matrix that was acked) or adopt the stored
+// canonical triplets.
+func matrixFromRecord(rec *walRecord, regen func(name string, scale float64) (*matrix.COO[float64], error)) (*Matrix, error) {
+	var coo *matrix.COO[float64]
+	if rec.Name != "" {
+		m, err := regen(rec.Name, rec.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("serve: recover %s: regenerate %q: %w", rec.ID, rec.Name, err)
+		}
+		Canonicalize(m)
+		coo = m
+	} else {
+		coo = &matrix.COO[float64]{
+			Rows: rec.Rows, Cols: rec.Cols,
+			RowIdx: rec.RowIdx, ColIdx: rec.ColIdx, Vals: rec.Vals,
+		}
+		if err := coo.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: recover %s: %w", rec.ID, err)
+		}
+	}
+	if got := ContentID(coo); got != rec.ID {
+		return nil, fmt.Errorf("serve: recover %s: rebuilt matrix hashes to %s", rec.ID, got)
+	}
+	sched := kernels.ScheduleStatic
+	if rec.Schedule == kernels.ScheduleBalanced.String() {
+		sched = kernels.ScheduleBalanced
+	}
+	return &Matrix{
+		ID:       rec.ID,
+		COO:      coo,
+		Format:   rec.Format,
+		Schedule: sched,
+		Block:    rec.Block,
+		Report:   rec.Report,
+		Source:   RegisterSource{Name: rec.Name, Scale: rec.Scale},
+	}, nil
+}
+
+// dumpRecords serializes every registered matrix in registration order —
+// the snapshotter's source.
+func (r *Registry) dumpRecords() []walRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]walRecord, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, *recordFor(r.matrices[id]))
+	}
+	return out
 }
 
 // Get returns the registered matrix by ID.

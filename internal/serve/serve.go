@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/harness"
 	"repro/internal/matrix"
 	"repro/internal/mmio"
 	"repro/internal/parallel"
@@ -79,6 +80,20 @@ type Config struct {
 	Tracer *trace.Tracer
 	// Log receives serving lifecycle notes; nil discards them.
 	Log *slog.Logger
+
+	// DataDir enables crash-safe serving: registrations are journaled to
+	// a fsynced WAL in this directory before they are acked, compacted
+	// into a CRC-guarded snapshot, and replayed on startup. "" keeps the
+	// registry purely in memory.
+	DataDir string
+	// SnapshotEvery compacts the WAL after this many registrations
+	// (default 64; < 0 disables automatic snapshots).
+	SnapshotEvery int
+	// NoFsync skips the per-registration fsync — acks then survive a
+	// process crash but not a machine crash.
+	NoFsync bool
+	// Injector arms durability fault points (tests only).
+	Injector *harness.Injector
 }
 
 // Server is the SpMM service: registry, cache, batcher and admission gate
@@ -91,6 +106,10 @@ type Server struct {
 	ownPool bool
 	tracer  *trace.Tracer
 	log     *slog.Logger
+	store   *Store
+	// draining flips when shutdown begins: new expensive requests get a
+	// clean 503 + Retry-After instead of racing http.Server.Shutdown.
+	draining atomic.Bool
 
 	mu       sync.Mutex
 	batchers map[string]*batcher
@@ -101,8 +120,11 @@ type Server struct {
 	batchedRequests atomic.Int64
 }
 
-// New builds a Server, filling Config defaults.
-func New(cfg Config) *Server {
+// New builds a Server, filling Config defaults. With DataDir set it opens
+// the durability store and recovers every previously-acked registration
+// (advisor plans included; formats re-prepare lazily on first use) before
+// returning.
+func New(cfg Config) (*Server, error) {
 	if cfg.Threads < 1 {
 		cfg.Threads = parallel.MaxThreads()
 	}
@@ -124,6 +146,9 @@ func New(cfg Config) *Server {
 	if cfg.DefaultDeadline <= 0 {
 		cfg.DefaultDeadline = 30 * time.Second
 	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 64
+	}
 	s := &Server{
 		cfg:      cfg,
 		reg:      NewRegistry(cfg.CacheBytes, cfg.Threads),
@@ -137,19 +162,67 @@ func New(cfg Config) *Server {
 		s.pool = parallel.NewPool(cfg.Threads)
 		s.ownPool = true
 	}
-	return s
+	if cfg.DataDir != "" {
+		st, recs, err := OpenStore(cfg.DataDir, StoreOpts{
+			SnapshotEvery: cfg.SnapshotEvery,
+			NoFsync:       cfg.NoFsync,
+			Injector:      cfg.Injector,
+			Log:           cfg.Log,
+		})
+		if err != nil {
+			s.closePool()
+			return nil, err
+		}
+		for i := range recs {
+			m, err := matrixFromRecord(&recs[i], func(name string, scale float64) (*matrix.COO[float64], error) {
+				coo, _, err := gen.GenerateScaled(name, scale)
+				return coo, err
+			})
+			if err != nil {
+				// One unrecoverable record must not take the whole registry
+				// down with it — skip it loudly.
+				if s.log != nil {
+					s.log.Warn("skipping unrecoverable registration", "err", err)
+				}
+				continue
+			}
+			s.reg.restore(m)
+		}
+		st.dump = s.reg.dumpRecords
+		s.reg.persist = func(m *Matrix) error { return st.Append(recordFor(m)) }
+		s.store = st
+	}
+	return s, nil
+}
+
+func (s *Server) closePool() {
+	if s.ownPool {
+		s.pool.Close()
+	}
 }
 
 // Registry exposes the matrix registry (the load generator's client and the
 // tests inspect cache behaviour through it).
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Close releases resources the server owns (its worker pool). Callers
-// drain in-flight HTTP requests first (http.Server.Shutdown); Close does
-// not interrupt running dispatches.
+// Drain marks the server as shutting down: register and multiply requests
+// arriving after Drain get a clean 503 + Retry-After instead of racing the
+// HTTP listener teardown, while already-admitted work runs to completion.
+// Call it immediately before http.Server.Shutdown.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close releases resources the server owns (its worker pool, the
+// durability store). Callers drain in-flight HTTP requests first
+// (http.Server.Shutdown); Close does not interrupt running dispatches.
 func (s *Server) Close() {
-	if s.ownPool {
-		s.pool.Close()
+	s.closePool()
+	if s.store != nil {
+		if err := s.store.Close(); err != nil && s.log != nil {
+			s.log.Warn("durability store close failed", "err", err)
+		}
 	}
 }
 
@@ -197,6 +270,17 @@ func (s *Server) batcherFor(m *Matrix) *batcher {
 	return t
 }
 
+// ErrNotDurable marks a registration the WAL could not make durable; the
+// server maps it to 503 so the client knows to retry, and the matrix is
+// never acked or inserted.
+var ErrNotDurable = errors.New("serve: registration could not be journaled")
+
+// errDraining is the clean shutdown refusal: the listener is about to
+// close, so new expensive work is turned away retryably.
+var errDraining = errors.New("serve: draining for shutdown, retry elsewhere")
+
+func isDurabilityErr(err error) bool { return errors.Is(err, ErrNotDurable) }
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(code)
@@ -204,7 +288,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
-	if code == http.StatusTooManyRequests {
+	// Both shed (429) and unavailable (503) are retryable; Retry-After
+	// feeds the client's backoff.
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, code, ErrorResponse{Error: err.Error()})
@@ -232,6 +318,10 @@ func loadUpload(req RegisterRequest) (*matrix.COO[float64], error) {
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	obsRequests.Inc()
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
 	var req RegisterRequest
 	body := http.MaxBytesReader(w, r.Body, 256<<20)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -243,9 +333,17 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	m, existed, err := s.reg.Register(coo)
+	// The WAL append (and its fsync) happens inside RegisterSourced,
+	// before the matrix becomes visible — so by the time the 200 below is
+	// written, the registration is already durable. A journaling failure
+	// is a 503: the input was fine, the disk was not.
+	m, existed, err := s.reg.RegisterSourced(coo, RegisterSource{Name: req.Name, Scale: req.Scale})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		code := http.StatusBadRequest
+		if isDurabilityErr(err) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
 		return
 	}
 	// Warm the prepared format under the admission gate so a registration
@@ -298,7 +396,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	obsRequests.Inc()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Matrices:        s.reg.Len(),
 		Requests:        s.requests.Load(),
 		Multiplies:      s.multiplies.Load(),
@@ -309,7 +407,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		InFlight:        s.adm.executing.Load(),
 		Queued:          s.adm.queued(),
 		Cache:           s.reg.Stats(),
-	})
+	}
+	if s.store != nil {
+		resp.Durability = s.store.Stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMultiply is the data path: admission, panel read, prepared-format
@@ -317,6 +419,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	obsRequests.Inc()
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
 	start := time.Now()
 
 	id := r.PathValue("id")

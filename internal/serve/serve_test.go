@@ -24,7 +24,10 @@ import (
 // process.
 func newTestServer(t *testing.T, cfg Config) (*Server, *Client, func()) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	tr := &http.Transport{}
 	var once sync.Once

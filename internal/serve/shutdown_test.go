@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/matrix"
+)
+
+// TestDrainReturns503NotReset pins the graceful-shutdown contract: once
+// Drain is called, register and multiply requests get a clean, retryable
+// 503 with Retry-After — never a hang or a connection reset — while the
+// listener is still up (the window spmmserve holds open between Drain and
+// http.Server.Shutdown). Afterwards the process winds back down to its
+// starting goroutine count: shutdown leaks nothing.
+func TestDrainReturns503NotReset(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	func() {
+		const k = 4
+		srv, client, teardown := newTestServer(t, Config{Threads: 1})
+		reg, err := client.Register(RegisterRequest{Name: "dw4096", Scale: 0.02})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		srv.Drain()
+		if !srv.Draining() {
+			t.Fatal("Draining() false after Drain()")
+		}
+
+		// A burst of concurrent requests against the draining server: every
+		// one must complete its HTTP exchange with a 503 + Retry-After.
+		var wg sync.WaitGroup
+		errs := make(chan error, 8)
+		for i := 0; i < 4; i++ {
+			wg.Add(2)
+			go func(i int) {
+				defer wg.Done()
+				b := matrix.NewDenseRand[float64](reg.Cols, k, int64(i))
+				_, err := client.Multiply(reg.ID, reg.Rows, b, k, 0)
+				errs <- err
+			}(i)
+			go func() {
+				defer wg.Done()
+				_, err := client.Register(RegisterRequest{Name: "dw4096", Scale: 0.05})
+				errs <- err
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			se, ok := err.(*StatusError)
+			if !ok {
+				t.Fatalf("draining server: want a clean 503 StatusError, got %v", err)
+			}
+			if se.Code != http.StatusServiceUnavailable {
+				t.Fatalf("draining server returned %d, want 503", se.Code)
+			}
+			if se.RetryAfter <= 0 {
+				t.Fatal("draining 503 carries no Retry-After")
+			}
+			if !se.Retryable() {
+				t.Fatal("draining 503 not classified retryable by the client")
+			}
+		}
+
+		// Cheap read-only endpoints stay up through the drain (health checks
+		// and final stats scrapes must not flap).
+		if _, err := client.Stats(); err != nil {
+			t.Fatalf("stats during drain: %v", err)
+		}
+		if _, err := client.Matrices(); err != nil {
+			t.Fatalf("list during drain: %v", err)
+		}
+		teardown()
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak across drain + teardown: %d before, %d after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClientRetriesDrainThenRecovers exercises the satellite retry path end
+// to end: a client with retries enabled fires at a draining server, every
+// attempt 503s, and the attempt counters expose the whole story; then
+// against a healthy server the same client succeeds without burning spare
+// attempts.
+func TestClientRetriesDrainThenRecovers(t *testing.T) {
+	srv, client, _ := newTestServer(t, Config{Threads: 1})
+	client.MaxAttempts = 2 // one retry: the pause honors the server's 1s Retry-After
+	client.Backoff = harness.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+
+	srv.Drain()
+	start := time.Now()
+	_, err := client.Register(RegisterRequest{Name: "dw4096", Scale: 0.02})
+	se, ok := err.(*StatusError)
+	if !ok || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining register after retries: %v, want a final 503", err)
+	}
+	if got := client.Attempts(); got != 2 {
+		t.Fatalf("client made %d attempts against a draining server, want MaxAttempts=2", got)
+	}
+	if got := client.Retries(); got != 1 {
+		t.Fatalf("client counted %d retries, want 1", got)
+	}
+	// The pause between the attempts honored the 1s Retry-After, not the
+	// millisecond backoff schedule.
+	if waited := time.Since(start); waited < time.Second {
+		t.Fatalf("retry waited only %s; the server's Retry-After: 1 is the floor", waited)
+	}
+
+	// A healthy server: one attempt, no retries added.
+	_, fresh, _ := newTestServer(t, Config{Threads: 1})
+	fresh.MaxAttempts = 3
+	fresh.Backoff = harness.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+	if _, err := fresh.Register(RegisterRequest{Name: "dw4096", Scale: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Attempts() != 1 || fresh.Retries() != 0 {
+		t.Fatalf("healthy register: attempts=%d retries=%d, want 1/0", fresh.Attempts(), fresh.Retries())
+	}
+}
+
+// TestClientHonorsRetryAfter pins that the server's Retry-After hint is a
+// floor on the retry pause, even when the backoff schedule would retry
+// sooner.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	c := NewClient("http://unused")
+	c.Backoff = harness.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+	if d := c.retryDelay(1, 500*time.Millisecond); d < 500*time.Millisecond {
+		t.Fatalf("retry delay %s ignores the 500ms Retry-After floor", d)
+	}
+	if d := c.retryDelay(1, 0); d > 2*time.Millisecond {
+		t.Fatalf("retry delay %s exceeds the backoff cap with no server hint", d)
+	}
+}
+
+// TestClientRetriesConnErrors points a RetryConnErrors client at a dead
+// port: every attempt is a transport error, all MaxAttempts are spent, and
+// the final error is the transport error (not a panic or a hang).
+func TestClientRetriesConnErrors(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1") // nothing listens on port 1
+	c.MaxAttempts = 3
+	c.RetryConnErrors = true
+	c.Backoff = harness.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("stats against a dead port succeeded")
+	}
+	if got := c.Attempts(); got != 3 {
+		t.Fatalf("client made %d attempts against a dead port, want 3", got)
+	}
+	// Without the flag, transport errors are terminal on the first attempt.
+	c2 := NewClient("http://127.0.0.1:1")
+	c2.MaxAttempts = 3
+	if _, err := c2.Stats(); err == nil {
+		t.Fatal("stats against a dead port succeeded")
+	}
+	if got := c2.Attempts(); got != 1 {
+		t.Fatalf("non-retrying client made %d attempts, want 1", got)
+	}
+}

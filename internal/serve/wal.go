@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/harness"
+)
+
+// The registry write-ahead log: one fsynced JSONL record per successful
+// registration, appended before the registration is acked. A record carries
+// everything recovery needs to rebuild the matrix and its serving plan
+// without redoing registration work — the content hash, dims, the canonical
+// triplets (or the generator spec that deterministically regenerates them),
+// and the advisor report. Prepared formats are deliberately NOT persisted:
+// they are pure functions of the canonical COO and re-prepare lazily on
+// first use, which keeps recovery fast and the WAL small.
+//
+// Each record carries a CRC32 over its own JSON (computed with the crc
+// field zeroed), so corruption is detected per record, and the file is
+// plain JSONL, so a crash can at worst tear the final line — the same
+// append/flush idiom internal/harness/journal.go established, hardened
+// with per-append fsync.
+
+// walRecord is one durable registration.
+type walRecord struct {
+	// Seq is the append sequence number; snapshots record the last seq
+	// they cover so replay knows where the tail starts.
+	Seq uint64 `json:"seq"`
+	// ID is the content-addressed matrix ID (recovery re-verifies it).
+	ID   string `json:"id"`
+	Rows int    `json:"rows"`
+	Cols int    `json:"cols"`
+	// Name/Scale is a generator spec: recovery regenerates the matrix
+	// deterministically instead of storing its triplets.
+	Name  string  `json:"name,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+	// RowIdx/ColIdx/Vals are the canonical row-major triplets for
+	// matrices with no generator spec (MTX uploads).
+	RowIdx []int32   `json:"row_idx,omitempty"`
+	ColIdx []int32   `json:"col_idx,omitempty"`
+	Vals   []float64 `json:"vals,omitempty"`
+	// The serving plan chosen at registration — recovery reuses it
+	// rather than re-running the advisor.
+	Format   string         `json:"format"`
+	Schedule string         `json:"schedule"`
+	Block    int            `json:"block"`
+	Report   advisor.Report `json:"report"`
+	// CRC is the IEEE CRC32 of this record's JSON with CRC itself zeroed.
+	CRC uint32 `json:"crc"`
+}
+
+// sealRecord marshals rec with its CRC filled in.
+func sealRecord(rec *walRecord) ([]byte, error) {
+	rec.CRC = 0
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: wal marshal: %w", err)
+	}
+	rec.CRC = crc32.ChecksumIEEE(body)
+	sealed, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: wal marshal: %w", err)
+	}
+	return append(sealed, '\n'), nil
+}
+
+// verifyRecord checks rec's CRC by re-marshalling with it zeroed. JSON
+// encoding of the record struct is deterministic (no maps), so the bytes
+// reproduce exactly.
+func verifyRecord(rec *walRecord) error {
+	want := rec.CRC
+	rec.CRC = 0
+	body, err := json.Marshal(rec)
+	rec.CRC = want
+	if err != nil {
+		return fmt.Errorf("serve: wal remarshal: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return fmt.Errorf("serve: wal record %d (%s): crc mismatch %08x != %08x",
+			rec.Seq, rec.ID, got, want)
+	}
+	return nil
+}
+
+// wal is the append side of the registry log.
+type wal struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	seq    uint64
+	bytes  int64
+	sync   bool
+	inject *harness.Injector
+}
+
+// openWAL opens (creating if needed) the log at path for appending,
+// repairing a torn trailing record the same way harness journals do.
+// nextSeq is where the sequence counter resumes (recovery passes the max
+// seq it observed plus one).
+func openWAL(path string, nextSeq uint64, fsync bool, inject *harness.Injector) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: open wal: %w", err)
+	}
+	if _, err := harness.RepairTornTail(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("serve: wal %s: %w", path, err)
+	}
+	size, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("serve: wal seek: %w", err)
+	}
+	return &wal{f: f, path: path, seq: nextSeq, bytes: size, sync: fsync, inject: inject}, nil
+}
+
+// append seals and writes one record, fsyncs it, and returns its assigned
+// sequence number. The record is durable when append returns nil — the
+// invariant the register handler relies on to never ack before durability.
+// Fault points: PointWALAppend before the write (FaultErr simulates disk
+// full; FaultTorn persists only half the record then fails, as a crash
+// mid-write would) and PointWALSync before the fsync.
+func (w *wal) append(rec *walRecord) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq++
+	rec.Seq = w.seq
+	data, err := sealRecord(rec)
+	if err != nil {
+		return 0, err
+	}
+	if err := w.inject.Fire("wal|"+rec.ID, harness.PointWALAppend); err != nil {
+		if errors.Is(err, harness.ErrTornWrite) {
+			// Persist a prefix, as a crash mid-write would, then fail.
+			if n, werr := w.f.Write(data[:len(data)/2]); werr == nil {
+				w.bytes += int64(n)
+				w.f.Sync()
+			}
+		}
+		return 0, fmt.Errorf("serve: wal append: %w", err)
+	}
+	n, err := w.f.Write(data)
+	w.bytes += int64(n)
+	if err != nil {
+		return 0, fmt.Errorf("serve: wal append: %w", err)
+	}
+	if w.sync {
+		if err := w.inject.Fire("wal|"+rec.ID, harness.PointWALSync); err != nil {
+			return 0, fmt.Errorf("serve: wal fsync: %w", err)
+		}
+		start := time.Now()
+		if err := w.f.Sync(); err != nil {
+			return 0, fmt.Errorf("serve: wal fsync: %w", err)
+		}
+		obsWALFsyncSeconds.Observe(time.Since(start).Seconds())
+	}
+	obsWALAppends.Inc()
+	obsWALBytes.Set(float64(w.bytes))
+	return rec.Seq, nil
+}
+
+// truncate empties the log — called after a snapshot that covers every
+// record currently in it. upTo guards the race with concurrent appends: the
+// caller passes the last seq its snapshot covers, and truncation is skipped
+// if anything newer landed in the meantime (the next snapshot catches it).
+func (w *wal) truncate(upTo uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.seq != upTo {
+		return nil
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("serve: wal truncate: %w", err)
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("serve: wal seek: %w", err)
+	}
+	w.bytes = 0
+	obsWALBytes.Set(0)
+	return nil
+}
+
+// lastSeq reports the newest assigned sequence number.
+func (w *wal) lastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// size reports the log's current byte length.
+func (w *wal) size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bytes
+}
+
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// readWAL loads every intact record from path, in file order. A missing
+// file is an empty log. A torn or CRC-corrupt final record is skipped (the
+// crash window per-append fsync bounds us to); corruption earlier in the
+// file stops the read there and returns the intact prefix alongside the
+// error, so recovery can keep what provably survived.
+func readWAL(path string) (recs []walRecord, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("serve: read wal: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 256*1024*1024)
+	line := 0
+	var pendingErr error
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		// A bad record is only tolerable as the final line.
+		if pendingErr != nil {
+			return recs, true, pendingErr
+		}
+		var rec walRecord
+		if err := json.Unmarshal(text, &rec); err != nil {
+			pendingErr = fmt.Errorf("serve: wal %s line %d: %w", path, line, err)
+			continue
+		}
+		if err := verifyRecord(&rec); err != nil {
+			pendingErr = fmt.Errorf("serve: wal %s line %d: %w", path, line, err)
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, false, fmt.Errorf("serve: read wal: %w", err)
+	}
+	return recs, pendingErr != nil, nil
+}

@@ -14,7 +14,10 @@
 # ns/op gate on CSR Calculate), the metric registry's overhead (both rows of
 # BenchmarkObsOverhead must stay 0 allocs/op), the per-phase time mix, and
 # the serving path (single-client cached-multiply latency plus batched vs
-# unbatched concurrent throughput from internal/serve).
+# unbatched concurrent throughput from internal/serve), and the durability
+# tax (BenchmarkWALAppend: seal + write + fsync per registration record —
+# the fsync row prices what crash-safe acks cost, the nosync row isolates
+# the CPU side).
 # Numbers are host-dependent: commit a refreshed baseline when the hardware
 # or the kernels legitimately change.
 set -euo pipefail
@@ -22,7 +25,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME=${BENCHTIME:-0.5s}
 TOLERANCE=${TOLERANCE:-0.25}
-FILTER=${FILTER:-'^(BenchmarkCalculate|BenchmarkSchedule|BenchmarkPool|BenchmarkTraceOverhead|BenchmarkObsOverhead|BenchmarkPhaseMix|BenchmarkServeCachedMultiply|BenchmarkServeUnbatched|BenchmarkServeBatched)$'}
+FILTER=${FILTER:-'^(BenchmarkCalculate|BenchmarkSchedule|BenchmarkPool|BenchmarkTraceOverhead|BenchmarkObsOverhead|BenchmarkPhaseMix|BenchmarkServeCachedMultiply|BenchmarkServeUnbatched|BenchmarkServeBatched|BenchmarkWALAppend)$'}
 DIR=${DIR:-results/bench}
 
 out=$(mktemp)

@@ -19,7 +19,12 @@ if [ -n "$unformatted" ]; then
 fi
 
 echo "== go test -race (parallel, harness, trace, obs, serve) =="
+# -short skips the subprocess e2e; the full chaos suite (torn WAL tails,
+# corrupt snapshots, injected fsync/disk-full faults) runs here under -race.
 go test -race -short ./internal/parallel/... ./internal/harness/... ./internal/trace/... ./internal/obs/... ./internal/serve/...
+
+echo "== crash-recovery e2e (SIGKILL mid-load, restart, bitwise verify) =="
+go test -run '^TestCrashRecoveryE2E$' -count=1 ./internal/serve
 
 echo "== bench smoke (1 iteration per bench) =="
 go test -run '^$' -bench . -benchtime=1x . ./internal/serve > /dev/null
