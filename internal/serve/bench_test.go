@@ -77,7 +77,7 @@ func BenchmarkWALAppend(b *testing.B) {
 		fsync bool
 	}{{"fsync", true}, {"nosync", false}} {
 		b.Run(mode.name, func(b *testing.B) {
-			w, err := openWAL(b.TempDir()+"/wal.jsonl", 0, mode.fsync, nil)
+			w, err := openWAL(b.TempDir()+"/wal.jsonl", mode.fsync, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -85,11 +85,12 @@ func BenchmarkWALAppend(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				rec := &walRecord{
-					ID: "benchbenchbench0", Rows: 8192, Cols: 8192,
+					Seq: uint64(i + 1),
+					ID:  "benchbenchbench0", Rows: 8192, Cols: 8192,
 					Name: "dw4096", Scale: 1,
 					Format: "csr", Schedule: "static", Block: 4,
 				}
-				if _, err := w.append(rec); err != nil {
+				if err := w.append(rec); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -338,8 +339,11 @@ func TestDiskFullAtAppend(t *testing.T) {
 }
 
 // TestTornWALWriteCrash injects a torn write — half the record hits the
-// disk, then the "process dies". The registration is not acked, and a
-// restart on the same dir repairs the tail and carries on.
+// disk, then the write fails. The registration is not acked, and because
+// the process is still alive the log rolls back to the record boundary:
+// the very next append in the SAME process must land cleanly instead of
+// fusing onto the partial line (which would make the fused line
+// unparseable and drop the acked record on the next restart).
 func TestTornWALWriteCrash(t *testing.T) {
 	dir := t.TempDir()
 	inject := harness.NewInjector(1, harness.Fault{
@@ -350,20 +354,153 @@ func TestTornWALWriteCrash(t *testing.T) {
 	if se, ok := err.(*StatusError); !ok || se.Code != http.StatusServiceUnavailable {
 		t.Fatalf("torn-write register: %v, want a 503", err)
 	}
+	if ids := listIDs(t, c1); len(ids) != 0 {
+		t.Fatalf("torn write acked a registration: %v", ids)
+	}
+	// Same process, after the rollback: this append must not fuse.
+	reg := registerGen(t, c1, "dw4096", 0.02)
 	teardown1()
 
-	// The dir now holds half a record. Restart: clean recovery, zero
-	// matrices, and appends work again.
 	_, c2, teardown2 := durableServer(t, dir, nil)
-	if ids := listIDs(t, c2); len(ids) != 0 {
-		t.Fatalf("torn write resurrected a never-acked registration: %v", ids)
+	ids := listIDs(t, c2)
+	if !ids[reg.ID] || len(ids) != 1 {
+		t.Fatalf("append after in-process torn-write rollback did not survive restart: %v, want exactly %s", ids, reg.ID)
 	}
-	reg := registerGen(t, c2, "dw4096", 0.02)
+	reg2 := registerGen(t, c2, "dw4096", 0.05)
 	teardown2()
 
 	_, c3, _ := durableServer(t, dir, nil)
-	if ids := listIDs(t, c3); !ids[reg.ID] {
-		t.Fatalf("recovery after torn-write repair lost %s: %v", reg.ID, ids)
+	if ids := listIDs(t, c3); !ids[reg.ID] || !ids[reg2.ID] {
+		t.Fatalf("recovery after torn-write rollback lost records: %v", ids)
+	}
+}
+
+// TestSnapshotCarriesUncommittedAppend pins the append→insert window the
+// compactor must bridge: a record whose WAL append succeeded but whose
+// registry insert has not happened yet (commit not called) is invisible to
+// the registry dump — a compaction running in that window must carry the
+// record into the snapshot itself, or truncation erases the only durable
+// copy of an about-to-be-acked registration.
+func TestSnapshotCarriesUncommittedAppend(t *testing.T) {
+	dir := t.TempDir()
+	st, recs, err := OpenStore(dir, StoreOpts{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh store recovered %d records", len(recs))
+	}
+	// The registry insert has not happened yet: the dump sees nothing.
+	st.dump = func() []walRecord { return nil }
+	rec := &walRecord{ID: "feedfacefeedface", Rows: 2, Cols: 2,
+		Format: "csr", Schedule: "static", Block: 4}
+	commit, err := st.Append(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compaction fires inside the window.
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	commit()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := loadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || len(snap.Records) != 1 || snap.Records[0].ID != rec.ID {
+		t.Fatalf("compaction during the append→insert window dropped the record: %+v", snap)
+	}
+	st2, recs, err := OpenStore(dir, StoreOpts{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if len(recs) != 1 || recs[0].ID != rec.ID {
+		t.Fatalf("restart after mid-window compaction lost the record: %+v", recs)
+	}
+}
+
+// TestWALPartialTruncate pins compaction under traffic: truncating up to a
+// covered seq rewrites the log down to just the uncovered tail instead of
+// skipping truncation entirely, so the WAL shrinks on every snapshot even
+// when appends keep landing mid-compaction.
+func TestWALPartialTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	w, err := openWAL(path, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := func(seq uint64) *walRecord {
+		return &walRecord{Seq: seq, ID: fmt.Sprintf("matrix%010d", seq),
+			Rows: 2, Cols: 2, Format: "csr", Schedule: "static", Block: 4}
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := w.append(rec(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	recs, torn, err := readWAL(path)
+	if err != nil || torn {
+		t.Fatalf("read after partial truncate: torn=%v err=%v", torn, err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 3 {
+		t.Fatalf("partial truncate kept %+v, want exactly seq 3", recs)
+	}
+	// The swapped-in file must keep accepting (and persisting) appends.
+	if err := w.append(rec(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err = readWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 3 || recs[1].Seq != 4 {
+		t.Fatalf("append after partial truncate: %+v, want seqs 3,4", recs)
+	}
+}
+
+// TestWALRejectsOversizedRecord: a record whose sealed form exceeds the
+// replay limit must be refused at append time — before it is acked — since
+// appending it would succeed and then read back as mid-file corruption on
+// the next restart, dropping it and every record after it.
+func TestWALRejectsOversizedRecord(t *testing.T) {
+	old := maxWALRecordBytes
+	maxWALRecordBytes = 4096
+	defer func() { maxWALRecordBytes = old }()
+
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	w, err := openWAL(path, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	big := &walRecord{Seq: 1, ID: "toolarge", Rows: 64, Cols: 64,
+		Vals: make([]float64, 4096), Format: "csr", Schedule: "static", Block: 4}
+	if err := w.append(big); err == nil {
+		t.Fatal("record beyond the replay limit was appended; a restart would drop it as corruption")
+	}
+	if w.size() != 0 {
+		t.Fatalf("rejected record left %d bytes in the log", w.size())
+	}
+	// The log stays usable for records the scanner can replay.
+	small := &walRecord{Seq: 2, ID: "small", Rows: 2, Cols: 2,
+		Format: "csr", Schedule: "static", Block: 4}
+	if err := w.append(small); err != nil {
+		t.Fatal(err)
+	}
+	recs, torn, err := readWAL(path)
+	if err != nil || torn || len(recs) != 1 || recs[0].ID != "small" {
+		t.Fatalf("log after oversize rejection: recs=%+v torn=%v err=%v", recs, torn, err)
 	}
 }
 

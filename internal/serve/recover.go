@@ -29,15 +29,29 @@ type Store struct {
 	// points it at Registry.dumpRecords.
 	dump func() []walRecord
 
-	mu       sync.Mutex
-	pending  int // appends since the last snapshot
-	snapping bool
-	wg       sync.WaitGroup
+	mu sync.Mutex
+	// seq is the last assigned registration sequence number. The store —
+	// not the wal — owns it, so the compactor can read the truncation
+	// boundary and the in-flight set under one lock.
+	seq      uint64
+	inflight map[uint64]*inflightRec
+	pending  int           // appends since the last snapshot
+	snapDone chan struct{} // non-nil while a compaction is running
 
 	recovered        int
 	recoverySeconds  float64
 	snapshots        int64
 	snapshotFailures int64
+}
+
+// inflightRec is a registration between sequence assignment and its commit
+// callback: it may not be visible to the registry dump yet (the insert
+// happens after Append returns), so the compactor carries durable in-flight
+// records into snapshots itself — otherwise a compaction landing in that
+// window would truncate the only durable copy of an acked registration.
+type inflightRec struct {
+	rec     *walRecord
+	durable bool // WAL write + fsync completed
 }
 
 // StoreOpts tunes OpenStore.
@@ -65,10 +79,11 @@ func OpenStore(dir string, opts StoreOpts) (*Store, []walRecord, error) {
 		return nil, nil, fmt.Errorf("serve: store dir: %w", err)
 	}
 	st := &Store{
-		dir:    dir,
-		every:  opts.SnapshotEvery,
-		inject: opts.Injector,
-		log:    opts.Log,
+		dir:      dir,
+		every:    opts.SnapshotEvery,
+		inject:   opts.Injector,
+		log:      opts.Log,
+		inflight: map[uint64]*inflightRec{},
 	}
 
 	snap, err := loadSnapshot(dir)
@@ -119,10 +134,11 @@ func OpenStore(dir string, opts StoreOpts) (*Store, []walRecord, error) {
 		add(rec)
 	}
 
-	st.wal, err = openWAL(walPath, nextSeq, !opts.NoFsync, opts.Injector)
+	st.wal, err = openWAL(walPath, !opts.NoFsync, opts.Injector)
 	if err != nil {
 		return nil, nil, err
 	}
+	st.seq = nextSeq
 	st.recovered = len(merged)
 	st.recoverySeconds = time.Since(start).Seconds()
 	obsRecoverySeconds.Set(st.recoverySeconds)
@@ -135,57 +151,106 @@ func OpenStore(dir string, opts StoreOpts) (*Store, []walRecord, error) {
 	return st, merged, nil
 }
 
-// Append durably logs one registration. When it returns nil the record is
-// fsynced to disk — only then may the registration be acked.
-func (st *Store) Append(rec *walRecord) error {
-	if _, err := st.wal.append(rec); err != nil {
-		obsWALAppendErrors.Inc()
-		return err
-	}
+// Append durably logs one registration. When it returns a nil error the
+// record is fsynced to disk — only then may the registration be acked. The
+// returned commit callback MUST be invoked once the record's matrix is
+// visible to the registry dump (its insert completed, or a concurrent
+// registration of the same matrix already made it visible); until then the
+// compactor treats the record as in-flight and carries it into snapshots
+// itself.
+func (st *Store) Append(rec *walRecord) (commit func(), err error) {
 	st.mu.Lock()
+	st.seq++
+	rec.Seq = st.seq
+	st.inflight[rec.Seq] = &inflightRec{rec: rec}
+	st.mu.Unlock()
+
+	if err := st.wal.append(rec); err != nil {
+		st.mu.Lock()
+		delete(st.inflight, rec.Seq)
+		st.mu.Unlock()
+		obsWALAppendErrors.Inc()
+		return nil, err
+	}
+
+	st.mu.Lock()
+	st.inflight[rec.Seq].durable = true
 	st.pending++
-	trigger := st.every > 0 && st.pending >= st.every && !st.snapping
+	trigger := st.every > 0 && st.pending >= st.every && st.snapDone == nil
 	if trigger {
-		st.snapping = true
+		st.snapDone = make(chan struct{})
 		st.pending = 0
-		st.wg.Add(1)
 	}
 	st.mu.Unlock()
 	if trigger {
-		go func() {
-			defer st.wg.Done()
-			st.compact()
-		}()
+		go st.compact()
 	}
-	return nil
+	seq := rec.Seq
+	return func() {
+		st.mu.Lock()
+		delete(st.inflight, seq)
+		st.mu.Unlock()
+	}, nil
 }
 
-// Compact synchronously snapshots the registry and truncates the WAL —
-// the background trigger's logic, exposed for shutdown and tests.
+// Compact synchronously snapshots the registry and truncates the WAL — the
+// background trigger's logic, exposed for shutdown and tests. If a
+// compaction is already running, Compact joins it (waits for it to finish)
+// instead of starting a second.
 func (st *Store) Compact() error {
 	st.mu.Lock()
-	if st.snapping {
+	if done := st.snapDone; done != nil {
 		st.mu.Unlock()
-		st.wg.Wait() // a background compaction is already running; join it
+		<-done
 		return nil
 	}
-	st.snapping = true
+	st.snapDone = make(chan struct{})
 	st.mu.Unlock()
 	return st.compact()
 }
 
-// compact writes the snapshot and truncates the covered WAL prefix. The
-// sequence number is read BEFORE dumping the registry, so the snapshot can
-// only over-cover (claim less than it holds), never under-cover — the
-// invariant that makes truncation safe.
+// compact writes the snapshot and truncates the covered WAL records. The
+// truncation boundary and the in-flight set are read under one lock, so
+// every sequence number at or below the boundary is either already visible
+// to the registry dump (its commit ran after the insert) or merged in from
+// the in-flight set — the snapshot can only over-cover, never under-cover,
+// which is what makes truncation safe. An in-flight record whose WAL write
+// has not finished instead caps the boundary below its seq: it is not yet
+// durable, so it must be neither snapshotted nor have its log record
+// truncated.
 func (st *Store) compact() error {
 	defer func() {
 		st.mu.Lock()
-		st.snapping = false
+		close(st.snapDone)
+		st.snapDone = nil
 		st.mu.Unlock()
 	}()
-	upTo := st.wal.lastSeq()
-	snap := &snapshot{Version: 1, LastSeq: upTo, Records: st.dump()}
+	st.mu.Lock()
+	upTo := st.seq
+	var carry []walRecord
+	for seq, inf := range st.inflight {
+		if !inf.durable {
+			if seq <= upTo {
+				upTo = seq - 1
+			}
+			continue
+		}
+		carry = append(carry, *inf.rec)
+	}
+	st.mu.Unlock()
+
+	recs := st.dump()
+	seen := make(map[string]bool, len(recs))
+	for i := range recs {
+		seen[recs[i].ID] = true
+	}
+	for i := range carry {
+		if !seen[carry[i].ID] {
+			seen[carry[i].ID] = true
+			recs = append(recs, carry[i])
+		}
+	}
+	snap := &snapshot{Version: 1, LastSeq: upTo, Records: recs}
 	start := time.Now()
 	if err := writeSnapshot(st.dir, snap, st.inject); err != nil {
 		st.mu.Lock()
@@ -212,9 +277,17 @@ func (st *Store) compact() error {
 	return nil
 }
 
-// Close waits for any in-flight compaction and closes the WAL.
+// Close waits out any in-flight compaction and closes the WAL.
 func (st *Store) Close() error {
-	st.wg.Wait()
+	for {
+		st.mu.Lock()
+		done := st.snapDone
+		st.mu.Unlock()
+		if done == nil {
+			break
+		}
+		<-done
+	}
 	return st.wal.close()
 }
 
@@ -226,7 +299,7 @@ func (st *Store) Stats() DurabilityStats {
 		Enabled:          true,
 		Dir:              st.dir,
 		WALBytes:         st.wal.size(),
-		LastSeq:          st.wal.lastSeq(),
+		LastSeq:          st.seq,
 		Snapshots:        st.snapshots,
 		SnapshotFailures: st.snapshotFailures,
 		Recovered:        st.recovered,

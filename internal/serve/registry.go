@@ -32,9 +32,12 @@ type Registry struct {
 
 	// persist, when set, durably logs a registration BEFORE the matrix
 	// becomes visible; a persist failure fails the registration, so a
-	// successful Register is always recoverable. The server points it at
-	// Store.Append.
-	persist func(*Matrix) error
+	// successful Register is always recoverable. It returns a commit
+	// callback the registry must invoke once the matrix is visible (or a
+	// concurrent registration made it visible) — until then the durability
+	// layer carries the record through compactions itself. The server
+	// points it at Store.Append.
+	persist func(*Matrix) (func(), error)
 
 	mu       sync.Mutex
 	matrices map[string]*Matrix
@@ -191,11 +194,17 @@ func (r *Registry) RegisterSourced(m *matrix.COO[float64], src RegisterSource) (
 
 	// Durability before visibility. Two racing registrations of the same
 	// matrix may both journal it; replay dedups by content hash, so the
-	// duplicate record is harmless.
+	// duplicate record is harmless. The commit callback runs only after
+	// the insert below is visible (deferred behind the unlock): until
+	// then a concurrent compaction cannot see the matrix in the registry
+	// dump, and commit is what tells the store to stop carrying the
+	// journaled record itself.
 	if r.persist != nil {
-		if err := r.persist(entry); err != nil {
+		commit, err := r.persist(entry)
+		if err != nil {
 			return nil, false, fmt.Errorf("%w: %v", ErrNotDurable, err)
 		}
+		defer commit()
 	}
 
 	r.mu.Lock()
@@ -364,13 +373,20 @@ func (r *Registry) Prepared(ctx context.Context, id string) (k core.Kernel, hit 
 		r.mu.Unlock()
 		return nil, false, e.err
 	}
-	e.bytes = int64(e.kernel.Bytes())
+	bytes := int64(e.kernel.Bytes())
 	close(e.ready)
 
+	// Account the finished entry under the lock — e.bytes is only ever
+	// read by evictLocked, which also holds it — and only if the entry is
+	// still resident: churn can evict a pending entry while it prepares,
+	// and charging the budget for an untracked entry would leak r.used.
 	r.mu.Lock()
-	r.used += e.bytes
-	r.evictLocked(e)
-	obsCacheBytes.Set(float64(r.used))
+	if el, ok := r.entries[id]; ok && el.Value.(*cacheEntry) == e {
+		e.bytes = bytes
+		r.used += bytes
+		r.evictLocked(e)
+		obsCacheBytes.Set(float64(r.used))
+	}
 	r.mu.Unlock()
 	return e.kernel, false, nil
 }

@@ -189,7 +189,7 @@ func New(cfg Config) (*Server, error) {
 			s.reg.restore(m)
 		}
 		st.dump = s.reg.dumpRecords
-		s.reg.persist = func(m *Matrix) error { return st.Append(recordFor(m)) }
+		s.reg.persist = func(m *Matrix) (func(), error) { return st.Append(recordFor(m)) }
 		s.store = st
 	}
 	return s, nil
@@ -270,6 +270,11 @@ func (s *Server) batcherFor(m *Matrix) *batcher {
 	return t
 }
 
+// maxRegisterBody caps a register request body. The WAL's per-record replay
+// limit (maxWALRecordBytes) is derived from it, so every registration the
+// handler admits is guaranteed journalable and replayable.
+const maxRegisterBody = 256 << 20
+
 // ErrNotDurable marks a registration the WAL could not make durable; the
 // server maps it to 503 so the client knows to retry, and the matrix is
 // never acked or inserted.
@@ -323,7 +328,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req RegisterRequest
-	body := http.MaxBytesReader(w, r.Body, 256<<20)
+	body := http.MaxBytesReader(w, r.Body, maxRegisterBody)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad register body: %w", err))
 		return

@@ -2,12 +2,15 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"io/fs"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -28,12 +31,26 @@ import (
 // field zeroed), so corruption is detected per record, and the file is
 // plain JSONL, so a crash can at worst tear the final line — the same
 // append/flush idiom internal/harness/journal.go established, hardened
-// with per-append fsync.
+// with per-append fsync. While the process is live the log additionally
+// guarantees it always ends on a record boundary: a failed or short write
+// is rolled back to the record's start offset, so a later append can never
+// fuse onto a partial line.
+
+// maxWALRecordBytes bounds one sealed WAL record on both sides of the log:
+// append refuses anything larger, and readWAL sizes its scanner to it, so
+// any record that lands in the log is guaranteed replayable. It is derived
+// from the register endpoint's body cap: JSON-encoding a triplet upload
+// inflates the MTX text by a small constant factor (indices and
+// shortest-round-trip floats roughly match their text form, plus field
+// names and commas), so 8× the body cap clears the largest record
+// sealRecord can produce with room to spare. A var only so tests can lower
+// it.
+var maxWALRecordBytes = 8 * maxRegisterBody
 
 // walRecord is one durable registration.
 type walRecord struct {
-	// Seq is the append sequence number; snapshots record the last seq
-	// they cover so replay knows where the tail starts.
+	// Seq is the append sequence number, assigned by the Store; snapshots
+	// record the last seq they cover so replay knows where the tail starts.
 	Seq uint64 `json:"seq"`
 	// ID is the content-addressed matrix ID (recovery re-verifies it).
 	ID   string `json:"id"`
@@ -91,22 +108,26 @@ func verifyRecord(rec *walRecord) error {
 	return nil
 }
 
-// wal is the append side of the registry log.
+// wal is the append side of the registry log. Sequence numbers are owned by
+// the Store (which must keep them consistent with its in-flight set); the
+// wal only guarantees durable, boundary-clean writes.
 type wal struct {
 	mu     sync.Mutex
 	f      *os.File
 	path   string
-	seq    uint64
 	bytes  int64
 	sync   bool
 	inject *harness.Injector
+	// damaged poisons the log after a failed rollback left the file ending
+	// mid-record: every later append fails rather than fuse onto the
+	// partial line. Cleared by a truncate (which rewrites the file) or a
+	// reopen (whose RepairTornTail removes the damage).
+	damaged error
 }
 
 // openWAL opens (creating if needed) the log at path for appending,
 // repairing a torn trailing record the same way harness journals do.
-// nextSeq is where the sequence counter resumes (recovery passes the max
-// seq it observed plus one).
-func openWAL(path string, nextSeq uint64, fsync bool, inject *harness.Injector) (*wal, error) {
+func openWAL(path string, fsync bool, inject *harness.Injector) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("serve: open wal: %w", err)
@@ -120,80 +141,173 @@ func openWAL(path string, nextSeq uint64, fsync bool, inject *harness.Injector) 
 		f.Close()
 		return nil, fmt.Errorf("serve: wal seek: %w", err)
 	}
-	return &wal{f: f, path: path, seq: nextSeq, bytes: size, sync: fsync, inject: inject}, nil
+	return &wal{f: f, path: path, bytes: size, sync: fsync, inject: inject}, nil
 }
 
-// append seals and writes one record, fsyncs it, and returns its assigned
-// sequence number. The record is durable when append returns nil — the
-// invariant the register handler relies on to never ack before durability.
-// Fault points: PointWALAppend before the write (FaultErr simulates disk
-// full; FaultTorn persists only half the record then fails, as a crash
-// mid-write would) and PointWALSync before the fsync.
-func (w *wal) append(rec *walRecord) (uint64, error) {
+// append seals and writes one record (whose Seq the caller assigned) and
+// fsyncs it. The record is durable when append returns nil — the invariant
+// the register handler relies on to never ack before durability. A failed
+// or short write rolls the file back to the record boundary so the process
+// can keep serving. Fault points: PointWALAppend before the write (FaultErr
+// simulates disk full; FaultTorn persists only half the record then fails,
+// as a crash mid-write would, before the rollback restores the boundary)
+// and PointWALSync before the fsync.
+func (w *wal) append(rec *walRecord) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.seq++
-	rec.Seq = w.seq
+	if w.damaged != nil {
+		return w.damaged
+	}
 	data, err := sealRecord(rec)
 	if err != nil {
-		return 0, err
+		return err
 	}
+	if len(data) > maxWALRecordBytes {
+		// A record too large for the replay scanner must never reach the
+		// file: it would append and ack fine, then be dropped as mid-file
+		// corruption (taking every later record with it) on restart.
+		return fmt.Errorf("serve: wal append %s: record is %d bytes, beyond the %d replay limit",
+			rec.ID, len(data), maxWALRecordBytes)
+	}
+	start := w.bytes
 	if err := w.inject.Fire("wal|"+rec.ID, harness.PointWALAppend); err != nil {
 		if errors.Is(err, harness.ErrTornWrite) {
-			// Persist a prefix, as a crash mid-write would, then fail.
+			// Persist a prefix, as a crash mid-write would, then restore the
+			// record boundary — the process is still alive, and the next
+			// append must not fuse onto the partial line.
 			if n, werr := w.f.Write(data[:len(data)/2]); werr == nil {
 				w.bytes += int64(n)
 				w.f.Sync()
 			}
+			w.rollback(start)
 		}
-		return 0, fmt.Errorf("serve: wal append: %w", err)
+		return fmt.Errorf("serve: wal append: %w", err)
 	}
 	n, err := w.f.Write(data)
 	w.bytes += int64(n)
-	if err != nil {
-		return 0, fmt.Errorf("serve: wal append: %w", err)
+	if err != nil || n != len(data) {
+		w.rollback(start)
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		return fmt.Errorf("serve: wal append: %w", err)
 	}
 	if w.sync {
 		if err := w.inject.Fire("wal|"+rec.ID, harness.PointWALSync); err != nil {
-			return 0, fmt.Errorf("serve: wal fsync: %w", err)
+			return fmt.Errorf("serve: wal fsync: %w", err)
 		}
 		start := time.Now()
 		if err := w.f.Sync(); err != nil {
-			return 0, fmt.Errorf("serve: wal fsync: %w", err)
+			return fmt.Errorf("serve: wal fsync: %w", err)
 		}
 		obsWALFsyncSeconds.Observe(time.Since(start).Seconds())
 	}
 	obsWALAppends.Inc()
 	obsWALBytes.Set(float64(w.bytes))
-	return rec.Seq, nil
-}
-
-// truncate empties the log — called after a snapshot that covers every
-// record currently in it. upTo guards the race with concurrent appends: the
-// caller passes the last seq its snapshot covers, and truncation is skipped
-// if anything newer landed in the meantime (the next snapshot catches it).
-func (w *wal) truncate(upTo uint64) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.seq != upTo {
-		return nil
-	}
-	if err := w.f.Truncate(0); err != nil {
-		return fmt.Errorf("serve: wal truncate: %w", err)
-	}
-	if _, err := w.f.Seek(0, 0); err != nil {
-		return fmt.Errorf("serve: wal seek: %w", err)
-	}
-	w.bytes = 0
-	obsWALBytes.Set(0)
 	return nil
 }
 
-// lastSeq reports the newest assigned sequence number.
-func (w *wal) lastSeq() uint64 {
+// rollback restores the record boundary after a failed or short write by
+// truncating back to the record's start offset. If even that fails, the
+// file may end mid-record; the log then poisons itself so later appends
+// fail loudly instead of fusing the next record onto the partial line
+// (recovery's RepairTornTail clears the damage on reopen).
+func (w *wal) rollback(start int64) {
+	if err := w.f.Truncate(start); err != nil {
+		w.damaged = fmt.Errorf("serve: wal ends mid-record and rollback failed: %w", err)
+		return
+	}
+	w.bytes = start
+	obsWALBytes.Set(float64(start))
+}
+
+// truncate drops every record a snapshot covers (seq <= upTo). When nothing
+// newer landed the file is simply emptied; otherwise the uncovered tail is
+// rewritten to a fresh file that is atomically renamed over the log, so the
+// WAL shrinks on every successful compaction even under sustained
+// registration traffic instead of growing until a quiet window. A crash
+// anywhere leaves either the old complete log or the new tail, and both
+// replay correctly against the just-published snapshot. A torn or
+// unparseable line is never an acked record (append rolls failed writes
+// back), so the rewrite drops it — which also clears a damaged log.
+func (w *wal) truncate(upTo uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.seq
+	data, err := os.ReadFile(w.path)
+	if err != nil {
+		return fmt.Errorf("serve: wal truncate: %w", err)
+	}
+	var keep []byte
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		body := bytes.TrimSpace(line)
+		if len(body) == 0 {
+			continue
+		}
+		var head struct {
+			Seq uint64 `json:"seq"`
+		}
+		if json.Unmarshal(body, &head) != nil || head.Seq <= upTo {
+			continue
+		}
+		keep = append(keep, body...)
+		keep = append(keep, '\n')
+	}
+	if len(keep) == 0 {
+		if err := w.f.Truncate(0); err != nil {
+			return fmt.Errorf("serve: wal truncate: %w", err)
+		}
+		if _, err := w.f.Seek(0, 0); err != nil {
+			return fmt.Errorf("serve: wal seek: %w", err)
+		}
+		w.bytes = 0
+		w.damaged = nil
+		obsWALBytes.Set(0)
+		return nil
+	}
+	tmp := w.path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: wal rewrite: %w", err)
+	}
+	if _, err := tf.Write(keep); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serve: wal rewrite: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serve: wal rewrite fsync: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: wal rewrite close: %w", err)
+	}
+	// Open the append handle on the temp file first, then rename: the
+	// handle follows the inode, so there is no window where the log's path
+	// exists without a writable handle behind it.
+	nf, err := os.OpenFile(tmp, os.O_APPEND|os.O_RDWR, 0o644)
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: wal reopen: %w", err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serve: wal swap: %w", err)
+	}
+	w.f.Close()
+	w.f = nf
+	w.bytes = int64(len(keep))
+	w.damaged = nil
+	obsWALBytes.Set(float64(w.bytes))
+	return syncDir(filepath.Dir(w.path))
 }
 
 // size reports the log's current byte length.
@@ -225,7 +339,10 @@ func readWAL(path string) (recs []walRecord, torn bool, err error) {
 	defer f.Close()
 
 	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 256*1024*1024)
+	// The cap must exceed anything append admits, or an acked record would
+	// read back as corruption; append enforces maxWALRecordBytes for
+	// exactly this reason.
+	sc.Buffer(make([]byte, 0, 64*1024), maxWALRecordBytes)
 	line := 0
 	var pendingErr error
 	for sc.Scan() {
