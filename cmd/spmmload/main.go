@@ -112,6 +112,12 @@ func main() {
 		batched    int64
 		maxWidth   int64
 		next       atomic.Int64
+		// variants counts responses per executing kernel variant; more than
+		// one entry means the tuner promoted mid-run. ordered keeps each
+		// request's latency at its issue index so the steady-state (last
+		// quarter) p50 can be compared against the warm-up (first quarter).
+		variants = map[string]int64{}
+		ordered  = make([]time.Duration, *requests)
 	)
 	refC := matrix.NewDense[float64](reg.Rows, *kArg)
 	start := time.Now()
@@ -152,6 +158,10 @@ func main() {
 				}
 				mu.Lock()
 				latencies = append(latencies, lat)
+				ordered[i] = lat
+				if res.Variant != "" {
+					variants[res.Variant]++
+				}
 				if ref != nil {
 					// Serial reference under the same lock: one scratch C,
 					// and the serial rep keeps the client honest about what
@@ -193,11 +203,72 @@ func main() {
 			float64(ok)/elapsed.Seconds(), flops/elapsed.Seconds()/1e6)
 		fmt.Printf("cache hits %d/%d, batched responses %d (max width %d)\n",
 			hits, ok, batched, maxWidth)
+
+		// Per-variant counts and warm-up vs steady-state latency: with the
+		// tuner on, a promotion shows up as a variant change mid-run and
+		// (when the tuner found a faster arm) a lower steady-state p50.
+		if len(variants) > 0 {
+			names := make([]string, 0, len(variants))
+			for v := range variants {
+				names = append(names, v)
+			}
+			sort.Strings(names)
+			parts := make([]string, 0, len(names))
+			for _, v := range names {
+				parts = append(parts, fmt.Sprintf("%s:%d", v, variants[v]))
+			}
+			fmt.Printf("variants: %s\n", strings.Join(parts, "  "))
+			if len(variants) > 1 {
+				fmt.Printf("promotion observed: %d variants served this run\n", len(variants))
+			}
+		}
+		quarterP50 := func(lats []time.Duration) time.Duration {
+			var got []time.Duration
+			for _, l := range lats {
+				if l > 0 {
+					got = append(got, l)
+				}
+			}
+			if len(got) == 0 {
+				return 0
+			}
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			return got[len(got)/2]
+		}
+		q := *requests / 4
+		if q > 0 {
+			firstP50 := quarterP50(ordered[:q])
+			steadyP50 := quarterP50(ordered[len(ordered)-q:])
+			if firstP50 > 0 && steadyP50 > 0 {
+				fmt.Printf("warm-up p50 %s -> steady p50 %s (%+.1f%%)\n",
+					firstP50.Round(time.Microsecond), steadyP50.Round(time.Microsecond),
+					100*(float64(steadyP50)-float64(firstP50))/float64(firstP50))
+			}
+			if steadyP50 > 0 {
+				// Machine-parseable: scripts/bench.sh tune-compare greps it.
+				fmt.Printf("steady p50_us %d\n", steadyP50.Microseconds())
+			}
+		}
 	}
 	if stats, err := client.Stats(); err == nil {
 		fmt.Printf("server: %d multiplies over %d dispatches, cache %d/%d prepared (%d prepares, %d evictions), shed %d\n",
 			stats.Multiplies, stats.Batches, stats.Cache.Entries, stats.Matrices,
 			stats.Cache.Prepares, stats.Cache.Evictions, stats.Shed)
+	}
+	if ts, err := client.Tune(); err == nil && ts.Enabled {
+		fmt.Printf("tuner: %d trials, %d promotions, %d rejects (%d dropped, %d stale)\n",
+			ts.Trials, ts.Promotions, ts.Rejects, ts.Dropped, ts.Stale)
+		for _, m := range ts.Matrices {
+			if m.ID != reg.ID {
+				continue
+			}
+			fmt.Printf("tuner[%s]: incumbent %s (plan v%d), %d arms measured, settled=%v\n",
+				m.ID, m.Incumbent, m.PlanVersion, len(m.Arms), m.Settled)
+			for _, pr := range m.History {
+				fmt.Printf("  promoted %s -> %s (p50 %.0fus -> %.0fus at trial %d)\n",
+					pr.From, pr.To, pr.FromP50Micros, pr.ToP50Micros, pr.Trials)
+			}
+		}
 	}
 	if *verify {
 		if mismatches > 0 {

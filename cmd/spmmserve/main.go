@@ -29,6 +29,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/serve"
 	"repro/internal/trace"
+	"repro/internal/tune"
 )
 
 func main() {
@@ -44,6 +45,9 @@ func main() {
 		queue       = flag.Int("queue", -1, "admission queue depth before 429 shedding (-1 = 4x max-inflight)")
 		deadline    = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 		dataDir     = flag.String("data-dir", "", "durability directory: registrations are WAL-journaled (fsynced before ack) and recovered on restart; empty keeps the registry in memory only")
+		tuneOn      = flag.Bool("tune", false, "enable the online auto-tuner: shadow-measure kernel variants on live traffic and promote the measured-fastest per matrix")
+		tuneDuty    = flag.Float64("tune-duty", 0.05, "fraction of live multiplies shadow-measured by the tuner")
+		tuneMinSamp = flag.Int("tune-min-samples", 8, "per-variant samples required before the tuner may promote")
 		snapEvery   = flag.Int("snapshot-every", 64, "compact the WAL into a snapshot after this many registrations (<0 disables)")
 		fsync       = flag.Bool("fsync", true, "fsync every WAL append before acking a registration (disable only for throwaway data)")
 		traceOut    = flag.String("trace", "", "write a Chrome trace of the serving session to this file on exit")
@@ -93,6 +97,9 @@ func main() {
 		SnapshotEvery:   *snapEvery,
 		NoFsync:         !*fsync,
 	}
+	if *tuneOn {
+		cfg.Tune = &tune.Config{Duty: *tuneDuty, MinSamples: *tuneMinSamp}
+	}
 	srv, err := serve.New(cfg)
 	if err != nil {
 		fatal(err)
@@ -126,7 +133,8 @@ func main() {
 	}()
 	logger.Info("spmmserve listening", "addr", ln.Addr().String(),
 		"threads", *threads, "cache_mb", *cacheMB,
-		"batch_window", batchWindow.String(), "metrics", *metricsAddr)
+		"batch_window", batchWindow.String(), "metrics", *metricsAddr,
+		"tune", *tuneOn)
 
 	select {
 	case err := <-done:

@@ -15,6 +15,23 @@ type Report struct {
 	Schedule Advice `json:"schedule"`
 	// Environments holds the per-environment format rankings, best first.
 	Environments []EnvAdvice `json:"environments"`
+	// Measured holds live kernel-variant timings, fastest first, when an
+	// online tuner (internal/tune) has shadow-measured the matrix. The
+	// heuristic rankings above are the prior; this is the ground truth
+	// that replaces them once a server has actually run the variants.
+	Measured []Measurement `json:"measured,omitempty"`
+}
+
+// Measurement is one measured kernel-variant timing: the serving layer's
+// tuner races registry variants against live traffic and reports the
+// per-dispatch p50 it observed.
+type Measurement struct {
+	// Variant is the kernels registry name ("csr/opts-balanced-pool").
+	Variant string `json:"variant"`
+	// Samples is how many shadow trials back the estimate.
+	Samples int `json:"samples"`
+	// P50Micros is the median measured dispatch time in microseconds.
+	P50Micros float64 `json:"p50_micros"`
 }
 
 // FeatureSummary is the JSON rendering of the scored Features.

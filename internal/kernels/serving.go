@@ -1,0 +1,99 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/matrix"
+)
+
+// This file is the serving layer's view of the variant registry: execution
+// by variant name and the mapping between registry names and serving plans
+// (format + schedule + pooled-or-spawn). internal/serve picks a variant per
+// registered matrix and internal/tune shadow-races the alternatives, so
+// both need a stable name → executable mapping that is exactly the
+// differential-sweep registry — every arm the tuner can promote is a code
+// path the sweep already verified against the dense reference.
+
+// ServableVariants returns the registry subset a server may dispatch a
+// live multiply (or a shadow trial) on: the Opts-machinery variants, which
+// preserve the serial accumulation order (bitwise — so a challenger's
+// output can be verified against the served result exactly), work for any
+// k, and take their scheduling from the variant name instead of ambient
+// state. Transposed-B, fixed-k, ctx and reassociating variants are
+// excluded.
+func ServableVariants() []Variant {
+	var out []Variant
+	for _, v := range Variants() {
+		if v.Bitwise && !v.NeedsFixedK && strings.HasSuffix(v.Func, "Opts") {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// VariantByName looks a registered variant up by its sweep name
+// ("<format>/<machinery>").
+func VariantByName(name string) (Variant, bool) {
+	for _, v := range Variants() {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return Variant{}, false
+}
+
+// RunVariant executes the named variant against in, overwriting
+// out[:, :in.K]. The fields of in the variant consumes (its format, B, K,
+// Threads, and Pool for the pooled arms) must be populated; the rest may
+// stay nil.
+func RunVariant(name string, in *VariantInput, out *matrix.Dense[float64]) error {
+	v, ok := VariantByName(name)
+	if !ok {
+		return fmt.Errorf("kernels: unknown variant %q", name)
+	}
+	return v.Run(in, out)
+}
+
+// PlanForVariant decodes a servable variant name into the serving plan it
+// executes: the sparse format, the work-partition schedule, and whether
+// dispatch rides the persistent pool. ok is false for names outside the
+// servable subset.
+func PlanForVariant(name string) (format string, sched Schedule, pooled bool, ok bool) {
+	v, found := VariantByName(name)
+	if !found || !v.Bitwise || v.NeedsFixedK || !strings.HasSuffix(v.Func, "Opts") {
+		return "", ScheduleStatic, false, false
+	}
+	sched = ScheduleStatic
+	if strings.Contains(v.Name, "balanced") {
+		sched = ScheduleBalanced
+	}
+	return v.Format, sched, strings.HasSuffix(v.Name, "pool"), true
+}
+
+// ServingVariant composes the registry name for a serving plan, degrading
+// to the nearest registered arm when the exact combination has no distinct
+// entry (formats whose balanced partition is identical to static register
+// no balanced variant; dropping the qualifier changes nothing about the
+// dispatch for them).
+func ServingVariant(format string, sched Schedule, pooled bool) string {
+	name := func(s Schedule, p bool) string {
+		m := "opts-static"
+		switch {
+		case s == ScheduleBalanced && p:
+			m = "opts-balanced-pool"
+		case s == ScheduleBalanced:
+			m = "opts-balanced"
+		case p:
+			m = "opts-pool"
+		}
+		return format + "/" + m
+	}
+	if _, ok := VariantByName(name(sched, pooled)); ok {
+		return name(sched, pooled)
+	}
+	if _, ok := VariantByName(name(ScheduleStatic, pooled)); ok {
+		return name(ScheduleStatic, pooled)
+	}
+	return name(ScheduleStatic, false)
+}

@@ -330,5 +330,9 @@ func Variants() []Variant {
 			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
 				return SELLCSParallelOpts(in.SELL, in.B, out, in.K, in.Threads, pooled(in, ScheduleStatic))
 			}},
+		{Name: "sellcs/opts-balanced-pool", Format: "sellcs", Func: "SELLCSParallelOpts", Bitwise: true,
+			Run: func(in *VariantInput, out *matrix.Dense[float64]) error {
+				return SELLCSParallelOpts(in.SELL, in.B, out, in.K, in.Threads, pooled(in, ScheduleBalanced))
+			}},
 	}
 }

@@ -30,8 +30,12 @@ type batcher struct {
 
 // batchRequest is one caller's panel waiting in the batch. done is buffered
 // so the flusher never blocks on a caller that gave up (deadline expired).
+// kern and plan travel together: the kernel was prepared under exactly that
+// plan version, so a promotion landing mid-batch cannot mix a new plan's
+// parameters with an old plan's format.
 type batchRequest struct {
 	kern core.Kernel
+	plan Plan
 	b    *matrix.Dense[float64]
 	k    int
 	done chan batchResult
@@ -40,8 +44,9 @@ type batchRequest struct {
 // batchResult is what a flush hands back to each coalesced caller.
 type batchResult struct {
 	c     *matrix.Dense[float64]
-	width int // requests coalesced into the dispatch
-	k     int // total dense columns of the dispatch
+	plan  Plan // the plan the dispatch executed under
+	width int  // requests coalesced into the dispatch
+	k     int  // total dense columns of the dispatch
 	err   error
 }
 
@@ -50,13 +55,13 @@ type batchResult struct {
 // immediately; otherwise it joins the open batch (starting the window timer
 // if it is the first) and waits for the flush or the caller's deadline,
 // whichever comes first.
-func (t *batcher) multiply(ctx context.Context, kern core.Kernel, b *matrix.Dense[float64], k int) batchResult {
+func (t *batcher) multiply(ctx context.Context, kern core.Kernel, plan Plan, b *matrix.Dense[float64], k int) batchResult {
 	if t.s.cfg.BatchWindow <= 0 || k >= t.s.cfg.MaxBatchK {
-		req := &batchRequest{kern: kern, b: b, k: k, done: make(chan batchResult, 1)}
+		req := &batchRequest{kern: kern, plan: plan, b: b, k: k, done: make(chan batchResult, 1)}
 		t.run([]*batchRequest{req})
 		return <-req.done
 	}
-	req := &batchRequest{kern: kern, b: b, k: k, done: make(chan batchResult, 1)}
+	req := &batchRequest{kern: kern, plan: plan, b: b, k: k, done: make(chan batchResult, 1)}
 	t.mu.Lock()
 	t.pending = append(t.pending, req)
 	t.pendingK += k
@@ -114,14 +119,19 @@ func (t *batcher) run(batch []*batchRequest) {
 	}
 	rows := t.m.COO.Rows
 	cols := t.m.COO.Cols
+	// The whole batch executes under the first member's kernel + plan pair;
+	// later joiners that captured a different (promoted) plan still get a
+	// bitwise-identical result — every servable variant holds the bitwise
+	// contract — just attributed to this dispatch's plan.
 	kern := batch[0].kern
+	plan := batch[0].plan
 
 	span := s.tracer.Start()
 	var err error
 	var combC *matrix.Dense[float64]
 	if len(batch) == 1 {
 		combC = matrix.NewDense[float64](rows, batch[0].k)
-		err = kern.Calculate(batch[0].b, combC, s.params(t.m, batch[0].k))
+		err = kern.Calculate(batch[0].b, combC, s.params(plan, batch[0].k))
 	} else {
 		combB := matrix.NewDense[float64](cols, totalK)
 		for i := 0; i < cols; i++ {
@@ -133,9 +143,10 @@ func (t *batcher) run(batch []*batchRequest) {
 			}
 		}
 		combC = matrix.NewDense[float64](rows, totalK)
-		err = kern.Calculate(combB, combC, s.params(t.m, totalK))
+		err = kern.Calculate(combB, combC, s.params(plan, totalK))
 	}
-	s.tracer.EndDetail(0, trace.PhaseBatch, t.m.Format, span, int64(len(batch)))
+	s.tracer.EndDetail(0, trace.PhaseBatch, plan.Format, span, int64(len(batch)))
+	s.countVariant(plan.Variant, int64(len(batch)))
 
 	s.batches.Add(1)
 	s.batchedRequests.Add(int64(len(batch)))
@@ -147,12 +158,12 @@ func (t *batcher) run(batch []*batchRequest) {
 
 	if err != nil {
 		for _, req := range batch {
-			req.done <- batchResult{err: err, width: len(batch), k: totalK}
+			req.done <- batchResult{err: err, plan: plan, width: len(batch), k: totalK}
 		}
 		return
 	}
 	if len(batch) == 1 {
-		batch[0].done <- batchResult{c: combC, width: 1, k: totalK}
+		batch[0].done <- batchResult{c: combC, plan: plan, width: 1, k: totalK}
 		return
 	}
 	off := 0
@@ -162,6 +173,6 @@ func (t *batcher) run(batch []*batchRequest) {
 			copy(c.Row(i), combC.Row(i)[off:off+req.k])
 		}
 		off += req.k
-		req.done <- batchResult{c: c, width: len(batch), k: totalK}
+		req.done <- batchResult{c: c, plan: plan, width: len(batch), k: totalK}
 	}
 }

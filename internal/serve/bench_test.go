@@ -7,12 +7,13 @@ import (
 	"time"
 
 	"repro/internal/matrix"
+	"repro/internal/tune"
 )
 
 // benchServer builds a warmed server + client for the serving-path
 // benchmarks: matrix registered, format prepared, so the measured loop is
 // pure steady-state (admission → cache hit → dispatch → panel write).
-func benchServer(b *testing.B, cfg Config) (*Client, *RegisterResponse, func()) {
+func benchServer(b *testing.B, cfg Config) (*Server, *Client, *RegisterResponse, func()) {
 	b.Helper()
 	s, err := New(cfg)
 	if err != nil {
@@ -26,7 +27,7 @@ func benchServer(b *testing.B, cfg Config) (*Client, *RegisterResponse, func()) 
 	if err != nil {
 		b.Fatal(err)
 	}
-	return c, reg, func() {
+	return s, c, reg, func() {
 		tr.CloseIdleConnections()
 		ts.Close()
 		s.Close()
@@ -38,7 +39,7 @@ func benchServer(b *testing.B, cfg Config) (*Client, *RegisterResponse, func()) 
 // preparation. This is the serving layer's perf-baseline number.
 func BenchmarkServeCachedMultiply(b *testing.B) {
 	const k = 32
-	client, reg, done := benchServer(b, Config{BatchWindow: 0})
+	_, client, reg, done := benchServer(b, Config{BatchWindow: 0})
 	defer done()
 	panel := matrix.NewDenseRand[float64](reg.Cols, k, 1)
 
@@ -65,6 +66,49 @@ func BenchmarkServeUnbatched(b *testing.B) {
 // BenchmarkServeUnbatched prices the coalescing machinery.
 func BenchmarkServeBatched(b *testing.B) {
 	benchConcurrent(b, 500*time.Microsecond)
+}
+
+// BenchmarkTunedMultiply prices the auto-tuner on the serving path:
+// steady-state cached multiplies with tuning off (advisor's static pick)
+// versus on (5% shadow-measurement duty, post-exploration). The tuned
+// number carries both the tuner's off-critical-path overhead and whatever
+// promotion it found during warm-up.
+func BenchmarkTunedMultiply(b *testing.B) {
+	const k = 32
+	for _, mode := range []struct {
+		name string
+		tc   *tune.Config
+	}{
+		{"advisor", nil},
+		{"tuned", &tune.Config{Duty: 0.05, MinSamples: 8}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := Config{BatchWindow: 0}
+			if mode.tc != nil {
+				tc := *mode.tc
+				cfg.Tune = &tc
+			}
+			s, client, reg, done := benchServer(b, cfg)
+			defer done()
+			panel := matrix.NewDenseRand[float64](reg.Cols, k, 1)
+			// Warm to steady state: format resident, and with tuning on the
+			// exploration phase mostly behind us before the clock starts.
+			for i := 0; i < 200; i++ {
+				if _, err := client.Multiply(reg.ID, reg.Rows, panel, k, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if s.Tuner() != nil {
+				s.Tuner().Flush()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Multiply(reg.ID, reg.Rows, panel, k, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkWALAppend prices the durability tax on registration: seal (two
@@ -100,7 +144,7 @@ func BenchmarkWALAppend(b *testing.B) {
 
 func benchConcurrent(b *testing.B, window time.Duration) {
 	const k = 32
-	client, reg, done := benchServer(b, Config{BatchWindow: window, MaxBatchK: 4096})
+	_, client, reg, done := benchServer(b, Config{BatchWindow: window, MaxBatchK: 4096})
 	defer done()
 
 	b.ResetTimer()

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/matrix"
+	"repro/internal/tune"
 )
 
 // Client is the Go client for a spmmserve endpoint — the library behind
@@ -217,6 +218,9 @@ type MultiplyResult struct {
 	C *matrix.Dense[float64]
 	// Format is the sparse format the server dispatched on.
 	Format string
+	// Variant is the kernel variant the dispatch executed (X-Spmm-Variant)
+	// — watching it change is how a client observes a tuner promotion.
+	Variant string
 	// CacheHit reports the prepared format was already resident.
 	CacheHit bool
 	// BatchWidth is how many requests shared the dispatch (1 = alone).
@@ -259,8 +263,19 @@ func (c *Client) Multiply(id string, rows int, b *matrix.Dense[float64], k int, 
 	return &MultiplyResult{
 		C:          out,
 		Format:     resp.Header.Get(HeaderFormat),
+		Variant:    resp.Header.Get(HeaderVariant),
 		CacheHit:   resp.Header.Get(HeaderCache) == "hit",
 		BatchWidth: width,
 		BatchK:     batchK,
 	}, nil
+}
+
+// Tune fetches the auto-tuner's decision trail (/v1/tune). With tuning
+// disabled the result has Enabled false.
+func (c *Client) Tune() (*tune.Stats, error) {
+	var out tune.Stats
+	if err := c.getJSON("/v1/tune", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }

@@ -99,9 +99,14 @@ func TestRecoverAcrossRestart(t *testing.T) {
 	if !ok {
 		t.Fatalf("recovered registry misses %s", regGen.ID)
 	}
-	if m.Format != regGen.Format || m.Schedule.String() != regGen.Schedule || m.Block != regGen.Block {
+	plan := m.Plan()
+	if plan.Format != regGen.Format || plan.Schedule.String() != regGen.Schedule || plan.Block != regGen.Block {
 		t.Fatalf("recovered plan (%s/%s/%d) != acked plan (%s/%s/%d)",
-			m.Format, m.Schedule, m.Block, regGen.Format, regGen.Schedule, regGen.Block)
+			plan.Format, plan.Schedule, plan.Block, regGen.Format, regGen.Schedule, regGen.Block)
+	}
+	if plan.Variant != regGen.Variant || plan.Version != regGen.PlanVersion {
+		t.Fatalf("recovered variant %s v%d != acked %s v%d",
+			plan.Variant, plan.Version, regGen.Variant, regGen.PlanVersion)
 	}
 
 	// Re-registering the same inputs must dedup onto the recovered entries.
@@ -592,11 +597,11 @@ func TestWALRecordGeneratorRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.ID != entry.ID || got.Format != entry.Format || got.Schedule != entry.Schedule {
-		t.Fatalf("round trip changed the plan: %+v != %+v", got, entry)
+	if got.ID != entry.ID || got.Plan() != entry.Plan() {
+		t.Fatalf("round trip changed the plan: %+v != %+v", got.Plan(), entry.Plan())
 	}
-	if _, err := core.New(got.Format+"-omp", core.Options{}); err != nil {
-		t.Fatalf("recovered format %q is not servable: %v", got.Format, err)
+	if _, err := core.New(got.Plan().Format+"-omp", core.Options{}); err != nil {
+		t.Fatalf("recovered format %q is not servable: %v", got.Plan().Format, err)
 	}
 
 	// Hash-mismatch detection: corrupt one value.

@@ -29,6 +29,10 @@ const (
 	HeaderBatchWidth = "X-Spmm-Batch-Width"
 	// HeaderBatchK is the total dense-column count of that dispatch.
 	HeaderBatchK = "X-Spmm-Batch-K"
+	// HeaderVariant reports the kernel variant (the kernels registry name,
+	// e.g. "csr/opts-balanced-pool") the multiply's serving plan executed —
+	// the identity the online tuner promotes.
+	HeaderVariant = "X-Spmm-Variant"
 	// HeaderDeadlineMs is the request header carrying the client's
 	// deadline in milliseconds; absent means the server default applies.
 	HeaderDeadlineMs = "X-Spmm-Deadline-Ms"
@@ -59,6 +63,13 @@ type RegisterResponse struct {
 	Schedule string `json:"schedule"`
 	// Block is the BCSR/BELL block edge multiplies will use.
 	Block int `json:"block"`
+	// Variant is the kernel variant the serving plan currently executes —
+	// the advisor's pick at first registration, possibly a tuner promotion
+	// on a re-registration of an already-served matrix.
+	Variant string `json:"variant"`
+	// PlanVersion is the serving-plan version (1 = the advisor's plan;
+	// each tuner promotion increments it).
+	PlanVersion int64 `json:"plan_version"`
 	// Existed reports that the matrix was already registered.
 	Existed bool `json:"existed"`
 	// FormatBytes is the prepared format's footprint.
@@ -77,7 +88,13 @@ type MatrixInfo struct {
 	Format   string `json:"format"`
 	Schedule string `json:"schedule"`
 	Block    int    `json:"block"`
-	// Prepared reports whether the prepared format is currently cached.
+	// Variant/PlanVersion identify the serving plan currently installed
+	// (promotions by the online tuner bump the version).
+	Variant     string `json:"variant"`
+	PlanVersion int64  `json:"plan_version"`
+	// Prepared reports whether the prepared format currently cached matches
+	// the current plan version (a just-promoted matrix reads false until
+	// its re-prepare lands).
 	Prepared bool `json:"prepared"`
 }
 
@@ -122,6 +139,22 @@ type StatsResponse struct {
 	Queued          int64           `json:"queued"`
 	Cache           CacheStats      `json:"cache"`
 	Durability      DurabilityStats `json:"durability"`
+	// Variants counts multiplies served per kernel variant name — the
+	// externally-visible trace of tuner promotions.
+	Variants map[string]int64 `json:"variants,omitempty"`
+	// Tune summarizes the online tuner; nil when tuning is disabled (the
+	// full decision trail lives at /v1/tune).
+	Tune *TuneSummary `json:"tune,omitempty"`
+}
+
+// TuneSummary is the /v1/stats digest of the online tuner's counters.
+type TuneSummary struct {
+	Enabled    bool  `json:"enabled"`
+	Trials     int64 `json:"trials"`
+	Promotions int64 `json:"promotions"`
+	Rejects    int64 `json:"rejects"`
+	Dropped    int64 `json:"dropped"`
+	Stale      int64 `json:"stale"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

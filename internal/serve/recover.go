@@ -107,14 +107,28 @@ func OpenStore(dir string, opts StoreOpts) (*Store, []walRecord, error) {
 	}
 
 	// Merge: snapshot first, then the WAL. Content-addressed IDs make
-	// replay idempotent, so records the snapshot already covers (seq <=
-	// LastSeq, or duplicate registrations) dedup naturally.
+	// replay idempotent, so registration records the snapshot already
+	// covers (seq <= LastSeq, or duplicate registrations) dedup naturally
+	// first-wins. Profile records share the matrix ID but are state, not
+	// identity: the NEWEST one per matrix wins (later promotions supersede
+	// earlier profiles), replacing in place so a profile never precedes
+	// its registration in the merged order.
 	var nextSeq uint64
 	seen := map[string]bool{}
+	profAt := map[string]int{}
 	var merged []walRecord
 	add := func(rec walRecord) {
 		if rec.Seq > nextSeq {
 			nextSeq = rec.Seq
+		}
+		if rec.Kind == walKindProfile {
+			if i, ok := profAt[rec.ID]; ok {
+				merged[i] = rec
+				return
+			}
+			profAt[rec.ID] = len(merged)
+			merged = append(merged, rec)
+			return
 		}
 		if seen[rec.ID] {
 			return
@@ -139,7 +153,7 @@ func OpenStore(dir string, opts StoreOpts) (*Store, []walRecord, error) {
 		return nil, nil, err
 	}
 	st.seq = nextSeq
-	st.recovered = len(merged)
+	st.recovered = len(merged) - len(profAt) // registrations, not profiles
 	st.recoverySeconds = time.Since(start).Seconds()
 	obsRecoverySeconds.Set(st.recoverySeconds)
 	obsRecoveredMatrices.Set(float64(st.recovered))
@@ -240,13 +254,16 @@ func (st *Store) compact() error {
 	st.mu.Unlock()
 
 	recs := st.dump()
+	// Dedup carry against the dump by (kind, id): a profile record shares
+	// its matrix's ID, and one must never shadow the other.
+	key := func(rec *walRecord) string { return rec.Kind + "\x00" + rec.ID }
 	seen := make(map[string]bool, len(recs))
 	for i := range recs {
-		seen[recs[i].ID] = true
+		seen[key(&recs[i])] = true
 	}
 	for i := range carry {
-		if !seen[carry[i].ID] {
-			seen[carry[i].ID] = true
+		if !seen[key(&carry[i])] {
+			seen[key(&carry[i])] = true
 			recs = append(recs, carry[i])
 		}
 	}

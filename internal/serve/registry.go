@@ -52,24 +52,49 @@ type Registry struct {
 	evictions atomic.Int64
 }
 
-// Matrix is one registered matrix with its serving plan: the advisor-chosen
-// format, schedule, and block size every multiply against it uses.
+// Matrix is one registered matrix with its serving plan. The plan starts
+// as the advisor's pick and is mutable: the online tuner (internal/tune)
+// promotes a measured-faster variant by installing a new plan version.
+// Multiplies read the plan through an atomic pointer, so a promotion never
+// blocks the data path.
 type Matrix struct {
 	ID  string
 	COO *matrix.COO[float64]
-	// Format is the advisor's pick for the parallel-CPU serving path.
-	Format string
-	// Schedule is the advisor's work-partition pick.
-	Schedule kernels.Schedule
-	// Block is the BCSR block edge used when Format is "bcsr".
-	Block int
-	// Report is the full advisor report behind the selection.
+	// Report is the full advisor report behind the initial selection.
 	Report advisor.Report
 	// Source records how the matrix was uploaded. A generator spec lets
 	// the WAL persist a few bytes and regenerate deterministically on
 	// recovery; without one the WAL stores the canonical triplets.
 	Source RegisterSource
+
+	plan atomic.Pointer[Plan]
 }
+
+// Plan is one immutable serving-plan version: which kernel variant every
+// multiply against the matrix dispatches on. Promotions install a new Plan
+// with a bumped Version; the prepared-format cache keys on the version so
+// a stale format is never served after a promotion.
+type Plan struct {
+	// Format is the sparse format multiplies dispatch on.
+	Format string
+	// Schedule is the work-partition choice.
+	Schedule kernels.Schedule
+	// Block is the BCSR block edge used when Format is "bcsr".
+	Block int
+	// Pooled selects dispatch on the persistent worker pool (the serving
+	// default) versus fresh goroutines per call.
+	Pooled bool
+	// Variant is the kernels registry name of the executing arm — the
+	// identity the tuner races and the X-Spmm-Variant header reports.
+	Variant string
+	// Version increments on every promotion; 1 is the advisor's plan.
+	Version int64
+}
+
+// Plan returns the matrix's current serving plan.
+func (m *Matrix) Plan() Plan { return *m.plan.Load() }
+
+func (m *Matrix) setPlan(p Plan) { m.plan.Store(&p) }
 
 // RegisterSource is the provenance of a registered matrix.
 type RegisterSource struct {
@@ -82,9 +107,13 @@ type RegisterSource struct {
 
 // cacheEntry is one prepared format in the LRU. ready closes once prepare
 // finished (err set on failure), so concurrent requests for the same matrix
-// share a single preparation instead of racing duplicate ones.
+// share a single preparation instead of racing duplicate ones. plan is the
+// plan version the format was prepared under; a promotion makes the entry
+// stale and the next lookup re-prepares through the same ready-channel
+// single-flight path.
 type cacheEntry struct {
 	id     string
+	plan   Plan
 	kernel core.Kernel
 	bytes  int64
 	ready  chan struct{}
@@ -183,14 +212,19 @@ func (r *Registry) RegisterSourced(m *matrix.COO[float64], src RegisterSource) (
 		src.Scale = 1
 	}
 	entry := &Matrix{
-		ID:       id,
-		COO:      m,
+		ID:     id,
+		COO:    m,
+		Report: report,
+		Source: src,
+	}
+	entry.setPlan(Plan{
 		Format:   best.Format,
 		Schedule: sched,
 		Block:    4,
-		Report:   report,
-		Source:   src,
-	}
+		Pooled:   true,
+		Variant:  kernels.ServingVariant(best.Format, sched, true),
+		Version:  1,
+	})
 
 	// Durability before visibility. Two racing registrations of the same
 	// matrix may both journal it; replay dedups by content hash, so the
@@ -230,16 +264,21 @@ func (r *Registry) restore(entry *Matrix) {
 	r.order = append(r.order, entry.ID)
 }
 
-// recordFor serializes a matrix into its WAL/snapshot record.
+// recordFor serializes a matrix into its WAL/snapshot record, carrying the
+// CURRENT serving plan — so a snapshot taken after a promotion recovers
+// straight into the promoted plan.
 func recordFor(m *Matrix) *walRecord {
+	plan := m.Plan()
 	rec := &walRecord{
-		ID:       m.ID,
-		Rows:     m.COO.Rows,
-		Cols:     m.COO.Cols,
-		Format:   m.Format,
-		Schedule: m.Schedule.String(),
-		Block:    m.Block,
-		Report:   m.Report,
+		ID:          m.ID,
+		Rows:        m.COO.Rows,
+		Cols:        m.COO.Cols,
+		Format:      plan.Format,
+		Schedule:    plan.Schedule.String(),
+		Block:       plan.Block,
+		Variant:     plan.Variant,
+		PlanVersion: plan.Version,
+		Report:      m.Report,
 	}
 	if m.Source.Name != "" {
 		rec.Name, rec.Scale = m.Source.Name, m.Source.Scale
@@ -278,15 +317,31 @@ func matrixFromRecord(rec *walRecord, regen func(name string, scale float64) (*m
 	if rec.Schedule == kernels.ScheduleBalanced.String() {
 		sched = kernels.ScheduleBalanced
 	}
-	return &Matrix{
-		ID:       rec.ID,
-		COO:      coo,
+	m := &Matrix{
+		ID:     rec.ID,
+		COO:    coo,
+		Report: rec.Report,
+		Source: RegisterSource{Name: rec.Name, Scale: rec.Scale},
+	}
+	plan := Plan{
 		Format:   rec.Format,
 		Schedule: sched,
 		Block:    rec.Block,
-		Report:   rec.Report,
-		Source:   RegisterSource{Name: rec.Name, Scale: rec.Scale},
-	}, nil
+		Pooled:   true,
+		Variant:  rec.Variant,
+		Version:  rec.PlanVersion,
+	}
+	if plan.Variant == "" {
+		// Pre-tuner record: synthesize the arm name its plan executes.
+		plan.Variant = kernels.ServingVariant(plan.Format, sched, true)
+	} else if _, _, pooled, ok := kernels.PlanForVariant(plan.Variant); ok {
+		plan.Pooled = pooled
+	}
+	if plan.Version < 1 {
+		plan.Version = 1
+	}
+	m.setPlan(plan)
+	return m, nil
 }
 
 // dumpRecords serializes every registered matrix in registration order —
@@ -317,52 +372,71 @@ func (r *Registry) List() []MatrixInfo {
 	out := make([]MatrixInfo, 0, len(r.order))
 	for _, id := range r.order {
 		m := r.matrices[id]
-		_, prepared := r.entries[id]
+		plan := m.Plan()
+		prepared := false
+		if el, ok := r.entries[id]; ok {
+			prepared = el.Value.(*cacheEntry).plan.Version == plan.Version
+		}
 		out = append(out, MatrixInfo{
 			ID: m.ID, Rows: m.COO.Rows, Cols: m.COO.Cols, NNZ: m.COO.NNZ(),
-			Format: m.Format, Schedule: m.Schedule.String(), Block: m.Block,
+			Format: plan.Format, Schedule: plan.Schedule.String(), Block: plan.Block,
+			Variant: plan.Variant, PlanVersion: plan.Version,
 			Prepared: prepared,
 		})
 	}
 	return out
 }
 
-// Prepared returns the matrix's prepared-format kernel, preparing (and
-// caching) it on a miss. hit reports whether the prepared format was
-// already resident — the "zero preparation" steady state. Concurrent
-// callers for the same matrix share one preparation; ctx bounds the wait.
-func (r *Registry) Prepared(ctx context.Context, id string) (k core.Kernel, hit bool, err error) {
+// Prepared returns the matrix's prepared-format kernel and the plan it was
+// prepared under, preparing (and caching) it on a miss. hit reports whether
+// the prepared format was already resident — the "zero preparation" steady
+// state. Concurrent callers for the same matrix share one preparation; ctx
+// bounds the wait. An entry prepared under an older plan version (a
+// promotion happened) is treated as a miss: it is dropped and the new plan
+// re-prepares through the same pending-entry single-flight path, so
+// concurrent multiplies during a promotion never double-prepare and never
+// see a half-built format — the returned kernel always matches the
+// returned plan.
+func (r *Registry) Prepared(ctx context.Context, id string) (k core.Kernel, plan Plan, hit bool, err error) {
 	r.mu.Lock()
 	m, ok := r.matrices[id]
 	if !ok {
 		r.mu.Unlock()
-		return nil, false, fmt.Errorf("serve: unknown matrix %q", id)
+		return nil, Plan{}, false, fmt.Errorf("serve: unknown matrix %q", id)
 	}
+	plan = m.Plan()
 	if el, ok := r.entries[id]; ok {
-		r.lru.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
-		r.mu.Unlock()
-		select {
-		case <-e.ready:
-		case <-ctx.Done():
-			return nil, false, ctx.Err()
+		if e.plan.Version == plan.Version {
+			r.lru.MoveToFront(el)
+			r.mu.Unlock()
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, plan, false, ctx.Err()
+			}
+			if e.err != nil {
+				return nil, plan, false, e.err
+			}
+			r.hits.Add(1)
+			obsCacheHits.Inc()
+			return e.kernel, e.plan, true, nil
 		}
-		if e.err != nil {
-			return nil, false, e.err
-		}
-		r.hits.Add(1)
-		obsCacheHits.Inc()
-		return e.kernel, true, nil
+		// Stale plan version: drop the old entry and fall through to the
+		// miss path. If its preparation is still in flight, the preparer's
+		// own still-resident re-check below keeps it from charging the
+		// budget for this untracked entry.
+		r.removeLocked(el, e)
 	}
 	// Miss: insert a pending entry under the lock so concurrent callers
 	// wait on it, then prepare outside the lock.
-	e := &cacheEntry{id: id, ready: make(chan struct{})}
+	e := &cacheEntry{id: id, plan: plan, ready: make(chan struct{})}
 	r.entries[id] = r.lru.PushFront(e)
 	r.mu.Unlock()
 	r.misses.Add(1)
 	obsCacheMisses.Inc()
 
-	e.kernel, e.err = r.prepare(m)
+	e.kernel, e.err = r.prepare(m, plan)
 	if e.err != nil {
 		close(e.ready)
 		r.mu.Lock()
@@ -371,15 +445,16 @@ func (r *Registry) Prepared(ctx context.Context, id string) (k core.Kernel, hit 
 			delete(r.entries, id)
 		}
 		r.mu.Unlock()
-		return nil, false, e.err
+		return nil, plan, false, e.err
 	}
 	bytes := int64(e.kernel.Bytes())
 	close(e.ready)
 
 	// Account the finished entry under the lock — e.bytes is only ever
 	// read by evictLocked, which also holds it — and only if the entry is
-	// still resident: churn can evict a pending entry while it prepares,
-	// and charging the budget for an untracked entry would leak r.used.
+	// still resident: churn (eviction or a promotion dropping the stale
+	// entry) can remove a pending entry while it prepares, and charging
+	// the budget for an untracked entry would leak r.used.
 	r.mu.Lock()
 	if el, ok := r.entries[id]; ok && el.Value.(*cacheEntry) == e {
 		e.bytes = bytes
@@ -388,25 +463,97 @@ func (r *Registry) Prepared(ctx context.Context, id string) (k core.Kernel, hit 
 		obsCacheBytes.Set(float64(r.used))
 	}
 	r.mu.Unlock()
-	return e.kernel, false, nil
+	return e.kernel, plan, false, nil
 }
 
-// prepare builds and formats the matrix's serving kernel, warming the
-// balanced-partition cache for the registry's thread count so steady-state
-// multiplies never compute a partition either.
-func (r *Registry) prepare(m *Matrix) (core.Kernel, error) {
+// removeLocked unlinks a cache entry, refunding its budget charge if it
+// had one (a pending entry has not been charged yet). Callers hold r.mu.
+func (r *Registry) removeLocked(el *list.Element, e *cacheEntry) {
+	r.lru.Remove(el)
+	delete(r.entries, e.id)
+	if e.bytes > 0 {
+		r.used -= e.bytes
+		e.bytes = 0
+		obsCacheBytes.Set(float64(r.used))
+	}
+}
+
+// Promote installs the named kernel variant as the matrix's serving plan,
+// bumping the plan version, and synchronously re-prepares the new format
+// through the normal Prepared path — so by the time Promote returns, the
+// promoted plan is warm (single-flight shared with any concurrent
+// multiplies that observed the new version first). The tuner calls this
+// off the request path; multiplies in flight keep the plan + kernel pair
+// they captured, which stays bitwise-correct.
+func (r *Registry) Promote(ctx context.Context, id, variant string) (Plan, error) {
+	format, sched, pooled, ok := kernels.PlanForVariant(variant)
+	if !ok {
+		return Plan{}, fmt.Errorf("serve: promote %s: %q is not a servable variant", id, variant)
+	}
+	r.mu.Lock()
+	m, found := r.matrices[id]
+	if !found {
+		r.mu.Unlock()
+		return Plan{}, fmt.Errorf("serve: promote unknown matrix %q", id)
+	}
+	old := m.Plan()
+	plan := Plan{
+		Format:   format,
+		Schedule: sched,
+		Block:    old.Block,
+		Pooled:   pooled,
+		Variant:  variant,
+		Version:  old.Version + 1,
+	}
+	m.setPlan(plan)
+	r.mu.Unlock()
+
+	if _, _, _, err := r.Prepared(ctx, id); err != nil {
+		return plan, fmt.Errorf("serve: promote %s to %s: warm prepare: %w", id, variant, err)
+	}
+	return plan, nil
+}
+
+// adoptPlan restores a recovered profile's promoted plan without bumping
+// the version — recovery replays state, it does not create new versions.
+func (r *Registry) adoptPlan(id, variant string, version int64) error {
+	format, sched, pooled, ok := kernels.PlanForVariant(variant)
+	if !ok {
+		return fmt.Errorf("serve: recovered profile names unservable variant %q", variant)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, found := r.matrices[id]
+	if !found {
+		return fmt.Errorf("serve: recovered profile for unknown matrix %q", id)
+	}
+	old := m.Plan()
+	if version < old.Version {
+		return nil
+	}
+	m.setPlan(Plan{
+		Format: format, Schedule: sched, Block: old.Block,
+		Pooled: pooled, Variant: variant, Version: version,
+	})
+	return nil
+}
+
+// prepare builds and formats the matrix's serving kernel under the given
+// plan, warming the balanced-partition cache for the registry's thread
+// count so steady-state multiplies never compute a partition either.
+func (r *Registry) prepare(m *Matrix, plan Plan) (core.Kernel, error) {
 	r.prepares.Add(1)
 	obsCachePrepares.Inc()
-	k, err := core.New(m.Format+"-omp", r.opts)
+	k, err := core.New(plan.Format+"-omp", r.opts)
 	if err != nil {
 		return nil, err
 	}
 	p := core.Params{
-		Reps: 1, Threads: r.threads, BlockSize: m.Block, K: 1,
-		Schedule: m.Schedule,
+		Reps: 1, Threads: r.threads, BlockSize: plan.Block, K: 1,
+		Schedule: plan.Schedule,
 	}
 	if err := k.Prepare(m.COO, p); err != nil {
-		return nil, fmt.Errorf("serve: prepare %s as %s: %w", m.ID, m.Format, err)
+		return nil, fmt.Errorf("serve: prepare %s as %s: %w", m.ID, plan.Format, err)
 	}
 	return k, nil
 }

@@ -70,7 +70,7 @@ func TestCacheBytesAccounting(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		k, hit, err := r.Prepared(ctx, m.ID)
+		k, _, hit, err := r.Prepared(ctx, m.ID)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,7 +100,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pk, _, err := probe.Prepared(context.Background(), pm.ID)
+	pk, _, _, err := probe.Prepared(context.Background(), pm.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 	}
 	mustPrepare := func(id string, wantHit bool) {
 		t.Helper()
-		if _, hit, err := r.Prepared(ctx, id); err != nil || hit != wantHit {
+		if _, _, hit, err := r.Prepared(ctx, id); err != nil || hit != wantHit {
 			t.Fatalf("Prepared(%s): hit=%v err=%v, want hit=%v", id, hit, err, wantHit)
 		}
 	}
@@ -147,12 +147,12 @@ func TestSecondMultiplyZeroPrepare(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := r.Prepared(ctx, m.ID); err != nil {
+	if _, _, _, err := r.Prepared(ctx, m.ID); err != nil {
 		t.Fatal(err)
 	}
 	base := r.Stats().Prepares
 	for i := 0; i < 5; i++ {
-		_, hit, err := r.Prepared(ctx, m.ID)
+		_, _, hit, err := r.Prepared(ctx, m.ID)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,7 +171,7 @@ func TestSecondMultiplyZeroPrepare(t *testing.T) {
 func TestConcurrentRegisterEvict(t *testing.T) {
 	probe := NewRegistry(0, 2)
 	pm, _, _ := probe.Register(testMatrix(t, 90, 90, 0.03, 1))
-	pk, _, err := probe.Prepared(context.Background(), pm.ID)
+	pk, _, _, err := probe.Prepared(context.Background(), pm.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestConcurrentRegisterEvict(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				kern, _, err := r.Prepared(ctx, m.ID)
+				kern, _, _, err := r.Prepared(ctx, m.ID)
 				if err != nil {
 					t.Error(err)
 					return

@@ -46,6 +46,7 @@ import (
 	"repro/internal/mmio"
 	"repro/internal/parallel"
 	"repro/internal/trace"
+	"repro/internal/tune"
 )
 
 // Config tunes a Server. The zero value is usable: defaults fill in New.
@@ -94,6 +95,13 @@ type Config struct {
 	NoFsync bool
 	// Injector arms durability fault points (tests only).
 	Injector *harness.Injector
+
+	// Tune, when non-nil, enables the online auto-tuner (internal/tune):
+	// live multiplies are shadow-measured on a duty cycle and a measured-
+	// faster kernel variant is promoted into the matrix's serving plan.
+	// Threads, Promote, Persist and Log are filled by the server; the
+	// caller sets policy (Duty, MinSamples, Margin, ...).
+	Tune *tune.Config
 }
 
 // Server is the SpMM service: registry, cache, batcher and admission gate
@@ -107,12 +115,18 @@ type Server struct {
 	tracer  *trace.Tracer
 	log     *slog.Logger
 	store   *Store
+	tuner   *tune.Tuner
 	// draining flips when shutdown begins: new expensive requests get a
 	// clean 503 + Retry-After instead of racing http.Server.Shutdown.
 	draining atomic.Bool
 
 	mu       sync.Mutex
 	batchers map[string]*batcher
+
+	// variants counts multiplies served per kernel variant name — the
+	// /v1/stats view of which arms actually execute.
+	variantMu sync.Mutex
+	variants  map[string]int64
 
 	requests        atomic.Int64
 	multiplies      atomic.Int64
@@ -157,11 +171,14 @@ func New(cfg Config) (*Server, error) {
 		tracer:   cfg.Tracer,
 		log:      cfg.Log,
 		batchers: map[string]*batcher{},
+		variants: map[string]int64{},
 	}
 	if s.pool == nil {
 		s.pool = parallel.NewPool(cfg.Threads)
 		s.ownPool = true
 	}
+	var recovered []*Matrix
+	profiles := map[string]*tune.Profile{}
 	if cfg.DataDir != "" {
 		st, recs, err := OpenStore(cfg.DataDir, StoreOpts{
 			SnapshotEvery: cfg.SnapshotEvery,
@@ -174,6 +191,12 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		for i := range recs {
+			if recs[i].Kind == walKindProfile {
+				if p := recs[i].Profile; p != nil {
+					profiles[recs[i].ID] = p
+				}
+				continue
+			}
 			m, err := matrixFromRecord(&recs[i], func(name string, scale float64) (*matrix.COO[float64], error) {
 				coo, _, err := gen.GenerateScaled(name, scale)
 				return coo, err
@@ -187,12 +210,106 @@ func New(cfg Config) (*Server, error) {
 				continue
 			}
 			s.reg.restore(m)
+			recovered = append(recovered, m)
 		}
-		st.dump = s.reg.dumpRecords
+		// The registry dump feeding snapshots carries the tuner's learned
+		// profiles alongside the registrations, so a compaction that
+		// truncates a profile's WAL record preserves it in the snapshot.
+		st.dump = func() []walRecord {
+			out := s.reg.dumpRecords()
+			if s.tuner != nil {
+				for _, p := range s.tuner.Profiles() {
+					out = append(out, walRecord{Kind: walKindProfile, ID: p.ID, Profile: p})
+				}
+			}
+			return out
+		}
 		s.reg.persist = func(m *Matrix) (func(), error) { return st.Append(recordFor(m)) }
 		s.store = st
 	}
+	if cfg.Tune != nil {
+		tc := *cfg.Tune
+		if tc.Threads < 1 {
+			tc.Threads = cfg.Threads
+		}
+		if tc.Log == nil {
+			tc.Log = cfg.Log
+		}
+		tc.Promote = func(id string, pr tune.Promotion) (int64, error) {
+			plan, err := s.reg.Promote(context.Background(), id, pr.To)
+			if err != nil {
+				return 0, err
+			}
+			return plan.Version, nil
+		}
+		if s.store != nil {
+			tc.Persist = s.persistProfile
+		}
+		s.tuner = tune.New(tc)
+		// Warm-start recovered matrices from their recovered profiles. The
+		// profile's promoted plan is adopted before tracking so the tuner's
+		// incumbent and the serving plan agree; a profile that fails
+		// validation leaves the matrix tracked cold.
+		for _, m := range recovered {
+			prof := profiles[m.ID]
+			if prof != nil {
+				if err := s.reg.adoptPlan(m.ID, prof.Incumbent, prof.PlanVersion); err != nil {
+					if s.log != nil {
+						s.log.Warn("discarding recovered tuning profile", "id", m.ID, "err", err)
+					}
+					prof = nil
+				}
+			}
+			plan := m.Plan()
+			if err := s.tuner.Restore(m.ID, m.COO, plan.Block, m.Report.Features,
+				plan.Variant, plan.Version, prof); err != nil && s.log != nil {
+				s.log.Warn("recovered tuning profile rejected; starting cold", "id", m.ID, "err", err)
+			}
+		}
+	}
 	return s, nil
+}
+
+// persistProfile durably appends a tuner profile record. The commit runs
+// immediately: by the time the tuner calls Persist its in-memory state (the
+// source of the snapshot dump) already reflects the profile, so the
+// compactor never needs to carry it.
+func (s *Server) persistProfile(id string, p *tune.Profile) error {
+	rec := &walRecord{Kind: walKindProfile, ID: id, Profile: p}
+	commit, err := s.store.Append(rec)
+	if err != nil {
+		return err
+	}
+	commit()
+	return nil
+}
+
+// Tuner exposes the online auto-tuner (nil when tuning is disabled) — the
+// load generator and the benchmarks flush it for deterministic reads.
+func (s *Server) Tuner() *tune.Tuner { return s.tuner }
+
+// countVariant attributes n served multiplies to a kernel variant.
+func (s *Server) countVariant(variant string, n int64) {
+	if variant == "" {
+		return
+	}
+	s.variantMu.Lock()
+	s.variants[variant] += n
+	s.variantMu.Unlock()
+}
+
+// variantCounts snapshots the per-variant multiply counters.
+func (s *Server) variantCounts() map[string]int64 {
+	s.variantMu.Lock()
+	defer s.variantMu.Unlock()
+	if len(s.variants) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(s.variants))
+	for k, v := range s.variants {
+		out[k] = v
+	}
+	return out
 }
 
 func (s *Server) closePool() {
@@ -218,6 +335,11 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // durability store). Callers drain in-flight HTTP requests first
 // (http.Server.Shutdown); Close does not interrupt running dispatches.
 func (s *Server) Close() {
+	if s.tuner != nil {
+		// Stop the tuner before its Promote/Persist targets go away; Close
+		// drains queued trials first.
+		s.tuner.Close()
+	}
 	s.closePool()
 	if s.store != nil {
 		if err := s.store.Close(); err != nil && s.log != nil {
@@ -226,14 +348,20 @@ func (s *Server) Close() {
 	}
 }
 
-// params assembles the kernel dispatch parameters for one multiply: the
-// matrix's advisor-chosen schedule and block size, the shared pool, and the
-// tracer — the same Opts path the benchmark pipeline uses.
-func (s *Server) params(m *Matrix, k int) core.Params {
-	return core.Params{
-		Reps: 1, Threads: s.cfg.Threads, BlockSize: m.Block, K: k, Seed: 1,
-		Schedule: m.Schedule, Pool: s.pool, Trace: s.tracer,
+// params assembles the kernel dispatch parameters for one multiply from its
+// serving plan: schedule, block size, pool machinery and the tracer — the
+// same Opts path the benchmark pipeline uses. An unpooled plan leaves Pool
+// nil so core routes to the goroutine-per-call machinery the plan's variant
+// names.
+func (s *Server) params(plan Plan, k int) core.Params {
+	p := core.Params{
+		Reps: 1, Threads: s.cfg.Threads, BlockSize: plan.Block, K: k, Seed: 1,
+		Schedule: plan.Schedule, Trace: s.tracer,
 	}
+	if plan.Pooled {
+		p.Pool = s.pool
+	}
+	return p
 }
 
 // Handler returns the service mux:
@@ -243,6 +371,7 @@ func (s *Server) params(m *Matrix, k int) core.Params {
 //	GET  /v1/matrices/{id}         one matrix's info
 //	POST /v1/matrices/{id}/multiply?k=K   multiply (binary panels)
 //	GET  /v1/stats                 serving counters snapshot
+//	GET  /v1/tune                  auto-tuner decision trail
 //	GET  /healthz                  liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -251,6 +380,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/matrices/{id}", s.handleInfo)
 	mux.HandleFunc("POST /v1/matrices/{id}/multiply", s.handleMultiply)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/tune", s.handleTune)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
@@ -355,7 +485,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	// burst cannot saturate the CPU outside the server's own bounds.
 	var formatBytes int
 	if err := s.adm.acquire(r.Context()); err == nil {
-		kern, _, perr := s.reg.Prepared(r.Context(), m.ID)
+		kern, _, _, perr := s.reg.Prepared(r.Context(), m.ID)
 		s.adm.release()
 		if perr != nil {
 			writeError(w, http.StatusInternalServerError, perr)
@@ -363,15 +493,25 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		}
 		formatBytes = kern.Bytes()
 	}
+	plan := m.Plan()
+	advice := m.Report
+	if s.tuner != nil {
+		s.tuner.Track(m.ID, m.COO, plan.Block, m.Report.Features, plan.Variant, plan.Version)
+		// A re-registered matrix that has already been shadow-measured gets
+		// the measured rankings alongside the heuristic ones.
+		advice.Measured = s.tuner.Measured(m.ID)
+	}
 	if s.log != nil {
 		s.log.Info("matrix registered", "id", m.ID, "rows", m.COO.Rows,
-			"nnz", m.COO.NNZ(), "format", m.Format,
-			"schedule", m.Schedule.String(), "existed", existed)
+			"nnz", m.COO.NNZ(), "format", plan.Format,
+			"schedule", plan.Schedule.String(), "variant", plan.Variant,
+			"existed", existed)
 	}
 	writeJSON(w, http.StatusOK, RegisterResponse{
 		ID: m.ID, Rows: m.COO.Rows, Cols: m.COO.Cols, NNZ: m.COO.NNZ(),
-		Format: m.Format, Schedule: m.Schedule.String(), Block: m.Block,
-		Existed: existed, FormatBytes: formatBytes, Advice: m.Report,
+		Format: plan.Format, Schedule: plan.Schedule.String(), Block: plan.Block,
+		Variant: plan.Variant, PlanVersion: plan.Version,
+		Existed: existed, FormatBytes: formatBytes, Advice: advice,
 	})
 }
 
@@ -416,7 +556,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		resp.Durability = s.store.Stats()
 	}
+	resp.Variants = s.variantCounts()
+	if s.tuner != nil {
+		ts := s.tuner.Stats()
+		resp.Tune = &TuneSummary{
+			Enabled: true, Trials: ts.Trials, Promotions: ts.Promotions,
+			Rejects: ts.Rejects, Dropped: ts.Dropped, Stale: ts.Stale,
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTune serves the auto-tuner's full decision trail: per-matrix arm
+// rankings, promotion history and the global counters. With tuning disabled
+// it reports {"enabled": false}.
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	obsRequests.Inc()
+	if s.tuner == nil {
+		writeJSON(w, http.StatusOK, tune.Stats{})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.tuner.Stats())
 }
 
 // handleMultiply is the data path: admission, panel read, prepared-format
@@ -476,13 +637,13 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	kern, hit, err := s.reg.Prepared(ctx, id)
+	kern, plan, hit, err := s.reg.Prepared(ctx, id)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 
-	res := s.batcherFor(m).multiply(ctx, kern, b, k)
+	res := s.batcherFor(m).multiply(ctx, kern, plan, b, k)
 	if res.err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
@@ -492,13 +653,21 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Hand the request panel and the served result to the tuner (both are
+	// per-request allocations; ownership transfers). On the duty cycle the
+	// pair becomes a shadow trial — off this request's critical path.
+	if s.tuner != nil {
+		s.tuner.Offer(id, res.plan.Variant, res.plan.Version, b, res.c, k)
+	}
+
 	cache := "prepare"
 	if hit {
 		cache = "hit"
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(m.COO.Rows*k*8))
-	w.Header().Set(HeaderFormat, m.Format)
+	w.Header().Set(HeaderFormat, res.plan.Format)
+	w.Header().Set(HeaderVariant, res.plan.Variant)
 	w.Header().Set(HeaderCache, cache)
 	w.Header().Set(HeaderBatchWidth, strconv.Itoa(res.width))
 	w.Header().Set(HeaderBatchK, strconv.Itoa(res.k))

@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+	"repro/internal/tune"
+)
+
+// Tests for the tuner/registry seam: promotion re-preparation through the
+// single-flight cache path, plan/format consistency under promotion churn,
+// and the promoted profile surviving crash recovery (WAL tail and
+// snapshot paths both).
+
+// altVariant picks a servable pool variant different from current, so a
+// test promotion always changes the plan. Block-free formats only — the
+// registered plan's Block is meaningful just for bcsr/bell.
+func altVariant(current string) string {
+	if current != "ell/opts-pool" {
+		return "ell/opts-pool"
+	}
+	return "csr/opts-pool"
+}
+
+// TestPromoteReprepare pins the promotion contract on the registry: the
+// promoted plan bumps the version, the stale cached format is replaced
+// through the normal miss path (exactly one extra prepare, synchronous
+// warm), the byte gauge tracks only the new resident format, and
+// subsequent lookups are version-matched hits.
+func TestPromoteReprepare(t *testing.T) {
+	r := NewRegistry(0, 2)
+	ctx := context.Background()
+	m, _, err := r.Register(testMatrix(t, 80, 80, 0.03, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k0, p0, hit, err := r.Prepared(ctx, m.ID)
+	if err != nil || hit {
+		t.Fatalf("first Prepared: hit=%v err=%v", hit, err)
+	}
+	if p0.Version != 1 || k0.Format() != p0.Format {
+		t.Fatalf("initial plan %+v served by a %s kernel", p0, k0.Format())
+	}
+	if got := r.Stats().Prepares; got != 1 {
+		t.Fatalf("prepares = %d, want 1", got)
+	}
+
+	tgt := altVariant(p0.Variant)
+	plan, err := r.Promote(ctx, m.ID, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Variant != tgt || plan.Version != 2 {
+		t.Fatalf("promoted plan %+v, want %s v2", plan, tgt)
+	}
+	// Promote warms synchronously: exactly one more prepare, and the stale
+	// format's bytes are released.
+	if got := r.Stats().Prepares; got != 2 {
+		t.Fatalf("prepares after promote = %d, want 2 (one warm re-prepare)", got)
+	}
+
+	k1, p1, hit, err := r.Prepared(ctx, m.ID)
+	if err != nil || !hit {
+		t.Fatalf("post-promotion Prepared: hit=%v err=%v — warm promote must leave a resident format", hit, err)
+	}
+	if p1 != plan {
+		t.Fatalf("served plan %+v != promoted plan %+v", p1, plan)
+	}
+	if k1.Format() != p1.Format {
+		t.Fatalf("kernel format %s does not match plan format %s", k1.Format(), p1.Format)
+	}
+	if got := r.Stats().Prepares; got != 2 {
+		t.Fatalf("version-matched hit re-prepared: prepares = %d", got)
+	}
+	if got, want := r.Stats().Bytes, int64(k1.Bytes()); got != want {
+		t.Fatalf("cache bytes = %d, want %d — the stale format's bytes must be released on promotion", got, want)
+	}
+
+	// An unservable variant is refused without touching the plan.
+	if _, err := r.Promote(ctx, m.ID, "no-such/variant"); err == nil {
+		t.Fatal("promoting an unknown variant succeeded")
+	}
+	if got := m.Plan(); got != plan {
+		t.Fatalf("failed promotion changed the plan: %+v", got)
+	}
+}
+
+// TestPromoteChurn hammers Prepared from many readers while a promoter
+// cycles the plan — under -race this is the audit of the mutable-plan
+// cache path. Every lookup must return a kernel whose format matches the
+// plan it was returned with (never a half-built or mismatched format), and
+// the byte gauge must end exactly equal to the resident footprints.
+func TestPromoteChurn(t *testing.T) {
+	r := NewRegistry(0, 2)
+	ctx := context.Background()
+	ids := make([]string, 2)
+	for i, seed := range []int64{3, 4} {
+		m, _, err := r.Register(testMatrix(t, 80, 80, 0.03, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = m.ID
+	}
+
+	cycle := []string{"csr/opts-pool", "ell/opts-pool", "coo/opts-pool", "sellcs/opts-balanced-pool"}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 24; i++ {
+			for _, id := range ids {
+				if _, err := r.Promote(ctx, id, cycle[i%len(cycle)]); err != nil {
+					t.Errorf("promote %s to %s: %v", id, cycle[i%len(cycle)], err)
+					return
+				}
+			}
+		}
+	}()
+
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := ids[(w+i)%len(ids)]
+				kern, plan, _, err := r.Prepared(ctx, id)
+				if err != nil {
+					t.Errorf("Prepared(%s): %v", id, err)
+					return
+				}
+				if kern.Format() != plan.Format {
+					t.Errorf("Prepared(%s) returned a %s kernel for plan %+v", id, kern.Format(), plan)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Quiescent accounting: the gauge equals the sum of resident bytes.
+	r.mu.Lock()
+	var sum int64
+	for _, el := range r.entries {
+		sum += el.Value.(*cacheEntry).bytes
+	}
+	used := r.used
+	r.mu.Unlock()
+	if used != sum {
+		t.Fatalf("cache gauge %d != sum of resident entries %d after promotion churn", used, sum)
+	}
+
+	// Every matrix still serves a plan-consistent kernel.
+	for _, id := range ids {
+		kern, plan, _, err := r.Prepared(ctx, id)
+		if err != nil || kern.Format() != plan.Format {
+			t.Fatalf("post-churn Prepared(%s): format %s, plan %+v, err %v", id, kern.Format(), plan, err)
+		}
+	}
+}
+
+// scriptedTuneConfig builds a serve tune config whose execution is the
+// real variant runner (so results stay bitwise-correct against live
+// responses) but whose reported durations are scripted: the variant in
+// target is "measured" 1000x faster than everything else. Timing becomes
+// deterministic while correctness checking stays real.
+func scriptedTuneConfig(target *atomic.Value) *tune.Config {
+	return &tune.Config{
+		Duty:       0.5,
+		MinSamples: 1,
+		QueueDepth: 256,
+		Threads:    1,
+		Seed:       1,
+		Exec: func(variant string, in *kernels.VariantInput, out *matrix.Dense[float64]) (time.Duration, error) {
+			err := kernels.RunVariant(variant, in, out)
+			if tv, _ := target.Load().(string); tv == variant {
+				return time.Microsecond, err
+			}
+			return time.Millisecond, err
+		},
+	}
+}
+
+// TestTunedPromotionSurvivesRestart is the durability contract of the
+// tentpole, end to end over HTTP: live traffic drives a measured
+// promotion, every response (before, during and after the plan switch) is
+// bitwise-identical to the serial reference, and after a restart — from
+// the WAL tail, and again from a snapshot — the server comes back serving
+// the promoted variant with the tuner's learned profile warm.
+func TestTunedPromotionSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	var target atomic.Value
+	cfg := func() Config {
+		return Config{
+			Threads:       1,
+			DataDir:       dir,
+			SnapshotEvery: -1,
+			Tune:          scriptedTuneConfig(&target),
+		}
+	}
+
+	s1, c1, teardown1 := newTestServer(t, cfg())
+	reg := registerGen(t, c1, "dw4096", 0.02)
+	tgt := altVariant(reg.Variant)
+	target.Store(tgt)
+
+	const k = 8
+	ref, rp := serialReference(t, reg, k)
+	b := matrix.NewDenseRand[float64](reg.Cols, k, 5)
+	refC := matrix.NewDense[float64](reg.Rows, k)
+	if err := ref.Calculate(b, refC, rp); err != nil {
+		t.Fatal(err)
+	}
+
+	mustMultiply := func(c *Client) *MultiplyResult {
+		t.Helper()
+		res, err := c.Multiply(reg.ID, reg.Rows, b, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff, _ := res.C.MaxAbsDiff(refC); diff != 0 {
+			t.Fatalf("response differs from the serial %s reference by %g", reg.Format, diff)
+		}
+		return res
+	}
+
+	promoted := false
+	for i := 0; i < 300 && !promoted; i++ {
+		mustMultiply(c1)
+		s1.Tuner().Flush()
+		promoted = s1.Tuner().Stats().Promotions >= 1
+	}
+	if !promoted {
+		t.Fatal("tuner never promoted the scripted-fastest variant")
+	}
+	if res := mustMultiply(c1); res.Variant != tgt {
+		t.Fatalf("post-promotion response served %s, want promoted %s", res.Variant, tgt)
+	}
+	ts, err := c1.Tune()
+	if err != nil || !ts.Enabled || ts.Promotions < 1 {
+		t.Fatalf("/v1/tune after promotion: %+v err=%v", ts, err)
+	}
+	teardown1()
+
+	// Restart #1: recovery replays the WAL tail (registration + profile).
+	checkRecovered := func(s *Server, c *Client, stage string) {
+		t.Helper()
+		m, ok := s.Registry().Get(reg.ID)
+		if !ok {
+			t.Fatalf("%s: matrix lost", stage)
+		}
+		plan := m.Plan()
+		if plan.Variant != tgt || plan.Version != 2 {
+			t.Fatalf("%s: recovered plan %+v, want promoted %s v2", stage, plan, tgt)
+		}
+		prof := s.Tuner().Profile(reg.ID)
+		if prof == nil {
+			t.Fatalf("%s: tuner profile lost", stage)
+		}
+		if prof.Incumbent != tgt || len(prof.History) < 1 || prof.History[len(prof.History)-1].To != tgt {
+			t.Fatalf("%s: recovered profile %+v does not record the promotion to %s", stage, prof, tgt)
+		}
+		if res := mustMultiply(c); res.Variant != tgt {
+			t.Fatalf("%s: recovered server served %s, want %s", stage, res.Variant, tgt)
+		}
+	}
+
+	s2, c2, teardown2 := newTestServer(t, cfg())
+	checkRecovered(s2, c2, "WAL-tail recovery")
+	// Compact so the next recovery must come through the snapshot path —
+	// the profile record has to survive the snapshot/carry dedup too.
+	if err := s2.store.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	teardown2()
+
+	s3, c3, _ := newTestServer(t, cfg())
+	checkRecovered(s3, c3, "snapshot recovery")
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/advisor"
 	"repro/internal/harness"
+	"repro/internal/tune"
 )
 
 // The registry write-ahead log: one fsynced JSONL record per successful
@@ -47,11 +48,19 @@ import (
 // it.
 var maxWALRecordBytes = 8 * maxRegisterBody
 
-// walRecord is one durable registration.
+// walKindProfile marks a tuner-profile record; the empty kind is a
+// registration (the only kind PR-6 logs wrote, so old logs replay as-is).
+const walKindProfile = "profile"
+
+// walRecord is one durable record: a registration (Kind "") or a learned
+// tuning profile (Kind "profile", Profile set, keyed by the same matrix
+// ID; replay keeps the newest per matrix).
 type walRecord struct {
 	// Seq is the append sequence number, assigned by the Store; snapshots
 	// record the last seq they cover so replay knows where the tail starts.
 	Seq uint64 `json:"seq"`
+	// Kind discriminates record types; "" is a registration.
+	Kind string `json:"kind,omitempty"`
 	// ID is the content-addressed matrix ID (recovery re-verifies it).
 	ID   string `json:"id"`
 	Rows int    `json:"rows"`
@@ -65,12 +74,17 @@ type walRecord struct {
 	RowIdx []int32   `json:"row_idx,omitempty"`
 	ColIdx []int32   `json:"col_idx,omitempty"`
 	Vals   []float64 `json:"vals,omitempty"`
-	// The serving plan chosen at registration — recovery reuses it
-	// rather than re-running the advisor.
-	Format   string         `json:"format"`
-	Schedule string         `json:"schedule"`
-	Block    int            `json:"block"`
-	Report   advisor.Report `json:"report"`
+	// The serving plan — recovery reuses it rather than re-running the
+	// advisor. Variant/PlanVersion track tuner promotions; both empty on
+	// pre-tuner records (replay then derives the variant from the plan).
+	Format      string         `json:"format"`
+	Schedule    string         `json:"schedule"`
+	Block       int            `json:"block"`
+	Variant     string         `json:"variant,omitempty"`
+	PlanVersion int64          `json:"plan_version,omitempty"`
+	Report      advisor.Report `json:"report"`
+	// Profile is the tuner's learned state for Kind "profile" records.
+	Profile *tune.Profile `json:"profile,omitempty"`
 	// CRC is the IEEE CRC32 of this record's JSON with CRC itself zeroed.
 	CRC uint32 `json:"crc"`
 }

@@ -1,0 +1,67 @@
+package tune
+
+import (
+	"fmt"
+
+	"repro/internal/formats"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+)
+
+// SELL-C-σ parameters for lab conversions — the same values core.Params
+// uses for its serving kernel, so a timing measured here transfers to the
+// served plan.
+const (
+	labSellC     = 8
+	labSellSigma = 64
+)
+
+// ensureFormat lazily materialises the sparse format a trial arm consumes,
+// caching it on the shared VariantInput so each format is converted at most
+// once per matrix. block is the BCSR/BELL block edge from the serving plan.
+func ensureFormat(in *kernels.VariantInput, coo *matrix.COO[float64], block int, format string) error {
+	in.COO = coo
+	switch format {
+	case "coo":
+		return nil
+	case "csr":
+		if in.CSR == nil {
+			in.CSR = formats.CSRFromCOO(coo)
+		}
+	case "csc":
+		if in.CSC == nil {
+			in.CSC = formats.CSCFromCOO(coo)
+		}
+	case "ell":
+		if in.ELL == nil {
+			in.ELL = formats.ELLFromCOO(coo, formats.RowMajor)
+		}
+	case "bcsr":
+		if in.BCSR == nil {
+			b, err := formats.BCSRFromCOO(coo, block, block)
+			if err != nil {
+				return fmt.Errorf("tune: bcsr conversion: %w", err)
+			}
+			in.BCSR = b
+		}
+	case "bell":
+		if in.BELL == nil {
+			b, err := formats.BELLFromCOO(coo, block, block)
+			if err != nil {
+				return fmt.Errorf("tune: bell conversion: %w", err)
+			}
+			in.BELL = b
+		}
+	case "sellcs":
+		if in.SELL == nil {
+			s, err := formats.SELLCSFromCOO(coo, labSellC, labSellSigma)
+			if err != nil {
+				return fmt.Errorf("tune: sellcs conversion: %w", err)
+			}
+			in.SELL = s
+		}
+	default:
+		return fmt.Errorf("tune: unknown lab format %q", format)
+	}
+	return nil
+}

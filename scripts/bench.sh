@@ -7,6 +7,14 @@
 #   BENCHTIME=1x ./scripts/bench.sh      # smoke: one iteration per bench
 #   TOLERANCE=0.10 ./scripts/bench.sh    # tighter ns/op gate
 #   FILTER='^BenchmarkCalculate$' ./scripts/bench.sh
+#   ./scripts/bench.sh tune-compare      # live A/B: advisor-only vs -tune
+#
+# tune-compare mode spins up a real spmmserve twice — advisor-only, then
+# with the online auto-tuner — drives each with spmmload on a skewed
+# power-law matrix (torso1 by default), and compares the steady-state
+# (last-quarter) p50 the loader reports. It fails (exit 2) if the tuned
+# run's steady p50 regresses more than TUNE_TOL_PCT percent over the
+# advisor-only run. Tunables: MATRIX, SCALE, N, WORKERS, PORT, TUNE_DUTY.
 #
 # The default filter covers the steady-state Calculate costs per format,
 # the static-vs-balanced schedule race, the pooled-vs-spawn dispatch race,
@@ -23,9 +31,73 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+tune_compare() {
+    local matrix=${MATRIX:-torso1} scale=${SCALE:-0.02} n=${N:-600}
+    local workers=${WORKERS:-4} port=${PORT:-18321} duty=${TUNE_DUTY:-0.25}
+    local tol_pct=${TUNE_TOL_PCT:-10} k=${K:-32}
+    local bin; bin=$(mktemp -d)
+    # shellcheck disable=SC2064
+    trap "rm -rf '$bin'" EXIT
+
+    echo "== build spmmserve + spmmload =="
+    go build -o "$bin/spmmserve" ./cmd/spmmserve
+    go build -o "$bin/spmmload" ./cmd/spmmload
+
+    # run_side <label> [extra spmmserve flags...] — prints the loader output.
+    run_side() {
+        local label=$1; shift
+        "$bin/spmmserve" -addr "127.0.0.1:$port" "$@" >"$bin/$label.serve.log" 2>&1 &
+        local spid=$!
+        # -retry-conn rides out server startup; verification stays on so a
+        # promoted variant producing different bits fails the whole run.
+        if ! "$bin/spmmload" -addr "http://127.0.0.1:$port" \
+            -matrix "$matrix" -scale "$scale" -k "$k" \
+            -workers "$workers" -n "$n" -retries 30 -retry-conn \
+            | tee "$bin/$label.load.log"; then
+            kill "$spid" 2>/dev/null || true
+            wait "$spid" 2>/dev/null || true
+            echo "tune-compare: $label load run failed" >&2
+            exit 1
+        fi
+        kill -INT "$spid" 2>/dev/null || true
+        wait "$spid" 2>/dev/null || true
+    }
+
+    echo "== advisor-only run ($matrix scale=$scale, n=$n) =="
+    run_side advisor
+    echo
+    echo "== tuned run (-tune -tune-duty $duty) =="
+    run_side tuned -tune -tune-duty "$duty" -tune-min-samples 4
+
+    local base_p50 tuned_p50
+    base_p50=$(awk '/^steady p50_us /{print $3}' "$bin/advisor.load.log")
+    tuned_p50=$(awk '/^steady p50_us /{print $3}' "$bin/tuned.load.log")
+    if [ -z "$base_p50" ] || [ -z "$tuned_p50" ]; then
+        echo "tune-compare: missing 'steady p50_us' in loader output" >&2
+        exit 1
+    fi
+
+    echo
+    echo "== tune-compare verdict =="
+    grep -E '^(variants:|promotion observed|tuner)' "$bin/tuned.load.log" || true
+    echo "advisor-only steady p50: ${base_p50}us"
+    echo "tuned        steady p50: ${tuned_p50}us"
+    local limit=$(( base_p50 * (100 + tol_pct) / 100 ))
+    if [ "$tuned_p50" -gt "$limit" ]; then
+        echo "tune-compare: FAIL — tuned steady p50 ${tuned_p50}us exceeds advisor-only ${base_p50}us by more than ${tol_pct}% (limit ${limit}us)" >&2
+        exit 2
+    fi
+    echo "tune-compare: OK — tuned steady p50 within ${tol_pct}% of advisor-only (or better)"
+}
+
+if [ "${1:-}" = "tune-compare" ]; then
+    tune_compare
+    exit 0
+fi
+
 BENCHTIME=${BENCHTIME:-0.5s}
 TOLERANCE=${TOLERANCE:-0.25}
-FILTER=${FILTER:-'^(BenchmarkCalculate|BenchmarkSchedule|BenchmarkPool|BenchmarkTraceOverhead|BenchmarkObsOverhead|BenchmarkPhaseMix|BenchmarkServeCachedMultiply|BenchmarkServeUnbatched|BenchmarkServeBatched|BenchmarkWALAppend)$'}
+FILTER=${FILTER:-'^(BenchmarkCalculate|BenchmarkSchedule|BenchmarkPool|BenchmarkTraceOverhead|BenchmarkObsOverhead|BenchmarkPhaseMix|BenchmarkServeCachedMultiply|BenchmarkServeUnbatched|BenchmarkServeBatched|BenchmarkTunedMultiply|BenchmarkWALAppend)$'}
 DIR=${DIR:-results/bench}
 
 out=$(mktemp)

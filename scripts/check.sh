@@ -18,10 +18,12 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go test -race (parallel, harness, trace, obs, serve) =="
+echo "== go test -race (parallel, harness, trace, obs, serve, tune) =="
 # -short skips the subprocess e2e; the full chaos suite (torn WAL tails,
-# corrupt snapshots, injected fsync/disk-full faults) runs here under -race.
-go test -race -short ./internal/parallel/... ./internal/harness/... ./internal/trace/... ./internal/obs/... ./internal/serve/...
+# corrupt snapshots, injected fsync/disk-full faults) and the deterministic
+# auto-tuner suite (promotion hysteresis, duty bounds, wrong-variant
+# rejection) run here under -race.
+go test -race -short ./internal/parallel/... ./internal/harness/... ./internal/trace/... ./internal/obs/... ./internal/serve/... ./internal/tune/...
 
 echo "== crash-recovery e2e (SIGKILL mid-load, restart, bitwise verify) =="
 go test -run '^TestCrashRecoveryE2E$' -count=1 ./internal/serve
