@@ -10,13 +10,21 @@
 //	spmmload -addr http://127.0.0.1:8080 -mtx path/to/matrix.mtx -k 64
 //	spmmload -addr http://127.0.0.1:8080 -matrix torso1 -scale 0.02 -deadline 100ms
 //
+// -addr also accepts a comma-separated endpoint list; requests round-robin
+// across them and the matrix registers on every endpoint first (content
+// addressing makes that idempotent). When the endpoint is an spmmrouter,
+// the report breaks successes down by the replica that served each one
+// (X-Spmm-Replica) and appends the router's /v1/cluster summary.
+//
 // Exit status is non-zero when any verified response mismatches or every
 // request failed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -25,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/advisor"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/kernels"
@@ -35,7 +44,7 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:8080", "spmmserve base URL")
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "spmmserve or spmmrouter base URL (comma-separate several to round-robin)")
 		name     = flag.String("matrix", "cant", "generator-registry matrix name")
 		scale    = flag.Float64("scale", 0.05, "generator scale factor")
 		mtxPath  = flag.String("mtx", "", "MatrixMarket file to upload instead of a generator spec")
@@ -49,9 +58,21 @@ func main() {
 	)
 	flag.Parse()
 
-	client := serve.NewClient(strings.TrimRight(*addr, "/"))
-	client.MaxAttempts = *retries + 1
-	client.RetryConnErrors = *retryCon
+	var clients []*serve.Client
+	for _, a := range strings.Split(*addr, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		c := serve.NewClient(strings.TrimRight(a, "/"))
+		c.MaxAttempts = *retries + 1
+		c.RetryConnErrors = *retryCon
+		clients = append(clients, c)
+	}
+	if len(clients) == 0 {
+		fatal(fmt.Errorf("no endpoint in -addr %q", *addr))
+	}
+	client := clients[0]
 
 	req := serve.RegisterRequest{Name: *name, Scale: *scale}
 	var local *matrix.COO[float64]
@@ -73,6 +94,19 @@ func main() {
 	reg, err := client.Register(req)
 	if err != nil {
 		fatal(err)
+	}
+	// Further endpoints register the same matrix; content addressing makes
+	// this idempotent and cross-checks that every endpoint hashed the same
+	// input.
+	for _, c := range clients[1:] {
+		other, err := c.Register(req)
+		if err != nil {
+			fatal(err)
+		}
+		if other.ID != reg.ID {
+			fatal(fmt.Errorf("endpoint %s registered %s, endpoint %s registered %s — different inputs",
+				client.Base, reg.ID, c.Base, other.ID))
+		}
 	}
 	fmt.Printf("registered %s: %dx%d, %d nnz, format %s (%s schedule), existed=%v\n",
 		reg.ID, reg.Rows, reg.Cols, reg.NNZ, reg.Format, reg.Schedule, reg.Existed)
@@ -118,6 +152,9 @@ func main() {
 		// quarter) p50 can be compared against the warm-up (first quarter).
 		variants = map[string]int64{}
 		ordered  = make([]time.Duration, *requests)
+		// byReplica counts successes per serving replica (X-Spmm-Replica);
+		// empty against a plain spmmserve, populated through a router.
+		byReplica = map[string]int64{}
 	)
 	refC := matrix.NewDense[float64](reg.Rows, *kArg)
 	start := time.Now()
@@ -133,7 +170,7 @@ func main() {
 				}
 				b := matrix.NewDenseRand[float64](reg.Cols, *kArg, 1000+i)
 				t0 := time.Now()
-				res, err := client.Multiply(reg.ID, reg.Rows, b, *kArg, *deadline)
+				res, err := clients[i%int64(len(clients))].Multiply(reg.ID, reg.Rows, b, *kArg, *deadline)
 				lat := time.Since(t0)
 				if err != nil {
 					if se, ok := err.(*serve.StatusError); ok && se.Overloaded() {
@@ -162,6 +199,9 @@ func main() {
 				if res.Variant != "" {
 					variants[res.Variant]++
 				}
+				if res.Replica != "" {
+					byReplica[res.Replica]++
+				}
 				if ref != nil {
 					// Serial reference under the same lock: one scratch C,
 					// and the serial rep keeps the client honest about what
@@ -188,8 +228,24 @@ func main() {
 	ok := len(latencies)
 	fmt.Printf("\n%d requests in %.2fs: %d ok, %d shed (429), %d failed\n",
 		*requests, elapsed.Seconds(), ok, sheds, failures)
-	fmt.Printf("attempts %d (%d retried) over %d calls\n",
-		client.Attempts(), client.Retries(), client.Attempts()-client.Retries())
+	var attempts, retried int64
+	for _, c := range clients {
+		attempts += c.Attempts()
+		retried += c.Retries()
+	}
+	fmt.Printf("attempts %d (%d retried) over %d calls\n", attempts, retried, attempts-retried)
+	if len(byReplica) > 0 {
+		names := make([]string, 0, len(byReplica))
+		for r := range byReplica {
+			names = append(names, r)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, r := range names {
+			parts = append(parts, fmt.Sprintf("%s:%d", r, byReplica[r]))
+		}
+		fmt.Printf("served by: %s\n", strings.Join(parts, "  "))
+	}
 	if ok > 0 {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 		pct := func(p float64) time.Duration {
@@ -255,6 +311,20 @@ func main() {
 			stats.Multiplies, stats.Batches, stats.Cache.Entries, stats.Matrices,
 			stats.Cache.Prepares, stats.Cache.Evictions, stats.Shed)
 	}
+	// Against a router, /v1/cluster exists and summarizes the fleet; a plain
+	// spmmserve 404s and the line is simply omitted.
+	if cs, err := fetchClusterStats(client.Base); err == nil {
+		fmt.Printf("cluster: ring %v, %d matrices, failovers %d, spillovers %d, replications %d, moves %d, ejects %d\n",
+			cs.Ring, cs.Matrices, cs.Failovers, cs.Spillovers, cs.Replications, cs.Moves, cs.Ejects)
+		for _, rs := range cs.Replicas {
+			state := "up"
+			if rs.Down {
+				state = "DOWN"
+			}
+			fmt.Printf("cluster[%s]: %s, %d matrices, %d proxied, %d errors\n",
+				rs.Name, state, rs.Matrices, rs.Proxied, rs.Errors)
+		}
+	}
 	if ts, err := client.Tune(); err == nil && ts.Enabled {
 		fmt.Printf("tuner: %d trials, %d promotions, %d rejects (%d dropped, %d stale)\n",
 			ts.Trials, ts.Promotions, ts.Rejects, ts.Dropped, ts.Stale)
@@ -279,6 +349,24 @@ func main() {
 	if ok == 0 && *requests > 0 {
 		fatal(fmt.Errorf("no request succeeded"))
 	}
+}
+
+// fetchClusterStats pulls the router's cluster summary; any error (a plain
+// spmmserve has no /v1/cluster) just suppresses the report line.
+func fetchClusterStats(base string) (*cluster.Stats, error) {
+	resp, err := http.Get(base + "/v1/cluster")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/v1/cluster returned %d", resp.StatusCode)
+	}
+	var cs cluster.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		return nil, err
+	}
+	return &cs, nil
 }
 
 func fatal(err error) {

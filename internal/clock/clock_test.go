@@ -1,0 +1,119 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFakeAdvanceFiresInDeadlineOrder pins the determinism contract: due
+// callbacks fire synchronously inside Advance, ordered by deadline with
+// scheduling order breaking ties, and each sees Now() at its own deadline.
+func TestFakeAdvanceFiresInDeadlineOrder(t *testing.T) {
+	f := NewFake()
+	var mu sync.Mutex
+	var fired []string
+	at := map[string]time.Time{}
+	add := func(name string, d time.Duration) {
+		f.AfterFunc(d, func() {
+			mu.Lock()
+			fired = append(fired, name)
+			at[name] = f.Now()
+			mu.Unlock()
+		})
+	}
+	add("c", 30*time.Millisecond)
+	add("a", 10*time.Millisecond)
+	add("b1", 20*time.Millisecond)
+	add("b2", 20*time.Millisecond) // same deadline: scheduling order wins
+	add("late", 100*time.Millisecond)
+
+	if got := f.Pending(); got != 5 {
+		t.Fatalf("Pending = %d, want 5", got)
+	}
+	f.Advance(50 * time.Millisecond)
+
+	want := []string{"a", "b1", "b2", "c"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if got := at["b1"].Sub(at["a"]); got != 10*time.Millisecond {
+		t.Fatalf("b1 fired %s after a, want 10ms (callbacks see their own deadline)", got)
+	}
+	if got := f.Pending(); got != 1 {
+		t.Fatalf("Pending after partial advance = %d, want 1 (the 100ms timer)", got)
+	}
+	f.Advance(50 * time.Millisecond)
+	if fired[len(fired)-1] != "late" || f.Pending() != 0 {
+		t.Fatalf("second advance: fired %v, pending %d", fired, f.Pending())
+	}
+}
+
+// TestFakeStopAndReschedule covers Stop semantics and callbacks that
+// schedule further timers inside the same Advance window — the shape the
+// self-rescheduling health prober relies on.
+func TestFakeStopAndReschedule(t *testing.T) {
+	f := NewFake()
+	fired := 0
+	tm := f.AfterFunc(time.Second, func() { fired++ })
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	f.Advance(2 * time.Second)
+	if fired != 0 {
+		t.Fatal("stopped timer fired")
+	}
+
+	// A chain: each firing schedules the next; one Advance that spans three
+	// periods must fire all three ticks.
+	var ticks []time.Time
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, f.Now())
+		if len(ticks) < 3 {
+			f.AfterFunc(time.Second, tick)
+		}
+	}
+	f.AfterFunc(time.Second, tick)
+	f.Advance(5 * time.Second)
+	if len(ticks) != 3 {
+		t.Fatalf("chained timer fired %d times in a 5s window, want 3", len(ticks))
+	}
+	for i := 1; i < len(ticks); i++ {
+		if got := ticks[i].Sub(ticks[i-1]); got != time.Second {
+			t.Fatalf("tick %d fired %s after the previous, want 1s", i, got)
+		}
+	}
+	if dl := f.sortedDeadlines(); len(dl) != 0 {
+		t.Fatalf("deadlines left after chain completed: %v", dl)
+	}
+}
+
+// TestRealClockSmoke exercises the Real implementation minimally: AfterFunc
+// fires, Stop prevents firing.
+func TestRealClockSmoke(t *testing.T) {
+	c := Real()
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("real AfterFunc never fired")
+	}
+	stopped := make(chan struct{})
+	tm := c.AfterFunc(time.Hour, func() { close(stopped) })
+	if !tm.Stop() {
+		t.Fatal("Stop on a fresh hour-long timer reported false")
+	}
+	if c.Now().IsZero() {
+		t.Fatal("real Now returned the zero time")
+	}
+}

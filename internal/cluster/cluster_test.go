@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// TestClusterShardsAndServes is the tentpole smoke: matrices registered
+// through the router shard across the fleet by content address, every
+// multiply answers bitwise-identical to single-node serving, and the
+// response names the replica that did the work — which must be the ring
+// owner when nothing is failing.
+func TestClusterShardsAndServes(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	mats := tc.registerMatrices(12)
+
+	st := tc.clusterStats()
+	if st.Matrices != len(mats) {
+		t.Fatalf("cluster tracks %d matrices, registered %d", st.Matrices, len(mats))
+	}
+	if len(st.Ring) != 3 {
+		t.Fatalf("ring has %d members, want 3: %v", len(st.Ring), st.Ring)
+	}
+	// Content addressing spreads 12 IDs over 3 replicas; with these fixed
+	// seeds every replica owns at least one (a determinism check as much
+	// as a balance one — the placement is a pure function of the data).
+	owned := map[string]int{}
+	ring := tc.router.ring.Load()
+	for _, m := range mats {
+		owner := ring.Owner(m.reg.ID)
+		owned[owner]++
+		holders := st.Placements[m.reg.ID]
+		if len(holders) != 1 || holders[0] != owner {
+			t.Fatalf("matrix %s placed on %v, want exactly its ring owner %s", m.reg.ID, holders, owner)
+		}
+	}
+	if len(owned) != 3 {
+		t.Fatalf("12 IDs landed on only %d of 3 replicas: %v", len(owned), owned)
+	}
+
+	for i, m := range mats {
+		res := tc.multiplyBoth(m, 4, int64(50+i))
+		if want := ring.Owner(m.reg.ID); res.Replica != want {
+			t.Fatalf("matrix %s served by %s, want its ring owner %s", m.reg.ID, res.Replica, want)
+		}
+	}
+
+	// Re-registration through the router is idempotent and routes to the
+	// existing holder.
+	again, err := tc.client.Register(randomTriplets(60, 45, 350, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Existed || again.ID != mats[0].reg.ID {
+		t.Fatalf("re-register: got id=%s existed=%v, want %s/true", again.ID, again.Existed, mats[0].reg.ID)
+	}
+
+	// The serve-protocol read endpoints work against the router unchanged.
+	infos, err := tc.client.Matrices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(mats) {
+		t.Fatalf("router list has %d matrices, want %d", len(infos), len(mats))
+	}
+	stats, err := tc.client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Matrices != len(mats) || stats.Multiplies < int64(len(mats)) {
+		t.Fatalf("aggregated stats: matrices=%d multiplies=%d, want %d and >= %d",
+			stats.Matrices, stats.Multiplies, len(mats), len(mats))
+	}
+}
+
+// TestJoinMovesBoundedAndWarm pins the rebalance-without-drain contract: a
+// replica join moves at most ~1/N of matrix IDs (acceptance bound: 40%),
+// every moved ID's first multiply on the new owner is a prepared-cache HIT
+// (warmed before cutover), and unmoved IDs never change placement.
+func TestJoinMovesBoundedAndWarm(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	mats := tc.registerMatrices(12)
+
+	before := tc.clusterStats()
+	oldRing := tc.router.ring.Load()
+	oldOwner := map[string]string{}
+	for _, m := range mats {
+		oldOwner[m.reg.ID] = oldRing.Owner(m.reg.ID)
+	}
+
+	join := tc.addReplica("r3")
+	if join.Matrices != len(mats) {
+		t.Fatalf("join response counts %d matrices, want %d", join.Matrices, len(mats))
+	}
+	if len(join.Ring) != 4 {
+		t.Fatalf("post-join ring %v, want 4 members", join.Ring)
+	}
+	if join.Moved == 0 {
+		t.Fatal("join moved nothing — with 12 IDs and a quarter of the ring, the new replica must own some")
+	}
+	if frac := float64(join.Moved) / float64(len(mats)); frac > 0.40 {
+		t.Fatalf("join moved %.0f%% of IDs, acceptance bound is 40%%", 100*frac)
+	}
+
+	after := tc.clusterStats()
+	if got := after.Moves - before.Moves; got != int64(join.Moved) {
+		t.Fatalf("moves counter rose by %d, join reported %d", got, join.Moved)
+	}
+
+	newRing := tc.router.ring.Load()
+	movedSeen := 0
+	for i, m := range mats {
+		newOwner := newRing.Owner(m.reg.ID)
+		res := tc.multiplyBoth(m, 4, int64(500+i))
+		if newOwner == oldOwner[m.reg.ID] {
+			// Unmoved: placement must not have churned.
+			holders := after.Placements[m.reg.ID]
+			if len(holders) != 1 || holders[0] != oldOwner[m.reg.ID] {
+				t.Fatalf("unmoved matrix %s has placement %v, want [%s]", m.reg.ID, holders, oldOwner[m.reg.ID])
+			}
+			continue
+		}
+		movedSeen++
+		if newOwner != "r3" {
+			t.Fatalf("matrix %s moved %s -> %s; a join may only move IDs onto the joiner",
+				m.reg.ID, oldOwner[m.reg.ID], newOwner)
+		}
+		if res.Replica != "r3" {
+			t.Fatalf("moved matrix %s served by %s after cutover, want r3", m.reg.ID, res.Replica)
+		}
+		// The warm-before-cutover guarantee: the FIRST multiply routed to
+		// the new owner finds the prepared format resident.
+		if !res.CacheHit {
+			t.Fatalf("moved matrix %s: first multiply on r3 was not a cache hit — cutover before warm", m.reg.ID)
+		}
+		// The old owner stays in the holder set as a failover secondary.
+		holders := after.Placements[m.reg.ID]
+		if len(holders) != 2 {
+			t.Fatalf("moved matrix %s holders %v, want old owner + r3", m.reg.ID, holders)
+		}
+	}
+	if movedSeen != join.Moved {
+		t.Fatalf("ring says %d IDs moved, join reported %d", movedSeen, join.Moved)
+	}
+}
+
+// TestLeaveRehomesSoleHolders pins graceful leave: matrices solely held by
+// the leaver re-home (pulled from it while still up, warmed on the new
+// owner), the leaver drops out of ring and placements, and every multiply
+// still answers bitwise-identical.
+func TestLeaveRehomesSoleHolders(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	mats := tc.registerMatrices(9)
+
+	var out LeaveResponse
+	if err := postJSON(tc.front.URL+"/v1/cluster/leave", LeaveRequest{Name: "r1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Ring) != 2 {
+		t.Fatalf("post-leave ring %v, want 2 members", out.Ring)
+	}
+	st := tc.clusterStats()
+	for id, holders := range st.Placements {
+		if len(holders) == 0 {
+			t.Fatalf("matrix %s lost all holders on leave", id)
+		}
+		for _, h := range holders {
+			if h == "r1" {
+				t.Fatalf("matrix %s still placed on departed replica: %v", id, holders)
+			}
+		}
+	}
+	ring := tc.router.ring.Load()
+	for i, m := range mats {
+		res := tc.multiplyBoth(m, 3, int64(900+i))
+		if res.Replica == "r1" {
+			t.Fatalf("matrix %s served by departed replica", m.reg.ID)
+		}
+		if want := ring.Owner(m.reg.ID); res.Replica != want {
+			t.Fatalf("matrix %s served by %s, want post-leave owner %s", m.reg.ID, res.Replica, want)
+		}
+	}
+}
+
+// TestHotReplicationAndSpillover covers the replication policy: a matrix
+// crossing the serve-count threshold gains a second holder (registered and
+// warmed off the request path), and once it has one, a loaded primary
+// spills multiplies onto the less-loaded secondary.
+func TestHotReplicationAndSpillover(t *testing.T) {
+	tc := newTestCluster(t, 2, func(cfg *Config) {
+		cfg.ReplicateAfter = 3
+		cfg.MaxHolders = 2
+		cfg.SpillMargin = 2
+	})
+	mats := tc.registerMatrices(1)
+	m := mats[0]
+
+	for i := 0; i < 3; i++ {
+		tc.multiplyBoth(m, 4, int64(10+i))
+	}
+	waitFor(t, "hot matrix to replicate", func() bool {
+		st := tc.clusterStats()
+		return st.Replications == 1 && len(st.Placements[m.reg.ID]) == 2
+	})
+	st := tc.clusterStats()
+	holders := st.Placements[m.reg.ID]
+	primary, secondary := holders[0], holders[1]
+
+	// An unloaded primary keeps serving its ID.
+	if res := tc.multiplyBoth(m, 4, 20); res.Replica != primary {
+		t.Fatalf("idle cluster: served by %s, want primary %s", res.Replica, primary)
+	}
+
+	// Pile synthetic in-flight load on the primary: the next multiply must
+	// spill to the secondary — and still answer bitwise-identical.
+	tc.router.mu.Lock()
+	prim := tc.router.replicas[primary]
+	tc.router.mu.Unlock()
+	prim.inFlight.Add(10)
+	res := tc.multiplyBoth(m, 4, 21)
+	prim.inFlight.Add(-10)
+	if res.Replica != secondary {
+		t.Fatalf("loaded primary: served by %s, want spillover to %s", res.Replica, secondary)
+	}
+	if !res.CacheHit {
+		t.Fatalf("spillover multiply missed the cache — replication did not warm the secondary")
+	}
+	if got := tc.clusterStats().Spillovers; got < 1 {
+		t.Fatalf("spillover counter = %d, want >= 1", got)
+	}
+}

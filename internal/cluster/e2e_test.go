@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestClusterSmokeE2E is the real-binary cluster smoke: spmmrouter fronting
+// three spmmserve processes, driven by spmmload through the router. The
+// matrix replicates to a second holder under load, one holder is SIGKILLed
+// mid-run, and the load generator still finishes with zero failures and
+// every response verified bitwise — then the prober marks the corpse down,
+// a fourth replica joins live, and a follow-up load run verifies the
+// rebalanced cluster end to end.
+func TestClusterSmokeE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes; skipped with -short")
+	}
+
+	bin := t.TempDir()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cmd := range []string{"spmmserve", "spmmrouter", "spmmload"} {
+		build := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd)
+		build.Dir = root
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", cmd, err, out)
+		}
+	}
+
+	reserve := func() string {
+		t.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr
+	}
+	waitHealthy := func(addr, what string, proc *exec.Cmd) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get("http://" + addr + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				return
+			}
+			if time.Now().After(deadline) {
+				proc.Process.Kill()
+				t.Fatalf("%s never became healthy on %s: %v", what, addr, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	startReplicaProc := func(name string) (string, *exec.Cmd) {
+		t.Helper()
+		addr := reserve()
+		srv := exec.Command(filepath.Join(bin, "spmmserve"), "-addr", addr, "-t", "1")
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			srv.Process.Kill()
+			srv.Wait()
+		})
+		waitHealthy(addr, "replica "+name, srv)
+		return addr, srv
+	}
+
+	names := []string{"r0", "r1", "r2"}
+	procs := map[string]*exec.Cmd{}
+	var fleet []string
+	for _, name := range names {
+		addr, srv := startReplicaProc(name)
+		procs[name] = srv
+		fleet = append(fleet, name+"=http://"+addr)
+	}
+
+	routerAddr := reserve()
+	router := exec.Command(filepath.Join(bin, "spmmrouter"),
+		"-addr", routerAddr, "-replicas", strings.Join(fleet, ","),
+		"-probe-interval", "200ms", "-probe-timeout", "150ms", "-eject-after", "2",
+		"-attempt-timeout", "2s", "-replicate-after", "4", "-max-holders", "2")
+	if err := router.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		router.Process.Kill()
+		router.Wait()
+	})
+	waitHealthy(routerAddr, "router", router)
+
+	clusterState := func() Stats {
+		t.Helper()
+		resp, err := http.Get("http://" + routerAddr + "/v1/cluster")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st Stats
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// Drive load through the router. Retries ride out shed windows; the
+	// verification oracle is spmmload's own serial kernel.
+	load := exec.Command(filepath.Join(bin, "spmmload"),
+		"-addr", "http://"+routerAddr, "-matrix", "dw4096", "-scale", "0.05",
+		"-workers", "4", "-n", "150", "-k", "8", "-retries", "8", "-retry-conn")
+	stdout, err := load.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	load.Stderr = load.Stdout
+	if err := load.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(stdout)
+	var out strings.Builder
+	var matrixID string
+	for sc.Scan() {
+		line := sc.Text()
+		out.WriteString(line + "\n")
+		if strings.HasPrefix(line, "registered ") {
+			matrixID = strings.TrimSuffix(strings.Fields(line)[1], ":")
+			break
+		}
+	}
+	if matrixID == "" {
+		load.Wait()
+		t.Fatalf("spmmload never registered:\n%s", out.String())
+	}
+
+	// Wait for hot replication to give the matrix a second holder, then
+	// SIGKILL the primary mid-load. The router must absorb the loss.
+	var victim string
+	deadline := time.Now().Add(15 * time.Second)
+	for victim == "" {
+		if time.Now().After(deadline) {
+			load.Process.Kill()
+			t.Fatalf("matrix %s never gained a second holder; placements: %v",
+				matrixID, clusterState().Placements)
+		}
+		if holders := clusterState().Placements[matrixID]; len(holders) >= 2 {
+			victim = holders[0]
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := procs[victim].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	procs[victim].Wait()
+
+	for sc.Scan() {
+		out.WriteString(sc.Text() + "\n")
+	}
+	if err := load.Wait(); err != nil {
+		t.Fatalf("spmmload failed across the replica kill: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "verified: all") {
+		t.Fatalf("spmmload finished without bitwise verification:\n%s", text)
+	}
+	summary := regexp.MustCompile(`(\d+) ok, (\d+) shed \(429\), (\d+) failed`).FindStringSubmatch(text)
+	if summary == nil {
+		t.Fatalf("no load summary in output:\n%s", text)
+	}
+	ok, _ := strconv.Atoi(summary[1])
+	shed, _ := strconv.Atoi(summary[2])
+	failed, _ := strconv.Atoi(summary[3])
+	if failed != 0 {
+		t.Fatalf("%d requests failed across the kill (want 0):\n%s", failed, text)
+	}
+	if shed > 15 { // 10% of -n: retries must absorb overload, not mask a stall
+		t.Fatalf("shed rate too high: %d of 150 requests shed:\n%s", shed, text)
+	}
+	if ok+shed != 150 {
+		t.Fatalf("load accounting: %d ok + %d shed != 150:\n%s", ok, shed, text)
+	}
+
+	// Recovery: the prober marks the killed replica down.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		st := clusterState()
+		down := false
+		for _, rs := range st.Replicas {
+			if rs.Name == victim && rs.Down {
+				down = true
+			}
+		}
+		if down {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("prober never ejected killed replica %s: %+v", victim, st.Replicas)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Rebalance: a fresh replica joins the live cluster; moved matrices are
+	// warmed on it before cutover, and a follow-up verified load run proves
+	// the rebalanced fleet still answers bitwise.
+	joinAddr, _ := startReplicaProc("r3")
+	payload := fmt.Sprintf(`{"name":"r3","base":"http://%s"}`, joinAddr)
+	resp, err := http.Post("http://"+routerAddr+"/v1/cluster/join", "application/json", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var join JoinResponse
+	if err := json.NewDecoder(resp.Body).Decode(&join); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join returned %d", resp.StatusCode)
+	}
+	if len(join.Ring) != 4 {
+		t.Fatalf("post-join ring %v, want 4 members", join.Ring)
+	}
+
+	verify := exec.Command(filepath.Join(bin, "spmmload"),
+		"-addr", "http://"+routerAddr, "-matrix", "dw4096", "-scale", "0.05",
+		"-workers", "2", "-n", "20", "-k", "8", "-retries", "8", "-retry-conn")
+	vout, err := verify.CombinedOutput()
+	if err != nil {
+		t.Fatalf("post-join load failed: %v\n%s", err, vout)
+	}
+	if !strings.Contains(string(vout), "verified: all") {
+		t.Fatalf("post-join load finished without bitwise verification:\n%s", vout)
+	}
+	fmt.Println("cluster e2e: survived SIGKILL of a holder mid-load, ejected it, joined a replacement, verified bitwise throughout")
+}

@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/serve"
+)
+
+// replicateAll serves every matrix once to cross the ReplicateAfter=1
+// threshold, then waits until each has exactly two holders with the
+// secondary warmed — the precondition for the kill/hang scenarios, where
+// every ID must survive losing a replica.
+func replicateAll(t *testing.T, tc *testCluster, mats []*testMatrix) {
+	t.Helper()
+	for i, m := range mats {
+		tc.multiplyBoth(m, 4, int64(7000+i))
+	}
+	waitFor(t, "every matrix to gain a second holder", func() bool {
+		st := tc.clusterStats()
+		if st.Replications < int64(len(mats)) {
+			return false
+		}
+		for _, m := range mats {
+			if len(st.Placements[m.reg.ID]) != 2 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// leakCheck polls the goroutine count back down to a baseline — the
+// wedge detector: a proxy pool stuck on a dead or hung replica shows up as
+// goroutines that never exit. The small tolerance absorbs idle HTTP
+// keep-alive conns; a real wedge leaks one goroutine per stuck request,
+// far beyond it.
+func leakCheck(t *testing.T, tc *testCluster, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if tr, ok := tc.router.httpc.Transport.(*http.Transport); ok {
+			tr.CloseIdleConnections()
+		}
+		if n := runtime.NumGoroutine(); n <= before+5 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("proxy goroutines wedged: %d before the fault, %d after recovery",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFailoverOnKill is the acceptance scenario: a replica dies abruptly
+// (listener and every connection reset) under concurrent multiply load,
+// and the router retries on the secondary holder so that 100% of client
+// requests complete with panels bitwise-identical to single-node serving —
+// the client sees zero errors and makes zero retries of its own.
+func TestFailoverOnKill(t *testing.T) {
+	tc := newTestCluster(t, 3, func(cfg *Config) {
+		cfg.ReplicateAfter = 1
+		cfg.MaxHolders = 2
+		cfg.SpillMargin = 1000 // keep routing by preference, not load, in this test
+	})
+	mats := tc.registerMatrices(6)
+	replicateAll(t, tc, mats)
+
+	// Ground truth per matrix, computed on the single-node reference with
+	// the same panel every worker will send.
+	const k = 4
+	type truth struct {
+		b    *matrix.Dense[float64]
+		want *matrix.Dense[float64]
+	}
+	truths := make([]truth, len(mats))
+	for i, m := range mats {
+		b := matrix.NewDenseRand[float64](m.reg.Cols, k, int64(8000+i))
+		res, err := tc.refClient.Multiply(m.reg.ID, m.reg.Rows, b, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truths[i] = truth{b: b, want: res.C}
+	}
+
+	victim := tc.clusterStats().Placements[mats[0].reg.ID][0]
+	before := runtime.NumGoroutine()
+
+	const workers = 4
+	const rounds = 3
+	firstRound := make(chan struct{}, workers)
+	killed := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*rounds*len(mats))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i, m := range mats {
+					res, err := tc.client.Multiply(m.reg.ID, m.reg.Rows, truths[i].b, k, 0)
+					if err != nil {
+						errs <- fmt.Errorf("worker %d round %d matrix %s: %w", w, r, m.reg.ID, err)
+						return
+					}
+					if diff, _ := res.C.MaxAbsDiff(truths[i].want); diff != 0 {
+						errs <- fmt.Errorf("worker %d round %d matrix %s: differs from single-node by %g",
+							w, r, m.reg.ID, diff)
+						return
+					}
+				}
+				if r == 0 {
+					firstRound <- struct{}{}
+					<-killed // every later round runs against a dead replica
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-firstRound
+	}
+
+	// Park one multiply INSIDE the victim (slow gate), then kill it with the
+	// request mid-flight: the router sees the connection reset, retries on
+	// the secondary, and the caller gets a clean bitwise answer.
+	tc.replicas[victim].gate.slow(500 * time.Millisecond)
+	tc.router.mu.Lock()
+	victimRep := tc.router.replicas[victim]
+	tc.router.mu.Unlock()
+	midFlight := make(chan error, 1)
+	go func() {
+		res, err := tc.client.Multiply(mats[0].reg.ID, mats[0].reg.Rows, truths[0].b, k, 0)
+		if err != nil {
+			midFlight <- err
+			return
+		}
+		if diff, _ := res.C.MaxAbsDiff(truths[0].want); diff != 0 {
+			midFlight <- fmt.Errorf("mid-kill multiply differs from single-node by %g", diff)
+			return
+		}
+		if res.Replica == victim {
+			midFlight <- fmt.Errorf("mid-kill multiply answered by the killed replica %s", victim)
+			return
+		}
+		midFlight <- nil
+	}()
+	waitFor(t, "the multiply to park inside the victim", func() bool {
+		return victimRep.inFlight.Load() >= 1
+	})
+	tc.replicas[victim].kill()
+	if err := <-midFlight; err != nil {
+		t.Fatalf("multiply in flight during the kill: %v", err)
+	}
+	close(killed)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	st := tc.clusterStats()
+	if st.Failovers < 1 {
+		t.Fatalf("failover counter = %d after killing %s under load, want >= 1", st.Failovers, victim)
+	}
+	if got := tc.client.Retries(); got != 0 {
+		t.Fatalf("client made %d retries of its own; failover must be invisible", got)
+	}
+
+	// The prober, on scripted time, ejects the corpse; routing then skips
+	// it without paying a refused connection per request.
+	tc.advanceProbe()
+	tc.advanceProbe()
+	if !tc.router.ReplicaDown(victim) {
+		t.Fatalf("prober has not ejected killed replica %s after %d rounds", victim, 2)
+	}
+	if got := tc.clusterStats().Ejects; got != 1 {
+		t.Fatalf("ejects = %d, want 1", got)
+	}
+	for i, m := range mats {
+		res := tc.multiplyBoth(m, k, int64(8100+i))
+		if res.Replica == victim {
+			t.Fatalf("matrix %s served by ejected replica %s", m.reg.ID, victim)
+		}
+	}
+	leakCheck(t, tc, before)
+}
+
+// TestHangEjectsWithinScriptedDeadline covers the nastier failure: a
+// replica that accepts connections but never answers. An in-flight proxy
+// attempt against it fails over as soon as scripted time passes the
+// attempt timeout; the health prober — whose cadence is also scripted —
+// ejects the replica after exactly EjectAfter rounds; and a heal followed
+// by one successful probe re-admits it. Throughout, clients see zero
+// errors and the proxy goroutine pool never wedges.
+func TestHangEjectsWithinScriptedDeadline(t *testing.T) {
+	tc := newTestCluster(t, 3, func(cfg *Config) {
+		cfg.ReplicateAfter = 1
+		cfg.MaxHolders = 2
+		cfg.SpillMargin = 1000
+		cfg.AttemptTimeout = 2 * time.Second // virtual; fires on Advance
+	})
+	mats := tc.registerMatrices(6)
+	replicateAll(t, tc, mats)
+
+	// Pick a matrix and hang its primary holder.
+	st := tc.clusterStats()
+	target := mats[0]
+	holders := st.Placements[target.reg.ID]
+	primary, secondary := holders[0], holders[1]
+	before := runtime.NumGoroutine()
+	tc.replicas[primary].gate.hang()
+
+	// A multiply fired now proxies to the hung primary and parks there.
+	const k = 4
+	b := matrix.NewDenseRand[float64](target.reg.Cols, k, 9000)
+	want, err := tc.refClient.Multiply(target.reg.ID, target.reg.Rows, b, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *serve.MultiplyResult, 1)
+	fail := make(chan error, 1)
+	go func() {
+		res, err := tc.client.Multiply(target.reg.ID, target.reg.Rows, b, k, 0)
+		if err != nil {
+			fail <- err
+			return
+		}
+		done <- res
+	}()
+	tc.router.mu.Lock()
+	primRep := tc.router.replicas[primary]
+	tc.router.mu.Unlock()
+	waitFor(t, "the multiply to park on the hung primary", func() bool {
+		return primRep.inFlight.Load() >= 1
+	})
+
+	// Scripted time passes the attempt timeout: the router cancels the
+	// parked attempt and fails over to the secondary. The client sees a
+	// normal, bitwise-correct answer.
+	tc.clk.Advance(2 * time.Second)
+	select {
+	case err := <-fail:
+		t.Fatalf("multiply against hung primary surfaced an error: %v", err)
+	case res := <-done:
+		if diff, _ := res.C.MaxAbsDiff(want.C); diff != 0 {
+			t.Fatalf("failover result differs from single-node by %g", diff)
+		}
+		if res.Replica != secondary {
+			t.Fatalf("failover served by %s, want secondary %s", res.Replica, secondary)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("multiply wedged on the hung primary past the scripted attempt timeout")
+	}
+	failoversAfterHang := tc.clusterStats().Failovers
+	if failoversAfterHang < 1 {
+		t.Fatalf("failovers = %d, want >= 1", failoversAfterHang)
+	}
+
+	// The 2s advance above also kicked one probe round (interval 1s); each
+	// advanceProbe completes one more. The hung replica's probes time out
+	// in real time (ProbeTimeout), fail, and after EjectAfter=2 failures it
+	// is out.
+	waitFor(t, "the hang-window probe round", func() bool { return tc.router.ProbeRounds() >= 1 })
+	if !tc.router.ReplicaDown(primary) {
+		tc.advanceProbe()
+	}
+	if !tc.router.ReplicaDown(primary) {
+		t.Fatalf("prober did not eject hung replica %s within the scripted deadline", primary)
+	}
+	if got := tc.clusterStats().Ejects; got != 1 {
+		t.Fatalf("ejects = %d, want 1", got)
+	}
+
+	// While ejected, its matrices route straight to their secondaries —
+	// no timeout paid, no errors.
+	for i, m := range mats {
+		if res := tc.multiplyBoth(m, k, int64(9100+i)); res.Replica == primary {
+			t.Fatalf("matrix %s served by ejected replica %s", m.reg.ID, primary)
+		}
+	}
+
+	// Heal: the parked gate goroutines release, the next probe succeeds,
+	// and the replica rejoins rotation with its registry and cache intact.
+	tc.replicas[primary].gate.heal()
+	tc.advanceProbe()
+	if tc.router.ReplicaDown(primary) {
+		t.Fatalf("healed replica %s not re-admitted after a successful probe", primary)
+	}
+	if got := tc.clusterStats().Readmits; got != 1 {
+		t.Fatalf("readmits = %d, want 1", got)
+	}
+	res := tc.multiplyBoth(target, k, 9200)
+	if res.Replica != primary {
+		t.Fatalf("after re-admission, %s served by %s, want its owner %s back", target.reg.ID, res.Replica, primary)
+	}
+	if !res.CacheHit {
+		t.Fatal("re-admitted replica lost its prepared cache — hang must not destroy state")
+	}
+	leakCheck(t, tc, before)
+}

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/serve"
+)
+
+// Rebalance without drain. A ring change (join/leave) re-homes only the IDs
+// whose arc changed hands — the consistent-hashing guarantee the ring tests
+// pin — and each of those IDs cuts over independently:
+//
+//  1. The ID is PINNED to its current primary holder. The new ring is
+//     installed immediately (new registrations and unmoved IDs use it at
+//     once), but the pin overrides placement for the moved ID, so requests
+//     — including ones already in flight — keep completing on the old
+//     owner. Nothing drains, nothing queues.
+//  2. The matrix is registered on its new owner: via its generator spec
+//     when it has one (a few bytes on the wire), otherwise by pulling the
+//     canonical triplets from a live holder's registry-metadata export.
+//     Content addressing makes this step idempotent and self-verifying —
+//     the new owner must hash the upload back to the same ID.
+//  3. The new owner's prepared-format cache is warmed (POST .../prepare),
+//     so its first routed multiply is a cache hit, not a prepare stall.
+//  4. The pin clears. From this instant plan() routes the ID to the new
+//     owner; the old owner remains in the holder set as a failover
+//     secondary (content addressing keeps its copy correct forever).
+//
+// A failure in steps 2–3 just clears the pin and leaves the old placement
+// serving — the ring says the new owner, but plan() only routes to
+// registered holders, so traffic never lands on a replica that missed its
+// warm-up.
+
+// Join adds a replica to the fleet and re-homes the matrix IDs the new
+// ring assigns to it, warming each before cutover. It returns how many IDs
+// moved. Requests keep flowing throughout.
+func (rt *Router) Join(spec JoinRequest) (int, error) {
+	if spec.Name == "" || spec.Base == "" {
+		return 0, fmt.Errorf("cluster: join needs name and base, got %+v", spec)
+	}
+	rt.mu.Lock()
+	if _, dup := rt.replicas[spec.Name]; dup {
+		rt.mu.Unlock()
+		return 0, fmt.Errorf("cluster: replica %q already joined", spec.Name)
+	}
+	rep := newReplica(spec)
+	rt.replicas[spec.Name] = rep
+	old := rt.ring.Load()
+	next := old.With(spec.Name)
+	var moved []*entry
+	for id, e := range rt.entries {
+		if next.Owner(id) != old.Owner(id) {
+			if len(e.holders) > 0 {
+				e.pinned = e.holders[0]
+			}
+			moved = append(moved, e)
+		}
+	}
+	rt.ring.Store(next)
+	obsRingSize.Set(float64(next.Len()))
+	rt.mu.Unlock()
+	rt.logf("cluster: %s joined; ring %v; %d matrices to move", spec.Name, next.Members(), len(moved))
+
+	count := 0
+	var lastErr error
+	for _, e := range moved {
+		if err := rt.ensureRegistered(rep, e); err != nil {
+			rt.mu.Lock()
+			e.pinned = ""
+			rt.mu.Unlock()
+			lastErr = fmt.Errorf("cluster: move %s to %s: %w", e.id, spec.Name, err)
+			rt.logf("%v", lastErr)
+			continue
+		}
+		rt.mu.Lock()
+		e.addHolderLocked(spec.Name)
+		e.pinned = ""
+		rt.mu.Unlock()
+		count++
+		rt.moves.Add(1)
+		obsMoves.Inc()
+	}
+	return count, lastErr
+}
+
+// Leave gracefully removes a replica: every matrix it holds is re-homed to
+// its post-leave ring owner (pulled from the leaver while it is still up if
+// no other holder exists), then the replica drops out of the ring and the
+// fleet. Returns how many IDs were re-homed onto a new owner.
+func (rt *Router) Leave(name string) (int, error) {
+	rt.mu.Lock()
+	if _, ok := rt.replicas[name]; !ok {
+		rt.mu.Unlock()
+		return 0, fmt.Errorf("cluster: unknown replica %q", name)
+	}
+	old := rt.ring.Load()
+	next := old.Without(name)
+	if next.Len() == 0 {
+		rt.mu.Unlock()
+		return 0, fmt.Errorf("cluster: cannot remove the last replica %q", name)
+	}
+	type moveJob struct {
+		e      *entry
+		target string
+	}
+	var jobs []moveJob
+	for id, e := range rt.entries {
+		held := false
+		for _, h := range e.holders {
+			if h == name {
+				held = true
+				break
+			}
+		}
+		if !held {
+			continue
+		}
+		target := next.Owner(id)
+		already := false
+		for _, h := range e.holders {
+			if h == target {
+				already = true
+				break
+			}
+		}
+		if already || target == "" {
+			// Another holder owns it post-leave: just drop the leaver.
+			e.dropHolderLocked(name)
+			continue
+		}
+		// Pin to a surviving holder if one exists, else keep serving from
+		// the leaver (still up — this is the graceful path) until warm.
+		pin := name
+		for _, h := range e.holders {
+			if h != name {
+				pin = h
+				break
+			}
+		}
+		e.pinned = pin
+		jobs = append(jobs, moveJob{e: e, target: target})
+	}
+	rt.ring.Store(next)
+	obsRingSize.Set(float64(next.Len()))
+	rt.mu.Unlock()
+	rt.logf("cluster: %s leaving; ring %v; %d matrices to move", name, next.Members(), len(jobs))
+
+	count := 0
+	var lastErr error
+	for _, job := range jobs {
+		rt.mu.Lock()
+		target := rt.replicas[job.target]
+		rt.mu.Unlock()
+		if target == nil {
+			lastErr = fmt.Errorf("cluster: move %s: target %s not in fleet", job.e.id, job.target)
+			continue
+		}
+		if err := rt.ensureRegistered(target, job.e); err != nil {
+			rt.mu.Lock()
+			job.e.pinned = ""
+			rt.mu.Unlock()
+			lastErr = fmt.Errorf("cluster: move %s to %s: %w", job.e.id, job.target, err)
+			rt.logf("%v", lastErr)
+			continue
+		}
+		rt.mu.Lock()
+		job.e.addHolderLocked(job.target)
+		job.e.dropHolderLocked(name)
+		job.e.pinned = ""
+		rt.mu.Unlock()
+		count++
+		rt.moves.Add(1)
+		obsMoves.Inc()
+	}
+
+	rt.mu.Lock()
+	delete(rt.replicas, name)
+	// Any remaining references (moves that failed) lose the leaver too —
+	// plan() must never route to a removed replica.
+	for _, e := range rt.entries {
+		e.dropHolderLocked(name)
+	}
+	rt.mu.Unlock()
+	return count, lastErr
+}
+
+// ensureRegistered lands the matrix on rep with its prepared-format cache
+// warm: register (spec or export-pulled triplets), verify the content
+// address, then prepare. Idempotent — re-registering an existing matrix is
+// a no-op on the replica, and prepare of a resident format is a hit.
+func (rt *Router) ensureRegistered(rep *replica, e *entry) error {
+	var rr serve.RegisterRequest
+	if e.name != "" {
+		rr = serve.RegisterRequest{Name: e.name, Scale: e.scale}
+	} else {
+		exp, err := rt.pullExport(e)
+		if err != nil {
+			return err
+		}
+		rr = exp.Request()
+	}
+	cl := rt.client(rep)
+	reg, err := cl.Register(rr)
+	if err != nil {
+		return fmt.Errorf("register: %w", err)
+	}
+	if reg.ID != e.id {
+		return fmt.Errorf("register: replica hashed %s, want %s", reg.ID, e.id)
+	}
+	if _, err := cl.Prepare(e.id); err != nil {
+		return fmt.Errorf("warm prepare: %w", err)
+	}
+	return nil
+}
+
+// pullExport fetches the canonical triplets from the first live holder.
+func (rt *Router) pullExport(e *entry) (*serve.ExportRecord, error) {
+	rt.mu.Lock()
+	holders := rt.orderAliveLocked(append([]string(nil), e.holders...))
+	rt.mu.Unlock()
+	var lastErr error
+	for _, rep := range holders {
+		exp, err := rt.client(rep).Export(e.id)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return exp, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: %s has no holders to export from", e.id)
+	}
+	return nil, lastErr
+}

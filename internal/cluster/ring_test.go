@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testIDs generates count content-address-shaped IDs from a fixed seed —
+// deterministic, so the statistical assertions below are exact reruns, not
+// samples.
+func testIDs(count int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]string, count)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%016x", rng.Uint64())
+	}
+	return ids
+}
+
+func memberNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("replica-%02d", i)
+	}
+	return names
+}
+
+// TestRingBalance pins the load-spread property the vnode count was chosen
+// for: across fleet sizes, the most-loaded member owns at most 1.35× the
+// mean over 10k IDs at 128 vnodes.
+func TestRingBalance(t *testing.T) {
+	ids := testIDs(10000, 1)
+	for _, n := range []int{2, 3, 4, 5, 8, 12, 16} {
+		r := NewRing(128, memberNames(n)...)
+		owned := map[string]int{}
+		for _, id := range ids {
+			owned[r.Owner(id)]++
+		}
+		if len(owned) != n {
+			t.Fatalf("n=%d: only %d members own anything", n, len(owned))
+		}
+		max := 0
+		for _, c := range owned {
+			if c > max {
+				max = c
+			}
+		}
+		mean := float64(len(ids)) / float64(n)
+		if skew := float64(max) / mean; skew > 1.35 {
+			t.Errorf("n=%d: max/mean ownership skew = %.3f, want <= 1.35 (max %d, mean %.0f)",
+				n, skew, max, mean)
+		}
+	}
+}
+
+// TestRingMinimalDisruption pins the consistent-hashing contract: adding one
+// member to an n-member ring moves at most ~1/(n+1) of IDs (plus slack for
+// vnode variance), and every ID that moved moved TO the new member —
+// placement between surviving members never churns.
+func TestRingMinimalDisruption(t *testing.T) {
+	ids := testIDs(10000, 2)
+	for _, n := range []int{2, 3, 5, 8, 15} {
+		before := NewRing(128, memberNames(n)...)
+		joined := fmt.Sprintf("replica-%02d", n)
+		after := before.With(joined)
+		moved := 0
+		for _, id := range ids {
+			was, is := before.Owner(id), after.Owner(id)
+			if was == is {
+				continue
+			}
+			moved++
+			if is != joined {
+				t.Fatalf("n=%d: id %s moved %s -> %s, but only moves onto the joiner %s are allowed",
+					n, id, was, is, joined)
+			}
+		}
+		frac := float64(moved) / float64(len(ids))
+		if limit := 1.0/float64(n+1) + 0.05; frac > limit {
+			t.Errorf("n=%d: join moved %.3f of IDs, want <= %.3f (~1/%d + slack)",
+				n, frac, limit, n+1)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: join moved nothing — the new member owns no arc", n)
+		}
+
+		// Leave is the mirror image: removing the joiner restores exactly
+		// the old placement (immutability + determinism).
+		restored := after.Without(joined)
+		for _, id := range ids {
+			if before.Owner(id) != restored.Owner(id) {
+				t.Fatalf("n=%d: remove did not restore placement for %s", n, id)
+			}
+		}
+	}
+}
+
+// TestRingLookupDeterminism exhaustively asserts that serialize/deserialize
+// and membership join order change nothing: Owner and the full Owners
+// preference list are identical for every ID.
+func TestRingLookupDeterminism(t *testing.T) {
+	ids := testIDs(10000, 3)
+	r := NewRing(128, "gamma", "alpha", "beta", "delta")
+
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt Ring
+	if err := json.Unmarshal(blob, &rt); err != nil {
+		t.Fatal(err)
+	}
+	// A different construction order must also collapse to the same ring.
+	reordered := NewRing(128, "delta", "beta", "alpha", "gamma")
+
+	for _, id := range ids {
+		want := r.Owners(id, 3)
+		for label, other := range map[string]*Ring{"round-tripped": &rt, "reordered": reordered} {
+			got := other.Owners(id, 3)
+			if len(got) != len(want) {
+				t.Fatalf("%s ring: Owners(%s) = %v, want %v", label, id, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s ring: Owners(%s) = %v, want %v", label, id, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRingEdgeCases covers the degenerate shapes the router must survive:
+// empty ring, single member, Owners asking for more members than exist.
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(128)
+	if got := empty.Owner("x"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	if got := empty.Owners("x", 2); got != nil {
+		t.Fatalf("empty ring owners = %v, want nil", got)
+	}
+
+	solo := NewRing(0, "only") // 0 vnodes → DefaultVNodes
+	if got := solo.Owner("anything"); got != "only" {
+		t.Fatalf("solo ring owner = %q", got)
+	}
+	if got := solo.Owners("anything", 5); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("solo ring owners = %v, want [only]", got)
+	}
+
+	r := NewRing(128, "a", "b", "c")
+	owners := r.Owners("some-id", 99)
+	if len(owners) != 3 {
+		t.Fatalf("Owners capped at %d, want all 3 members", len(owners))
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("Owners repeated member %s: %v", o, owners)
+		}
+		seen[o] = true
+	}
+	if r.Has("d") || !r.Has("b") {
+		t.Fatal("Has misreports membership")
+	}
+	dup := NewRing(128, "a", "a", "b")
+	if dup.Len() != 2 {
+		t.Fatalf("duplicate member names not collapsed: %v", dup.Members())
+	}
+}

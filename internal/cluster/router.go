@@ -1,0 +1,837 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/serve"
+)
+
+// Config parameterizes the router. The zero value of every field has a
+// serviceable default; Replicas is the only required input.
+type Config struct {
+	// Replicas is the initial fleet. More can join at runtime.
+	Replicas []JoinRequest
+	// VNodes is the ring's virtual-node count (default DefaultVNodes).
+	VNodes int
+	// ReplicateAfter is the serve-count threshold past which a matrix is
+	// considered hot and replicated to a secondary holder; <= 0 disables
+	// hot replication. Default 16.
+	ReplicateAfter int64
+	// MaxHolders caps how many replicas hold one matrix (default 2).
+	MaxHolders int
+	// SpillMargin is the in-flight-load gap beyond which a multiply
+	// spills from the owner to a less-loaded secondary holder (default 2).
+	SpillMargin int64
+	// ProbeInterval paces the health prober (default 1s). Timers come
+	// from Clock, so tests script probe rounds.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /healthz probe in REAL time (default
+	// 500ms): a hung replica is detected by its connection not answering,
+	// which no virtual clock can observe.
+	ProbeTimeout time.Duration
+	// EjectAfter is the consecutive-probe-failure count that ejects a
+	// replica from rotation (default 2). One success re-admits it.
+	EjectAfter int
+	// AttemptTimeout bounds one proxy attempt via Clock; 0 means no
+	// per-attempt timeout (the client's own deadline still applies).
+	AttemptTimeout time.Duration
+	// Clock is the timer source; nil means the wall clock. Tests inject
+	// clock.NewFake() to script probe cadence and attempt timeouts.
+	Clock clock.Clock
+	// HTTP is the proxy transport; nil uses a dedicated client.
+	HTTP *http.Client
+	// Log receives router events; nil discards.
+	Log *log.Logger
+}
+
+// Router shards content-addressed matrix IDs across spmmserve replicas. It
+// terminates the serve wire protocol on the front, proxies to replicas on
+// the back, and owns the cluster's placement state: the hash ring, the
+// holder set per matrix, health verdicts, and the rebalance pins that make
+// ring changes drainless.
+type Router struct {
+	cfg   Config
+	clk   clock.Clock
+	httpc *http.Client
+	logf  func(format string, args ...any)
+
+	ring atomic.Pointer[Ring]
+
+	mu       sync.Mutex
+	replicas map[string]*replica
+	entries  map[string]*entry
+
+	requests     atomic.Int64
+	moves        atomic.Int64
+	spillovers   atomic.Int64
+	failovers    atomic.Int64
+	ejects       atomic.Int64
+	readmits     atomic.Int64
+	replications atomic.Int64
+	probes       atomic.Int64 // completed probe rounds; tests sync on it
+
+	probeKick chan struct{}
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// replica is the router's per-replica state. Health fields are guarded by
+// the router mutex; the load/traffic counters are atomics read lock-free on
+// the proxy path.
+type replica struct {
+	name string
+	base string
+
+	down  bool // prober verdict; guarded by Router.mu
+	fails int  // consecutive probe failures; guarded by Router.mu
+
+	inFlight atomic.Int64
+	proxied  atomic.Int64
+	errors   atomic.Int64
+	obs      replicaObs
+}
+
+// entry is the placement record of one registered matrix.
+type entry struct {
+	id   string
+	rows int
+	cols int
+	// name/scale are the generator-spec provenance ("" for uploads):
+	// the cheap way to re-materialize the matrix on a new holder. Without
+	// one the rebalancer pulls canonical triplets from a live holder.
+	name  string
+	scale float64
+	// holders are replica names with the matrix registered, in the order
+	// they acquired it. Guarded by Router.mu.
+	holders []string
+	// pinned, when set, overrides ring placement while a rebalance warms
+	// the matrix on its new owner: requests keep landing on the pinned
+	// holder until the cutover clears it. Guarded by Router.mu.
+	pinned string
+	// serves counts multiplies routed for this ID — the hot-replication
+	// signal.
+	serves atomic.Int64
+	// replicating guards against stacking duplicate replication attempts.
+	replicating bool
+}
+
+// New builds a router over the configured replicas and starts its health
+// prober. Callers must Close it.
+func New(cfg Config) (*Router, error) {
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.ReplicateAfter == 0 {
+		cfg.ReplicateAfter = 16
+	}
+	if cfg.MaxHolders <= 0 {
+		cfg.MaxHolders = 2
+	}
+	if cfg.SpillMargin <= 0 {
+		cfg.SpillMargin = 2
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 500 * time.Millisecond
+	}
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = 2
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	}
+	rt := &Router{
+		cfg:       cfg,
+		clk:       cfg.Clock,
+		httpc:     cfg.HTTP,
+		replicas:  map[string]*replica{},
+		entries:   map[string]*entry{},
+		probeKick: make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+	}
+	rt.logf = func(string, ...any) {}
+	if cfg.Log != nil {
+		rt.logf = cfg.Log.Printf
+	}
+	names := make([]string, 0, len(cfg.Replicas))
+	for _, spec := range cfg.Replicas {
+		if spec.Name == "" || spec.Base == "" {
+			return nil, fmt.Errorf("cluster: replica needs name and base, got %+v", spec)
+		}
+		if _, dup := rt.replicas[spec.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate replica name %q", spec.Name)
+		}
+		rt.replicas[spec.Name] = newReplica(spec)
+		names = append(names, spec.Name)
+	}
+	ring := NewRing(cfg.VNodes, names...)
+	rt.ring.Store(ring)
+	obsRingSize.Set(float64(ring.Len()))
+
+	rt.wg.Add(1)
+	go rt.proberLoop()
+	rt.armProbe()
+	return rt, nil
+}
+
+func newReplica(spec JoinRequest) *replica {
+	return &replica{name: spec.Name, base: spec.Base, obs: newReplicaObs(spec.Name)}
+}
+
+// Close stops the prober. In-flight proxies complete on their own.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() { close(rt.stop) })
+	rt.wg.Wait()
+}
+
+// client builds a serve.Client against one replica for control-plane calls
+// (export, register, prepare) the router issues itself.
+func (rt *Router) client(rep *replica) *serve.Client {
+	return &serve.Client{Base: rep.base, HTTP: rt.httpc, MaxAttempts: 2, RetryConnErrors: true}
+}
+
+// Handler is the router's HTTP surface: the serve protocol verbatim on the
+// front plus the /v1/cluster control plane.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/matrices", rt.handleRegister)
+	mux.HandleFunc("GET /v1/matrices", rt.handleList)
+	mux.HandleFunc("GET /v1/matrices/{id}", rt.handleProxy)
+	mux.HandleFunc("GET /v1/matrices/{id}/export", rt.handleProxy)
+	mux.HandleFunc("POST /v1/matrices/{id}/prepare", rt.handleProxy)
+	mux.HandleFunc("POST /v1/matrices/{id}/multiply", rt.handleMultiply)
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
+	mux.HandleFunc("POST /v1/cluster/join", rt.handleJoin)
+	mux.HandleFunc("POST /v1/cluster/leave", rt.handleLeave)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, serve.ErrorResponse{Error: err.Error()})
+}
+
+// handleRegister content-addresses the upload locally, routes it to the
+// ring owner (falling over to the next alive preference), and records the
+// placement. Because the ID is computed before any replica is contacted,
+// placement is deterministic and re-registration is idempotent end to end.
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	obsRequests.Inc()
+	body, err := io.ReadAll(io.LimitReader(r.Body, 256<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var rr serve.RegisterRequest
+	if err := json.Unmarshal(body, &rr); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: register body: %w", err))
+		return
+	}
+	m, err := serve.Materialize(rr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	serve.Canonicalize(m)
+	id := serve.ContentID(m)
+
+	cands := rt.registerCandidates(id)
+	if len(cands) == 0 {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: no replica available"))
+		return
+	}
+	var lastErr error
+	for _, rep := range cands {
+		resp, release, err := rt.roundTrip(r.Context(), rep, http.MethodPost, "/v1/matrices", "application/json", body)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			relayResponse(w, resp, rep.name)
+			release()
+			return
+		}
+		var reg serve.RegisterResponse
+		raw, err := io.ReadAll(resp.Body)
+		release()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := json.Unmarshal(raw, &reg); err != nil {
+			lastErr = err
+			continue
+		}
+		if reg.ID != id {
+			writeError(w, http.StatusBadGateway,
+				fmt.Errorf("cluster: replica %s registered %s, router hashed %s", rep.name, reg.ID, id))
+			return
+		}
+		rt.recordPlacement(&reg, rr, rep.name)
+		w.Header().Set(serve.HeaderReplica, rep.name)
+		writeJSON(w, http.StatusOK, &reg)
+		return
+	}
+	writeError(w, http.StatusBadGateway, fmt.Errorf("cluster: register failed on every candidate: %w", lastErr))
+}
+
+// registerCandidates orders replicas for a registration: existing holders
+// first (idempotent re-register), then ring preference, alive before down.
+func (rt *Router) registerCandidates(id string) []*replica {
+	ring := rt.ring.Load()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var names []string
+	if e, ok := rt.entries[id]; ok {
+		names = append(names, e.holders...)
+	}
+	names = append(names, ring.Owners(id, ring.Len())...)
+	return rt.orderAliveLocked(names)
+}
+
+// orderAliveLocked dedups names into replicas, alive first, preserving
+// relative order. Callers hold rt.mu.
+func (rt *Router) orderAliveLocked(names []string) []*replica {
+	seen := map[string]bool{}
+	var alive, downs []*replica
+	for _, n := range names {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		rep, ok := rt.replicas[n]
+		if !ok {
+			continue
+		}
+		if rep.down {
+			downs = append(downs, rep)
+		} else {
+			alive = append(alive, rep)
+		}
+	}
+	return append(alive, downs...)
+}
+
+// recordPlacement records (or extends) the placement entry after a
+// successful registration on rep.
+func (rt *Router) recordPlacement(reg *serve.RegisterResponse, rr serve.RegisterRequest, rep string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	e, ok := rt.entries[reg.ID]
+	if !ok {
+		scale := rr.Scale
+		if rr.Name != "" && scale == 0 {
+			scale = 1
+		}
+		e = &entry{id: reg.ID, rows: reg.Rows, cols: reg.Cols, name: rr.Name, scale: scale}
+		rt.entries[reg.ID] = e
+	}
+	e.addHolderLocked(rep)
+}
+
+// addHolderLocked appends a holder if absent. Callers hold Router.mu.
+func (e *entry) addHolderLocked(name string) {
+	for _, h := range e.holders {
+		if h == name {
+			return
+		}
+	}
+	e.holders = append(e.holders, name)
+}
+
+func (e *entry) dropHolderLocked(name string) {
+	kept := e.holders[:0]
+	for _, h := range e.holders {
+		if h != name {
+			kept = append(kept, h)
+		}
+	}
+	e.holders = kept
+	if e.pinned == name {
+		e.pinned = ""
+	}
+}
+
+// plan orders the replicas to try for one request against id: the pinned
+// holder during a rebalance cutover, then ring preference restricted to
+// holders, then any remaining holders — alive before down, with one
+// load-aware swap when the owner is loaded and a secondary holder is not
+// (spillover).
+func (rt *Router) plan(id string) (*entry, []*replica, error) {
+	ring := rt.ring.Load()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	e, ok := rt.entries[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("cluster: unknown matrix %q", id)
+	}
+	holds := map[string]bool{}
+	for _, h := range e.holders {
+		holds[h] = true
+	}
+	var names []string
+	if e.pinned != "" && holds[e.pinned] {
+		names = append(names, e.pinned)
+	}
+	for _, n := range ring.Owners(id, ring.Len()) {
+		if holds[n] {
+			names = append(names, n)
+		}
+	}
+	names = append(names, e.holders...)
+	cands := rt.orderAliveLocked(names)
+	if len(cands) == 0 {
+		return nil, nil, fmt.Errorf("cluster: matrix %q has no live holder", id)
+	}
+	if e.pinned == "" && len(cands) >= 2 && !cands[0].down && !cands[1].down {
+		if cands[0].inFlight.Load() > cands[1].inFlight.Load()+rt.cfg.SpillMargin {
+			cands[0], cands[1] = cands[1], cands[0]
+			rt.spillovers.Add(1)
+			obsSpillovers.Inc()
+		}
+	}
+	return e, cands, nil
+}
+
+// handleMultiply proxies a multiply with failover: candidates are tried in
+// plan order, transport errors and overload/unavailable statuses move to
+// the next holder, and the client sees only the final outcome — a replica
+// kill mid-stream surfaces as a connection error on the router, not the
+// client.
+func (rt *Router) handleMultiply(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	obsRequests.Inc()
+	id := r.PathValue("id")
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	e, cands, err := rt.plan(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	path := "/v1/matrices/" + id + "/multiply"
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	var lastErr error
+	for i, rep := range cands {
+		resp, release, err := rt.roundTrip(r.Context(), rep, http.MethodPost, path, "application/octet-stream", body, forwardHeader(r, serve.HeaderDeadlineMs)...)
+		if err != nil {
+			lastErr = fmt.Errorf("cluster: replica %s: %w", rep.name, err)
+			rt.logf("cluster: multiply %s on %s failed: %v", id, rep.name, err)
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			// Buffer the whole panel before acking. A replica killed after
+			// sending its status line but before finishing the body must
+			// surface here as a read error — and fail over — never as a
+			// truncated 200 on the client. The attempt timer stays armed
+			// until release, so a mid-body hang is still bounded.
+			payload, rerr := io.ReadAll(resp.Body)
+			if rerr != nil {
+				release()
+				lastErr = fmt.Errorf("cluster: replica %s died mid-response: %w", rep.name, rerr)
+				rt.logf("cluster: multiply %s on %s cut mid-response: %v", id, rep.name, rerr)
+				continue
+			}
+			if i > 0 {
+				rt.failovers.Add(1)
+				obsFailovers.Inc()
+			}
+			e.serves.Add(1)
+			relayHeaders(w, resp, rep.name)
+			w.WriteHeader(resp.StatusCode)
+			w.Write(payload)
+			release()
+			rt.maybeReplicate(e)
+			return
+		case http.StatusNotFound:
+			// The replica lost the matrix (restarted without durability):
+			// drop it from the holder set and try the next candidate.
+			rt.mu.Lock()
+			e.dropHolderLocked(rep.name)
+			rt.mu.Unlock()
+			lastErr = fmt.Errorf("cluster: replica %s no longer holds %s", rep.name, id)
+			release()
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			lastErr = fmt.Errorf("cluster: replica %s returned %d", rep.name, resp.StatusCode)
+			if len(cands) == i+1 {
+				// Out of candidates: relay the replica's own verdict
+				// (Retry-After and all) instead of masking it.
+				relayResponse(w, resp, rep.name)
+				release()
+				return
+			}
+			release()
+		default:
+			// Deterministic client error (bad k, malformed panel): every
+			// replica would answer the same, so relay immediately.
+			relayResponse(w, resp, rep.name)
+			release()
+			return
+		}
+	}
+	writeError(w, http.StatusBadGateway, fmt.Errorf("cluster: all holders failed: %w", lastErr))
+}
+
+// handleProxy forwards info/export/prepare to the first holder that
+// answers, with the same failover discipline as multiply.
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	obsRequests.Inc()
+	id := r.PathValue("id")
+	_, cands, err := rt.plan(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	path := r.URL.Path
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	var lastErr error
+	for _, rep := range cands {
+		resp, release, err := rt.roundTrip(r.Context(), rep, r.Method, path, "application/json", nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		relayResponse(w, resp, rep.name)
+		release()
+		return
+	}
+	writeError(w, http.StatusBadGateway, fmt.Errorf("cluster: all holders failed: %w", lastErr))
+}
+
+// forwardHeader copies the named request headers into outbound form.
+func forwardHeader(r *http.Request, names ...string) []headerPair {
+	var out []headerPair
+	for _, n := range names {
+		if v := r.Header.Get(n); v != "" {
+			out = append(out, headerPair{n, v})
+		}
+	}
+	return out
+}
+
+type headerPair struct{ name, value string }
+
+// roundTrip performs one proxy attempt against a replica, tracking load and
+// latency. The returned release func must be called after the response body
+// has been consumed; it disarms the attempt timer (scheduled on the
+// router's clock so tests can script it) and settles the counters.
+func (rt *Router) roundTrip(parent context.Context, rep *replica, method, path, contentType string, body []byte, extra ...headerPair) (*http.Response, func(), error) {
+	ctx, cancel := context.WithCancel(parent)
+	var timer clock.Timer
+	if rt.cfg.AttemptTimeout > 0 {
+		timer = rt.clk.AfterFunc(rt.cfg.AttemptTimeout, cancel)
+	}
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rep.base+path, rdr)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", contentType)
+	}
+	for _, h := range extra {
+		req.Header.Set(h.name, h.value)
+	}
+	rep.inFlight.Add(1)
+	rep.proxied.Add(1)
+	rep.obs.proxied.Inc()
+	start := time.Now()
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		rep.inFlight.Add(-1)
+		rep.errors.Add(1)
+		rep.obs.errors.Inc()
+		if timer != nil {
+			timer.Stop()
+		}
+		cancel()
+		return nil, nil, err
+	}
+	release := func() {
+		resp.Body.Close()
+		rep.inFlight.Add(-1)
+		rep.obs.seconds.Observe(time.Since(start).Seconds())
+		if timer != nil {
+			timer.Stop()
+		}
+		cancel()
+	}
+	return resp, release, nil
+}
+
+// relayHeaders copies the serve-protocol headers and the replica identity
+// onto an outgoing response.
+func relayHeaders(w http.ResponseWriter, resp *http.Response, replicaName string) {
+	for _, h := range []string{"Content-Type", "Retry-After",
+		serve.HeaderFormat, serve.HeaderCache, serve.HeaderVariant,
+		serve.HeaderBatchWidth, serve.HeaderBatchK} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set(serve.HeaderReplica, replicaName)
+}
+
+// relayResponse copies a replica response to the client: headers, status,
+// and the body stream.
+func relayResponse(w http.ResponseWriter, resp *http.Response, replicaName string) {
+	relayHeaders(w, resp, replicaName)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// maybeReplicate kicks off hot replication when an entry's serve count
+// crosses the threshold and it still has holder headroom. The copy happens
+// off the request path; concurrent triggers collapse onto one attempt.
+func (rt *Router) maybeReplicate(e *entry) {
+	if rt.cfg.ReplicateAfter <= 0 || e.serves.Load() < rt.cfg.ReplicateAfter {
+		return
+	}
+	ring := rt.ring.Load()
+	rt.mu.Lock()
+	if e.replicating || len(e.holders) >= rt.cfg.MaxHolders || len(e.holders) >= len(rt.replicas) {
+		rt.mu.Unlock()
+		return
+	}
+	holds := map[string]bool{}
+	for _, h := range e.holders {
+		holds[h] = true
+	}
+	var target *replica
+	for _, n := range ring.Owners(e.id, ring.Len()) {
+		if rep, ok := rt.replicas[n]; ok && !holds[n] && !rep.down {
+			target = rep
+			break
+		}
+	}
+	if target == nil {
+		rt.mu.Unlock()
+		return
+	}
+	e.replicating = true
+	rt.mu.Unlock()
+
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		err := rt.ensureRegistered(target, e)
+		rt.mu.Lock()
+		e.replicating = false
+		if err == nil {
+			e.addHolderLocked(target.name)
+		}
+		rt.mu.Unlock()
+		if err != nil {
+			rt.logf("cluster: replicate %s to %s: %v", e.id, target.name, err)
+			return
+		}
+		rt.replications.Add(1)
+		obsReplications.Inc()
+		rt.logf("cluster: replicated hot matrix %s to %s", e.id, target.name)
+	}()
+}
+
+// handleList merges the live replicas' listings, deduped by ID in the
+// router's placement order — so a serve.Client sees one coherent registry.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	obsRequests.Inc()
+	merged := map[string]serve.MatrixInfo{}
+	for _, rep := range rt.aliveReplicas() {
+		infos, err := rt.client(rep).Matrices()
+		if err != nil {
+			continue
+		}
+		for _, info := range infos {
+			if _, ok := merged[info.ID]; !ok {
+				merged[info.ID] = info
+			}
+		}
+	}
+	out := make([]serve.MatrixInfo, 0, len(merged))
+	for _, info := range merged {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStats aggregates the fleet's serve counters so single-node
+// tooling (spmmload's summary, the e2e asserts) works against a cluster
+// unchanged: counts sum, matrix totals dedup through the router's view.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	obsRequests.Inc()
+	var agg serve.StatsResponse
+	for _, rep := range rt.aliveReplicas() {
+		st, err := rt.client(rep).Stats()
+		if err != nil {
+			continue
+		}
+		agg.Requests += st.Requests
+		agg.Multiplies += st.Multiplies
+		agg.Batches += st.Batches
+		agg.BatchedRequests += st.BatchedRequests
+		agg.Shed += st.Shed
+		agg.Timeouts += st.Timeouts
+		agg.InFlight += st.InFlight
+		agg.Queued += st.Queued
+		agg.Cache.Entries += st.Cache.Entries
+		agg.Cache.Bytes += st.Cache.Bytes
+		agg.Cache.CapacityBytes += st.Cache.CapacityBytes
+		agg.Cache.Hits += st.Cache.Hits
+		agg.Cache.Misses += st.Cache.Misses
+		agg.Cache.Prepares += st.Cache.Prepares
+		agg.Cache.Evictions += st.Cache.Evictions
+		for v, n := range st.Variants {
+			if agg.Variants == nil {
+				agg.Variants = map[string]int64{}
+			}
+			agg.Variants[v] += n
+		}
+	}
+	rt.mu.Lock()
+	agg.Matrices = len(rt.entries)
+	rt.mu.Unlock()
+	writeJSON(w, http.StatusOK, &agg)
+}
+
+func (rt *Router) aliveReplicas() []*replica {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	names := make([]string, 0, len(rt.replicas))
+	for n := range rt.replicas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*replica, 0, len(names))
+	for _, n := range names {
+		if rep := rt.replicas[n]; !rep.down {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// ClusterStats snapshots the router's placement and event counters.
+func (rt *Router) ClusterStats() Stats {
+	ring := rt.ring.Load()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	st := Stats{
+		Ring:         ring.Members(),
+		Matrices:     len(rt.entries),
+		Placements:   map[string][]string{},
+		Requests:     rt.requests.Load(),
+		Moves:        rt.moves.Load(),
+		Spillovers:   rt.spillovers.Load(),
+		Failovers:    rt.failovers.Load(),
+		Ejects:       rt.ejects.Load(),
+		Readmits:     rt.readmits.Load(),
+		Replications: rt.replications.Load(),
+	}
+	held := map[string]int{}
+	for id, e := range rt.entries {
+		st.Placements[id] = append([]string(nil), e.holders...)
+		for _, h := range e.holders {
+			held[h]++
+		}
+	}
+	names := make([]string, 0, len(rt.replicas))
+	for n := range rt.replicas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		rep := rt.replicas[n]
+		st.Replicas = append(st.Replicas, ReplicaStats{
+			Name: rep.name, Base: rep.base, Down: rep.down,
+			Matrices: held[rep.name],
+			InFlight: rep.inFlight.Load(),
+			Proxied:  rep.proxied.Load(),
+			Errors:   rep.errors.Load(),
+		})
+	}
+	return st
+}
+
+func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	obsRequests.Inc()
+	writeJSON(w, http.StatusOK, rt.ClusterStats())
+}
+
+func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var jr JoinRequest
+	if err := json.NewDecoder(r.Body).Decode(&jr); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	moved, err := rt.Join(jr)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	rt.mu.Lock()
+	total := len(rt.entries)
+	rt.mu.Unlock()
+	writeJSON(w, http.StatusOK, JoinResponse{
+		Moved: moved, Matrices: total, Ring: rt.ring.Load().Members(),
+	})
+}
+
+func (rt *Router) handleLeave(w http.ResponseWriter, r *http.Request) {
+	var lr LeaveRequest
+	if err := json.NewDecoder(r.Body).Decode(&lr); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	moved, err := rt.Leave(lr.Name)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, LeaveResponse{Moved: moved, Ring: rt.ring.Load().Members()})
+}

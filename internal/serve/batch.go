@@ -3,8 +3,8 @@ package serve
 import (
 	"context"
 	"sync"
-	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/matrix"
 	"repro/internal/trace"
@@ -25,7 +25,7 @@ type batcher struct {
 	mu       sync.Mutex
 	pending  []*batchRequest
 	pendingK int
-	timer    *time.Timer
+	timer    clock.Timer
 }
 
 // batchRequest is one caller's panel waiting in the batch. done is buffered
@@ -66,7 +66,9 @@ func (t *batcher) multiply(ctx context.Context, kern core.Kernel, plan Plan, b *
 	t.pending = append(t.pending, req)
 	t.pendingK += k
 	if len(t.pending) == 1 {
-		t.timer = time.AfterFunc(t.s.cfg.BatchWindow, t.flushPending)
+		// The window timer comes from the server's injectable clock, so
+		// tests script the coalescing window instead of sleeping on it.
+		t.timer = t.s.clk.AfterFunc(t.s.cfg.BatchWindow, t.flushPending)
 	}
 	var full []*batchRequest
 	if t.pendingK >= t.s.cfg.MaxBatchK {

@@ -41,6 +41,10 @@ type Client struct {
 	// RetryConnErrors extends retry to transport errors (connection
 	// refused/reset) — for riding out a server crash-and-restart window.
 	RetryConnErrors bool
+	// Sleep paces the retry waits; nil means time.Sleep. Tests inject a
+	// recorder so retry pacing is asserted deterministically, not slept
+	// through — the injectable-time pattern internal/clock generalizes.
+	Sleep func(time.Duration)
 
 	attempts atomic.Int64
 	retries  atomic.Int64
@@ -136,7 +140,7 @@ func (c *Client) do(build func() (*http.Request, error)) (*http.Response, error)
 			if !c.RetryConnErrors || attempt >= maxAttempts {
 				return nil, err
 			}
-			time.Sleep(c.retryDelay(attempt, 0))
+			c.sleep(c.retryDelay(attempt, 0))
 			continue
 		}
 		if resp.StatusCode == http.StatusOK {
@@ -148,8 +152,16 @@ func (c *Client) do(build func() (*http.Request, error)) (*http.Response, error)
 		if !ok || !se.Retryable() || attempt >= maxAttempts {
 			return nil, serr
 		}
-		time.Sleep(c.retryDelay(attempt, se.RetryAfter))
+		c.sleep(c.retryDelay(attempt, se.RetryAfter))
 	}
+}
+
+func (c *Client) sleep(d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 func (c *Client) postJSON(path string, in, out any) error {
@@ -203,6 +215,27 @@ func (c *Client) Matrices() ([]MatrixInfo, error) {
 	return out, nil
 }
 
+// Export fetches the registry-metadata export of one matrix: canonical
+// triplets plus generator-spec provenance, enough to re-register the exact
+// matrix (same content ID) anywhere.
+func (c *Client) Export(id string) (*ExportRecord, error) {
+	var out ExportRecord
+	if err := c.getJSON("/v1/matrices/"+id+"/export", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Prepare warms the prepared-format cache for one matrix. The response
+// reports whether the plan-current format was already resident.
+func (c *Client) Prepare(id string) (*PrepareResponse, error) {
+	var out PrepareResponse
+	if err := c.postJSON("/v1/matrices/"+id+"/prepare", struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Stats fetches the serving counters.
 func (c *Client) Stats() (*StatsResponse, error) {
 	var out StatsResponse
@@ -227,6 +260,9 @@ type MultiplyResult struct {
 	BatchWidth int
 	// BatchK is the dispatch's total dense-column count.
 	BatchK int
+	// Replica names the cluster replica that served the multiply
+	// (X-Spmm-Replica, set by spmmrouter; "" against a single server).
+	Replica string
 }
 
 // Multiply computes C[:, :k] = A×B[:, :k] on the server for the registered
@@ -267,6 +303,7 @@ func (c *Client) Multiply(id string, rows int, b *matrix.Dense[float64], k int, 
 		CacheHit:   resp.Header.Get(HeaderCache) == "hit",
 		BatchWidth: width,
 		BatchK:     batchK,
+		Replica:    resp.Header.Get(HeaderReplica),
 	}, nil
 }
 

@@ -36,10 +36,17 @@ const (
 	// HeaderDeadlineMs is the request header carrying the client's
 	// deadline in milliseconds; absent means the server default applies.
 	HeaderDeadlineMs = "X-Spmm-Deadline-Ms"
+	// HeaderReplica is set by the cluster router (cmd/spmmrouter) on every
+	// proxied response: the name of the replica that actually served it.
+	// Single-node servers never set it.
+	HeaderReplica = "X-Spmm-Replica"
 )
 
 // RegisterRequest uploads a matrix. Exactly one source must be set: a
-// generator spec (Name, optionally Scale) or inline MatrixMarket text (MTX).
+// generator spec (Name, optionally Scale), inline MatrixMarket text (MTX),
+// or raw COO triplets (Rows/Cols/RowIdx/ColIdx/Vals — the shape
+// ExportRecord carries, so a matrix exported from one replica re-registers
+// on another byte-for-byte; the cluster rebalancer moves shards this way).
 type RegisterRequest struct {
 	// Name is a generator-registry matrix name (gen.Names).
 	Name string `json:"name,omitempty"`
@@ -47,7 +54,17 @@ type RegisterRequest struct {
 	Scale float64 `json:"scale,omitempty"`
 	// MTX is inline MatrixMarket text.
 	MTX string `json:"mtx,omitempty"`
+	// Rows/Cols/RowIdx/ColIdx/Vals carry a raw COO upload (canonical or
+	// not; the registry canonicalizes). Set Rows and Cols to use them.
+	Rows   int       `json:"rows,omitempty"`
+	Cols   int       `json:"cols,omitempty"`
+	RowIdx []int32   `json:"row_idx,omitempty"`
+	ColIdx []int32   `json:"col_idx,omitempty"`
+	Vals   []float64 `json:"vals,omitempty"`
 }
+
+// Triplets reports whether the request carries a raw COO upload.
+func (r *RegisterRequest) Triplets() bool { return r.Rows > 0 || r.Cols > 0 || len(r.Vals) > 0 }
 
 // RegisterResponse describes the registered matrix. Registration is
 // idempotent: the ID is content-addressed, so re-uploading the same matrix
@@ -88,6 +105,11 @@ type MatrixInfo struct {
 	Format   string `json:"format"`
 	Schedule string `json:"schedule"`
 	Block    int    `json:"block"`
+	// Name/Scale are the generator-spec provenance ("" for direct
+	// uploads) — the registry metadata a cluster router needs to
+	// re-materialize the matrix on another replica without the triplets.
+	Name  string  `json:"name,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
 	// Variant/PlanVersion identify the serving plan currently installed
 	// (promotions by the online tuner bump the version).
 	Variant     string `json:"variant"`
@@ -155,6 +177,47 @@ type TuneSummary struct {
 	Rejects    int64 `json:"rejects"`
 	Dropped    int64 `json:"dropped"`
 	Stale      int64 `json:"stale"`
+}
+
+// ExportRecord is the registry-metadata export of one matrix
+// (GET /v1/matrices/{id}/export): the canonical triplets plus the
+// generator-spec provenance. It is exactly what another replica needs to
+// register the identical matrix — the cluster rebalancer pulls it from a
+// live holder when a shard moves and its provenance has no generator spec.
+type ExportRecord struct {
+	ID    string  `json:"id"`
+	Rows  int     `json:"rows"`
+	Cols  int     `json:"cols"`
+	Name  string  `json:"name,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+	// RowIdx/ColIdx/Vals are the canonical (row-major sorted, deduped)
+	// triplets — registering them anywhere hashes back to ID.
+	RowIdx []int32   `json:"row_idx"`
+	ColIdx []int32   `json:"col_idx"`
+	Vals   []float64 `json:"vals"`
+}
+
+// Request turns an export back into a registration request. It prefers the
+// triplets (always present, always exact) so the receiving replica needs no
+// generator determinism guarantees.
+func (e *ExportRecord) Request() RegisterRequest {
+	return RegisterRequest{
+		Rows: e.Rows, Cols: e.Cols,
+		RowIdx: e.RowIdx, ColIdx: e.ColIdx, Vals: e.Vals,
+	}
+}
+
+// PrepareResponse answers the warm-prepare endpoint
+// (POST /v1/matrices/{id}/prepare): Cache is "hit" when the plan-current
+// prepared format was already resident, "prepare" when this call built it.
+// The cluster rebalancer calls it on a shard's new owner before flipping
+// the ring, so the first routed multiply is a cache hit.
+type PrepareResponse struct {
+	ID          string `json:"id"`
+	Cache       string `json:"cache"`
+	Format      string `json:"format"`
+	Variant     string `json:"variant"`
+	FormatBytes int    `json:"format_bytes"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

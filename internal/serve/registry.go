@@ -380,6 +380,7 @@ func (r *Registry) List() []MatrixInfo {
 		out = append(out, MatrixInfo{
 			ID: m.ID, Rows: m.COO.Rows, Cols: m.COO.Cols, NNZ: m.COO.NNZ(),
 			Format: plan.Format, Schedule: plan.Schedule.String(), Block: plan.Block,
+			Name: m.Source.Name, Scale: m.Source.Scale,
 			Variant: plan.Variant, PlanVersion: plan.Version,
 			Prepared: prepared,
 		})

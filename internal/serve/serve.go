@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/harness"
@@ -81,6 +82,10 @@ type Config struct {
 	Tracer *trace.Tracer
 	// Log receives serving lifecycle notes; nil discards them.
 	Log *slog.Logger
+	// Clock drives the batch-window timers; nil means the wall clock.
+	// Tests inject clock.NewFake() so window expiry is a deterministic
+	// Advance, not a sleep.
+	Clock clock.Clock
 
 	// DataDir enables crash-safe serving: registrations are journaled to
 	// a fsynced WAL in this directory before they are acked, compacted
@@ -114,6 +119,7 @@ type Server struct {
 	ownPool bool
 	tracer  *trace.Tracer
 	log     *slog.Logger
+	clk     clock.Clock
 	store   *Store
 	tuner   *tune.Tuner
 	// draining flips when shutdown begins: new expensive requests get a
@@ -163,6 +169,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SnapshotEvery == 0 {
 		cfg.SnapshotEvery = 64
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
 	s := &Server{
 		cfg:      cfg,
 		reg:      NewRegistry(cfg.CacheBytes, cfg.Threads),
@@ -170,6 +179,7 @@ func New(cfg Config) (*Server, error) {
 		pool:     cfg.Pool,
 		tracer:   cfg.Tracer,
 		log:      cfg.Log,
+		clk:      cfg.Clock,
 		batchers: map[string]*batcher{},
 		variants: map[string]int64{},
 	}
@@ -369,6 +379,8 @@ func (s *Server) params(plan Plan, k int) core.Params {
 //	POST /v1/matrices              register (JSON in, JSON out)
 //	GET  /v1/matrices              list registered matrices
 //	GET  /v1/matrices/{id}         one matrix's info
+//	GET  /v1/matrices/{id}/export  registry-metadata export (canonical triplets + spec)
+//	POST /v1/matrices/{id}/prepare warm the prepared-format cache
 //	POST /v1/matrices/{id}/multiply?k=K   multiply (binary panels)
 //	GET  /v1/stats                 serving counters snapshot
 //	GET  /v1/tune                  auto-tuner decision trail
@@ -378,6 +390,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/matrices", s.handleRegister)
 	mux.HandleFunc("GET /v1/matrices", s.handleList)
 	mux.HandleFunc("GET /v1/matrices/{id}", s.handleInfo)
+	mux.HandleFunc("GET /v1/matrices/{id}/export", s.handleExport)
+	mux.HandleFunc("POST /v1/matrices/{id}/prepare", s.handlePrepare)
 	mux.HandleFunc("POST /v1/matrices/{id}/multiply", s.handleMultiply)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/tune", s.handleTune)
@@ -398,6 +412,21 @@ func (s *Server) batcherFor(m *Matrix) *batcher {
 		s.batchers[m.ID] = t
 	}
 	return t
+}
+
+// pendingBatch reports how many requests are waiting in the matrix's open
+// batch window — the synchronization hook fake-clock tests poll before
+// advancing past the window.
+func (s *Server) pendingBatch(id string) int {
+	s.mu.Lock()
+	t, ok := s.batchers[id]
+	s.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pending)
 }
 
 // maxRegisterBody caps a register request body. The WAL's per-record replay
@@ -431,11 +460,21 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, ErrorResponse{Error: err.Error()})
 }
 
-// loadUpload materializes the COO matrix a register request describes.
-func loadUpload(req RegisterRequest) (*matrix.COO[float64], error) {
+// Materialize builds the COO matrix a register request describes: generator
+// spec, inline MatrixMarket text, or raw triplets. It is exported so the
+// cluster router can compute a registration's content-addressed ID (and
+// thereby its shard owner) without registering anywhere first.
+func Materialize(req RegisterRequest) (*matrix.COO[float64], error) {
+	sources := 0
+	for _, set := range []bool{req.MTX != "", req.Name != "", req.Triplets()} {
+		if set {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return nil, errors.New("serve: register carries more than one matrix source")
+	}
 	switch {
-	case req.MTX != "" && req.Name != "":
-		return nil, errors.New("serve: register carries both a spec and MTX text")
 	case req.MTX != "":
 		return mmio.ReadCOO[float64](strings.NewReader(req.MTX))
 	case req.Name != "":
@@ -445,8 +484,17 @@ func loadUpload(req RegisterRequest) (*matrix.COO[float64], error) {
 		}
 		m, _, err := gen.GenerateScaled(req.Name, scale)
 		return m, err
+	case req.Triplets():
+		m := &matrix.COO[float64]{
+			Rows: req.Rows, Cols: req.Cols,
+			RowIdx: req.RowIdx, ColIdx: req.ColIdx, Vals: req.Vals,
+		}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: register triplets: %w", err)
+		}
+		return m, nil
 	default:
-		return nil, errors.New("serve: register needs a generator spec or MTX text")
+		return nil, errors.New("serve: register needs a generator spec, MTX text, or triplets")
 	}
 }
 
@@ -463,7 +511,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad register body: %w", err))
 		return
 	}
-	coo, err := loadUpload(req)
+	coo, err := Materialize(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -536,6 +584,70 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleExport serves the registry-metadata export: the canonical triplets
+// plus generator-spec provenance, enough for any other replica to register
+// the identical matrix (same content hash). This is the data path of a
+// cluster shard move.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	obsRequests.Inc()
+	id := r.PathValue("id")
+	m, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown matrix %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, ExportRecord{
+		ID: m.ID, Rows: m.COO.Rows, Cols: m.COO.Cols,
+		Name: m.Source.Name, Scale: m.Source.Scale,
+		RowIdx: m.COO.RowIdx, ColIdx: m.COO.ColIdx, Vals: m.COO.Vals,
+	})
+}
+
+// handlePrepare warms the prepared-format cache for one matrix under the
+// admission gate — the cluster rebalancer's pre-cutover step, so the first
+// multiply routed to a shard's new owner is a cache hit, not a prepare.
+// Idempotent; the response (and the X-Spmm-Cache header) reports whether
+// the plan-current format was already resident.
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	obsRequests.Inc()
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	id := r.PathValue("id")
+	m, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown matrix %q", id))
+		return
+	}
+	if err := s.adm.acquire(r.Context()); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			writeError(w, http.StatusTooManyRequests, err)
+		} else {
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("serve: deadline expired in queue: %w", err))
+		}
+		return
+	}
+	kern, plan, hit, err := s.reg.Prepared(r.Context(), id)
+	s.adm.release()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	cache := "prepare"
+	if hit {
+		cache = "hit"
+	}
+	w.Header().Set(HeaderCache, cache)
+	writeJSON(w, http.StatusOK, PrepareResponse{
+		ID: m.ID, Cache: cache, Format: plan.Format,
+		Variant: plan.Variant, FormatBytes: kern.Bytes(),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -11,11 +11,27 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/matrix"
 	"repro/internal/trace"
 )
+
+// waitFor polls cond until it holds, failing the test after a generous
+// real-time bound. It is the bridge between real goroutines (HTTP handlers
+// parked on channels) and the fake clock: wait for the system to quiesce in
+// the state the test wants, then advance virtual time deterministically.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
 
 // newTestServer spins up an in-process service on a random port and a client
 // pointed at it. The returned teardown (also registered with t.Cleanup, and
@@ -176,19 +192,24 @@ func TestEndToEndServe(t *testing.T) {
 // TestBatchCoalescing pins the tentpole's throughput mechanism: concurrent
 // same-matrix requests inside the window come back from ONE wider-k kernel
 // dispatch — visible both in the response metadata and as a single "batch"
-// trace span whose arg is the coalesced width.
+// trace span whose arg is the coalesced width. The batch window runs on an
+// injected clock, so the test waits for every caller to join the open batch
+// and then elapses the window in one deterministic Advance — all callers
+// coalesce, every run.
 func TestBatchCoalescing(t *testing.T) {
 	const k = 8
 	const callers = 4
 
 	tracer := trace.New(4, 1<<12)
 	tracer.SetEnabled(true)
+	clk := clock.NewFake()
 	srv, client, _ := newTestServer(t, Config{
 		Threads:     2,
 		BatchWindow: 100 * time.Millisecond,
 		MaxInFlight: 2 * callers,
 		QueueDepth:  2 * callers,
 		Tracer:      tracer,
+		Clock:       clk,
 	})
 	reg, err := client.Register(RegisterRequest{Name: "dw4096", Scale: 0.02})
 	if err != nil {
@@ -211,20 +232,26 @@ func TestBatchCoalescing(t *testing.T) {
 		}(i)
 	}
 	close(start)
+	// The fake clock keeps the window open until every caller has joined;
+	// one Advance then flushes the whole batch as a single dispatch.
+	waitFor(t, "all callers in the open batch", func() bool {
+		return srv.pendingBatch(reg.ID) == callers
+	})
+	clk.Advance(100 * time.Millisecond)
 	wg.Wait()
 
 	refC := matrix.NewDense[float64](reg.Rows, k)
-	maxWidth := 0
 	for i := 0; i < callers; i++ {
 		if errs[i] != nil {
 			t.Fatalf("caller %d: %v", i, errs[i])
 		}
 		res := results[i]
-		if res.BatchWidth > maxWidth {
-			maxWidth = res.BatchWidth
+		if res.BatchWidth != callers {
+			t.Fatalf("caller %d: batch width = %d, want %d (scripted window coalesces every caller)",
+				i, res.BatchWidth, callers)
 		}
-		if res.BatchK != res.BatchWidth*k {
-			t.Fatalf("caller %d: dispatch k = %d for width %d, want %d", i, res.BatchK, res.BatchWidth, res.BatchWidth*k)
+		if res.BatchK != callers*k {
+			t.Fatalf("caller %d: dispatch k = %d, want %d", i, res.BatchK, callers*k)
 		}
 		// Coalescing must not perturb results: still bitwise-serial.
 		if err := ref.Calculate(panels[i], refC, refParams); err != nil {
@@ -234,17 +261,14 @@ func TestBatchCoalescing(t *testing.T) {
 			t.Fatalf("caller %d: batched result differs from serial %s by %g", i, reg.Format, diff)
 		}
 	}
-	if maxWidth < 2 {
-		t.Fatalf("no coalescing: max batch width %d over %d concurrent requests in a %s window",
-			maxWidth, callers, 100*time.Millisecond)
-	}
+	maxWidth := callers
 
 	stats, err := client.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Batches >= callers {
-		t.Fatalf("%d dispatches for %d coalescible requests — window never merged anything", stats.Batches, callers)
+	if stats.Batches != 1 {
+		t.Fatalf("%d dispatches for %d coalescible requests, want exactly 1", stats.Batches, callers)
 	}
 	if stats.BatchedRequests != callers {
 		t.Fatalf("batched requests = %d, want %d", stats.BatchedRequests, callers)
@@ -271,7 +295,6 @@ func TestBatchCoalescing(t *testing.T) {
 	if widest != int64(maxWidth) {
 		t.Fatalf("widest batch span arg = %d, responses saw width %d", widest, maxWidth)
 	}
-	_ = srv
 }
 
 // TestOverloadShedsNotDeadlocks drives a MaxInFlight=1, zero-queue server
@@ -341,14 +364,19 @@ func TestOverloadShedsNotDeadlocks(t *testing.T) {
 
 // TestQueueDeadlineExpires covers cooperative cancellation in the queue: a
 // request whose deadline lapses while it waits for an admission slot leaves
-// with 503 without ever executing.
+// with 503 without ever executing. The slot holder is parked in a
+// fake-clock batch window that cannot elapse on its own, so the queued
+// request's deadline deterministically expires first — no sleep racing the
+// holder's completion.
 func TestQueueDeadlineExpires(t *testing.T) {
 	const k = 4
-	_, client, _ := newTestServer(t, Config{
+	clk := clock.NewFake()
+	srv, client, _ := newTestServer(t, Config{
 		Threads:     1,
 		BatchWindow: 150 * time.Millisecond, // slot holder dwells in its window
 		MaxInFlight: 1,
 		QueueDepth:  4,
+		Clock:       clk,
 	})
 	reg, err := client.Register(RegisterRequest{Name: "dw4096", Scale: 0.02})
 	if err != nil {
@@ -361,7 +389,10 @@ func TestQueueDeadlineExpires(t *testing.T) {
 		_, err := client.Multiply(reg.ID, reg.Rows, b, k, 0)
 		holderDone <- err
 	}()
-	time.Sleep(30 * time.Millisecond) // let the holder take the only slot
+	// The holder owns the only slot once it is parked in its batch window.
+	waitFor(t, "holder parked in its batch window", func() bool {
+		return srv.pendingBatch(reg.ID) == 1
+	})
 
 	b := matrix.NewDenseRand[float64](reg.Cols, k, 2)
 	_, err = client.Multiply(reg.ID, reg.Rows, b, k, 20*time.Millisecond)
@@ -369,6 +400,7 @@ func TestQueueDeadlineExpires(t *testing.T) {
 	if !isStatus || se.Code != http.StatusServiceUnavailable {
 		t.Fatalf("queued request past its deadline: want 503, got %v", err)
 	}
+	clk.Advance(150 * time.Millisecond) // release the holder's window
 	if err := <-holderDone; err != nil {
 		t.Fatalf("slot holder failed: %v", err)
 	}

@@ -103,9 +103,12 @@ func TestClientRetriesDrainThenRecovers(t *testing.T) {
 	srv, client, _ := newTestServer(t, Config{Threads: 1})
 	client.MaxAttempts = 2 // one retry: the pause honors the server's 1s Retry-After
 	client.Backoff = harness.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+	// Record the retry pauses instead of sleeping through them: the pacing
+	// contract is asserted on the recorded durations, deterministically.
+	var pauses []time.Duration
+	client.Sleep = func(d time.Duration) { pauses = append(pauses, d) }
 
 	srv.Drain()
-	start := time.Now()
 	_, err := client.Register(RegisterRequest{Name: "dw4096", Scale: 0.02})
 	se, ok := err.(*StatusError)
 	if !ok || se.Code != http.StatusServiceUnavailable {
@@ -119,8 +122,8 @@ func TestClientRetriesDrainThenRecovers(t *testing.T) {
 	}
 	// The pause between the attempts honored the 1s Retry-After, not the
 	// millisecond backoff schedule.
-	if waited := time.Since(start); waited < time.Second {
-		t.Fatalf("retry waited only %s; the server's Retry-After: 1 is the floor", waited)
+	if len(pauses) != 1 || pauses[0] < time.Second {
+		t.Fatalf("retry pauses %v; the server's Retry-After: 1 is the floor", pauses)
 	}
 
 	// A healthy server: one attempt, no retries added.

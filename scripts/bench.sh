@@ -8,6 +8,7 @@
 #   TOLERANCE=0.10 ./scripts/bench.sh    # tighter ns/op gate
 #   FILTER='^BenchmarkCalculate$' ./scripts/bench.sh
 #   ./scripts/bench.sh tune-compare      # live A/B: advisor-only vs -tune
+#   ./scripts/bench.sh cluster-compare   # live A/B: 1 replica vs 3 behind spmmrouter
 #
 # tune-compare mode spins up a real spmmserve twice — advisor-only, then
 # with the online auto-tuner — drives each with spmmload on a skewed
@@ -90,8 +91,119 @@ tune_compare() {
     echo "tune-compare: OK — tuned steady p50 within ${tol_pct}% of advisor-only (or better)"
 }
 
+cluster_compare() {
+    # Aggregate-throughput A/B: three distinct matrices driven concurrently
+    # against (a) one spmmserve and (b) three spmmserve replicas behind
+    # spmmrouter. Every server runs -t 1, so the cluster's edge is pure
+    # horizontal scale: content addressing shards the three matrices across
+    # the fleet. The >= CLUSTER_GAIN x gate (default 2.2) is enforced only
+    # with >= 3 cores — on fewer, three replicas time-slice one CPU and the
+    # run is recorded as informational.
+    local n=${N:-150} workers=${WORKERS:-4} k=${K:-16}
+    local gain=${CLUSTER_GAIN:-2.2} port=${PORT:-18331}
+    local matrices=(dw4096 cant torso1) scales=(0.05 0.05 0.02)
+    local dir=${DIR:-results/bench}
+    local bin; bin=$(mktemp -d)
+    # shellcheck disable=SC2064
+    trap "rm -rf '$bin'" EXIT
+
+    echo "== build spmmserve + spmmrouter + spmmload =="
+    go build -o "$bin/spmmserve" ./cmd/spmmserve
+    go build -o "$bin/spmmrouter" ./cmd/spmmrouter
+    go build -o "$bin/spmmload" ./cmd/spmmload
+
+    # drive <label> <base-url> — run the three loaders concurrently against
+    # one endpoint and leave per-matrix logs in $bin.
+    drive() {
+        local label=$1 base=$2 pids=() i
+        for i in 0 1 2; do
+            "$bin/spmmload" -addr "$base" \
+                -matrix "${matrices[$i]}" -scale "${scales[$i]}" -k "$k" \
+                -workers "$workers" -n "$n" -retries 30 -retry-conn \
+                >"$bin/$label.$i.load.log" 2>&1 &
+            pids+=($!)
+        done
+        for i in "${pids[@]}"; do
+            if ! wait "$i"; then
+                cat "$bin/$label".*.load.log >&2
+                echo "cluster-compare: $label load run failed" >&2
+                exit 1
+            fi
+        done
+    }
+
+    # reqs <label> — sum the loaders' req/s.
+    reqs() {
+        awk '/^throughput /{sum += $2} END {printf "%.1f", sum}' "$bin/$1".*.load.log
+    }
+
+    echo "== single-replica run (3 matrices, n=$n each) =="
+    "$bin/spmmserve" -addr "127.0.0.1:$port" -t 1 >"$bin/single.serve.log" 2>&1 &
+    local spid=$!
+    drive single "http://127.0.0.1:$port"
+    kill -INT "$spid" 2>/dev/null || true
+    wait "$spid" 2>/dev/null || true
+    local single_rps; single_rps=$(reqs single)
+    echo "single-replica aggregate: ${single_rps} req/s"
+
+    echo
+    echo "== 3-replica cluster run (spmmrouter, same load) =="
+    local rpids=() fleet="" i
+    for i in 0 1 2; do
+        "$bin/spmmserve" -addr "127.0.0.1:$((port + 1 + i))" -t 1 >"$bin/replica.$i.serve.log" 2>&1 &
+        rpids+=($!)
+        fleet+="${fleet:+,}r$i=http://127.0.0.1:$((port + 1 + i))"
+    done
+    "$bin/spmmrouter" -addr "127.0.0.1:$port" -replicas "$fleet" >"$bin/router.log" 2>&1 &
+    rpids+=($!)
+    sleep 0.3
+    drive cluster "http://127.0.0.1:$port"
+    grep '^cluster:' "$bin/cluster.0.load.log" || true
+    for i in "${rpids[@]}"; do
+        kill -INT "$i" 2>/dev/null || true
+        wait "$i" 2>/dev/null || true
+    done
+    local cluster_rps; cluster_rps=$(reqs cluster)
+    echo "3-replica aggregate:      ${cluster_rps} req/s"
+
+    local cores ratio verdict
+    cores=$(nproc 2>/dev/null || echo 1)
+    ratio=$(awk -v c="$cluster_rps" -v s="$single_rps" 'BEGIN {printf "%.2f", (s > 0 ? c / s : 0)}')
+    echo
+    echo "== cluster-compare verdict (cores=$cores) =="
+    echo "scale factor: ${ratio}x (gate ${gain}x, enforced only with >= 3 cores)"
+    if [ "$cores" -ge 3 ]; then
+        if awk -v r="$ratio" -v g="$gain" 'BEGIN {exit !(r >= g)}'; then
+            verdict="OK — ${ratio}x >= ${gain}x"
+        else
+            verdict="FAIL — ${ratio}x < ${gain}x"
+        fi
+    else
+        verdict="INFORMATIONAL — only $cores core(s), gate not enforced"
+    fi
+    echo "cluster-compare: $verdict"
+
+    mkdir -p "$dir"
+    local stamp; stamp=$(date -u +%Y%m%dT%H%M%SZ)
+    {
+        echo "cluster-compare $stamp"
+        echo "host cores: $cores"
+        echo "load: 3 matrices (${matrices[*]}), n=$n each, workers=$workers, k=$k, servers -t 1"
+        echo "single-replica aggregate: ${single_rps} req/s"
+        echo "3-replica aggregate: ${cluster_rps} req/s"
+        echo "scale factor: ${ratio}x"
+        echo "verdict: $verdict"
+    } >"$dir/CLUSTER_$stamp.txt"
+    echo "recorded $dir/CLUSTER_$stamp.txt"
+    case "$verdict" in FAIL*) exit 2;; esac
+}
+
 if [ "${1:-}" = "tune-compare" ]; then
     tune_compare
+    exit 0
+fi
+if [ "${1:-}" = "cluster-compare" ]; then
+    cluster_compare
     exit 0
 fi
 

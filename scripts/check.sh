@@ -18,15 +18,24 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go test -race (parallel, harness, trace, obs, serve, tune) =="
+echo "== go test -race (parallel, harness, trace, obs, serve, tune, clock, cluster) =="
 # -short skips the subprocess e2e; the full chaos suite (torn WAL tails,
-# corrupt snapshots, injected fsync/disk-full faults) and the deterministic
+# corrupt snapshots, injected fsync/disk-full faults), the deterministic
 # auto-tuner suite (promotion hysteresis, duty bounds, wrong-variant
-# rejection) run here under -race.
-go test -race -short ./internal/parallel/... ./internal/harness/... ./internal/trace/... ./internal/obs/... ./internal/serve/... ./internal/tune/...
+# rejection), and the in-process cluster suite (hash-ring properties,
+# scripted kill/hang failover, rebalance-without-drain) run here under -race.
+go test -race -short ./internal/parallel/... ./internal/harness/... ./internal/trace/... ./internal/obs/... ./internal/serve/... ./internal/tune/... ./internal/clock/... ./internal/cluster/...
+
+echo "== flake gate (serve + cluster, shuffled, 3x) =="
+# The time-sensitive suites run on injected clocks; repeated shuffled runs
+# keep them honest about ordering and residual real-time assumptions.
+go test -short -count=3 -shuffle=on ./internal/serve/... ./internal/cluster/...
 
 echo "== crash-recovery e2e (SIGKILL mid-load, restart, bitwise verify) =="
 go test -run '^TestCrashRecoveryE2E$' -count=1 ./internal/serve
+
+echo "== cluster e2e (router + 3 replicas, SIGKILL a holder mid-load, rebalance) =="
+go test -run '^TestClusterSmokeE2E$' -count=1 ./internal/cluster
 
 echo "== bench smoke (1 iteration per bench) =="
 go test -run '^$' -bench . -benchtime=1x . ./internal/serve > /dev/null
