@@ -16,6 +16,12 @@
 // the report breaks successes down by the replica that served each one
 // (X-Spmm-Replica) and appends the router's /v1/cluster summary.
 //
+// Against an endpoint with request tracing on (-reqtrace-ring), every
+// response carries X-Spmm-Request-Id and an X-Spmm-Timing phase breakdown;
+// the report then adds per-phase p50/p90/p99 (where server time went:
+// queue, prepare, batch wait, kernel, respond) and names the slowest
+// request IDs for follow-up against /v1/trace/requests.
+//
 // Exit status is non-zero when any verified response mismatches or every
 // request failed.
 package main
@@ -155,6 +161,13 @@ func main() {
 		// byReplica counts successes per serving replica (X-Spmm-Replica);
 		// empty against a plain spmmserve, populated through a router.
 		byReplica = map[string]int64{}
+		// phaseMs collects the server's per-phase breakdown (X-Spmm-Timing)
+		// per response; empty when the endpoint runs with tracing disabled.
+		phaseMs = map[string][]float64{}
+		// tracked pairs each traced response's request ID with its e2e
+		// latency so the report can name the slowest requests — the IDs to
+		// feed back into /v1/trace/requests and the stitched Chrome export.
+		tracked []requestObs
 	)
 	refC := matrix.NewDense[float64](reg.Rows, *kArg)
 	start := time.Now()
@@ -201,6 +214,12 @@ func main() {
 				}
 				if res.Replica != "" {
 					byReplica[res.Replica]++
+				}
+				for _, p := range res.Timing.Phases {
+					phaseMs[p.Phase] = append(phaseMs[p.Phase], p.Ms)
+				}
+				if res.RequestID != "" {
+					tracked = append(tracked, requestObs{id: res.RequestID, lat: lat, replica: res.Replica})
 				}
 				if ref != nil {
 					// Serial reference under the same lock: one scratch C,
@@ -259,6 +278,8 @@ func main() {
 			float64(ok)/elapsed.Seconds(), flops/elapsed.Seconds()/1e6)
 		fmt.Printf("cache hits %d/%d, batched responses %d (max width %d)\n",
 			hits, ok, batched, maxWidth)
+		reportPhases(phaseMs)
+		reportSlowest(client.Base, tracked)
 
 		// Per-variant counts and warm-up vs steady-state latency: with the
 		// tuner on, a promotion shows up as a variant change mid-run and
@@ -316,13 +337,16 @@ func main() {
 	if cs, err := fetchClusterStats(client.Base); err == nil {
 		fmt.Printf("cluster: ring %v, %d matrices, failovers %d, spillovers %d, replications %d, moves %d, ejects %d\n",
 			cs.Ring, cs.Matrices, cs.Failovers, cs.Spillovers, cs.Replications, cs.Moves, cs.Ejects)
+		fmt.Printf("cluster health: %d probe rounds, %d probe failures, %d readmits\n",
+			cs.ProbeRounds, cs.ProbeFailures, cs.Readmits)
 		for _, rs := range cs.Replicas {
 			state := "up"
 			if rs.Down {
 				state = "DOWN"
 			}
-			fmt.Printf("cluster[%s]: %s, %d matrices, %d proxied, %d errors\n",
-				rs.Name, state, rs.Matrices, rs.Proxied, rs.Errors)
+			fmt.Printf("cluster[%s]: %s (for %s), %d matrices, %d proxied, %d errors, %d failover serves, %d consecutive probe fails\n",
+				rs.Name, state, (time.Duration(rs.SinceStateChangeSec * float64(time.Second))).Round(time.Second),
+				rs.Matrices, rs.Proxied, rs.Errors, rs.Failovers, rs.ProbeFails)
 		}
 	}
 	if ts, err := client.Tune(); err == nil && ts.Enabled {
@@ -349,6 +373,78 @@ func main() {
 	if ok == 0 && *requests > 0 {
 		fatal(fmt.Errorf("no request succeeded"))
 	}
+}
+
+// requestObs pairs one traced response's request ID with its observed
+// end-to-end latency.
+type requestObs struct {
+	id      string
+	lat     time.Duration
+	replica string
+}
+
+// phaseOrder lists the request phases in pipeline order for the per-phase
+// report; phases outside the list print after it, alphabetically.
+var phaseOrder = []string{"queue", "load", "prepare", "batch", "kernel", "respond"}
+
+// reportPhases prints per-phase latency percentiles from the X-Spmm-Timing
+// breakdowns — where each request's time actually went, server-side.
+func reportPhases(phaseMs map[string][]float64) {
+	if len(phaseMs) == 0 {
+		return
+	}
+	rank := map[string]int{}
+	for i, p := range phaseOrder {
+		rank[p] = i
+	}
+	names := make([]string, 0, len(phaseMs))
+	for p := range phaseMs {
+		names = append(names, p)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ri, iOK := rank[names[i]]
+		rj, jOK := rank[names[j]]
+		switch {
+		case iOK && jOK:
+			return ri < rj
+		case iOK:
+			return true
+		case jOK:
+			return false
+		default:
+			return names[i] < names[j]
+		}
+	})
+	fmt.Printf("server phases (ms):\n")
+	for _, p := range names {
+		samples := phaseMs[p]
+		sort.Float64s(samples)
+		pct := func(f float64) float64 {
+			return samples[min(int(f*float64(len(samples))), len(samples)-1)]
+		}
+		fmt.Printf("  %-8s p50 %8.3f  p90 %8.3f  p99 %8.3f  (%d samples)\n",
+			p, pct(0.50), pct(0.90), pct(0.99), len(samples))
+	}
+}
+
+// reportSlowest names the slowest traced requests — their IDs key the
+// server's /v1/trace/requests ring and, through a router, the stitched
+// /v1/trace/requests/{rid}/chrome export.
+func reportSlowest(base string, tracked []requestObs) {
+	if len(tracked) == 0 {
+		return
+	}
+	sort.Slice(tracked, func(i, j int) bool { return tracked[i].lat > tracked[j].lat })
+	n := min(3, len(tracked))
+	fmt.Printf("slowest requests:\n")
+	for _, obs := range tracked[:n] {
+		where := ""
+		if obs.replica != "" {
+			where = " on " + obs.replica
+		}
+		fmt.Printf("  %s  %s%s\n", obs.lat.Round(time.Microsecond), obs.id, where)
+	}
+	fmt.Printf("  inspect: curl '%s/v1/trace/requests?id=<rid>'\n", base)
 }
 
 // fetchClusterStats pulls the router's cluster summary; any error (a plain

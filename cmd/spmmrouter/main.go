@@ -19,6 +19,12 @@
 //	curl -X POST :8070/v1/cluster/leave -d '{"name":"a"}'
 //	curl :8070/v1/cluster          # ring, placements, health, counters
 //
+// With -reqtrace-ring > 0 every multiply is traced end to end — the rid in
+// the X-Spmm-Request-Id response header keys the distributed timeline:
+//
+//	curl ':8070/v1/trace/requests?min_ms=5'       # recent per-request timelines
+//	curl :8070/v1/trace/requests/<rid>/chrome     # stitched Chrome trace (Perfetto-loadable)
+//
 // SIGINT stops the listener and the health prober; in-flight proxied
 // requests complete.
 package main
@@ -28,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -53,6 +60,8 @@ func main() {
 		probeTime   = flag.Duration("probe-timeout", 500*time.Millisecond, "per-probe timeout")
 		ejectAfter  = flag.Int("eject-after", 2, "consecutive probe failures that eject a replica")
 		attemptTime = flag.Duration("attempt-timeout", 30*time.Second, "per-proxy-attempt timeout before failing over (0 = none)")
+		reqRing     = flag.Int("reqtrace-ring", 512, "per-request tracing: keep the last N request records, answer /v1/trace/requests, and stitch /v1/trace/requests/{rid}/chrome (0 disables)")
+		slowReq     = flag.Duration("slow", time.Second, "log a request-ID-correlated warning for requests slower than this (0 disables; needs -reqtrace-ring > 0)")
 	)
 	flag.Parse()
 
@@ -72,6 +81,9 @@ func main() {
 		ProbeTimeout:   *probeTime,
 		EjectAfter:     *ejectAfter,
 		AttemptTimeout: *attemptTime,
+		ReqTraceRing:   *reqRing,
+		SlowRequest:    *slowReq,
+		Slog:           slog.New(slog.NewTextHandler(os.Stderr, nil)),
 		Log:            logger,
 	})
 	if err != nil {

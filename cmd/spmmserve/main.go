@@ -51,6 +51,8 @@ func main() {
 		snapEvery   = flag.Int("snapshot-every", 64, "compact the WAL into a snapshot after this many registrations (<0 disables)")
 		fsync       = flag.Bool("fsync", true, "fsync every WAL append before acking a registration (disable only for throwaway data)")
 		traceOut    = flag.String("trace", "", "write a Chrome trace of the serving session to this file on exit")
+		reqRing     = flag.Int("reqtrace-ring", 512, "per-request tracing: keep the last N request records and answer /v1/trace/requests (0 disables; disabled requests cost nothing)")
+		slowReq     = flag.Duration("slow", time.Second, "log a request-ID-correlated warning for requests slower than this (0 disables; needs -reqtrace-ring > 0)")
 		logFormat   = flag.String("log-format", "text", "log format: text or json")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		drainGrace  = flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGINT")
@@ -92,6 +94,8 @@ func main() {
 		QueueDepth:      queueDepth,
 		DefaultDeadline: *deadline,
 		Tracer:          tr,
+		ReqTraceRing:    *reqRing,
+		SlowRequest:     *slowReq,
 		Log:             logger,
 		DataDir:         *dataDir,
 		SnapshotEvery:   *snapEvery,

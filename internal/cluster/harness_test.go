@@ -115,6 +115,10 @@ type testCluster struct {
 	refSrv    *serve.Server // single-node ground truth
 	refServer *httptest.Server
 	refClient *serve.Client
+
+	// serveMutate adjusts each replica's serve.Config before start (nil for
+	// the shared default) — the request-tracing tests switch the ring on.
+	serveMutate func(*serve.Config)
 }
 
 // serveConfig is the per-replica server shape every harness replica and the
@@ -124,9 +128,13 @@ func serveConfig() serve.Config {
 	return serve.Config{Threads: 2, MaxInFlight: 8, QueueDepth: 32}
 }
 
-func startReplica(t *testing.T, name string) *testReplica {
+func startReplica(t *testing.T, name string, mutate func(*serve.Config)) *testReplica {
 	t.Helper()
-	srv, err := serve.New(serveConfig())
+	cfg := serveConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,8 +168,14 @@ func startReplica(t *testing.T, name string) *testReplica {
 // a fake clock, and the single-node reference. cfg mutates the router
 // config before construction (nil for defaults).
 func newTestCluster(t *testing.T, n int, mutate func(*Config)) *testCluster {
+	return newTestClusterServe(t, n, mutate, nil)
+}
+
+// newTestClusterServe additionally mutates every replica's serve.Config —
+// how the tracing tests enable per-request rings on the fleet.
+func newTestClusterServe(t *testing.T, n int, mutate func(*Config), serveMutate func(*serve.Config)) *testCluster {
 	t.Helper()
-	tc := &testCluster{t: t, clk: clock.NewFake(), replicas: map[string]*testReplica{}}
+	tc := &testCluster{t: t, clk: clock.NewFake(), replicas: map[string]*testReplica{}, serveMutate: serveMutate}
 
 	cfg := Config{
 		Clock:          tc.clk,
@@ -173,7 +187,7 @@ func newTestCluster(t *testing.T, n int, mutate func(*Config)) *testCluster {
 	}
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("r%d", i)
-		tr := startReplica(t, name)
+		tr := startReplica(t, name, serveMutate)
 		tc.replicas[name] = tr
 		cfg.Replicas = append(cfg.Replicas, JoinRequest{Name: name, Base: tr.base})
 	}
@@ -210,7 +224,7 @@ func newTestCluster(t *testing.T, n int, mutate func(*Config)) *testCluster {
 // router's control plane, returning the join verdict.
 func (tc *testCluster) addReplica(name string) *JoinResponse {
 	tc.t.Helper()
-	tr := startReplica(tc.t, name)
+	tr := startReplica(tc.t, name, tc.serveMutate)
 	tc.replicas[name] = tr
 	var out JoinResponse
 	if err := postJSON(tc.front.URL+"/v1/cluster/join", JoinRequest{Name: name, Base: tr.base}, &out); err != nil {

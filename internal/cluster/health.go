@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"time"
 )
 
 // Health probing. The cadence runs on the router's injectable clock — a
@@ -60,9 +61,11 @@ func (rt *Router) probeAll() {
 		rt.mu.Lock()
 		if err != nil {
 			rep.fails++
+			rt.probeFailures.Add(1)
 			obsProbeFailures.Inc()
 			if !rep.down && rep.fails >= rt.cfg.EjectAfter {
 				rep.down = true
+				rep.stateChange = time.Now()
 				rt.ejects.Add(1)
 				obsEjects.Inc()
 				rt.logf("cluster: ejected %s after %d failed probes: %v", rep.name, rep.fails, err)
@@ -70,6 +73,7 @@ func (rt *Router) probeAll() {
 		} else {
 			if rep.down {
 				rep.down = false
+				rep.stateChange = time.Now()
 				rt.readmits.Add(1)
 				obsReadmits.Inc()
 				rt.logf("cluster: re-admitted %s", rep.name)

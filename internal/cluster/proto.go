@@ -53,6 +53,15 @@ type ReplicaStats struct {
 	// Proxied / Errors are per-replica proxy totals.
 	Proxied int64 `json:"proxied"`
 	Errors  int64 `json:"errors"`
+	// Failovers counts multiplies this replica served after an earlier
+	// candidate in the plan had already failed.
+	Failovers int64 `json:"failovers"`
+	// ProbeFails is the replica's current consecutive-probe-failure count
+	// (EjectAfter of them take it out of rotation).
+	ProbeFails int `json:"probe_fails"`
+	// SinceStateChangeSec is how long ago the health prober last flipped
+	// this replica's up/down verdict (or since it joined).
+	SinceStateChangeSec float64 `json:"since_state_change_sec"`
 }
 
 // Stats is the /v1/cluster snapshot: ring membership, per-replica health
@@ -73,4 +82,9 @@ type Stats struct {
 	Ejects       int64 `json:"ejects"`
 	Readmits     int64 `json:"readmits"`
 	Replications int64 `json:"replications"`
+	// ProbeFailures totals failed health probes (the metric the
+	// spmm_cluster_probe_failures_total counter tracks); ProbeRounds totals
+	// completed probe sweeps over the fleet.
+	ProbeFailures int64 `json:"probe_failures"`
+	ProbeRounds   int64 `json:"probe_rounds"`
 }

@@ -4,17 +4,21 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/serve"
+	"repro/internal/trace"
 )
 
 // Config parameterizes the router. The zero value of every field has a
@@ -53,6 +57,19 @@ type Config struct {
 	HTTP *http.Client
 	// Log receives router events; nil discards.
 	Log *log.Logger
+	// ReqTraceRing enables request-scoped tracing at the router: it keeps
+	// this many recent request records (one attempt-remote span per proxy
+	// attempt, verdict in the detail), serves them at /v1/trace/requests,
+	// and stitches them with replica-reported timings at
+	// /v1/trace/requests/{rid}/chrome. 0 disables it (nil checks only on
+	// the proxy path).
+	ReqTraceRing int
+	// SlowRequest, when > 0 with request tracing on and Slog set, logs one
+	// structured line (request ID, attempts, per-phase ms) for every
+	// multiply slower than this threshold end to end.
+	SlowRequest time.Duration
+	// Slog receives the slow-request lines; nil discards them.
+	Slog *slog.Logger
 }
 
 // Router shards content-addressed matrix IDs across spmmserve replicas. It
@@ -65,6 +82,8 @@ type Router struct {
 	clk   clock.Clock
 	httpc *http.Client
 	logf  func(format string, args ...any)
+	slog  *slog.Logger
+	reqs  *trace.Requests
 
 	ring atomic.Pointer[Ring]
 
@@ -72,14 +91,15 @@ type Router struct {
 	replicas map[string]*replica
 	entries  map[string]*entry
 
-	requests     atomic.Int64
-	moves        atomic.Int64
-	spillovers   atomic.Int64
-	failovers    atomic.Int64
-	ejects       atomic.Int64
-	readmits     atomic.Int64
-	replications atomic.Int64
-	probes       atomic.Int64 // completed probe rounds; tests sync on it
+	requests      atomic.Int64
+	moves         atomic.Int64
+	spillovers    atomic.Int64
+	failovers     atomic.Int64
+	ejects        atomic.Int64
+	readmits      atomic.Int64
+	replications  atomic.Int64
+	probeFailures atomic.Int64
+	probes        atomic.Int64 // completed probe rounds; tests sync on it
 
 	probeKick chan struct{}
 	stop      chan struct{}
@@ -96,11 +116,18 @@ type replica struct {
 
 	down  bool // prober verdict; guarded by Router.mu
 	fails int  // consecutive probe failures; guarded by Router.mu
+	// stateChange is when the prober last flipped this replica's verdict
+	// (or when it joined); guarded by Router.mu. /v1/cluster reports the
+	// age so operators can tell a flapping replica from a stable one.
+	stateChange time.Time
 
 	inFlight atomic.Int64
 	proxied  atomic.Int64
 	errors   atomic.Int64
-	obs      replicaObs
+	// failovers counts multiplies this replica served after an earlier
+	// candidate had already failed — who absorbs the fleet's failures.
+	failovers atomic.Int64
+	obs       replicaObs
 }
 
 // entry is the placement record of one registered matrix.
@@ -170,6 +197,8 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Log != nil {
 		rt.logf = cfg.Log.Printf
 	}
+	rt.slog = cfg.Slog
+	rt.reqs = trace.NewRequests(cfg.ReqTraceRing)
 	names := make([]string, 0, len(cfg.Replicas))
 	for _, spec := range cfg.Replicas {
 		if spec.Name == "" || spec.Base == "" {
@@ -192,7 +221,7 @@ func New(cfg Config) (*Router, error) {
 }
 
 func newReplica(spec JoinRequest) *replica {
-	return &replica{name: spec.Name, base: spec.Base, obs: newReplicaObs(spec.Name)}
+	return &replica{name: spec.Name, base: spec.Base, stateChange: time.Now(), obs: newReplicaObs(spec.Name)}
 }
 
 // Close stops the prober. In-flight proxies complete on their own.
@@ -218,6 +247,8 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/matrices/{id}/prepare", rt.handleProxy)
 	mux.HandleFunc("POST /v1/matrices/{id}/multiply", rt.handleMultiply)
 	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /v1/trace/requests", rt.handleTraceRequests)
+	mux.HandleFunc("GET /v1/trace/requests/{rid}/chrome", rt.handleTraceChrome)
 	mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
 	mux.HandleFunc("POST /v1/cluster/join", rt.handleJoin)
 	mux.HandleFunc("POST /v1/cluster/leave", rt.handleLeave)
@@ -430,13 +461,31 @@ func (rt *Router) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	rt.requests.Add(1)
 	obsRequests.Inc()
 	id := r.PathValue("id")
+
+	// The router is the tracing edge: it adopts a client-supplied request
+	// ID or mints one, records one attempt-remote span per proxy attempt
+	// (verdict in the detail), and propagates the ID to whichever replica
+	// serves the multiply. With tracing off, rid is "" and req is nil.
+	rid := r.Header.Get(serve.HeaderRequestID)
+	var req *trace.Req
+	if rt.reqs.Enabled() {
+		if rid == "" {
+			rid = serve.MintRequestID()
+		}
+		req = rt.reqs.Begin(rid, id)
+	}
+
+	loadStart := req.Now()
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
+		rt.failRequest(req, err)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	req.Phase(trace.PhaseLoad, "panel", loadStart, 0)
 	e, cands, err := rt.plan(id)
 	if err != nil {
+		rt.failRequest(req, err)
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
@@ -444,10 +493,17 @@ func (rt *Router) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.RawQuery; q != "" {
 		path += "?" + q
 	}
+	hdrs := forwardHeader(r, serve.HeaderDeadlineMs)
+	if rid != "" {
+		hdrs = append(hdrs, headerPair{serve.HeaderRequestID, rid})
+	}
 	var lastErr error
 	for i, rep := range cands {
-		resp, release, err := rt.roundTrip(r.Context(), rep, http.MethodPost, path, "application/octet-stream", body, forwardHeader(r, serve.HeaderDeadlineMs)...)
+		attemptStart := req.Now()
+		resp, release, err := rt.roundTrip(r.Context(), rep, http.MethodPost, path, "application/octet-stream", body, hdrs...)
 		if err != nil {
+			verdict := attemptVerdict(r.Context(), err)
+			req.Phase(trace.PhaseAttemptRemote, rep.name+" "+verdict, attemptStart, int64(i+1))
 			lastErr = fmt.Errorf("cluster: replica %s: %w", rep.name, err)
 			rt.logf("cluster: multiply %s on %s failed: %v", id, rep.name, err)
 			continue
@@ -462,6 +518,7 @@ func (rt *Router) handleMultiply(w http.ResponseWriter, r *http.Request) {
 			payload, rerr := io.ReadAll(resp.Body)
 			if rerr != nil {
 				release()
+				req.Phase(trace.PhaseAttemptRemote, rep.name+" mid-response", attemptStart, int64(i+1))
 				lastErr = fmt.Errorf("cluster: replica %s died mid-response: %w", rep.name, rerr)
 				rt.logf("cluster: multiply %s on %s cut mid-response: %v", id, rep.name, rerr)
 				continue
@@ -469,12 +526,24 @@ func (rt *Router) handleMultiply(w http.ResponseWriter, r *http.Request) {
 			if i > 0 {
 				rt.failovers.Add(1)
 				obsFailovers.Inc()
+				rep.failovers.Add(1)
 			}
 			e.serves.Add(1)
+			req.Phase(trace.PhaseAttemptRemote, rep.name+" ok", attemptStart, int64(i+1))
+			respondStart := req.Now()
+			// Headers come from resp — the attempt that actually succeeded —
+			// so after a failover the client sees the survivor's variant,
+			// cache verdict and timing, never the dead holder's.
 			relayHeaders(w, resp, rep.name)
+			w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+			if rid != "" {
+				w.Header().Set(serve.HeaderRequestID, rid)
+			}
 			w.WriteHeader(resp.StatusCode)
 			w.Write(payload)
 			release()
+			req.Phase(trace.PhaseRespond, "", respondStart, 0)
+			rt.finishRequest(req)
 			rt.maybeReplicate(e)
 			return
 		case http.StatusNotFound:
@@ -483,28 +552,47 @@ func (rt *Router) handleMultiply(w http.ResponseWriter, r *http.Request) {
 			rt.mu.Lock()
 			e.dropHolderLocked(rep.name)
 			rt.mu.Unlock()
+			req.Phase(trace.PhaseAttemptRemote, rep.name+" 404", attemptStart, int64(i+1))
 			lastErr = fmt.Errorf("cluster: replica %s no longer holds %s", rep.name, id)
 			release()
 		case http.StatusTooManyRequests, http.StatusBadGateway,
 			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			req.Phase(trace.PhaseAttemptRemote, rep.name+" "+strconv.Itoa(resp.StatusCode), attemptStart, int64(i+1))
 			lastErr = fmt.Errorf("cluster: replica %s returned %d", rep.name, resp.StatusCode)
 			if len(cands) == i+1 {
 				// Out of candidates: relay the replica's own verdict
 				// (Retry-After and all) instead of masking it.
 				relayResponse(w, resp, rep.name)
 				release()
+				rt.failRequest(req, lastErr)
 				return
 			}
 			release()
 		default:
 			// Deterministic client error (bad k, malformed panel): every
 			// replica would answer the same, so relay immediately.
+			req.Phase(trace.PhaseAttemptRemote, rep.name+" "+strconv.Itoa(resp.StatusCode), attemptStart, int64(i+1))
 			relayResponse(w, resp, rep.name)
 			release()
+			rt.failRequest(req, fmt.Errorf("cluster: replica %s returned %d", rep.name, resp.StatusCode))
 			return
 		}
 	}
+	rt.failRequest(req, lastErr)
 	writeError(w, http.StatusBadGateway, fmt.Errorf("cluster: all holders failed: %w", lastErr))
+}
+
+// attemptVerdict classifies a failed proxy attempt for its attempt-remote
+// span: the attempt timer firing reads as "timeout", the client abandoning
+// the request as "canceled", anything else as "conn-error".
+func attemptVerdict(parent context.Context, err error) string {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if parent.Err() != nil {
+			return "canceled"
+		}
+		return "timeout"
+	}
+	return "conn-error"
 }
 
 // handleProxy forwards info/export/prepare to the first holder that
@@ -606,7 +694,8 @@ func (rt *Router) roundTrip(parent context.Context, rep *replica, method, path, 
 func relayHeaders(w http.ResponseWriter, resp *http.Response, replicaName string) {
 	for _, h := range []string{"Content-Type", "Retry-After",
 		serve.HeaderFormat, serve.HeaderCache, serve.HeaderVariant,
-		serve.HeaderBatchWidth, serve.HeaderBatchK} {
+		serve.HeaderBatchWidth, serve.HeaderBatchK,
+		serve.HeaderRequestID, serve.HeaderTiming} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
@@ -761,16 +850,18 @@ func (rt *Router) ClusterStats() Stats {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	st := Stats{
-		Ring:         ring.Members(),
-		Matrices:     len(rt.entries),
-		Placements:   map[string][]string{},
-		Requests:     rt.requests.Load(),
-		Moves:        rt.moves.Load(),
-		Spillovers:   rt.spillovers.Load(),
-		Failovers:    rt.failovers.Load(),
-		Ejects:       rt.ejects.Load(),
-		Readmits:     rt.readmits.Load(),
-		Replications: rt.replications.Load(),
+		Ring:          ring.Members(),
+		Matrices:      len(rt.entries),
+		Placements:    map[string][]string{},
+		Requests:      rt.requests.Load(),
+		Moves:         rt.moves.Load(),
+		Spillovers:    rt.spillovers.Load(),
+		Failovers:     rt.failovers.Load(),
+		Ejects:        rt.ejects.Load(),
+		Readmits:      rt.readmits.Load(),
+		Replications:  rt.replications.Load(),
+		ProbeFailures: rt.probeFailures.Load(),
+		ProbeRounds:   rt.probes.Load(),
 	}
 	held := map[string]int{}
 	for id, e := range rt.entries {
@@ -788,10 +879,13 @@ func (rt *Router) ClusterStats() Stats {
 		rep := rt.replicas[n]
 		st.Replicas = append(st.Replicas, ReplicaStats{
 			Name: rep.name, Base: rep.base, Down: rep.down,
-			Matrices: held[rep.name],
-			InFlight: rep.inFlight.Load(),
-			Proxied:  rep.proxied.Load(),
-			Errors:   rep.errors.Load(),
+			Matrices:            held[rep.name],
+			InFlight:            rep.inFlight.Load(),
+			Proxied:             rep.proxied.Load(),
+			Errors:              rep.errors.Load(),
+			Failovers:           rep.failovers.Load(),
+			ProbeFails:          rep.fails,
+			SinceStateChangeSec: time.Since(rep.stateChange).Seconds(),
 		})
 	}
 	return st

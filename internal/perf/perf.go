@@ -114,11 +114,20 @@ type Delta struct {
 	Reason    string
 }
 
+// AllocTolerance is the relative slack on allocs/op before a growth counts
+// as a regression. In-process benchmarks allocate deterministically, but the
+// end-to-end HTTP serving benches do not: net/http's connection setup,
+// sync.Pool refills, and timer churn amortize differently run to run, so a
+// ~140-alloc/op bench can read ±3 on an identical binary. A small relative
+// tolerance absorbs that jitter exactly where it occurs while keeping the
+// gates that matter hard: a 0-alloc baseline still fails on the first alloc
+// (0 × anything = 0), and low-alloc benches still fail on +1 (1/12 > 5%).
+const AllocTolerance = 0.05
+
 // Compare gates a new run against a baseline. A benchmark regresses when
 // its ns/op exceeds the baseline by more than tol (e.g. 0.25 = +25%), or
-// when its allocs/op grows at all — allocation counts are deterministic,
-// so any increase is a real leak, not noise. Benchmarks present in only
-// one of the two sets are skipped (new benches aren't regressions).
+// when its allocs/op grows beyond AllocTolerance. Benchmarks present in
+// only one of the two sets are skipped (new benches aren't regressions).
 // Deltas come back sorted worst-ratio first.
 func Compare(base, fresh map[string]Entry, tol float64) []Delta {
 	deltas := []Delta{}
@@ -142,9 +151,10 @@ func Compare(base, fresh map[string]Entry, tol float64) []Delta {
 			d.Regressed = true
 			d.Reason = fmt.Sprintf("%.0f ns/op -> %.0f ns/op (+%.0f%%, tolerance %.0f%%)",
 				old.NsPerOp, nw.NsPerOp, (d.Ratio-1)*100, tol*100)
-		case old.AllocsPerOp >= 0 && nw.AllocsPerOp > old.AllocsPerOp:
+		case old.AllocsPerOp >= 0 && nw.AllocsPerOp > old.AllocsPerOp*(1+AllocTolerance):
 			d.Regressed = true
-			d.Reason = fmt.Sprintf("allocs/op grew %.0f -> %.0f", old.AllocsPerOp, nw.AllocsPerOp)
+			d.Reason = fmt.Sprintf("allocs/op grew %.0f -> %.0f (tolerance %.0f%%)",
+				old.AllocsPerOp, nw.AllocsPerOp, AllocTolerance*100)
 		}
 		deltas = append(deltas, d)
 	}

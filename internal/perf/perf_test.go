@@ -58,32 +58,46 @@ func TestCompareGate(t *testing.T) {
 		"b": {NsPerOp: 1000, AllocsPerOp: 2},
 		"c": {NsPerOp: 1000, AllocsPerOp: -1},
 		"d": {NsPerOp: 1000, AllocsPerOp: 0},
+		"f": {NsPerOp: 1000, AllocsPerOp: 0},
+		"g": {NsPerOp: 1000, AllocsPerOp: 140},
 	}
 	fresh := map[string]Entry{
-		"a": {NsPerOp: 1100, AllocsPerOp: 0},  // +10%: within 25% tolerance
-		"b": {NsPerOp: 900, AllocsPerOp: 3},   // faster but leaks an alloc
-		"c": {NsPerOp: 2000, AllocsPerOp: -1}, // +100%: regression
-		"e": {NsPerOp: 9999, AllocsPerOp: 9},  // new benchmark: skipped
+		"a": {NsPerOp: 1100, AllocsPerOp: 0},   // +10%: within 25% tolerance
+		"b": {NsPerOp: 900, AllocsPerOp: 3},    // faster but leaks an alloc (+50% > AllocTolerance)
+		"c": {NsPerOp: 2000, AllocsPerOp: -1},  // +100%: regression
+		"e": {NsPerOp: 9999, AllocsPerOp: 9},   // new benchmark: skipped
+		"f": {NsPerOp: 1000, AllocsPerOp: 1},   // 0-alloc gate is exact: 0 -> 1 regresses
+		"g": {NsPerOp: 1000, AllocsPerOp: 143}, // e2e HTTP jitter: +2% within AllocTolerance
 	}
 	deltas := Compare(base, fresh, 0.25)
-	if len(deltas) != 3 {
-		t.Fatalf("got %d deltas, want 3 (d and e skipped): %+v", len(deltas), deltas)
+	if len(deltas) != 5 {
+		t.Fatalf("got %d deltas, want 5 (d and e skipped): %+v", len(deltas), deltas)
 	}
 	// Sorted worst ratio first.
 	if deltas[0].Name != "c" || !deltas[0].Regressed {
 		t.Fatalf("worst delta should be c: %+v", deltas[0])
 	}
 	reg := Regressions(deltas)
-	if len(reg) != 2 {
-		t.Fatalf("got %d regressions, want 2 (c time, b allocs): %+v", len(reg), reg)
+	if len(reg) != 3 {
+		t.Fatalf("got %d regressions, want 3 (c time, b allocs, f zero-alloc): %+v", len(reg), reg)
 	}
 	for _, d := range reg {
 		if d.Name == "a" {
 			t.Fatal("a is within tolerance and must not regress")
 		}
+		if d.Name == "g" {
+			t.Fatal("g's alloc jitter is within AllocTolerance and must not regress")
+		}
 		if d.Reason == "" {
 			t.Fatalf("regression without reason: %+v", d)
 		}
+	}
+	names := map[string]bool{}
+	for _, d := range reg {
+		names[d.Name] = true
+	}
+	if !names["f"] {
+		t.Fatalf("0 -> 1 allocs must regress despite the tolerance: %+v", reg)
 	}
 }
 

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -39,6 +40,12 @@ type batchRequest struct {
 	b    *matrix.Dense[float64]
 	k    int
 	done chan batchResult
+	// req is the caller's request-trace timeline (nil when request tracing
+	// is off); joined is the caller's own clock at join time, so the flusher
+	// can attribute the batch wait and fan the dispatch's kernel interval
+	// out to every member's record.
+	req    *trace.Req
+	joined int64
 }
 
 // batchResult is what a flush hands back to each coalesced caller.
@@ -55,13 +62,13 @@ type batchResult struct {
 // immediately; otherwise it joins the open batch (starting the window timer
 // if it is the first) and waits for the flush or the caller's deadline,
 // whichever comes first.
-func (t *batcher) multiply(ctx context.Context, kern core.Kernel, plan Plan, b *matrix.Dense[float64], k int) batchResult {
+func (t *batcher) multiply(ctx context.Context, kern core.Kernel, plan Plan, b *matrix.Dense[float64], k int, tr *trace.Req) batchResult {
 	if t.s.cfg.BatchWindow <= 0 || k >= t.s.cfg.MaxBatchK {
-		req := &batchRequest{kern: kern, plan: plan, b: b, k: k, done: make(chan batchResult, 1)}
+		req := &batchRequest{kern: kern, plan: plan, b: b, k: k, done: make(chan batchResult, 1), req: tr, joined: tr.Now()}
 		t.run([]*batchRequest{req})
 		return <-req.done
 	}
-	req := &batchRequest{kern: kern, plan: plan, b: b, k: k, done: make(chan batchResult, 1)}
+	req := &batchRequest{kern: kern, plan: plan, b: b, k: k, done: make(chan batchResult, 1), req: tr, joined: tr.Now()}
 	t.mu.Lock()
 	t.pending = append(t.pending, req)
 	t.pendingK += k
@@ -128,6 +135,10 @@ func (t *batcher) run(batch []*batchRequest) {
 	kern := batch[0].kern
 	plan := batch[0].plan
 
+	// dispatchAt anchors the members' request timelines: everything from
+	// here to the kernel's return — panel assembly included — is the
+	// "kernel" phase fanned out to every joined request below.
+	dispatchAt := time.Now()
 	span := s.tracer.Start()
 	var err error
 	var combC *matrix.Dense[float64]
@@ -149,6 +160,18 @@ func (t *batcher) run(batch []*batchRequest) {
 	}
 	s.tracer.EndDetail(0, trace.PhaseBatch, plan.Format, span, int64(len(batch)))
 	s.countVariant(plan.Variant, int64(len(batch)))
+	kernelNs := int64(time.Since(dispatchAt))
+	for _, req := range batch {
+		if req.req != nil {
+			at := req.req.At(dispatchAt)
+			wait := at - req.joined
+			if wait < 0 {
+				wait = 0
+			}
+			req.req.AddPhase(trace.PhaseBatch, plan.Format, req.joined, wait, int64(len(batch)))
+			req.req.AddPhase(trace.PhaseKernel, plan.Variant, at, kernelNs, int64(totalK))
+		}
+	}
 
 	s.batches.Add(1)
 	s.batchedRequests.Add(int64(len(batch)))

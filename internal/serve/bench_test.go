@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/matrix"
+	"repro/internal/trace"
 	"repro/internal/tune"
 )
 
@@ -140,6 +141,38 @@ func BenchmarkWALAppend(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRequestTraceOverhead prices the per-request tracing
+// instrumentation exactly as the multiply handler runs it: begin, queue
+// phase, prepare phase, batcher fan-out (batch + kernel), respond, finish,
+// and (enabled only) the X-Spmm-Timing render. The disabled variant is the
+// hot path every untraced deployment pays and must stay at 0 allocs/op —
+// scripts/bench.sh gates on it via the stored baseline.
+func BenchmarkRequestTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, rr *trace.Requests) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := rr.Begin("bench-rid", "bench-matrix")
+			qs := req.Now()
+			req.Phase(trace.PhaseQueue, "", qs, 0)
+			ps := req.Now()
+			req.Phase(trace.PhasePrepare, "hit", ps, 0)
+			at := req.Now()
+			req.AddPhase(trace.PhaseBatch, "csr", at, 1000, 1)
+			req.AddPhase(trace.PhaseKernel, "csr-omp", at, 5000, 32)
+			rs := req.Now()
+			if rr.Enabled() {
+				snap := req.Snapshot()
+				_ = FormatTiming(snap, trace.PhaseRespond, snap.TotalNs-rs)
+			}
+			req.Phase(trace.PhaseRespond, "", rs, 0)
+			req.Finish()
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("enabled", func(b *testing.B) { run(b, trace.NewRequests(512)) })
 }
 
 func benchConcurrent(b *testing.B, window time.Duration) {

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -263,6 +264,12 @@ type MultiplyResult struct {
 	// Replica names the cluster replica that served the multiply
 	// (X-Spmm-Replica, set by spmmrouter; "" against a single server).
 	Replica string
+	// RequestID is the distributed-tracing ID of this multiply
+	// (X-Spmm-Request-Id; "" when the server runs without request tracing).
+	RequestID string
+	// Timing is the server's per-phase latency breakdown (X-Spmm-Timing);
+	// Timing.Valid() is false when absent.
+	Timing Timing
 }
 
 // Multiply computes C[:, :k] = A×B[:, :k] on the server for the registered
@@ -296,6 +303,7 @@ func (c *Client) Multiply(id string, rows int, b *matrix.Dense[float64], k int, 
 	}
 	width, _ := strconv.Atoi(resp.Header.Get(HeaderBatchWidth))
 	batchK, _ := strconv.Atoi(resp.Header.Get(HeaderBatchK))
+	timing, _ := ParseTiming(resp.Header.Get(HeaderTiming))
 	return &MultiplyResult{
 		C:          out,
 		Format:     resp.Header.Get(HeaderFormat),
@@ -304,7 +312,36 @@ func (c *Client) Multiply(id string, rows int, b *matrix.Dense[float64], k int, 
 		BatchWidth: width,
 		BatchK:     batchK,
 		Replica:    resp.Header.Get(HeaderReplica),
+		RequestID:  resp.Header.Get(HeaderRequestID),
+		Timing:     timing,
 	}, nil
+}
+
+// TraceRequests fetches the server's recent request records
+// (GET /v1/trace/requests). Zero-valued filters are omitted.
+func (c *Client) TraceRequests(id, matrixID string, minMs float64, n int) ([]RequestTraceRecord, error) {
+	q := make([]string, 0, 4)
+	if id != "" {
+		q = append(q, "id="+id)
+	}
+	if matrixID != "" {
+		q = append(q, "matrix="+matrixID)
+	}
+	if minMs > 0 {
+		q = append(q, fmt.Sprintf("min_ms=%g", minMs))
+	}
+	if n > 0 {
+		q = append(q, fmt.Sprintf("n=%d", n))
+	}
+	path := "/v1/trace/requests"
+	if len(q) > 0 {
+		path += "?" + strings.Join(q, "&")
+	}
+	var out []RequestTraceRecord
+	if err := c.getJSON(path, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Tune fetches the auto-tuner's decision trail (/v1/tune). With tuning

@@ -1,6 +1,9 @@
 package serve
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
 
 // Serving-layer metrics, registered into the process-wide registry so a
 // `-metrics` monitor (obs.Serve) exposes them next to the kernel and
@@ -60,4 +63,33 @@ var (
 		"Duration of the last startup registry recovery (snapshot + WAL replay).")
 	obsRecoveredMatrices = obs.NewGauge("spmm_serve_recovered_matrices",
 		"Registrations restored by the last startup recovery.")
+
+	// Per-phase multiply latency, labelled with the request-trace phase
+	// vocabulary (labels ride in the registration name, the registry's
+	// convention). Fed only while request tracing is on — the phases are
+	// not measured otherwise.
+	obsPhaseSeconds = map[string]*obs.Histogram{
+		trace.PhaseQueue:   newPhaseHistogram(trace.PhaseQueue),
+		trace.PhaseLoad:    newPhaseHistogram(trace.PhaseLoad),
+		trace.PhasePrepare: newPhaseHistogram(trace.PhasePrepare),
+		trace.PhaseBatch:   newPhaseHistogram(trace.PhaseBatch),
+		trace.PhaseKernel:  newPhaseHistogram(trace.PhaseKernel),
+		trace.PhaseRespond: newPhaseHistogram(trace.PhaseRespond),
+	}
 )
+
+func newPhaseHistogram(phase string) *obs.Histogram {
+	return obs.NewHistogram(`spmm_serve_phase_seconds{phase="`+phase+`"}`,
+		"Per-request time spent in the "+phase+" phase of a multiply.")
+}
+
+// observePhaseSeconds feeds one finished request record into the per-phase
+// histograms (unlabelled phases — e.g. attempt-remote on a router — are the
+// router's own obs concern and skipped here).
+func observePhaseSeconds(rec trace.ReqRecord) {
+	for _, sp := range rec.Spans {
+		if h, ok := obsPhaseSeconds[sp.Name]; ok {
+			h.Observe(float64(sp.Dur) / 1e9)
+		}
+	}
+}

@@ -40,6 +40,14 @@ const (
 	// proxied response: the name of the replica that actually served it.
 	// Single-node servers never set it.
 	HeaderReplica = "X-Spmm-Replica"
+	// HeaderRequestID carries the distributed-tracing request ID. The edge
+	// (router or server) mints one when the client did not supply it; every
+	// hop propagates it unchanged and echoes it on the response.
+	HeaderRequestID = "X-Spmm-Request-Id"
+	// HeaderTiming is the per-phase latency breakdown of a multiply,
+	// "phase=ms;...;total=ms" (see FormatTiming/ParseTiming). Only set when
+	// request tracing is enabled.
+	HeaderTiming = "X-Spmm-Timing"
 )
 
 // RegisterRequest uploads a matrix. Exactly one source must be set: a

@@ -27,6 +27,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -80,6 +81,16 @@ type Config struct {
 	Pool *parallel.Pool
 	// Tracer receives batch and kernel spans; nil disables tracing.
 	Tracer *trace.Tracer
+	// ReqTraceRing enables request-scoped tracing: the server keeps this
+	// many recent per-request phase records (GET /v1/trace/requests), sets
+	// the X-Spmm-Request-Id / X-Spmm-Timing response headers, and feeds the
+	// spmm_serve_phase_seconds histograms. 0 disables it entirely — the
+	// multiply hot path then pays only nil checks (0 allocs/op).
+	ReqTraceRing int
+	// SlowRequest, when > 0 with request tracing on, logs one structured
+	// line (request ID + per-phase breakdown) for every multiply slower
+	// than this threshold.
+	SlowRequest time.Duration
 	// Log receives serving lifecycle notes; nil discards them.
 	Log *slog.Logger
 	// Clock drives the batch-window timers; nil means the wall clock.
@@ -118,6 +129,7 @@ type Server struct {
 	pool    *parallel.Pool
 	ownPool bool
 	tracer  *trace.Tracer
+	reqs    *trace.Requests
 	log     *slog.Logger
 	clk     clock.Clock
 	store   *Store
@@ -178,6 +190,7 @@ func New(cfg Config) (*Server, error) {
 		adm:      newAdmission(cfg.MaxInFlight, cfg.QueueDepth),
 		pool:     cfg.Pool,
 		tracer:   cfg.Tracer,
+		reqs:     trace.NewRequests(cfg.ReqTraceRing),
 		log:      cfg.Log,
 		clk:      cfg.Clock,
 		batchers: map[string]*batcher{},
@@ -384,6 +397,7 @@ func (s *Server) params(plan Plan, k int) core.Params {
 //	POST /v1/matrices/{id}/multiply?k=K   multiply (binary panels)
 //	GET  /v1/stats                 serving counters snapshot
 //	GET  /v1/tune                  auto-tuner decision trail
+//	GET  /v1/trace/requests        recent per-request phase records
 //	GET  /healthz                  liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -395,6 +409,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/matrices/{id}/multiply", s.handleMultiply)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/tune", s.handleTune)
+	mux.HandleFunc("GET /v1/trace/requests", s.handleTraceRequests)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
@@ -729,10 +744,17 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
 
+	// The request timeline opens before admission so queue wait is on it.
+	// With request tracing off, rid is "" and req is nil — every
+	// instrumentation call below is then a free nil check.
+	rid, req := s.beginRequest(r, id)
+
 	// Admission before the body read: overload answers 429 without paying
 	// for the payload, and a queued request that times out leaves without
 	// executing — the harness' cooperative-cancellation contract.
+	queueStart := req.Now()
 	if err := s.adm.acquire(ctx); err != nil {
+		s.failRequest(req, err)
 		if errors.Is(err, ErrOverloaded) {
 			writeError(w, http.StatusTooManyRequests, err)
 		} else {
@@ -742,21 +764,33 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.adm.release()
+	req.Phase(trace.PhaseQueue, "", queueStart, 0)
 
+	loadStart := req.Now()
 	b, err := ReadPanel(http.MaxBytesReader(w, r.Body, int64(m.COO.Cols)*int64(k)*8+8), m.COO.Cols, k)
 	if err != nil {
+		s.failRequest(req, err)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	req.Phase(trace.PhaseLoad, "panel", loadStart, int64(k))
 
+	prepStart := req.Now()
 	kern, plan, hit, err := s.reg.Prepared(ctx, id)
 	if err != nil {
+		s.failRequest(req, err)
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	cache := "prepare"
+	if hit {
+		cache = "hit"
+	}
+	req.Phase(trace.PhasePrepare, cache, prepStart, 0)
 
-	res := s.batcherFor(m).multiply(ctx, kern, plan, b, k)
+	res := s.batcherFor(m).multiply(ctx, kern, plan, b, k, req)
 	if res.err != nil {
+		s.failRequest(req, res.err)
 		code := http.StatusInternalServerError
 		if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
 			code = http.StatusServiceUnavailable
@@ -772,10 +806,6 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		s.tuner.Offer(id, res.plan.Variant, res.plan.Version, b, res.c, k)
 	}
 
-	cache := "prepare"
-	if hit {
-		cache = "hit"
-	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(m.COO.Rows*k*8))
 	w.Header().Set(HeaderFormat, res.plan.Format)
@@ -783,8 +813,31 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(HeaderCache, cache)
 	w.Header().Set(HeaderBatchWidth, strconv.Itoa(res.width))
 	w.Header().Set(HeaderBatchK, strconv.Itoa(res.k))
-	if err := WritePanel(w, res.c, k); err != nil && s.log != nil {
-		s.log.Warn("multiply response write failed", "id", id, "err", err)
+	if req == nil {
+		// Untraced fast path: stream the panel straight to the socket.
+		if err := WritePanel(w, res.c, k); err != nil && s.log != nil {
+			s.log.Warn("multiply response write failed", "id", id, "err", err)
+		}
+	} else {
+		// Traced path: encode to a buffer first so the timing header can
+		// carry the response-encode cost (headers must precede the body);
+		// the recorded respond span additionally covers the socket write.
+		respStart := req.Now()
+		var payload bytes.Buffer
+		payload.Grow(m.COO.Rows * k * 8)
+		if err := WritePanel(&payload, res.c, k); err != nil {
+			s.failRequest(req, err)
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		snap := req.Snapshot()
+		w.Header().Set(HeaderRequestID, rid)
+		w.Header().Set(HeaderTiming, FormatTiming(snap, trace.PhaseRespond, snap.TotalNs-respStart))
+		if _, err := w.Write(payload.Bytes()); err != nil && s.log != nil {
+			s.log.Warn("multiply response write failed", "id", id, "rid", rid, "err", err)
+		}
+		req.Phase(trace.PhaseRespond, "", respStart, 0)
+		s.finishRequest(req)
 	}
 	obsRequestSeconds.Observe(time.Since(start).Seconds())
 }

@@ -90,6 +90,11 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		}
 		events = append(events, ev)
 	}
+	return writeChromeEnvelope(w, events)
+}
+
+// writeChromeEnvelope wraps events in the {"traceEvents": [...]} envelope.
+func writeChromeEnvelope(w io.Writer, events []any) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]any{"traceEvents": events})
 }

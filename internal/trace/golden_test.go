@@ -51,6 +51,15 @@ func runGoldenCampaign(t *testing.T) *trace.Tracer {
 	span := tr.Start()
 	tr.EndDetail(0, trace.PhaseLoad, "golden", span, int64(coo.NNZ()))
 
+	// The request-lifecycle spans the serving path emits around a multiply:
+	// admission-queue wait, one router proxy attempt, the response write.
+	span = tr.Start()
+	tr.EndDetail(0, trace.PhaseQueue, "", span, 1)
+	span = tr.Start()
+	tr.EndDetail(0, trace.PhaseAttemptRemote, "replica-a ok", span, 1)
+	span = tr.Start()
+	tr.EndDetail(0, trace.PhaseRespond, "", span, 0)
+
 	// CPU-parallel run: prepare/warmup/calculate/verify plus per-worker
 	// chunk spans through the parallel hook.
 	k, err := core.New("csr-omp", core.Options{})
@@ -135,6 +144,7 @@ func TestChromeTraceGolden(t *testing.T) {
 	for _, want := range []string{
 		trace.PhaseLoad, trace.PhasePrepare, trace.PhaseWarmup, trace.PhaseCalculate,
 		trace.PhaseVerify, trace.PhaseChunk, trace.PhaseSimKernel,
+		trace.PhaseQueue, trace.PhaseAttemptRemote, trace.PhaseRespond,
 	} {
 		if !seen[want] {
 			t.Errorf("mini-campaign emitted no %q event", want)

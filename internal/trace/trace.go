@@ -73,6 +73,13 @@ const (
 	PhaseSimKernel = "sim-kernel" // simulated-time kernel execution (gpusim/machine)
 	PhaseSimChunk  = "sim-chunk"  // simulated-time per-thread chunk (machine.Multicore)
 	PhaseBatch     = "batch"      // one coalesced serving-layer dispatch (internal/serve)
+
+	// Request-scoped phases (distributed tracing, internal/serve +
+	// internal/cluster). They appear both on Tracer lanes and in per-request
+	// ReqRecord timelines.
+	PhaseQueue         = "queue"          // admission-queue wait before a multiply runs
+	PhaseAttemptRemote = "attempt-remote" // one router->replica proxy attempt (detail: "replica verdict")
+	PhaseRespond       = "respond"        // response encode + write back to the client
 )
 
 // Phases lists every pinned phase name; the golden schema test pins
@@ -82,6 +89,7 @@ func Phases() []string {
 		PhaseLoad, PhasePrepare, PhaseWarmup, PhaseCalculate, PhaseVerify,
 		PhaseKernel, PhaseChunk, PhaseAttempt, PhaseBackoff, PhaseRetry,
 		PhaseDegrade, PhaseSkip, PhaseSimKernel, PhaseSimChunk, PhaseBatch,
+		PhaseQueue, PhaseAttemptRemote, PhaseRespond,
 	}
 }
 

@@ -209,7 +209,10 @@ fi
 
 BENCHTIME=${BENCHTIME:-0.5s}
 TOLERANCE=${TOLERANCE:-0.25}
-FILTER=${FILTER:-'^(BenchmarkCalculate|BenchmarkSchedule|BenchmarkPool|BenchmarkTraceOverhead|BenchmarkObsOverhead|BenchmarkPhaseMix|BenchmarkServeCachedMultiply|BenchmarkServeUnbatched|BenchmarkServeBatched|BenchmarkTunedMultiply|BenchmarkWALAppend)$'}
+# BenchmarkRequestTraceOverhead/disabled is the 0 allocs/op gate on the
+# untraced hot path: the stored baseline records 0 allocs, so any alloc
+# creeping into the disabled request-tracing path fails the perf gate.
+FILTER=${FILTER:-'^(BenchmarkCalculate|BenchmarkSchedule|BenchmarkPool|BenchmarkTraceOverhead|BenchmarkObsOverhead|BenchmarkPhaseMix|BenchmarkServeCachedMultiply|BenchmarkServeUnbatched|BenchmarkServeBatched|BenchmarkTunedMultiply|BenchmarkWALAppend|BenchmarkRequestTraceOverhead)$'}
 DIR=${DIR:-results/bench}
 
 out=$(mktemp)

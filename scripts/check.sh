@@ -23,7 +23,10 @@ echo "== go test -race (parallel, harness, trace, obs, serve, tune, clock, clust
 # corrupt snapshots, injected fsync/disk-full faults), the deterministic
 # auto-tuner suite (promotion hysteresis, duty bounds, wrong-variant
 # rejection), and the in-process cluster suite (hash-ring properties,
-# scripted kill/hang failover, rebalance-without-drain) run here under -race.
+# scripted kill/hang failover, rebalance-without-drain, and the
+# request-trace propagation test — one rid across router attempt spans,
+# replica phase spans, and the slow-request log, under scripted failover)
+# run here under -race.
 go test -race -short ./internal/parallel/... ./internal/harness/... ./internal/trace/... ./internal/obs/... ./internal/serve/... ./internal/tune/... ./internal/clock/... ./internal/cluster/...
 
 echo "== flake gate (serve + cluster, shuffled, 3x) =="
