@@ -9,6 +9,13 @@
 //	spmmload -addr http://127.0.0.1:8080 -matrix cant -scale 0.05 -workers 8 -n 200
 //	spmmload -addr http://127.0.0.1:8080 -mtx path/to/matrix.mtx -k 64
 //	spmmload -addr http://127.0.0.1:8080 -matrix torso1 -scale 0.02 -deadline 100ms
+//	spmmload -addr http://127.0.0.1:8080 -matrix cant -mutate-rate 0.1 -n 500
+//
+// With -mutate-rate > 0, spmmload interleaves insert/update/delete batches
+// with the multiply load (one batch per 1/rate multiplies, serialized),
+// verifies every multiply bitwise against a client-side reference for the
+// exact epoch the server answered at (X-Spmm-Epoch), and reports mutation
+// ack latency percentiles plus the compactions the server performed.
 //
 // -addr also accepts a comma-separated endpoint list; requests round-robin
 // across them and the matrix registers on every endpoint first (content
@@ -61,6 +68,8 @@ func main() {
 		verify   = flag.Bool("verify", true, "verify responses bitwise against a local serial kernel")
 		retries  = flag.Int("retries", 0, "retries per request on 429/503 (capped exponential backoff + jitter, honoring Retry-After)")
 		retryCon = flag.Bool("retry-conn", false, "also retry transport errors — rides out a server crash-and-restart window")
+		mutRate  = flag.Float64("mutate-rate", 0, "mutation batches per multiply (0.1 = one batch per ten multiplies; 0 disables mutation traffic)")
+		mutBatch = flag.Int("mutate-batch", 8, "insert/update/delete ops per mutation batch")
 	)
 	flag.Parse()
 
@@ -130,16 +139,52 @@ func main() {
 		if got := serve.ContentID(local); got != reg.ID {
 			fatal(fmt.Errorf("local matrix hashes to %s but server registered %s — different inputs", got, reg.ID))
 		}
-		ref, err = core.New(reg.Format+"-serial", core.Options{})
+		switch {
+		case *mutRate > 0:
+			// Mutation mode verifies per epoch below; no base reference.
+		case reg.Epoch > 0:
+			// The server's content has drifted from the registered base via
+			// mutations; the local base is no longer the truth to check.
+			fmt.Printf("note: matrix is at mutation epoch %d; base-content verification disabled\n", reg.Epoch)
+		default:
+			ref, err = core.New(reg.Format+"-serial", core.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			p := core.DefaultParams()
+			p.BlockSize = reg.Block
+			p.K = *kArg
+			if err := ref.Prepare(local, p); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	// Mutation mode: precompute the whole batch schedule and every epoch's
+	// merged content, so each multiply verifies against the exact state its
+	// X-Spmm-Epoch names. The sequence only lines up from a clean epoch 0.
+	var mutPlan *mutationPlan
+	var mutVerify *epochVerifier
+	if *mutRate > 0 {
+		if reg.Epoch > 0 {
+			fatal(fmt.Errorf("matrix already at mutation epoch %d on the server; mutation mode needs a fresh state", reg.Epoch))
+		}
+		if !*verify {
+			serve.Canonicalize(local)
+		}
+		batches := int(float64(*requests) * *mutRate)
+		if batches < 1 {
+			batches = 1
+		}
+		mutPlan, err = buildMutationPlan(local, batches, *mutBatch, 424242)
 		if err != nil {
 			fatal(err)
 		}
-		p := core.DefaultParams()
-		p.BlockSize = reg.Block
-		p.K = *kArg
-		if err := ref.Prepare(local, p); err != nil {
-			fatal(err)
+		if *verify {
+			mutVerify = newEpochVerifier(mutPlan, reg.Rows, *kArg)
 		}
+		fmt.Printf("mutating: %d batches of %d ops interleaved with the load (one per ~%.0f multiplies)\n",
+			batches, *mutBatch, 1 / *mutRate)
 	}
 
 	var (
@@ -171,6 +216,22 @@ func main() {
 	)
 	refC := matrix.NewDense[float64](reg.Rows, *kArg)
 	start := time.Now()
+
+	// The mutator runs beside the workers, paced off the multiply issue
+	// counter; after the load drains it sends any remaining batches so the
+	// run always ends at the plan's final epoch.
+	var mutSt mutateStats
+	loadDone := make(chan struct{})
+	var mutWG sync.WaitGroup
+	if mutPlan != nil {
+		mutWG.Add(1)
+		go func() {
+			defer mutWG.Done()
+			mutSt = runMutator(client, reg.ID, mutPlan, *mutRate,
+				func() int64 { return next.Load() }, loadDone)
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
@@ -221,7 +282,21 @@ func main() {
 				if res.RequestID != "" {
 					tracked = append(tracked, requestObs{id: res.RequestID, lat: lat, replica: res.Replica})
 				}
-				if ref != nil {
+				if mutVerify != nil {
+					// Epoch-addressed reference: the server names which
+					// mutation state it computed (X-Spmm-Epoch); the bitwise
+					// contract makes csr-serial over that epoch's merged
+					// content the universal truth.
+					diff, checked, verr := mutVerify.verify(res.Epoch, b, res.C)
+					if verr != nil {
+						fatal(verr)
+					}
+					if checked && diff != 0 {
+						atomic.AddInt64(&mismatches, 1)
+						fmt.Fprintf(os.Stderr, "spmmload: request %d: epoch %d result differs from reference by %g\n",
+							i, res.Epoch, diff)
+					}
+				} else if ref != nil {
 					// Serial reference under the same lock: one scratch C,
 					// and the serial rep keeps the client honest about what
 					// the server actually computed.
@@ -242,6 +317,8 @@ func main() {
 		}()
 	}
 	wg.Wait()
+	close(loadDone)
+	mutWG.Wait()
 	elapsed := time.Since(start)
 
 	ok := len(latencies)
@@ -327,10 +404,19 @@ func main() {
 			}
 		}
 	}
+	var serverStats *serve.StatsResponse
 	if stats, err := client.Stats(); err == nil {
+		serverStats = stats
 		fmt.Printf("server: %d multiplies over %d dispatches, cache %d/%d prepared (%d prepares, %d evictions), shed %d\n",
 			stats.Multiplies, stats.Batches, stats.Cache.Entries, stats.Matrices,
 			stats.Cache.Prepares, stats.Cache.Evictions, stats.Shed)
+	}
+	if mutPlan != nil {
+		var skipped int64
+		if mutVerify != nil {
+			skipped = mutVerify.skipped
+		}
+		reportMutations(mutSt, skipped, serverStats)
 	}
 	// Against a router, /v1/cluster exists and summarizes the fleet; a plain
 	// spmmserve 404s and the line is simply omitted.
@@ -365,10 +451,17 @@ func main() {
 		}
 	}
 	if *verify {
-		if mismatches > 0 {
-			fatal(fmt.Errorf("%d responses mismatched the serial %s kernel", mismatches, reg.Format))
+		refName := reg.Format
+		if mutVerify != nil {
+			refName = "csr (per-epoch merged reference)"
 		}
-		fmt.Printf("verified: all %d responses bitwise-identical to serial %s\n", ok, reg.Format)
+		if mismatches > 0 {
+			fatal(fmt.Errorf("%d responses mismatched the serial %s kernel", mismatches, refName))
+		}
+		fmt.Printf("verified: all %d responses bitwise-identical to serial %s\n", ok, refName)
+	}
+	if mutSt.err != nil {
+		fatal(mutSt.err)
 	}
 	if ok == 0 && *requests > 0 {
 		fatal(fmt.Errorf("no request succeeded"))

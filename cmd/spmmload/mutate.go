@@ -1,0 +1,192 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/delta"
+	"repro/internal/matrix"
+	"repro/internal/serve"
+)
+
+// Mutation traffic: spmmload interleaves insert/update/delete batches with
+// the multiply load and bitwise-verifies every multiply against a
+// client-side reference for the exact epoch the server answered at
+// (X-Spmm-Epoch). The whole batch sequence is generated up front from a
+// fixed seed, so every epoch's merged content is known before the run
+// starts — a multiply racing a mutation can always be checked against the
+// state its epoch names, never a guess.
+
+// mutationPlan is the precomputed mutation schedule: batch b creates epoch
+// b+1, and states[e] is the full merged content at epoch e (states[0] is
+// the registered base).
+type mutationPlan struct {
+	batches [][]serve.MutateOp
+	states  []*matrix.COO[float64]
+}
+
+// buildMutationPlan generates `batches` deterministic op batches over base
+// and folds each through the same delta-overlay code path the server runs,
+// yielding the canonical merged content at every epoch.
+func buildMutationPlan(base *matrix.COO[float64], batches, opsPer int, seed int64) (*mutationPlan, error) {
+	rng := rand.New(rand.NewSource(seed))
+	plan := &mutationPlan{states: []*matrix.COO[float64]{base}}
+	cur := base
+	for b := 0; b < batches; b++ {
+		ops := make([]serve.MutateOp, opsPer)
+		dops := make([]delta.Op, opsPer)
+		for i := range ops {
+			row := int32(rng.Intn(base.Rows))
+			col := int32(rng.Intn(base.Cols))
+			del := rng.Float64() < 0.2
+			var val float64
+			if !del {
+				val = rng.NormFloat64()
+			}
+			ops[i] = serve.MutateOp{Row: row, Col: col, Val: val, Del: del}
+			dops[i] = delta.Op{Row: row, Col: col, Val: val, Del: del}
+		}
+		ov, err := (*delta.Overlay)(nil).Extend(cur, dops)
+		if err != nil {
+			return nil, fmt.Errorf("spmmload: batch %d: %w", b+1, err)
+		}
+		if ov.NNZ() > 0 {
+			cur = ov.Merge()
+		}
+		plan.batches = append(plan.batches, ops)
+		plan.states = append(plan.states, cur)
+	}
+	return plan, nil
+}
+
+// epochVerifier holds one lazily prepared serial reference kernel per
+// epoch. The bitwise contract makes csr-serial the universal reference:
+// whatever format/variant the server dispatched, the bits must equal the
+// serial per-row column-ascending accumulation over the epoch's merged
+// content.
+type epochVerifier struct {
+	plan *mutationPlan
+	k    int
+
+	mu    sync.Mutex
+	kerns map[int64]core.Kernel
+	refC  *matrix.Dense[float64]
+	// skipped counts multiplies whose epoch was ahead of the plan (another
+	// client mutating the same matrix) — nothing to verify against.
+	skipped int64
+}
+
+func newEpochVerifier(plan *mutationPlan, rows, k int) *epochVerifier {
+	return &epochVerifier{
+		plan:  plan,
+		k:     k,
+		kerns: map[int64]core.Kernel{},
+		refC:  matrix.NewDense[float64](rows, k),
+	}
+}
+
+// verify checks c against the reference for the given epoch; it returns
+// (mismatch magnitude, true) when a reference exists, or (0, false) when
+// the epoch is outside the plan.
+func (v *epochVerifier) verify(epoch int64, b *matrix.Dense[float64], c *matrix.Dense[float64]) (float64, bool, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if epoch < 0 || epoch >= int64(len(v.plan.states)) {
+		v.skipped++
+		return 0, false, nil
+	}
+	kern, ok := v.kerns[epoch]
+	if !ok {
+		var err error
+		kern, err = core.New("csr-serial", core.Options{})
+		if err != nil {
+			return 0, false, err
+		}
+		p := core.DefaultParams()
+		p.K = v.k
+		if err := kern.Prepare(v.plan.states[epoch], p); err != nil {
+			return 0, false, err
+		}
+		v.kerns[epoch] = kern
+	}
+	p := core.DefaultParams()
+	p.K = v.k
+	if err := kern.Calculate(b, v.refC, p); err != nil {
+		return 0, false, err
+	}
+	diff, _ := c.MaxAbsDiff(v.refC)
+	return diff, true, nil
+}
+
+// mutateStats is the mutator goroutine's outcome.
+type mutateStats struct {
+	sent      int
+	latencies []time.Duration
+	lastEpoch int64
+	lastHash  string
+	err       error
+}
+
+// runMutator sends the plan's batches one at a time (serialized — the
+// epoch sequence is the correctness anchor), pacing batch b to land after
+// roughly b/rate multiplies have been issued. issued reports how many
+// multiplies the workers have started; done closes when the multiply load
+// finishes, after which the mutator drains its remaining batches
+// back-to-back so the run always ends at the plan's final epoch.
+func runMutator(cl *serve.Client, id string, plan *mutationPlan, rate float64, issued func() int64, done <-chan struct{}) mutateStats {
+	var st mutateStats
+	pacing := true
+	for b, ops := range plan.batches {
+		for pacing && issued() < int64(float64(b)/rate) {
+			select {
+			case <-done:
+				pacing = false
+			case <-time.After(time.Millisecond):
+			}
+		}
+		t0 := time.Now()
+		resp, err := cl.Mutate(id, ops)
+		if err != nil {
+			st.err = fmt.Errorf("mutate batch %d: %w", b+1, err)
+			return st
+		}
+		st.latencies = append(st.latencies, time.Since(t0))
+		st.sent++
+		if want := int64(b + 1); resp.Epoch != want {
+			st.err = fmt.Errorf("mutate batch %d acked epoch %d, want %d (another writer?)", b+1, resp.Epoch, want)
+			return st
+		}
+		st.lastEpoch, st.lastHash = resp.Epoch, resp.Hash
+	}
+	return st
+}
+
+// reportMutations prints the mutation-side summary: ack latency
+// percentiles, the final epoch, and the compaction activity the server
+// reported.
+func reportMutations(st mutateStats, skipped int64, stats *serve.StatsResponse) {
+	if st.sent == 0 {
+		return
+	}
+	lat := append([]time.Duration(nil), st.latencies...)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		return lat[min(int(p*float64(len(lat))), len(lat)-1)]
+	}
+	fmt.Printf("mutations: %d batches acked, final epoch %d, ack p50 %s  p99 %s  max %s\n",
+		st.sent, st.lastEpoch,
+		pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond),
+		lat[len(lat)-1].Round(time.Microsecond))
+	if skipped > 0 {
+		fmt.Printf("mutations: %d responses at epochs outside the local plan (unverified)\n", skipped)
+	}
+	if stats != nil && stats.Delta != nil {
+		d := stats.Delta
+		fmt.Printf("server delta: %d mutations (%d ops), %d matrices dirty (%d overlay nnz), %d compactions (%d failed)\n",
+			d.Mutations, d.Ops, d.Mutated, d.OverlayNNZ, d.Compactions, d.CompactionErrors)
+	}
+}

@@ -34,28 +34,30 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "service listen address (use :0 for an ephemeral port)")
-		metricsAddr = flag.String("metrics", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. :9090)")
-		threads     = flag.Int("t", parallel.MaxThreads(), "kernel threads per dispatch")
-		cacheMB     = flag.Int("cache-mb", 256, "prepared-format cache budget in MiB (0 = unbounded)")
-		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "coalescing window for same-matrix requests (0 disables batching)")
-		maxBatchK   = flag.Int("batch-maxk", 512, "max dense columns per coalesced dispatch")
-		maxK        = flag.Int("maxk", 1024, "max dense columns per request")
-		maxInFlight = flag.Int("max-inflight", 0, "max concurrently executing multiplies (0 = 2x threads)")
-		queue       = flag.Int("queue", -1, "admission queue depth before 429 shedding (-1 = 4x max-inflight)")
-		deadline    = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
-		dataDir     = flag.String("data-dir", "", "durability directory: registrations are WAL-journaled (fsynced before ack) and recovered on restart; empty keeps the registry in memory only")
-		tuneOn      = flag.Bool("tune", false, "enable the online auto-tuner: shadow-measure kernel variants on live traffic and promote the measured-fastest per matrix")
-		tuneDuty    = flag.Float64("tune-duty", 0.05, "fraction of live multiplies shadow-measured by the tuner")
-		tuneMinSamp = flag.Int("tune-min-samples", 8, "per-variant samples required before the tuner may promote")
-		snapEvery   = flag.Int("snapshot-every", 64, "compact the WAL into a snapshot after this many registrations (<0 disables)")
-		fsync       = flag.Bool("fsync", true, "fsync every WAL append before acking a registration (disable only for throwaway data)")
-		traceOut    = flag.String("trace", "", "write a Chrome trace of the serving session to this file on exit")
-		reqRing     = flag.Int("reqtrace-ring", 512, "per-request tracing: keep the last N request records and answer /v1/trace/requests (0 disables; disabled requests cost nothing)")
-		slowReq     = flag.Duration("slow", time.Second, "log a request-ID-correlated warning for requests slower than this (0 disables; needs -reqtrace-ring > 0)")
-		logFormat   = flag.String("log-format", "text", "log format: text or json")
-		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		drainGrace  = flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGINT")
+		addr         = flag.String("addr", ":8080", "service listen address (use :0 for an ephemeral port)")
+		metricsAddr  = flag.String("metrics", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. :9090)")
+		threads      = flag.Int("t", parallel.MaxThreads(), "kernel threads per dispatch")
+		cacheMB      = flag.Int("cache-mb", 256, "prepared-format cache budget in MiB (0 = unbounded)")
+		batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "coalescing window for same-matrix requests (0 disables batching)")
+		maxBatchK    = flag.Int("batch-maxk", 512, "max dense columns per coalesced dispatch")
+		maxK         = flag.Int("maxk", 1024, "max dense columns per request")
+		maxInFlight  = flag.Int("max-inflight", 0, "max concurrently executing multiplies (0 = 2x threads)")
+		queue        = flag.Int("queue", -1, "admission queue depth before 429 shedding (-1 = 4x max-inflight)")
+		deadline     = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+		dataDir      = flag.String("data-dir", "", "durability directory: registrations are WAL-journaled (fsynced before ack) and recovered on restart; empty keeps the registry in memory only")
+		tuneOn       = flag.Bool("tune", false, "enable the online auto-tuner: shadow-measure kernel variants on live traffic and promote the measured-fastest per matrix")
+		tuneDuty     = flag.Float64("tune-duty", 0.05, "fraction of live multiplies shadow-measured by the tuner")
+		tuneMinSamp  = flag.Int("tune-min-samples", 8, "per-variant samples required before the tuner may promote")
+		snapEvery    = flag.Int("snapshot-every", 64, "compact the WAL into a snapshot after this many registrations (<0 disables)")
+		compactRatio = flag.Float64("compact-ratio", 0, "background overlay compaction when overlay nnz exceeds this fraction of base nnz (0 = default 0.25, negative disables the ratio trigger)")
+		compactCost  = flag.Float64("compact-cost", 0, "background overlay compaction when accumulated overlay-apply time exceeds this multiple of one re-preparation (0 = default 1.0, negative disables the cost trigger)")
+		fsync        = flag.Bool("fsync", true, "fsync every WAL append before acking a registration (disable only for throwaway data)")
+		traceOut     = flag.String("trace", "", "write a Chrome trace of the serving session to this file on exit")
+		reqRing      = flag.Int("reqtrace-ring", 512, "per-request tracing: keep the last N request records and answer /v1/trace/requests (0 disables; disabled requests cost nothing)")
+		slowReq      = flag.Duration("slow", time.Second, "log a request-ID-correlated warning for requests slower than this (0 disables; needs -reqtrace-ring > 0)")
+		logFormat    = flag.String("log-format", "text", "log format: text or json")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		drainGrace   = flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGINT")
 	)
 	flag.Parse()
 
@@ -100,6 +102,8 @@ func main() {
 		DataDir:         *dataDir,
 		SnapshotEvery:   *snapEvery,
 		NoFsync:         !*fsync,
+		CompactRatio:    *compactRatio,
+		CompactCost:     *compactCost,
 	}
 	if *tuneOn {
 		cfg.Tune = &tune.Config{Duty: *tuneDuty, MinSamples: *tuneMinSamp}

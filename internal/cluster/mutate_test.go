@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/delta"
+	"repro/internal/matrix"
+	"repro/internal/serve"
+)
+
+// localMatrix is one registered matrix plus its client-side mutation fold:
+// batches[b] creates epoch b+1 and states[e] is the merged content at
+// epoch e.
+type localMatrix struct {
+	reg     *serve.RegisterResponse
+	batches [][]serve.MutateOp
+	states  []*matrix.COO[float64]
+}
+
+// registerMutable registers count deterministic triplet matrices through
+// the router and precomputes a mutation plan for each, folding every batch
+// through the delta package so the per-epoch merged content is known
+// before the stream starts.
+func registerMutable(t *testing.T, tc *testCluster, count, rounds, opsPer int) []*localMatrix {
+	t.Helper()
+	out := make([]*localMatrix, 0, count)
+	for i := 0; i < count; i++ {
+		rr := randomTriplets(60+i, 45+i, 350, int64(3000+i))
+		reg, err := tc.client.Register(rr)
+		if err != nil {
+			t.Fatalf("register %d: %v", i, err)
+		}
+		base := &matrix.COO[float64]{
+			Rows:   rr.Rows,
+			Cols:   rr.Cols,
+			RowIdx: append([]int32(nil), rr.RowIdx...),
+			ColIdx: append([]int32(nil), rr.ColIdx...),
+			Vals:   append([]float64(nil), rr.Vals...),
+		}
+		serve.Canonicalize(base)
+		if got := serve.ContentID(base); got != reg.ID {
+			t.Fatalf("matrix %d: local fold base hashes to %s, router registered %s", i, got, reg.ID)
+		}
+		lm := &localMatrix{reg: reg, states: []*matrix.COO[float64]{base}}
+		rng := rand.New(rand.NewSource(int64(7000 + i)))
+		cur := base
+		for b := 0; b < rounds; b++ {
+			ops := make([]serve.MutateOp, opsPer)
+			dops := make([]delta.Op, opsPer)
+			for j := range ops {
+				row, col := int32(rng.Intn(base.Rows)), int32(rng.Intn(base.Cols))
+				del := rng.Float64() < 0.25
+				var val float64
+				if !del {
+					val = rng.NormFloat64()
+				}
+				ops[j] = serve.MutateOp{Row: row, Col: col, Val: val, Del: del}
+				dops[j] = delta.Op{Row: row, Col: col, Val: val, Del: del}
+			}
+			ov, err := (*delta.Overlay)(nil).Extend(cur, dops)
+			if err != nil {
+				t.Fatalf("matrix %d fold batch %d: %v", i, b+1, err)
+			}
+			if ov.NNZ() > 0 {
+				cur = ov.Merge()
+			}
+			lm.batches = append(lm.batches, ops)
+			lm.states = append(lm.states, cur)
+		}
+		out = append(out, lm)
+	}
+	return out
+}
+
+// TestRebalanceMidMutationStream is the dynamic-matrices rebalance
+// guarantee: a replica joins the ring while mutation batches are streaming
+// through the router, and when the dust settles every holder of every
+// matrix — including the joiner, which received its copy mid-stream via
+// the epoch-tagged export path — serves the same epoch, the same content
+// hash, and bitwise-identical multiply panels, all equal to the client-side
+// fold of the full batch sequence.
+func TestRebalanceMidMutationStream(t *testing.T) {
+	const (
+		count  = 12
+		rounds = 10
+		opsPer = 6
+		k      = 4
+	)
+	// Background compaction off fleet-wide: compaction is representation-
+	// only, but it re-bases the content hash, and this test pins exact
+	// hash agreement across independently-timed replicas.
+	tc := newTestClusterServe(t, 3, nil, func(c *serve.Config) {
+		c.CompactRatio, c.CompactCost = -1, -1
+	})
+	mats := registerMutable(t, tc, count, rounds, opsPer)
+
+	// Stream: round-robin across matrices so every entry is mid-mutation
+	// when the join lands. The epoch sequence per matrix is the anchor —
+	// any lost or doubled batch on any holder breaks it.
+	var acked atomic.Int64
+	streamErr := make(chan error, 1)
+	go func() {
+		defer close(streamErr)
+		for b := 0; b < rounds; b++ {
+			for i, lm := range mats {
+				resp, err := tc.client.Mutate(lm.reg.ID, lm.batches[b])
+				if err != nil {
+					streamErr <- fmt.Errorf("matrix %d batch %d: %w", i, b+1, err)
+					return
+				}
+				if resp.Epoch != int64(b+1) {
+					streamErr <- fmt.Errorf("matrix %d batch %d acked epoch %d", i, b+1, resp.Epoch)
+					return
+				}
+				acked.Add(1)
+			}
+		}
+	}()
+
+	// Join a fourth replica once the stream is well underway.
+	waitFor(t, "a third of the stream to ack", func() bool {
+		return acked.Load() > count*rounds/3
+	})
+	join := tc.addReplica("r3")
+	if join.Moved == 0 {
+		t.Fatal("join moved nothing — with 12 IDs and a quarter of the ring, the joiner must own some")
+	}
+	if err, ok := <-streamErr; ok && err != nil {
+		t.Fatal(err)
+	}
+
+	// Settle and audit: every holder of every matrix must agree exactly.
+	st := tc.clusterStats()
+	ring := tc.router.ring.Load()
+	movedChecked := 0
+	for i, lm := range mats {
+		final := lm.states[rounds]
+		bm := matrix.NewDenseRand[float64](lm.reg.Cols, k, int64(9000+i))
+		ref := refMultiply(t, final, bm, k)
+
+		res, err := tc.client.Multiply(lm.reg.ID, lm.reg.Rows, bm, k, 0)
+		if err != nil {
+			t.Fatalf("router multiply %s: %v", lm.reg.ID, err)
+		}
+		if res.Epoch != rounds {
+			t.Fatalf("router serves %s at epoch %d, want %d", lm.reg.ID, res.Epoch, rounds)
+		}
+		if diff, _ := res.C.MaxAbsDiff(ref); diff != 0 {
+			t.Fatalf("router multiply %s differs from the fold by %g", lm.reg.ID, diff)
+		}
+
+		holders := st.Placements[lm.reg.ID]
+		if len(holders) == 0 {
+			t.Fatalf("matrix %s has no holders", lm.reg.ID)
+		}
+		if owner := ring.Owner(lm.reg.ID); owner == "r3" {
+			movedChecked++
+			found := false
+			for _, h := range holders {
+				found = found || h == "r3"
+			}
+			if !found {
+				t.Fatalf("matrix %s is owned by the joiner but not held by it: %v", lm.reg.ID, holders)
+			}
+		}
+		wantHash := fmt.Sprintf("%s+e%d", lm.reg.ID, rounds)
+		for _, h := range holders {
+			direct := serve.NewClient(tc.replicas[h].base)
+			exp, err := direct.Export(lm.reg.ID)
+			if err != nil {
+				t.Fatalf("export %s from %s: %v", lm.reg.ID, h, err)
+			}
+			if exp.Epoch != rounds || exp.Hash != wantHash {
+				t.Fatalf("holder %s has %s at epoch %d hash %q, want %d/%q",
+					h, lm.reg.ID, exp.Epoch, exp.Hash, rounds, wantHash)
+			}
+			dres, err := direct.Multiply(lm.reg.ID, lm.reg.Rows, bm, k, 0)
+			if err != nil {
+				t.Fatalf("direct multiply %s on %s: %v", lm.reg.ID, h, err)
+			}
+			if diff, _ := dres.C.MaxAbsDiff(ref); diff != 0 {
+				t.Fatalf("holder %s serves %s bits differing from the fold by %g", h, lm.reg.ID, diff)
+			}
+		}
+	}
+	if movedChecked == 0 {
+		t.Fatal("ring moved no audited matrix onto the joiner")
+	}
+	t.Logf("rebalance mid-stream: %d matrices × %d batches, %d moved to the joiner, all holders bitwise-identical",
+		count, rounds, join.Moved)
+}
+
+// refMultiply computes the serial reference panel over one merged state —
+// the bitwise contract makes csr-serial the oracle for every replica's
+// format and variant choice.
+func refMultiply(t *testing.T, st *matrix.COO[float64], b *matrix.Dense[float64], k int) *matrix.Dense[float64] {
+	t.Helper()
+	kern, err := core.New("csr-serial", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams()
+	p.K = k
+	if err := kern.Prepare(st, p); err != nil {
+		t.Fatal(err)
+	}
+	c := matrix.NewDense[float64](st.Rows, k)
+	if err := kern.Calculate(b, c, p); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -64,7 +64,7 @@ func (rt *Router) Join(spec JoinRequest) (int, error) {
 	count := 0
 	var lastErr error
 	for _, e := range moved {
-		if err := rt.ensureRegistered(rep, e); err != nil {
+		if err := rt.moveEntry(rep, e); err != nil {
 			rt.mu.Lock()
 			e.pinned = ""
 			rt.mu.Unlock()
@@ -155,7 +155,7 @@ func (rt *Router) Leave(name string) (int, error) {
 			lastErr = fmt.Errorf("cluster: move %s: target %s not in fleet", job.e.id, job.target)
 			continue
 		}
-		if err := rt.ensureRegistered(target, job.e); err != nil {
+		if err := rt.moveEntry(target, job.e); err != nil {
 			rt.mu.Lock()
 			job.e.pinned = ""
 			rt.mu.Unlock()
@@ -185,14 +185,25 @@ func (rt *Router) Leave(name string) (int, error) {
 }
 
 // ensureRegistered lands the matrix on rep with its prepared-format cache
-// warm: register (spec or export-pulled triplets), verify the content
-// address, then prepare. Idempotent — re-registering an existing matrix is
-// a no-op on the replica, and prepare of a resident format is a hit.
+// warm: register (spec, or export-pulled triplets — for a mutated matrix
+// that is the current base PLUS the pending overlay, epoch-tagged, so the
+// new holder serves bitwise-identical results at the same epoch), verify
+// the content address, then prepare. Idempotent — re-registering an
+// existing matrix is a no-op on the replica, and prepare of a resident
+// format is a hit. Callers serialize against the mutation fan-out by
+// holding e.mutMu (moveEntry does), or the batch landing mid-copy would be
+// missing on the new holder.
 func (rt *Router) ensureRegistered(rep *replica, e *entry) error {
+	rt.mu.Lock()
+	mutated := e.mutated
+	rt.mu.Unlock()
 	var rr serve.RegisterRequest
-	if e.name != "" {
+	if e.name != "" && !mutated {
 		rr = serve.RegisterRequest{Name: e.name, Scale: e.scale}
 	} else {
+		// Uploaded or mutated: pull the live holder's export. Once a matrix
+		// has mutated, the generator spec no longer describes its content —
+		// only the export does.
 		exp, err := rt.pullExport(e)
 		if err != nil {
 			return err
@@ -211,6 +222,15 @@ func (rt *Router) ensureRegistered(rep *replica, e *entry) error {
 		return fmt.Errorf("warm prepare: %w", err)
 	}
 	return nil
+}
+
+// moveEntry is ensureRegistered under the entry's mutation lock — every
+// re-home and replication copy goes through here so no mutation batch can
+// land between the export and the target's registration.
+func (rt *Router) moveEntry(rep *replica, e *entry) error {
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	return rt.ensureRegistered(rep, e)
 }
 
 // pullExport fetches the canonical triplets from the first live holder.

@@ -143,6 +143,16 @@ type entry struct {
 	// holders are replica names with the matrix registered, in the order
 	// they acquired it. Guarded by Router.mu.
 	holders []string
+	// mutated records that at least one mutation batch was applied: from
+	// then on the generator spec no longer describes the content, so every
+	// re-home/replication must go through the export path (base + overlay,
+	// epoch-tagged). Guarded by Router.mu.
+	mutated bool
+	// mutMu serializes mutation fan-out against rebalance moves and hot
+	// replication for this entry: a batch landing between a move's export
+	// and its cutover would be lost on the new holder. Lock order: mutMu
+	// before Router.mu, never the reverse.
+	mutMu sync.Mutex
 	// pinned, when set, overrides ring placement while a rebalance warms
 	// the matrix on its new owner: requests keep landing on the pinned
 	// holder until the cutover clears it. Guarded by Router.mu.
@@ -245,6 +255,8 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/matrices/{id}", rt.handleProxy)
 	mux.HandleFunc("GET /v1/matrices/{id}/export", rt.handleProxy)
 	mux.HandleFunc("POST /v1/matrices/{id}/prepare", rt.handleProxy)
+	mux.HandleFunc("POST /v1/matrices/{id}/mutate", rt.handleMutate)
+	mux.HandleFunc("POST /v1/matrices/{id}/compact", rt.handleProxy)
 	mux.HandleFunc("POST /v1/matrices/{id}/multiply", rt.handleMultiply)
 	mux.HandleFunc("GET /v1/stats", rt.handleStats)
 	mux.HandleFunc("GET /v1/trace/requests", rt.handleTraceRequests)
@@ -624,6 +636,113 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusBadGateway, fmt.Errorf("cluster: all holders failed: %w", lastErr))
 }
 
+// handleMutate applies one mutation batch to EVERY holder of the matrix —
+// unlike a multiply, a mutation must reach each copy or the copies diverge
+// bitwise. The fan-out runs under the entry's mutation lock so it also
+// serializes with rebalance moves (a batch cannot slip between a move's
+// export and its cutover). A holder that fails the batch while another
+// acked it has diverged and is dropped from the holder set; the client
+// fails only when no holder acked.
+func (rt *Router) handleMutate(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	obsRequests.Inc()
+	id := r.PathValue("id")
+	body, err := io.ReadAll(io.LimitReader(r.Body, 256<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rt.mu.Lock()
+	e, ok := rt.entries[id]
+	rt.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: unknown matrix %q", id))
+		return
+	}
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	rt.mu.Lock()
+	holders := rt.orderAliveLocked(append([]string(nil), e.holders...))
+	rt.mu.Unlock()
+	if len(holders) == 0 {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: matrix %q has no live holder", id))
+		return
+	}
+	path := "/v1/matrices/" + id + "/mutate"
+	type mutReply struct {
+		rep    string
+		header http.Header
+		status int
+		body   []byte
+	}
+	var acked *mutReply
+	var failed *mutReply
+	var diverged []string
+	var lastErr error
+	for _, rep := range holders {
+		resp, release, err := rt.roundTrip(r.Context(), rep, http.MethodPost, path, "application/json", body)
+		if err != nil {
+			diverged = append(diverged, rep.name)
+			lastErr = fmt.Errorf("cluster: replica %s: %w", rep.name, err)
+			rt.logf("cluster: mutate %s on %s failed: %v", id, rep.name, err)
+			continue
+		}
+		payload, rerr := io.ReadAll(resp.Body)
+		status, header := resp.StatusCode, resp.Header
+		release()
+		if rerr != nil {
+			diverged = append(diverged, rep.name)
+			lastErr = fmt.Errorf("cluster: replica %s died mid-response: %w", rep.name, rerr)
+			continue
+		}
+		reply := &mutReply{rep: rep.name, header: header, status: status, body: payload}
+		if status != http.StatusOK {
+			failed = reply
+			diverged = append(diverged, rep.name)
+			lastErr = fmt.Errorf("cluster: replica %s returned %d", rep.name, status)
+			continue
+		}
+		if acked == nil {
+			acked = reply
+		}
+	}
+	if acked == nil {
+		// Nobody applied the batch, so nobody diverged: keep the holder set
+		// and relay the most informative refusal.
+		if failed != nil {
+			for _, h := range []string{"Content-Type", "Retry-After"} {
+				if v := failed.header.Get(h); v != "" {
+					w.Header().Set(h, v)
+				}
+			}
+			w.Header().Set(serve.HeaderReplica, failed.rep)
+			w.WriteHeader(failed.status)
+			w.Write(failed.body)
+			return
+		}
+		writeError(w, http.StatusBadGateway, fmt.Errorf("cluster: mutate failed on every holder: %w", lastErr))
+		return
+	}
+	rt.mu.Lock()
+	e.mutated = true
+	for _, name := range diverged {
+		e.dropHolderLocked(name)
+	}
+	rt.mu.Unlock()
+	for _, name := range diverged {
+		rt.logf("cluster: dropped diverged holder %s of %s after mutate fan-out", name, id)
+	}
+	for _, h := range []string{"Content-Type", serve.HeaderEpoch, serve.HeaderContentHash} {
+		if v := acked.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set(serve.HeaderReplica, acked.rep)
+	w.Header().Set("Content-Length", strconv.Itoa(len(acked.body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(acked.body)
+}
+
 // forwardHeader copies the named request headers into outbound form.
 func forwardHeader(r *http.Request, names ...string) []headerPair {
 	var out []headerPair
@@ -695,6 +814,7 @@ func relayHeaders(w http.ResponseWriter, resp *http.Response, replicaName string
 	for _, h := range []string{"Content-Type", "Retry-After",
 		serve.HeaderFormat, serve.HeaderCache, serve.HeaderVariant,
 		serve.HeaderBatchWidth, serve.HeaderBatchK,
+		serve.HeaderEpoch, serve.HeaderContentHash,
 		serve.HeaderRequestID, serve.HeaderTiming} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
@@ -745,7 +865,7 @@ func (rt *Router) maybeReplicate(e *entry) {
 	rt.wg.Add(1)
 	go func() {
 		defer rt.wg.Done()
-		err := rt.ensureRegistered(target, e)
+		err := rt.moveEntry(target, e)
 		rt.mu.Lock()
 		e.replicating = false
 		if err == nil {
@@ -819,6 +939,17 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 				agg.Variants = map[string]int64{}
 			}
 			agg.Variants[v] += n
+		}
+		if st.Delta != nil {
+			if agg.Delta == nil {
+				agg.Delta = &serve.DeltaStats{}
+			}
+			agg.Delta.Mutations += st.Delta.Mutations
+			agg.Delta.Ops += st.Delta.Ops
+			agg.Delta.Mutated += st.Delta.Mutated
+			agg.Delta.OverlayNNZ += st.Delta.OverlayNNZ
+			agg.Delta.Compactions += st.Delta.Compactions
+			agg.Delta.CompactionErrors += st.Delta.CompactionErrors
 		}
 	}
 	rt.mu.Lock()

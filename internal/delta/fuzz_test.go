@@ -1,0 +1,94 @@
+package delta
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// FuzzMutateOverlay drives random mutation batches over a random base and
+// checks, after every batch, that base-kernel output + overlay application
+// is bit-identical to serving the merged matrix through all four formats,
+// and that the merged matrix matches a dense ground truth exactly.
+//
+// The fuzz input is a byte stream decoded into ops: two coordinate bytes,
+// one value byte, and an action bit. Values are mapped onto a small set of
+// finite, mostly-nonzero floats — NaN/Inf are rejected by Extend (covered
+// in the unit tests) and would void the cross-format bitwise contract the
+// fuzz asserts.
+func FuzzMutateOverlay(f *testing.F) {
+	// Delete-to-empty-row: tombstone every column of row 1, leaving the
+	// merged matrix with a structurally empty row.
+	emptyRow := make([]byte, 0, 30)
+	for c := byte(0); c < 10; c++ {
+		emptyRow = append(emptyRow, 0x01, c, 0x00)
+	}
+	f.Add(emptyRow)
+	// Duplicate coordinates in one batch: set, re-set, delete, set again.
+	f.Add([]byte{0x05, 0x05, 0x12, 0x05, 0x05, 0x34, 0x05, 0x05, 0x01, 0x05, 0x05, 0x56})
+	// Mixed inserts and updates across two batches (0xFF splits batches).
+	f.Add([]byte{0x10, 0x20, 0x30, 0xFF, 0x40, 0x50, 0x60, 0x07, 0x08, 0x09})
+
+	const rows, cols, k = 12, 10, 4
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			t.Skip("bound the per-input work")
+		}
+		base := randomCOO(t, rows, cols, 0.25, 11)
+		truth := base.ToDense()
+		var ov *Overlay
+
+		var batch []Op
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			next, err := ov.Extend(base, batch)
+			if err != nil {
+				t.Fatalf("Extend rejected in-range finite ops: %v", err)
+			}
+			ov = next
+			applyOpsDense(truth, batch)
+			batch = batch[:0]
+		}
+		for i := 0; i+2 < len(data); i += 3 {
+			if data[i] == 0xFF {
+				flush()
+				i -= 2 // consume one byte as the batch separator
+				continue
+			}
+			op := Op{
+				Row: int32(data[i] % rows),
+				Col: int32(data[i+1] % cols),
+			}
+			v := data[i+2]
+			if v&1 == 1 && v > 1 {
+				op.Val = float64(int(v>>1)-32) / 8 // finite, can be zero or negative
+			} else if v == 0 {
+				op.Del = true
+			} else {
+				op.Val = float64(v)
+			}
+			batch = append(batch, op)
+		}
+		flush()
+		if ov == nil {
+			t.Skip("no ops decoded")
+		}
+
+		merged := ov.Merge()
+		got := merged.ToDense()
+		if diff, _ := got.MaxAbsDiff(truth); diff != 0 {
+			t.Fatalf("merged matrix differs from dense ground truth by %g", diff)
+		}
+		b := matrix.NewDenseRand[float64](cols, k, 21)
+		for _, format := range testFormats {
+			want := serialResult(t, format, merged, b, k)
+			res := serialResult(t, format, base, b, k)
+			ov.Apply(res, b, k)
+			if !bitsEqual(res, want) {
+				t.Fatalf("format %s: overlay result not bit-identical to merged matrix", format)
+			}
+		}
+	})
+}

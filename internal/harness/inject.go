@@ -133,6 +133,23 @@ func NewInjector(seed int64, faults ...Fault) *Injector {
 	return in
 }
 
+// Arm adds faults to a live injector. Tests use it to let a run's setup
+// (registration, warm-up) pass cleanly and then arm a fault for the one
+// operation under test — e.g. the WAL append of a mutation batch or a
+// compaction record, which shares its fault point with every earlier
+// append.
+func (in *Injector) Arm(faults ...Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, f := range faults {
+		n := f.Count
+		if n <= 0 {
+			n = 1
+		}
+		in.faults = append(in.faults, &armedFault{Fault: f, remaining: n})
+	}
+}
+
 // Wrap interposes the injector between the harness and a kernel. A nil
 // injector returns the kernel unchanged. Kernels implementing
 // core.ModelTimed keep that capability through the wrapper, so the runner's

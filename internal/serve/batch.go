@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/clock"
-	"repro/internal/core"
 	"repro/internal/matrix"
 	"repro/internal/trace"
 )
@@ -31,12 +30,12 @@ type batcher struct {
 
 // batchRequest is one caller's panel waiting in the batch. done is buffered
 // so the flusher never blocks on a caller that gave up (deadline expired).
-// kern and plan travel together: the kernel was prepared under exactly that
-// plan version, so a promotion landing mid-batch cannot mix a new plan's
-// parameters with an old plan's format.
+// The whole Serving view travels together: the kernel was prepared under
+// exactly that plan version, so a promotion landing mid-batch cannot mix a
+// new plan's parameters with an old plan's format — and the epoch + overlay
+// pin which mutation state the dispatch computes.
 type batchRequest struct {
-	kern core.Kernel
-	plan Plan
+	sv   Serving
 	b    *matrix.Dense[float64]
 	k    int
 	done chan batchResult
@@ -62,14 +61,22 @@ type batchResult struct {
 // immediately; otherwise it joins the open batch (starting the window timer
 // if it is the first) and waits for the flush or the caller's deadline,
 // whichever comes first.
-func (t *batcher) multiply(ctx context.Context, kern core.Kernel, plan Plan, b *matrix.Dense[float64], k int, tr *trace.Req) batchResult {
+func (t *batcher) multiply(ctx context.Context, sv Serving, b *matrix.Dense[float64], k int, tr *trace.Req) batchResult {
 	if t.s.cfg.BatchWindow <= 0 || k >= t.s.cfg.MaxBatchK {
-		req := &batchRequest{kern: kern, plan: plan, b: b, k: k, done: make(chan batchResult, 1), req: tr, joined: tr.Now()}
+		req := &batchRequest{sv: sv, b: b, k: k, done: make(chan batchResult, 1), req: tr, joined: tr.Now()}
 		t.run([]*batchRequest{req})
 		return <-req.done
 	}
-	req := &batchRequest{kern: kern, plan: plan, b: b, k: k, done: make(chan batchResult, 1), req: tr, joined: tr.Now()}
+	req := &batchRequest{sv: sv, b: b, k: k, done: make(chan batchResult, 1), req: tr, joined: tr.Now()}
 	t.mu.Lock()
+	// A mutation landing between two joiners' Prepared calls must not let
+	// them share one dispatch: same-epoch requests are bitwise-exchangeable,
+	// cross-epoch ones are not. Flush the stale-epoch batch immediately and
+	// open a fresh one for this request.
+	if len(t.pending) > 0 && t.pending[0].sv.Epoch != sv.Epoch {
+		stale := t.takeLocked()
+		go t.run(stale)
+	}
 	t.pending = append(t.pending, req)
 	t.pendingK += k
 	if len(t.pending) == 1 {
@@ -128,25 +135,29 @@ func (t *batcher) run(batch []*batchRequest) {
 	}
 	rows := t.m.COO.Rows
 	cols := t.m.COO.Cols
-	// The whole batch executes under the first member's kernel + plan pair;
-	// later joiners that captured a different (promoted) plan still get a
-	// bitwise-identical result — every servable variant holds the bitwise
-	// contract — just attributed to this dispatch's plan.
-	kern := batch[0].kern
-	plan := batch[0].plan
+	// The whole batch executes under the first member's Serving view; the
+	// epoch-split in multiply() guarantees every member captured the same
+	// epoch, so later joiners that captured a different (promoted) plan
+	// still get a bitwise-identical result — every servable variant holds
+	// the bitwise contract — just attributed to this dispatch's plan.
+	sv := batch[0].sv
+	kern := sv.Kernel
+	plan := sv.Plan
 
 	// dispatchAt anchors the members' request timelines: everything from
-	// here to the kernel's return — panel assembly included — is the
-	// "kernel" phase fanned out to every joined request below.
+	// here to the kernel's return — panel assembly and overlay application
+	// included — is the "kernel" phase fanned out to every joined request
+	// below.
 	dispatchAt := time.Now()
 	span := s.tracer.Start()
 	var err error
-	var combC *matrix.Dense[float64]
+	var combB, combC *matrix.Dense[float64]
 	if len(batch) == 1 {
+		combB = batch[0].b
 		combC = matrix.NewDense[float64](rows, batch[0].k)
-		err = kern.Calculate(batch[0].b, combC, s.params(plan, batch[0].k))
+		err = kern.Calculate(combB, combC, s.params(plan, batch[0].k))
 	} else {
-		combB := matrix.NewDense[float64](cols, totalK)
+		combB = matrix.NewDense[float64](cols, totalK)
 		for i := 0; i < cols; i++ {
 			dst := combB.Row(i)
 			off := 0
@@ -157,6 +168,19 @@ func (t *batcher) run(batch []*batchRequest) {
 		}
 		combC = matrix.NewDense[float64](rows, totalK)
 		err = kern.Calculate(combB, combC, s.params(plan, totalK))
+	}
+	// Mutated matrix: recompute the dirty rows from base + overlay on top of
+	// the prepared format's result. On the clean path (nil or empty overlay)
+	// this is a single branch — zero allocations, zero work.
+	if err == nil && sv.Overlay.NNZ() > 0 {
+		applyStart := time.Now()
+		sv.Overlay.Apply(combC, combB, totalK)
+		applyNs := int64(time.Since(applyStart))
+		t.m.applyNs.Add(applyNs)
+		obsDeltaApplySeconds.Observe(float64(applyNs) / 1e9)
+		if s.reg.shouldCompact(t.m, s.costModel) {
+			s.requestCompact(t.m.ID)
+		}
 	}
 	s.tracer.EndDetail(0, trace.PhaseBatch, plan.Format, span, int64(len(batch)))
 	s.countVariant(plan.Variant, int64(len(batch)))

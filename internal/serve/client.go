@@ -237,6 +237,27 @@ func (c *Client) Prepare(id string) (*PrepareResponse, error) {
 	return &out, nil
 }
 
+// Mutate applies one insert/update/delete batch to a served matrix. The
+// returned epoch + content hash identify the post-batch state: every
+// multiply answered at that epoch reflects the batch bit-exactly.
+func (c *Client) Mutate(id string, ops []MutateOp) (*MutateResponse, error) {
+	var out MutateResponse
+	if err := c.postJSON("/v1/matrices/"+id+"/mutate", MutateRequest{Ops: ops}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Compact forces a synchronous overlay compaction for one matrix. The
+// response reports whether anything was merged and the (unchanged) epoch.
+func (c *Client) Compact(id string) (*CompactResponse, error) {
+	var out CompactResponse
+	if err := c.postJSON("/v1/matrices/"+id+"/compact", struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Stats fetches the serving counters.
 func (c *Client) Stats() (*StatsResponse, error) {
 	var out StatsResponse
@@ -267,6 +288,12 @@ type MultiplyResult struct {
 	// RequestID is the distributed-tracing ID of this multiply
 	// (X-Spmm-Request-Id; "" when the server runs without request tracing).
 	RequestID string
+	// Epoch is the mutation epoch the result was computed at (X-Spmm-Epoch;
+	// 0 for a never-mutated matrix).
+	Epoch int64
+	// Hash is the content hash of the state served (X-Spmm-Content-Hash) —
+	// the client-side key for picking the reference to verify against.
+	Hash string
 	// Timing is the server's per-phase latency breakdown (X-Spmm-Timing);
 	// Timing.Valid() is false when absent.
 	Timing Timing
@@ -304,6 +331,13 @@ func (c *Client) Multiply(id string, rows int, b *matrix.Dense[float64], k int, 
 	width, _ := strconv.Atoi(resp.Header.Get(HeaderBatchWidth))
 	batchK, _ := strconv.Atoi(resp.Header.Get(HeaderBatchK))
 	timing, _ := ParseTiming(resp.Header.Get(HeaderTiming))
+	epoch, _ := strconv.ParseInt(resp.Header.Get(HeaderEpoch), 10, 64)
+	// The server omits the epoch/hash headers while the matrix has never
+	// mutated — the served hash is then the content-addressed ID itself.
+	hash := resp.Header.Get(HeaderContentHash)
+	if hash == "" {
+		hash = id
+	}
 	return &MultiplyResult{
 		C:          out,
 		Format:     resp.Header.Get(HeaderFormat),
@@ -313,6 +347,8 @@ func (c *Client) Multiply(id string, rows int, b *matrix.Dense[float64], k int, 
 		BatchK:     batchK,
 		Replica:    resp.Header.Get(HeaderReplica),
 		RequestID:  resp.Header.Get(HeaderRequestID),
+		Epoch:      epoch,
+		Hash:       hash,
 		Timing:     timing,
 	}, nil
 }

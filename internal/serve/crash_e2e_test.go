@@ -12,6 +12,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/matrix"
 )
 
 // TestCrashRecoveryE2E is the kill-and-restart end-to-end: real spmmserve
@@ -146,4 +148,129 @@ func TestCrashRecoveryE2E(t *testing.T) {
 		t.Fatalf("restarted server lists %d matrices, want 1", stats.Matrices)
 	}
 	fmt.Println("crash e2e: registration survived SIGKILL; load verified bitwise across restart")
+}
+
+// TestMutationCrashRecoveryE2E kills a real spmmserve process — SIGKILL,
+// no drain — in the middle of a mutation stream running against an
+// aggressive background-compaction policy, then restarts it on the same
+// data dir. The recovered epoch must cover every acked batch (an extra
+// batch that reached the WAL but whose ack was lost to the crash is
+// allowed), and a multiply at the recovered epoch must be bitwise-equal
+// to the client-side fold of exactly that many batches.
+func TestMutationCrashRecoveryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes; skipped with -short")
+	}
+
+	bin := t.TempDir()
+	dataDir := filepath.Join(bin, "data")
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := exec.Command("go", "build", "-o", filepath.Join(bin, "spmmserve"), "./cmd/spmmserve")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build spmmserve: %v\n%s", err, out)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	startServer := func() *exec.Cmd {
+		t.Helper()
+		srv := exec.Command(filepath.Join(bin, "spmmserve"),
+			"-addr", addr, "-data-dir", dataDir, "-t", "1",
+			"-compact-ratio", "0.02") // compact constantly: the kill lands near one
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get("http://" + addr + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				return srv
+			}
+			if time.Now().After(deadline) {
+				srv.Process.Kill()
+				t.Fatalf("spmmserve never became healthy on %s: %v", addr, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	srv1 := startServer()
+	client := NewClient("http://" + addr)
+	reg, local := registerSmall(t, client, 220, 180, 1100, 31)
+	plan := buildDeltaPlan(t, local, 400, 8, 37)
+
+	// Stream mutations at ~1ms spacing and SIGKILL mid-stream. lastAcked
+	// is the durability promise; lastSent bounds how far ahead the WAL can
+	// possibly be (one un-acked batch may have landed).
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(150 * time.Millisecond)
+		srv1.Process.Signal(syscall.SIGKILL)
+		srv1.Wait()
+	}()
+	lastAcked, lastSent := 0, 0
+	for b, ops := range plan.batches {
+		lastSent = b + 1
+		resp, err := client.Mutate(reg.ID, ops)
+		if err != nil {
+			break // the kill landed
+		}
+		if resp.Epoch != int64(b+1) {
+			t.Fatalf("batch %d acked epoch %d", b+1, resp.Epoch)
+		}
+		lastAcked = b + 1
+		time.Sleep(time.Millisecond)
+	}
+	<-killed
+	if lastAcked == 0 {
+		t.Fatal("server died before any mutation was acked — nothing to recover")
+	}
+
+	srv2 := startServer()
+	defer func() {
+		srv2.Process.Kill()
+		srv2.Wait()
+	}()
+	info := mutateInfo(t, client, reg.ID)
+	if info.Epoch < int64(lastAcked) || info.Epoch > int64(lastSent) {
+		t.Fatalf("recovered epoch %d, want every acked batch in [%d, %d]",
+			info.Epoch, lastAcked, lastSent)
+	}
+	const k = 4
+	bm := matrix.NewDenseRand[float64](reg.Cols, k, 71)
+	res, err := client.Multiply(reg.ID, reg.Rows, bm, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != info.Epoch || res.Hash != info.Hash {
+		t.Fatalf("recovered multiply at epoch %d hash %q, registry says %d/%q",
+			res.Epoch, res.Hash, info.Epoch, info.Hash)
+	}
+	ref := multiplyRef(t, plan.states[info.Epoch], bm, k)
+	if diff, _ := res.C.MaxAbsDiff(ref); diff != 0 {
+		t.Fatalf("recovered multiply differs from the epoch-%d fold by %g", info.Epoch, diff)
+	}
+	// The stream resumes exactly where durability left it.
+	if int(info.Epoch) < len(plan.batches) {
+		next, err := client.Mutate(reg.ID, plan.batches[info.Epoch])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next.Epoch != info.Epoch+1 {
+			t.Fatalf("post-recovery mutation acked epoch %d, want %d", next.Epoch, info.Epoch+1)
+		}
+	}
+	fmt.Printf("mutation crash e2e: %d acked batches survived SIGKILL; recovered at epoch %d\n",
+		lastAcked, info.Epoch)
 }

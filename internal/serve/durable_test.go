@@ -27,7 +27,9 @@ func durableServer(t *testing.T, dir string, inject *harness.Injector) (*Server,
 	return newTestServer(t, Config{
 		Threads:       1,
 		DataDir:       dir,
-		SnapshotEvery: -1, // tests trigger compaction explicitly
+		SnapshotEvery: -1, // tests trigger snapshot compaction explicitly
+		CompactRatio:  -1, // overlay compaction is forced, never background —
+		CompactCost:   -1, // the chaos tests pin exact epoch/hash states
 		Injector:      inject,
 	})
 }

@@ -64,6 +64,24 @@ var (
 	obsRecoveredMatrices = obs.NewGauge("spmm_serve_recovered_matrices",
 		"Registrations restored by the last startup recovery.")
 
+	// Dynamic matrices: the mutation API, delta-COO overlays, and the
+	// background compactor. overlay_apply_seconds is the per-dispatch tax a
+	// dirty matrix pays; the compactor exists to drive it back to zero.
+	obsDeltaMutations = obs.NewCounter("spmm_delta_mutations_total",
+		"Mutation batches applied and acked.")
+	obsDeltaOps = obs.NewCounter("spmm_delta_ops_total",
+		"Canonicalized mutation ops applied across all batches.")
+	obsDeltaOverlayNNZ = obs.NewGauge("spmm_delta_overlay_nnz",
+		"Pending delta-overlay entries across all matrices, awaiting compaction.")
+	obsDeltaApplySeconds = obs.NewHistogram("spmm_delta_overlay_apply_seconds",
+		"Per-dispatch overlay application latency on mutated matrices.")
+	obsDeltaCompactions = obs.NewCounter("spmm_delta_compactions_total",
+		"Overlay compactions completed (merge + re-prepare + atomic swap).")
+	obsDeltaCompactionErrors = obs.NewCounter("spmm_delta_compaction_errors_total",
+		"Compactions whose re-prepare failed (the merged base still swapped in).")
+	obsDeltaCompactionSeconds = obs.NewHistogram("spmm_delta_compaction_seconds",
+		"Compaction latency: merge, journal, re-prepare, swap.")
+
 	// Per-phase multiply latency, labelled with the request-trace phase
 	// vocabulary (labels ride in the registration name, the registry's
 	// convention). Fed only while request tracing is on — the phases are
@@ -75,6 +93,8 @@ var (
 		trace.PhaseBatch:   newPhaseHistogram(trace.PhaseBatch),
 		trace.PhaseKernel:  newPhaseHistogram(trace.PhaseKernel),
 		trace.PhaseRespond: newPhaseHistogram(trace.PhaseRespond),
+		trace.PhaseMutate:  newPhaseHistogram(trace.PhaseMutate),
+		trace.PhaseCompact: newPhaseHistogram(trace.PhaseCompact),
 	}
 )
 

@@ -48,6 +48,17 @@ const (
 	// "phase=ms;...;total=ms" (see FormatTiming/ParseTiming). Only set when
 	// request tracing is enabled.
 	HeaderTiming = "X-Spmm-Timing"
+	// HeaderEpoch is the mutation epoch the multiply's result reflects:
+	// exactly the mutations acked through that epoch are visible, no more,
+	// no fewer. 0 (or absent) means the matrix has never been mutated.
+	HeaderEpoch = "X-Spmm-Epoch"
+	// HeaderContentHash is the content hash of the state the multiply
+	// served: the matrix ID until the first post-mutation compaction
+	// re-bases it (see MutateResponse.Hash for the versioning rule).
+	// Both headers are omitted on never-mutated matrices — epoch 0's
+	// hash is the request path's ID, and the clean multiply path keeps
+	// its baseline per-response header budget.
+	HeaderContentHash = "X-Spmm-Content-Hash"
 )
 
 // RegisterRequest uploads a matrix. Exactly one source must be set: a
@@ -69,10 +80,30 @@ type RegisterRequest struct {
 	RowIdx []int32   `json:"row_idx,omitempty"`
 	ColIdx []int32   `json:"col_idx,omitempty"`
 	Vals   []float64 `json:"vals,omitempty"`
+	// ServeID, when set, imports a mutated matrix under an existing handle
+	// (the cluster rebalance path for matrices whose served state has
+	// diverged from their original registration). The triplets above are
+	// then the CURRENT base (hashing to BaseHash, which the receiver
+	// verifies), Epoch/CompactEpoch the exporter's version counters, and
+	// the Ov* arrays its pending overlay. If the receiver already holds
+	// ServeID at the same or a newer epoch the import is an idempotent
+	// no-op; an older copy is replaced wholesale.
+	ServeID      string    `json:"serve_id,omitempty"`
+	Epoch        int64     `json:"epoch,omitempty"`
+	CompactEpoch int64     `json:"compact_epoch,omitempty"`
+	BaseHash     string    `json:"base_hash,omitempty"`
+	OvRowIdx     []int32   `json:"ov_row_idx,omitempty"`
+	OvColIdx     []int32   `json:"ov_col_idx,omitempty"`
+	OvVals       []float64 `json:"ov_vals,omitempty"`
+	OvDel        []bool    `json:"ov_del,omitempty"`
 }
 
 // Triplets reports whether the request carries a raw COO upload.
 func (r *RegisterRequest) Triplets() bool { return r.Rows > 0 || r.Cols > 0 || len(r.Vals) > 0 }
+
+// Import reports whether the request is a mutated-state import (adopting
+// an existing serving handle) rather than a content-addressed registration.
+func (r *RegisterRequest) Import() bool { return r.ServeID != "" }
 
 // RegisterResponse describes the registered matrix. Registration is
 // idempotent: the ID is content-addressed, so re-uploading the same matrix
@@ -97,6 +128,10 @@ type RegisterResponse struct {
 	PlanVersion int64 `json:"plan_version"`
 	// Existed reports that the matrix was already registered.
 	Existed bool `json:"existed"`
+	// Epoch/Hash report the mutation state after an import registration
+	// (zero-valued for plain content-addressed registrations).
+	Epoch int64  `json:"epoch,omitempty"`
+	Hash  string `json:"hash,omitempty"`
 	// FormatBytes is the prepared format's footprint.
 	FormatBytes int `json:"format_bytes"`
 	// Advice is the full advisor report behind the format selection — the
@@ -126,6 +161,60 @@ type MatrixInfo struct {
 	// the current plan version (a just-promoted matrix reads false until
 	// its re-prepare lands).
 	Prepared bool `json:"prepared"`
+	// Epoch is the mutation epoch (0 = never mutated); Hash is the content
+	// hash of the served state (== ID until the first compaction re-bases
+	// it); OverlayNNZ is the pending delta-overlay entry count awaiting
+	// compaction.
+	Epoch      int64  `json:"epoch,omitempty"`
+	Hash       string `json:"hash"`
+	OverlayNNZ int    `json:"overlay_nnz,omitempty"`
+}
+
+// MutateOp is one nonzero mutation: an insert/update (Del false, Val the
+// new value) or a delete (Del true, Val ignored) at (Row, Col). Within a
+// batch, later ops at the same coordinate win.
+type MutateOp struct {
+	Row int32   `json:"row"`
+	Col int32   `json:"col"`
+	Val float64 `json:"val,omitempty"`
+	Del bool    `json:"del,omitempty"`
+}
+
+// MutateRequest is the body of POST /v1/matrices/{id}/mutate: one atomic
+// batch of mutations. The batch is applied, made durable, and acked as a
+// unit; the response's epoch identifies the state every subsequent
+// multiply at that epoch reflects.
+type MutateRequest struct {
+	Ops []MutateOp `json:"ops"`
+}
+
+// MutateResponse acks one applied mutation batch.
+type MutateResponse struct {
+	ID string `json:"id"`
+	// Epoch is the mutation epoch the batch produced: the cumulative count
+	// of acked batches since registration. Compaction merges the overlay
+	// into a new base but never rewinds the epoch.
+	Epoch int64 `json:"epoch"`
+	// Hash is the content hash of the served state: the canonical base
+	// hash when the overlay is empty (after compaction it is the hash of
+	// the merged triplets — re-registering them anywhere reproduces it),
+	// or "<base>+e<epoch>" while mutations are pending on top of it.
+	Hash string `json:"hash"`
+	// OverlayNNZ is the overlay's entry count after the batch; Applied is
+	// how many canonicalized ops the batch contributed (duplicates within
+	// the batch collapse, last-op-wins).
+	OverlayNNZ int `json:"overlay_nnz"`
+	Applied    int `json:"applied"`
+}
+
+// CompactResponse answers POST /v1/matrices/{id}/compact — a forced
+// synchronous compaction (the background compactor uses the same path).
+// Compacted is false when there was nothing to merge.
+type CompactResponse struct {
+	ID        string `json:"id"`
+	Compacted bool   `json:"compacted"`
+	Epoch     int64  `json:"epoch"`
+	Hash      string `json:"hash"`
 }
 
 // CacheStats is the prepared-format cache section of StatsResponse.
@@ -175,6 +264,26 @@ type StatsResponse struct {
 	// Tune summarizes the online tuner; nil when tuning is disabled (the
 	// full decision trail lives at /v1/tune).
 	Tune *TuneSummary `json:"tune,omitempty"`
+	// Delta summarizes the mutation subsystem; nil until the first
+	// mutation lands.
+	Delta *DeltaStats `json:"delta,omitempty"`
+}
+
+// DeltaStats is the /v1/stats digest of the mutation subsystem.
+type DeltaStats struct {
+	// Mutations is acked mutation batches; Ops is canonicalized ops
+	// applied across them.
+	Mutations int64 `json:"mutations"`
+	Ops       int64 `json:"ops"`
+	// Mutated is how many registered matrices currently carry a non-empty
+	// overlay; OverlayNNZ sums their pending overlay entries.
+	Mutated    int   `json:"mutated"`
+	OverlayNNZ int64 `json:"overlay_nnz"`
+	// Compactions counts completed background/forced compactions;
+	// CompactionErrors counts ones whose re-prepare failed (the merged
+	// base still swapped in; the prepared format rebuilds lazily).
+	Compactions      int64 `json:"compactions"`
+	CompactionErrors int64 `json:"compaction_errors"`
 }
 
 // TuneSummary is the /v1/stats digest of the online tuner's counters.
@@ -198,20 +307,48 @@ type ExportRecord struct {
 	Cols  int     `json:"cols"`
 	Name  string  `json:"name,omitempty"`
 	Scale float64 `json:"scale,omitempty"`
-	// RowIdx/ColIdx/Vals are the canonical (row-major sorted, deduped)
-	// triplets — registering them anywhere hashes back to ID.
+	// RowIdx/ColIdx/Vals are the CURRENT canonical base triplets
+	// (row-major sorted, deduped). For a never-compacted matrix they hash
+	// back to ID; after a compaction they hash to BaseHash instead.
 	RowIdx []int32   `json:"row_idx"`
 	ColIdx []int32   `json:"col_idx"`
 	Vals   []float64 `json:"vals"`
+	// Epoch/CompactEpoch/BaseHash/Hash carry the mutation state (all
+	// zero-valued for a never-mutated matrix): the mutation epoch, the
+	// epoch the base was last compacted through, the base triplets' own
+	// content hash when it differs from ID, and the served state's
+	// current content hash.
+	Epoch        int64  `json:"epoch,omitempty"`
+	CompactEpoch int64  `json:"compact_epoch,omitempty"`
+	BaseHash     string `json:"base_hash,omitempty"`
+	Hash         string `json:"hash,omitempty"`
+	// OvRowIdx/OvColIdx/OvVals/OvDel are the pending overlay's entries in
+	// canonical order (OvDel true = tombstone). Importing base + overlay
+	// reproduces the exporter's served bits exactly.
+	OvRowIdx []int32   `json:"ov_row_idx,omitempty"`
+	OvColIdx []int32   `json:"ov_col_idx,omitempty"`
+	OvVals   []float64 `json:"ov_vals,omitempty"`
+	OvDel    []bool    `json:"ov_del,omitempty"`
 }
+
+// Mutated reports whether the export carries diverged (mutated) state that
+// a plain content-addressed re-registration cannot reproduce.
+func (e *ExportRecord) Mutated() bool { return e.Epoch > 0 || e.BaseHash != "" }
 
 // Request turns an export back into a registration request. It prefers the
 // triplets (always present, always exact) so the receiving replica needs no
-// generator determinism guarantees.
+// generator determinism guarantees. For a mutated export the request
+// carries the full mutation state: the receiver adopts the exporter's
+// handle (ServeID), verifies the base hash, and installs base + overlay
+// bitwise-identical.
 func (e *ExportRecord) Request() RegisterRequest {
 	return RegisterRequest{
 		Rows: e.Rows, Cols: e.Cols,
 		RowIdx: e.RowIdx, ColIdx: e.ColIdx, Vals: e.Vals,
+		ServeID: e.ID, Epoch: e.Epoch, CompactEpoch: e.CompactEpoch,
+		BaseHash: e.BaseHash,
+		OvRowIdx: e.OvRowIdx, OvColIdx: e.OvColIdx,
+		OvVals: e.OvVals, OvDel: e.OvDel,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -108,32 +109,42 @@ func OpenStore(dir string, opts StoreOpts) (*Store, []walRecord, error) {
 
 	// Merge: snapshot first, then the WAL. Content-addressed IDs make
 	// replay idempotent, so registration records the snapshot already
-	// covers (seq <= LastSeq, or duplicate registrations) dedup naturally
-	// first-wins. Profile records share the matrix ID but are state, not
-	// identity: the NEWEST one per matrix wins (later promotions supersede
-	// earlier profiles), replacing in place so a profile never precedes
-	// its registration in the merged order.
+	// covers (seq <= LastSeq, or duplicate registrations) dedup naturally —
+	// keeping, when the same handle appears twice, the record with the
+	// highest mutation epoch (a snapshot dump or cluster import of a
+	// mutated matrix supersedes the original registration), replacing in
+	// place so ordering is preserved. Profile records share the matrix ID
+	// but are state, not identity: the NEWEST one per matrix wins (later
+	// promotions supersede earlier profiles). Mutate and compact records
+	// are an ordered journal, never deduplicated — replay applies them in
+	// sequence and skips the ones the base record already covers by epoch.
 	var nextSeq uint64
-	seen := map[string]bool{}
+	regAt := map[string]int{}
 	profAt := map[string]int{}
 	var merged []walRecord
 	add := func(rec walRecord) {
 		if rec.Seq > nextSeq {
 			nextSeq = rec.Seq
 		}
-		if rec.Kind == walKindProfile {
+		switch rec.Kind {
+		case walKindProfile:
 			if i, ok := profAt[rec.ID]; ok {
 				merged[i] = rec
 				return
 			}
 			profAt[rec.ID] = len(merged)
+		case walKindMutate, walKindCompact:
 			merged = append(merged, rec)
 			return
+		default:
+			if i, ok := regAt[rec.ID]; ok {
+				if rec.Epoch >= merged[i].Epoch {
+					merged[i] = rec
+				}
+				return
+			}
+			regAt[rec.ID] = len(merged)
 		}
-		if seen[rec.ID] {
-			return
-		}
-		seen[rec.ID] = true
 		merged = append(merged, rec)
 	}
 	if snap != nil {
@@ -153,7 +164,7 @@ func OpenStore(dir string, opts StoreOpts) (*Store, []walRecord, error) {
 		return nil, nil, err
 	}
 	st.seq = nextSeq
-	st.recovered = len(merged) - len(profAt) // registrations, not profiles
+	st.recovered = len(regAt) // registrations, not profiles or mutations
 	st.recoverySeconds = time.Since(start).Seconds()
 	obsRecoverySeconds.Set(st.recoverySeconds)
 	obsRecoveredMatrices.Set(float64(st.recovered))
@@ -254,17 +265,33 @@ func (st *Store) compact() error {
 	st.mu.Unlock()
 
 	recs := st.dump()
+	// Replay order matters for the journal kinds, and the inflight map
+	// iterates randomly — restore append order first.
+	sort.Slice(carry, func(i, j int) bool { return carry[i].Seq < carry[j].Seq })
 	// Dedup carry against the dump by (kind, id): a profile record shares
-	// its matrix's ID, and one must never shadow the other.
+	// its matrix's ID, and one must never shadow the other. Mutate and
+	// compact records are an ordered journal and always carry — replay
+	// dedups them by epoch against the dump's registration record, which
+	// may or may not already reflect them depending on when the dump ran.
 	key := func(rec *walRecord) string { return rec.Kind + "\x00" + rec.ID }
 	seen := make(map[string]bool, len(recs))
 	for i := range recs {
 		seen[key(&recs[i])] = true
 	}
 	for i := range carry {
-		if !seen[key(&carry[i])] {
-			seen[key(&carry[i])] = true
+		switch {
+		case carry[i].Kind == walKindMutate || carry[i].Kind == walKindCompact:
 			recs = append(recs, carry[i])
+		case carry[i].Kind == "" && carry[i].Epoch > 0:
+			// A mutated-state registration (cluster import): the dump may
+			// hold an older copy of the handle; replay keeps whichever
+			// epoch is newest, so append unconditionally.
+			recs = append(recs, carry[i])
+		default:
+			if !seen[key(&carry[i])] {
+				seen[key(&carry[i])] = true
+				recs = append(recs, carry[i])
+			}
 		}
 	}
 	snap := &snapshot{Version: 1, LastSeq: upTo, Records: recs}

@@ -10,9 +10,11 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/advisor"
 	"repro/internal/core"
+	"repro/internal/delta"
 	"repro/internal/kernels"
 	"repro/internal/matrix"
 )
@@ -38,6 +40,11 @@ type Registry struct {
 	// layer carries the record through compactions itself. The server
 	// points it at Store.Append.
 	persist func(*Matrix) (func(), error)
+	// persistMut and persistCompact mirror persist for the mutation write
+	// path: a mutation batch (resp. a compaction boundary) is journaled
+	// before the new epoch becomes visible.
+	persistMut     func(m *Matrix, epoch int64, ops []delta.Op) (func(), error)
+	persistCompact func(m *Matrix, boundary int64, baseHash string) (func(), error)
 
 	mu       sync.Mutex
 	matrices map[string]*Matrix
@@ -58,7 +65,11 @@ type Registry struct {
 // Multiplies read the plan through an atomic pointer, so a promotion never
 // blocks the data path.
 type Matrix struct {
-	ID  string
+	ID string
+	// COO is the canonical matrix as registered. It is immutable: the
+	// mutation subsystem never touches it, so lock-free readers of the
+	// dimensions stay safe. After a compaction the CURRENT base lives in
+	// the mutation state — read it through CurrentBase, not this field.
 	COO *matrix.COO[float64]
 	// Report is the full advisor report behind the initial selection.
 	Report advisor.Report
@@ -68,6 +79,87 @@ type Matrix struct {
 	Source RegisterSource
 
 	plan atomic.Pointer[Plan]
+
+	// mut is the matrix's mutation state; nil until the first mutation,
+	// so clean matrices pay one nil atomic load on the multiply path.
+	mut atomic.Pointer[mutState]
+	// mutMu serializes the mutation write path (Mutate, Compact) per
+	// matrix; the read path never takes it.
+	mutMu sync.Mutex
+
+	// applyNs accumulates measured overlay-apply time since the last
+	// compaction; prepNs is the last measured base preparation. Together
+	// they feed the compaction cost model.
+	applyNs atomic.Int64
+	prepNs  atomic.Int64
+}
+
+// mutState is one immutable mutation-epoch snapshot: the current base
+// (merged at compactions), the pending overlay (nil when clean), and the
+// derived versioning metadata. Multiplies capture the whole state in one
+// atomic load, so a concurrent mutation or compaction can never tear the
+// (base, overlay, epoch) triple a request executes under.
+type mutState struct {
+	// epoch counts acked mutation batches over the matrix's lifetime; it
+	// is NOT bumped by compactions, which only move entries from overlay
+	// to base without changing a result bit.
+	epoch int64
+	// compactedThrough is the epoch boundary of the last compaction:
+	// mutations at or below it are merged into base. Recovery uses it to
+	// skip stale compact records.
+	compactedThrough int64
+	// baseHash is ContentID(base); equals the registry ID until the first
+	// compaction replaces the base with a merged matrix.
+	baseHash string
+	// hash is the served content hash: baseHash while clean, else
+	// baseHash+"+e<epoch>" — every mutation epoch re-versions it and a
+	// compaction restores the canonical post-merge hash.
+	hash    string
+	base    *matrix.COO[float64]
+	overlay *delta.Overlay
+}
+
+// mutView returns the matrix's mutation state, synthesizing the implicit
+// clean state for a never-mutated matrix. Cold paths only — it allocates.
+func (m *Matrix) mutView() *mutState {
+	if ms := m.mut.Load(); ms != nil {
+		return ms
+	}
+	return &mutState{baseHash: m.ID, hash: m.ID, base: m.COO}
+}
+
+// CurrentBase returns the matrix's current canonical base — the registered
+// triplets until a compaction installs a merged matrix.
+func (m *Matrix) CurrentBase() *matrix.COO[float64] {
+	if ms := m.mut.Load(); ms != nil {
+		return ms.base
+	}
+	return m.COO
+}
+
+// Epoch returns the matrix's mutation epoch (0 = never mutated).
+func (m *Matrix) Epoch() int64 {
+	if ms := m.mut.Load(); ms != nil {
+		return ms.epoch
+	}
+	return 0
+}
+
+// ContentHash returns the served content hash for the current epoch.
+func (m *Matrix) ContentHash() string {
+	if ms := m.mut.Load(); ms != nil {
+		return ms.hash
+	}
+	return m.ID
+}
+
+// mutHash derives the served content hash: the canonical base hash while
+// the overlay is empty, re-versioned by epoch while mutations are pending.
+func mutHash(baseHash string, epoch int64, ov *delta.Overlay) string {
+	if ov.NNZ() == 0 {
+		return baseHash
+	}
+	return fmt.Sprintf("%s+e%d", baseHash, epoch)
 }
 
 // Plan is one immutable serving-plan version: which kernel variant every
@@ -251,6 +343,111 @@ func (r *Registry) RegisterSourced(m *matrix.COO[float64], src RegisterSource) (
 	return entry, false, nil
 }
 
+// ImportMutated installs a matrix under an existing serving handle — the
+// cluster rebalance path for matrices whose served state has diverged from
+// their original registration through mutations. base is the exporter's
+// CURRENT canonical base (post-compaction it no longer hashes to the
+// handle), ops the pending overlay, epoch/compactedThrough the exporter's
+// version counters. wantHash is the exporter's claimed base hash ("" means
+// the base is still the original registration and must hash to the handle
+// itself); the import is rejected when the shipped triplets do not
+// reproduce it bitwise. An existing matrix at the same or a newer epoch is
+// returned as-is (idempotent re-import); an older one — a holder that
+// missed mutations — is replaced wholesale, its stale prepared entry
+// dropped.
+func (r *Registry) ImportMutated(handle string, base *matrix.COO[float64], src RegisterSource, wantHash string, epoch, compactedThrough int64, ops []delta.Op) (*Matrix, bool, error) {
+	if err := base.Validate(); err != nil {
+		return nil, false, fmt.Errorf("serve: import %s: %w", handle, err)
+	}
+	Canonicalize(base)
+	baseHash := ContentID(base)
+	if wantHash == "" {
+		wantHash = handle
+	}
+	if baseHash != wantHash {
+		return nil, false, fmt.Errorf("serve: import %s: shipped base hashes to %s, want %s",
+			handle, baseHash, wantHash)
+	}
+
+	r.mu.Lock()
+	existing := r.matrices[handle]
+	r.mu.Unlock()
+	if existing != nil && existing.Epoch() >= epoch {
+		return existing, true, nil
+	}
+
+	f, err := advisor.Extract(base)
+	if err != nil {
+		return nil, false, err
+	}
+	report := advisor.NewReport(handle, f, []advisor.Environment{advisor.ParallelCPU})
+	best := report.Best(advisor.ParallelCPU)
+	sched := kernels.ScheduleStatic
+	if report.Schedule.Format == "balanced" {
+		sched = kernels.ScheduleBalanced
+	}
+	if src.Name != "" && src.Scale == 0 {
+		src.Scale = 1
+	}
+	entry := &Matrix{ID: handle, COO: base, Report: report, Source: src}
+	version := int64(1)
+	if existing != nil {
+		// Outrun any plan version the stale copy reached, so a cached
+		// entry prepared for the old object can never be mistaken for one
+		// matching the imported state.
+		version = existing.Plan().Version + 1
+	}
+	entry.setPlan(Plan{
+		Format:   best.Format,
+		Schedule: sched,
+		Block:    4,
+		Pooled:   true,
+		Variant:  kernels.ServingVariant(best.Format, sched, true),
+		Version:  version,
+	})
+	ov, err := (*delta.Overlay)(nil).Extend(base, ops)
+	if err != nil {
+		return nil, false, fmt.Errorf("serve: import %s: %w", handle, err)
+	}
+	if ov.NNZ() == 0 {
+		ov = nil
+	}
+	if epoch > 0 || baseHash != handle {
+		entry.mut.Store(&mutState{
+			epoch:            epoch,
+			compactedThrough: compactedThrough,
+			baseHash:         baseHash,
+			hash:             mutHash(baseHash, epoch, ov),
+			base:             base,
+			overlay:          ov,
+		})
+	}
+
+	if r.persist != nil {
+		commit, err := r.persist(entry)
+		if err != nil {
+			return nil, false, fmt.Errorf("%w: %v", ErrNotDurable, err)
+		}
+		defer commit()
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if got, ok := r.matrices[handle]; ok {
+		if got.Epoch() >= epoch { // lost a concurrent import race
+			return got, true, nil
+		}
+		// Replacing a stale copy: its prepared entry must go with it.
+		if el, ok := r.entries[handle]; ok {
+			r.removeLocked(el, el.Value.(*cacheEntry))
+		}
+	} else {
+		r.order = append(r.order, handle)
+	}
+	r.matrices[handle] = entry
+	return entry, false, nil
+}
+
 // restore inserts a recovered matrix directly, trusting the journaled
 // serving plan instead of re-running the advisor — registration work is
 // the state the WAL exists to preserve. Duplicates are ignored.
@@ -269,6 +466,7 @@ func (r *Registry) restore(entry *Matrix) {
 // straight into the promoted plan.
 func recordFor(m *Matrix) *walRecord {
 	plan := m.Plan()
+	ms := m.mutView()
 	rec := &walRecord{
 		ID:          m.ID,
 		Rows:        m.COO.Rows,
@@ -280,10 +478,27 @@ func recordFor(m *Matrix) *walRecord {
 		PlanVersion: plan.Version,
 		Report:      m.Report,
 	}
-	if m.Source.Name != "" {
+	// A generator spec only regenerates the ORIGINAL base; once a
+	// compaction has merged mutations into it, the record must carry the
+	// current triplets (and their hash, since they no longer hash to the
+	// registry ID).
+	if m.Source.Name != "" && ms.baseHash == m.ID {
 		rec.Name, rec.Scale = m.Source.Name, m.Source.Scale
 	} else {
-		rec.RowIdx, rec.ColIdx, rec.Vals = m.COO.RowIdx, m.COO.ColIdx, m.COO.Vals
+		rec.RowIdx, rec.ColIdx, rec.Vals = ms.base.RowIdx, ms.base.ColIdx, ms.base.Vals
+	}
+	if ms.baseHash != m.ID {
+		rec.BaseHash = ms.baseHash
+	}
+	if ms.epoch > 0 {
+		rec.Epoch = ms.epoch
+		rec.CompactEpoch = ms.compactedThrough
+		if ms.overlay.NNZ() > 0 {
+			rec.MutRowIdx = ms.overlay.RowIdx
+			rec.MutColIdx = ms.overlay.ColIdx
+			rec.MutVals = ms.overlay.Vals
+			rec.MutDel = ms.overlay.Del
+		}
 	}
 	return rec
 }
@@ -310,8 +525,14 @@ func matrixFromRecord(rec *walRecord, regen func(name string, scale float64) (*m
 			return nil, fmt.Errorf("serve: recover %s: %w", rec.ID, err)
 		}
 	}
-	if got := ContentID(coo); got != rec.ID {
-		return nil, fmt.Errorf("serve: recover %s: rebuilt matrix hashes to %s", rec.ID, got)
+	// A compacted matrix's base no longer hashes to its registry ID — the
+	// record carries the merged base's own hash to verify against instead.
+	wantHash := rec.ID
+	if rec.BaseHash != "" {
+		wantHash = rec.BaseHash
+	}
+	if got := ContentID(coo); got != wantHash {
+		return nil, fmt.Errorf("serve: recover %s: rebuilt matrix hashes to %s, want %s", rec.ID, got, wantHash)
 	}
 	sched := kernels.ScheduleStatic
 	if rec.Schedule == kernels.ScheduleBalanced.String() {
@@ -341,7 +562,122 @@ func matrixFromRecord(rec *walRecord, regen func(name string, scale float64) (*m
 		plan.Version = 1
 	}
 	m.setPlan(plan)
+	if rec.Epoch > 0 || rec.BaseHash != "" {
+		ov, err := overlayFromRecord(coo, rec)
+		if err != nil {
+			return nil, fmt.Errorf("serve: recover %s: %w", rec.ID, err)
+		}
+		m.mut.Store(&mutState{
+			epoch:            rec.Epoch,
+			compactedThrough: rec.CompactEpoch,
+			baseHash:         wantHash,
+			hash:             mutHash(wantHash, rec.Epoch, ov),
+			base:             coo,
+			overlay:          ov,
+		})
+	}
 	return m, nil
+}
+
+// overlayFromRecord rebuilds a pending overlay from a record's mutation
+// arrays (nil when the record carries none).
+func overlayFromRecord(base *matrix.COO[float64], rec *walRecord) (*delta.Overlay, error) {
+	if len(rec.MutRowIdx) == 0 {
+		return nil, nil
+	}
+	if len(rec.MutColIdx) != len(rec.MutRowIdx) || len(rec.MutVals) != len(rec.MutRowIdx) ||
+		len(rec.MutDel) != len(rec.MutRowIdx) {
+		return nil, fmt.Errorf("ragged overlay arrays (%d/%d/%d/%d)",
+			len(rec.MutRowIdx), len(rec.MutColIdx), len(rec.MutVals), len(rec.MutDel))
+	}
+	ops := make([]delta.Op, len(rec.MutRowIdx))
+	for i := range ops {
+		ops[i] = delta.Op{Row: rec.MutRowIdx[i], Col: rec.MutColIdx[i], Val: rec.MutVals[i], Del: rec.MutDel[i]}
+	}
+	return (*delta.Overlay)(nil).Extend(base, ops)
+}
+
+// applyRecoveredMutation replays one journaled mutation batch. Replay is
+// idempotent by epoch: a record at or below the matrix's recovered epoch
+// is already reflected (the snapshot folded it in) and is skipped.
+func (r *Registry) applyRecoveredMutation(rec *walRecord) error {
+	r.mu.Lock()
+	m, ok := r.matrices[rec.ID]
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: recovered mutation for unknown matrix %q", rec.ID)
+	}
+	m.mutMu.Lock()
+	defer m.mutMu.Unlock()
+	cur := m.mutView()
+	if rec.Epoch <= cur.epoch {
+		return nil
+	}
+	if rec.Epoch != cur.epoch+1 {
+		return fmt.Errorf("serve: recover %s: mutation epoch %d after epoch %d (gap)",
+			rec.ID, rec.Epoch, cur.epoch)
+	}
+	ops := make([]delta.Op, len(rec.MutRowIdx))
+	for i := range ops {
+		ops[i] = delta.Op{Row: rec.MutRowIdx[i], Col: rec.MutColIdx[i], Val: rec.MutVals[i], Del: rec.MutDel[i]}
+	}
+	next, err := cur.overlay.Extend(cur.base, ops)
+	if err != nil {
+		return fmt.Errorf("serve: recover %s: mutation epoch %d: %w", rec.ID, rec.Epoch, err)
+	}
+	m.mut.Store(&mutState{
+		epoch:            rec.Epoch,
+		compactedThrough: cur.compactedThrough,
+		baseHash:         cur.baseHash,
+		hash:             mutHash(cur.baseHash, rec.Epoch, next),
+		base:             cur.base,
+		overlay:          next,
+	})
+	return nil
+}
+
+// applyRecoveredCompaction replays one journaled compaction boundary: the
+// merge is deterministic, so the record only needs the boundary epoch and
+// the expected post-merge hash. A boundary at or below the recovered
+// compactedThrough is already folded in and is skipped.
+func (r *Registry) applyRecoveredCompaction(rec *walRecord) error {
+	r.mu.Lock()
+	m, ok := r.matrices[rec.ID]
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: recovered compaction for unknown matrix %q", rec.ID)
+	}
+	m.mutMu.Lock()
+	defer m.mutMu.Unlock()
+	cur := m.mutView()
+	if rec.Epoch <= cur.compactedThrough {
+		return nil
+	}
+	if rec.Epoch != cur.epoch {
+		// Compactions journal under the mutation lock, so in WAL order the
+		// boundary always equals the epoch of the mutations replayed so far.
+		return fmt.Errorf("serve: recover %s: compaction at epoch %d but matrix is at epoch %d",
+			rec.ID, rec.Epoch, cur.epoch)
+	}
+	merged := cur.overlay.Merge()
+	if merged == nil {
+		merged = cur.base
+	}
+	if got := ContentID(merged); rec.BaseHash != "" && got != rec.BaseHash {
+		return fmt.Errorf("serve: recover %s: replayed compaction hashes to %s, want %s",
+			rec.ID, got, rec.BaseHash)
+	}
+	hash := ContentID(merged)
+	m.mut.Store(&mutState{
+		epoch:            cur.epoch,
+		compactedThrough: rec.Epoch,
+		baseHash:         hash,
+		hash:             hash,
+		base:             merged,
+	})
+	// The recovered plan version stays as journaled; there is no prepared
+	// entry yet, so nothing to drop or re-key.
+	return nil
 }
 
 // dumpRecords serializes every registered matrix in registration order —
@@ -377,35 +713,66 @@ func (r *Registry) List() []MatrixInfo {
 		if el, ok := r.entries[id]; ok {
 			prepared = el.Value.(*cacheEntry).plan.Version == plan.Version
 		}
-		out = append(out, MatrixInfo{
-			ID: m.ID, Rows: m.COO.Rows, Cols: m.COO.Cols, NNZ: m.COO.NNZ(),
+		info := MatrixInfo{
+			ID: m.ID, Rows: m.COO.Rows, Cols: m.COO.Cols, NNZ: m.CurrentBase().NNZ(),
 			Format: plan.Format, Schedule: plan.Schedule.String(), Block: plan.Block,
 			Name: m.Source.Name, Scale: m.Source.Scale,
 			Variant: plan.Variant, PlanVersion: plan.Version,
 			Prepared: prepared,
-		})
+			Hash:     m.ID,
+		}
+		if ms := m.mut.Load(); ms != nil {
+			info.Epoch, info.Hash, info.OverlayNNZ = ms.epoch, ms.hash, ms.overlay.NNZ()
+		}
+		out = append(out, info)
 	}
 	return out
 }
 
-// Prepared returns the matrix's prepared-format kernel and the plan it was
-// prepared under, preparing (and caching) it on a miss. hit reports whether
-// the prepared format was already resident — the "zero preparation" steady
-// state. Concurrent callers for the same matrix share one preparation; ctx
-// bounds the wait. An entry prepared under an older plan version (a
-// promotion happened) is treated as a miss: it is dropped and the new plan
-// re-prepares through the same pending-entry single-flight path, so
-// concurrent multiplies during a promotion never double-prepare and never
-// see a half-built format — the returned kernel always matches the
-// returned plan.
-func (r *Registry) Prepared(ctx context.Context, id string) (k core.Kernel, plan Plan, hit bool, err error) {
+// Serving is the consistent execution state one multiply captures: the
+// prepared kernel, the plan it was prepared under, and the mutation-epoch
+// snapshot (base, overlay, epoch, content hash) the kernel's output must
+// be interpreted against. The whole struct is immutable once returned — a
+// request that captured it stays bitwise-correct for its epoch no matter
+// what mutations or compactions land afterwards.
+type Serving struct {
+	Kernel core.Kernel
+	Plan   Plan
+	// Epoch and Hash version the result; the X-Spmm-Epoch and
+	// X-Spmm-Content-Hash headers report them.
+	Epoch int64
+	Hash  string
+	// Overlay is the pending delta the kernel's output must be corrected
+	// by; nil for a clean matrix (the zero-cost fast path).
+	Overlay *delta.Overlay
+	// Base is the canonical matrix the kernel was prepared from.
+	Base *matrix.COO[float64]
+}
+
+// Prepared returns the matrix's serving state — prepared-format kernel,
+// plan, and mutation-epoch snapshot — preparing (and caching) the kernel
+// on a miss. hit reports whether the prepared format was already resident
+// — the "zero preparation" steady state. Concurrent callers for the same
+// matrix share one preparation; ctx bounds the wait. An entry prepared
+// under an older plan version (a promotion or compaction happened) is
+// treated as a miss: it is dropped and the new plan re-prepares through
+// the same pending-entry single-flight path, so concurrent multiplies
+// during a promotion never double-prepare and never see a half-built
+// format — the returned kernel always matches the returned plan, and
+// (because a base swap always bumps the plan version under the same lock)
+// always matches the returned base + overlay pair.
+func (r *Registry) Prepared(ctx context.Context, id string) (sv Serving, hit bool, err error) {
 	r.mu.Lock()
 	m, ok := r.matrices[id]
 	if !ok {
 		r.mu.Unlock()
-		return nil, Plan{}, false, fmt.Errorf("serve: unknown matrix %q", id)
+		return Serving{}, false, fmt.Errorf("serve: unknown matrix %q", id)
 	}
-	plan = m.Plan()
+	plan := m.Plan()
+	sv = Serving{Plan: plan, Hash: m.ID, Base: m.COO}
+	if ms := m.mut.Load(); ms != nil {
+		sv.Epoch, sv.Hash, sv.Overlay, sv.Base = ms.epoch, ms.hash, ms.overlay, ms.base
+	}
 	if el, ok := r.entries[id]; ok {
 		e := el.Value.(*cacheEntry)
 		if e.plan.Version == plan.Version {
@@ -414,14 +781,15 @@ func (r *Registry) Prepared(ctx context.Context, id string) (k core.Kernel, plan
 			select {
 			case <-e.ready:
 			case <-ctx.Done():
-				return nil, plan, false, ctx.Err()
+				return sv, false, ctx.Err()
 			}
 			if e.err != nil {
-				return nil, plan, false, e.err
+				return sv, false, e.err
 			}
 			r.hits.Add(1)
 			obsCacheHits.Inc()
-			return e.kernel, e.plan, true, nil
+			sv.Kernel, sv.Plan = e.kernel, e.plan
+			return sv, true, nil
 		}
 		// Stale plan version: drop the old entry and fall through to the
 		// miss path. If its preparation is still in flight, the preparer's
@@ -430,14 +798,17 @@ func (r *Registry) Prepared(ctx context.Context, id string) (k core.Kernel, plan
 		r.removeLocked(el, e)
 	}
 	// Miss: insert a pending entry under the lock so concurrent callers
-	// wait on it, then prepare outside the lock.
+	// wait on it, then prepare outside the lock — from the base captured
+	// under the lock, so a compaction mid-prepare cannot swap the matrix
+	// under the kernel (it bumps the version and drops this entry, and
+	// this request serves its own, still-consistent epoch).
 	e := &cacheEntry{id: id, plan: plan, ready: make(chan struct{})}
 	r.entries[id] = r.lru.PushFront(e)
 	r.mu.Unlock()
 	r.misses.Add(1)
 	obsCacheMisses.Inc()
 
-	e.kernel, e.err = r.prepare(m, plan)
+	e.kernel, e.err = r.prepare(m, sv.Base, plan)
 	if e.err != nil {
 		close(e.ready)
 		r.mu.Lock()
@@ -446,7 +817,7 @@ func (r *Registry) Prepared(ctx context.Context, id string) (k core.Kernel, plan
 			delete(r.entries, id)
 		}
 		r.mu.Unlock()
-		return nil, plan, false, e.err
+		return sv, false, e.err
 	}
 	bytes := int64(e.kernel.Bytes())
 	close(e.ready)
@@ -464,7 +835,8 @@ func (r *Registry) Prepared(ctx context.Context, id string) (k core.Kernel, plan
 		obsCacheBytes.Set(float64(r.used))
 	}
 	r.mu.Unlock()
-	return e.kernel, plan, false, nil
+	sv.Kernel = e.kernel
+	return sv, false, nil
 }
 
 // removeLocked unlinks a cache entry, refunding its budget charge if it
@@ -507,12 +879,28 @@ func (r *Registry) Promote(ctx context.Context, id, variant string) (Plan, error
 		Version:  old.Version + 1,
 	}
 	m.setPlan(plan)
+	// Drop the superseded prepared entry promptly, releasing its bytes —
+	// the stale format can never be served again, so letting it age out
+	// under LRU pressure would only squeeze live entries out of budget.
+	r.dropStaleLocked(id, plan.Version)
 	r.mu.Unlock()
 
-	if _, _, _, err := r.Prepared(ctx, id); err != nil {
+	if _, _, err := r.Prepared(ctx, id); err != nil {
 		return plan, fmt.Errorf("serve: promote %s to %s: warm prepare: %w", id, variant, err)
 	}
 	return plan, nil
+}
+
+// dropStaleLocked removes the matrix's cached entry if it was prepared
+// under an older plan version. Callers hold r.mu. A pending (still
+// preparing) stale entry is removed too: its preparer's still-resident
+// re-check sees the removal and never charges the budget.
+func (r *Registry) dropStaleLocked(id string, version int64) {
+	if el, ok := r.entries[id]; ok {
+		if e := el.Value.(*cacheEntry); e.plan.Version != version {
+			r.removeLocked(el, e)
+		}
+	}
 }
 
 // adoptPlan restores a recovered profile's promoted plan without bumping
@@ -539,10 +927,12 @@ func (r *Registry) adoptPlan(id, variant string, version int64) error {
 	return nil
 }
 
-// prepare builds and formats the matrix's serving kernel under the given
+// prepare builds and formats the serving kernel for base under the given
 // plan, warming the balanced-partition cache for the registry's thread
-// count so steady-state multiplies never compute a partition either.
-func (r *Registry) prepare(m *Matrix, plan Plan) (core.Kernel, error) {
+// count so steady-state multiplies never compute a partition either. The
+// measured duration lands in m.prepNs — the re-preparation price the
+// compaction cost model weighs overlay taxes against.
+func (r *Registry) prepare(m *Matrix, base *matrix.COO[float64], plan Plan) (core.Kernel, error) {
 	r.prepares.Add(1)
 	obsCachePrepares.Inc()
 	k, err := core.New(plan.Format+"-omp", r.opts)
@@ -553,10 +943,158 @@ func (r *Registry) prepare(m *Matrix, plan Plan) (core.Kernel, error) {
 		Reps: 1, Threads: r.threads, BlockSize: plan.Block, K: 1,
 		Schedule: plan.Schedule,
 	}
-	if err := k.Prepare(m.COO, p); err != nil {
+	start := time.Now()
+	if err := k.Prepare(base, p); err != nil {
 		return nil, fmt.Errorf("serve: prepare %s as %s: %w", m.ID, plan.Format, err)
 	}
+	m.prepNs.Store(int64(time.Since(start)))
 	return k, nil
+}
+
+// Mutate applies one insert/update/delete batch to a registered matrix,
+// journaling it (durability before visibility, like registrations) and
+// installing the next epoch's overlay. The returned state describes the
+// new epoch. Mutations to the same matrix serialize on its mutMu; the
+// multiply path never blocks on it.
+func (r *Registry) Mutate(id string, ops []delta.Op) (*mutState, error) {
+	r.mu.Lock()
+	m, ok := r.matrices[id]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: mutate unknown matrix %q", id)
+	}
+	m.mutMu.Lock()
+	defer m.mutMu.Unlock()
+
+	cur := m.mutView()
+	next, err := cur.overlay.Extend(cur.base, ops)
+	if err != nil {
+		return nil, fmt.Errorf("serve: mutate %s: %w", id, err)
+	}
+	epoch := cur.epoch + 1
+	if r.persistMut != nil {
+		commit, err := r.persistMut(m, epoch, ops)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNotDurable, err)
+		}
+		defer commit()
+	}
+	ms := &mutState{
+		epoch:            epoch,
+		compactedThrough: cur.compactedThrough,
+		baseHash:         cur.baseHash,
+		hash:             mutHash(cur.baseHash, epoch, next),
+		base:             cur.base,
+		overlay:          next,
+	}
+	m.mut.Store(ms)
+	return ms, nil
+}
+
+// shouldCompact evaluates the cost model against the matrix's measured
+// overlay-apply accumulation and last prepare duration.
+func (r *Registry) shouldCompact(m *Matrix, cm delta.CostModel) bool {
+	ms := m.mut.Load()
+	if ms == nil || ms.overlay.NNZ() == 0 {
+		return false
+	}
+	return cm.ShouldCompact(ms.overlay.NNZ(), ms.base.NNZ(),
+		time.Duration(m.applyNs.Load()).Seconds(),
+		time.Duration(m.prepNs.Load()).Seconds())
+}
+
+// deltaTotals reports how many registered matrices currently carry a
+// non-empty overlay and the total pending overlay entries across them —
+// the /v1/stats and gauge view of outstanding mutation debt.
+func (r *Registry) deltaTotals() (mutated int, overlayNNZ int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.matrices {
+		if ms := m.mut.Load(); ms != nil && ms.overlay.NNZ() > 0 {
+			mutated++
+			overlayNNZ += int64(ms.overlay.NNZ())
+		}
+	}
+	return mutated, overlayNNZ
+}
+
+// Compact merges the matrix's pending overlay into a freshly prepared
+// base, swapping both in atomically under a bumped plan version
+// (superseded prepared entries dropped promptly, the fresh kernel
+// installed warm). The whole sequence holds the matrix's mutation lock:
+// the MULTIPLY path never touches that lock — compaction runs off the
+// request path — but concurrent mutation batches stall until the swap,
+// which keeps the journaled boundary equal to the live epoch and makes
+// crash replay reconstruct the exact pre-crash state (the compact record
+// at epoch E replays as "merge everything through E", which is precisely
+// what it meant when written). Returns false when there was nothing to
+// compact. A kernel-preparation failure still swaps the merged base —
+// the bits are identical either way — and surfaces the error; the next
+// multiply re-prepares through the normal miss path.
+func (r *Registry) Compact(id string) (bool, error) {
+	r.mu.Lock()
+	m, ok := r.matrices[id]
+	r.mu.Unlock()
+	if !ok {
+		return false, fmt.Errorf("serve: compact unknown matrix %q", id)
+	}
+	m.mutMu.Lock()
+	defer m.mutMu.Unlock()
+	cur := m.mut.Load()
+	if cur == nil || cur.overlay.NNZ() == 0 {
+		return false, nil
+	}
+	merged := cur.overlay.Merge()
+	newBaseHash := ContentID(merged)
+	// Durability before visibility: the compact record lands (fsynced)
+	// before the swap, so recovery never re-applies merged deltas. A
+	// crash between append and swap replays to bit-identical state — the
+	// merged matrix IS the base + overlay it replaces.
+	if r.persistCompact != nil {
+		commit, err := r.persistCompact(m, cur.epoch, newBaseHash)
+		if err != nil {
+			return false, fmt.Errorf("%w: %v", ErrNotDurable, err)
+		}
+		defer commit()
+	}
+	plan := m.Plan()
+	kern, kerr := r.prepare(m, merged, plan)
+	ms := &mutState{
+		epoch:            cur.epoch,
+		compactedThrough: cur.epoch,
+		baseHash:         newBaseHash,
+		hash:             newBaseHash, // canonical post-merge hash restored
+		base:             merged,
+	}
+
+	r.mu.Lock()
+	nowPlan := m.Plan()
+	newPlan := nowPlan
+	newPlan.Version++
+	m.setPlan(newPlan)
+	m.mut.Store(ms)
+	m.applyNs.Store(0)
+	// Prompt stale-entry drop: the old base's prepared format can never
+	// be served again, so release its bytes now instead of letting it
+	// age out under LRU pressure.
+	r.dropStaleLocked(id, newPlan.Version)
+	// Install the freshly prepared kernel warm — unless a promotion raced
+	// the merge and changed the plan, in which case the next multiply
+	// re-prepares the promoted format from the merged base.
+	if kerr == nil && nowPlan.Version == plan.Version {
+		ready := make(chan struct{})
+		close(ready)
+		e := &cacheEntry{id: id, plan: newPlan, kernel: kern, bytes: int64(kern.Bytes()), ready: ready}
+		r.entries[id] = r.lru.PushFront(e)
+		r.used += e.bytes
+		r.evictLocked(e)
+		obsCacheBytes.Set(float64(r.used))
+	}
+	r.mu.Unlock()
+	if kerr != nil {
+		return true, fmt.Errorf("serve: compact %s: prepare merged base: %w", id, kerr)
+	}
+	return true, nil
 }
 
 // evictLocked drops least-recently-used prepared formats until the cache

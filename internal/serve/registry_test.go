@@ -70,14 +70,14 @@ func TestCacheBytesAccounting(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		k, _, hit, err := r.Prepared(ctx, m.ID)
+		sv, hit, err := r.Prepared(ctx, m.ID)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if hit {
 			t.Fatalf("first Prepared of %s reported a cache hit", m.ID)
 		}
-		want += int64(k.Bytes())
+		want += int64(sv.Kernel.Bytes())
 	}
 	st := r.Stats()
 	if st.Entries != 3 {
@@ -100,11 +100,11 @@ func TestLRUEvictionOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pk, _, _, err := probe.Prepared(context.Background(), pm.ID)
+	psv, _, err := probe.Prepared(context.Background(), pm.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	one := int64(pk.Bytes())
+	one := int64(psv.Kernel.Bytes())
 
 	r := NewRegistry(2*one+one/2, 2)
 	ctx := context.Background()
@@ -118,7 +118,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 	}
 	mustPrepare := func(id string, wantHit bool) {
 		t.Helper()
-		if _, _, hit, err := r.Prepared(ctx, id); err != nil || hit != wantHit {
+		if _, hit, err := r.Prepared(ctx, id); err != nil || hit != wantHit {
 			t.Fatalf("Prepared(%s): hit=%v err=%v, want hit=%v", id, hit, err, wantHit)
 		}
 	}
@@ -147,12 +147,12 @@ func TestSecondMultiplyZeroPrepare(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := r.Prepared(ctx, m.ID); err != nil {
+	if _, _, err := r.Prepared(ctx, m.ID); err != nil {
 		t.Fatal(err)
 	}
 	base := r.Stats().Prepares
 	for i := 0; i < 5; i++ {
-		_, _, hit, err := r.Prepared(ctx, m.ID)
+		_, hit, err := r.Prepared(ctx, m.ID)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,11 +171,12 @@ func TestSecondMultiplyZeroPrepare(t *testing.T) {
 func TestConcurrentRegisterEvict(t *testing.T) {
 	probe := NewRegistry(0, 2)
 	pm, _, _ := probe.Register(testMatrix(t, 90, 90, 0.03, 1))
-	pk, _, _, err := probe.Prepared(context.Background(), pm.ID)
+	psv, _, err := probe.Prepared(context.Background(), pm.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := NewRegistry(int64(pk.Bytes())+int64(pk.Bytes())/3, 2)
+	one := int64(psv.Kernel.Bytes())
+	r := NewRegistry(one+one/3, 2)
 
 	const workers = 8
 	const iters = 30
@@ -193,12 +194,12 @@ func TestConcurrentRegisterEvict(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				kern, _, _, err := r.Prepared(ctx, m.ID)
+				sv, _, err := r.Prepared(ctx, m.ID)
 				if err != nil {
 					t.Error(err)
 					return
 				}
-				if kern == nil || kern.Bytes() <= 0 {
+				if sv.Kernel == nil || sv.Kernel.Bytes() <= 0 {
 					t.Error("Prepared returned an unusable kernel")
 					return
 				}

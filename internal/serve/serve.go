@@ -40,8 +40,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/advisor"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/delta"
 	"repro/internal/gen"
 	"repro/internal/harness"
 	"repro/internal/matrix"
@@ -112,6 +114,16 @@ type Config struct {
 	// Injector arms durability fault points (tests only).
 	Injector *harness.Injector
 
+	// CompactRatio triggers a background overlay compaction once a mutated
+	// matrix's pending overlay reaches this fraction of its base nonzeros
+	// (default 0.25; negative disables the ratio trigger).
+	CompactRatio float64
+	// CompactCost is the break-even multiple for the measured trigger: a
+	// compaction fires once the accumulated overlay-apply time reaches
+	// CompactCost × the last measured base-preparation time (default 1.0;
+	// negative disables the measured trigger).
+	CompactCost float64
+
 	// Tune, when non-nil, enables the online auto-tuner (internal/tune):
 	// live multiplies are shadow-measured on a duty cycle and a measured-
 	// faster kernel variant is promoted into the matrix's serving plan.
@@ -140,6 +152,22 @@ type Server struct {
 
 	mu       sync.Mutex
 	batchers map[string]*batcher
+
+	// The background compactor: a single goroutine draining a bounded
+	// queue of matrix IDs whose overlay crossed the cost model. The
+	// pending set dedups enqueues; costModel is the configured policy.
+	costModel      delta.CostModel
+	compactCh      chan string
+	compactWG      sync.WaitGroup
+	compactMu      sync.Mutex
+	compactPending map[string]bool
+	compactClosed  bool
+
+	// Mutation-subsystem counters (the /v1/stats Delta section).
+	mutations        atomic.Int64
+	mutOps           atomic.Int64
+	compactions      atomic.Int64
+	compactionErrors atomic.Int64
 
 	// variants counts multiplies served per kernel variant name — the
 	// /v1/stats view of which arms actually execute.
@@ -184,17 +212,32 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real()
 	}
+	if cfg.CompactRatio == 0 {
+		cfg.CompactRatio = 0.25
+	}
+	if cfg.CompactCost == 0 {
+		cfg.CompactCost = 1.0
+	}
 	s := &Server{
-		cfg:      cfg,
-		reg:      NewRegistry(cfg.CacheBytes, cfg.Threads),
-		adm:      newAdmission(cfg.MaxInFlight, cfg.QueueDepth),
-		pool:     cfg.Pool,
-		tracer:   cfg.Tracer,
-		reqs:     trace.NewRequests(cfg.ReqTraceRing),
-		log:      cfg.Log,
-		clk:      cfg.Clock,
-		batchers: map[string]*batcher{},
-		variants: map[string]int64{},
+		cfg:            cfg,
+		reg:            NewRegistry(cfg.CacheBytes, cfg.Threads),
+		adm:            newAdmission(cfg.MaxInFlight, cfg.QueueDepth),
+		pool:           cfg.Pool,
+		tracer:         cfg.Tracer,
+		reqs:           trace.NewRequests(cfg.ReqTraceRing),
+		log:            cfg.Log,
+		clk:            cfg.Clock,
+		batchers:       map[string]*batcher{},
+		variants:       map[string]int64{},
+		compactCh:      make(chan string, 128),
+		compactPending: map[string]bool{},
+	}
+	s.costModel = delta.CostModel{BreakEven: cfg.CompactCost, MaxRatio: cfg.CompactRatio}
+	if cfg.CompactCost < 0 {
+		s.costModel.BreakEven = 0
+	}
+	if cfg.CompactRatio < 0 {
+		s.costModel.MaxRatio = 0
 	}
 	if s.pool == nil {
 		s.pool = parallel.NewPool(cfg.Threads)
@@ -214,26 +257,35 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		for i := range recs {
-			if recs[i].Kind == walKindProfile {
+			switch recs[i].Kind {
+			case walKindProfile:
 				if p := recs[i].Profile; p != nil {
 					profiles[recs[i].ID] = p
 				}
-				continue
-			}
-			m, err := matrixFromRecord(&recs[i], func(name string, scale float64) (*matrix.COO[float64], error) {
-				coo, _, err := gen.GenerateScaled(name, scale)
-				return coo, err
-			})
-			if err != nil {
-				// One unrecoverable record must not take the whole registry
-				// down with it — skip it loudly.
-				if s.log != nil {
-					s.log.Warn("skipping unrecoverable registration", "err", err)
+			case walKindMutate:
+				if err := s.reg.applyRecoveredMutation(&recs[i]); err != nil && s.log != nil {
+					s.log.Warn("skipping unrecoverable mutation record", "err", err)
 				}
-				continue
+			case walKindCompact:
+				if err := s.reg.applyRecoveredCompaction(&recs[i]); err != nil && s.log != nil {
+					s.log.Warn("skipping unrecoverable compaction record", "err", err)
+				}
+			default:
+				m, err := matrixFromRecord(&recs[i], func(name string, scale float64) (*matrix.COO[float64], error) {
+					coo, _, err := gen.GenerateScaled(name, scale)
+					return coo, err
+				})
+				if err != nil {
+					// One unrecoverable record must not take the whole registry
+					// down with it — skip it loudly.
+					if s.log != nil {
+						s.log.Warn("skipping unrecoverable registration", "err", err)
+					}
+					continue
+				}
+				s.reg.restore(m)
+				recovered = append(recovered, m)
 			}
-			s.reg.restore(m)
-			recovered = append(recovered, m)
 		}
 		// The registry dump feeding snapshots carries the tuner's learned
 		// profiles alongside the registrations, so a compaction that
@@ -248,8 +300,24 @@ func New(cfg Config) (*Server, error) {
 			return out
 		}
 		s.reg.persist = func(m *Matrix) (func(), error) { return st.Append(recordFor(m)) }
+		s.reg.persistMut = func(m *Matrix, epoch int64, ops []delta.Op) (func(), error) {
+			rec := &walRecord{Kind: walKindMutate, ID: m.ID, Epoch: epoch}
+			rec.MutRowIdx = make([]int32, len(ops))
+			rec.MutColIdx = make([]int32, len(ops))
+			rec.MutVals = make([]float64, len(ops))
+			rec.MutDel = make([]bool, len(ops))
+			for i, op := range ops {
+				rec.MutRowIdx[i], rec.MutColIdx[i], rec.MutVals[i], rec.MutDel[i] = op.Row, op.Col, op.Val, op.Del
+			}
+			return st.Append(rec)
+		}
+		s.reg.persistCompact = func(m *Matrix, boundary int64, baseHash string) (func(), error) {
+			return st.Append(&walRecord{Kind: walKindCompact, ID: m.ID, Epoch: boundary, BaseHash: baseHash})
+		}
 		s.store = st
 	}
+	s.compactWG.Add(1)
+	go s.compactorLoop()
 	if cfg.Tune != nil {
 		tc := *cfg.Tune
 		if tc.Threads < 1 {
@@ -283,8 +351,28 @@ func New(cfg Config) (*Server, error) {
 					prof = nil
 				}
 			}
+			// A compacted matrix's current base diverged from the original
+			// registration the profile (and the registration report) describe:
+			// the tuner's lab copy and feature vector must track the CURRENT
+			// base — its trials verify bitwise against served results — so the
+			// learned profile is dropped and the features recomputed.
+			base, feat := m.COO, m.Report.Features
+			if cur := m.CurrentBase(); cur != base {
+				f, err := advisor.Extract(cur)
+				if err != nil {
+					// Tracking the stale base would make every shadow trial
+					// diverge bitwise; leave the matrix untuned instead.
+					if s.log != nil {
+						s.log.Warn("feature extraction on recovered compacted base failed; matrix left untuned", "id", m.ID, "err", err)
+					}
+					continue
+				}
+				base = cur
+				feat = advisor.NewReport(m.ID, f, []advisor.Environment{advisor.ParallelCPU}).Features
+				prof = nil
+			}
 			plan := m.Plan()
-			if err := s.tuner.Restore(m.ID, m.COO, plan.Block, m.Report.Features,
+			if err := s.tuner.Restore(m.ID, base, plan.Block, feat,
 				plan.Variant, plan.Version, prof); err != nil && s.log != nil {
 				s.log.Warn("recovered tuning profile rejected; starting cold", "id", m.ID, "err", err)
 			}
@@ -363,11 +451,119 @@ func (s *Server) Close() {
 		// drains queued trials first.
 		s.tuner.Close()
 	}
+	// Stop the compactor before the store: an in-flight compaction journals
+	// through Store.Append and must finish before the WAL closes.
+	s.compactMu.Lock()
+	if !s.compactClosed {
+		s.compactClosed = true
+		close(s.compactCh)
+	}
+	s.compactMu.Unlock()
+	s.compactWG.Wait()
 	s.closePool()
 	if s.store != nil {
 		if err := s.store.Close(); err != nil && s.log != nil {
 			s.log.Warn("durability store close failed", "err", err)
 		}
+	}
+}
+
+// requestCompact enqueues a background compaction for the matrix, dropping
+// the request if one is already queued (the compactor re-evaluates the
+// cost model when it runs) or the queue is full (a later trigger retries).
+func (s *Server) requestCompact(id string) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	if s.compactClosed || s.compactPending[id] {
+		return
+	}
+	select {
+	case s.compactCh <- id:
+		s.compactPending[id] = true
+	default:
+	}
+}
+
+// compactorLoop is the background compactor goroutine: it serializes all
+// compactions (they are CPU-heavy — a merge plus a format preparation) so
+// mutation-heavy workloads cannot saturate the host with concurrent
+// re-preparations.
+func (s *Server) compactorLoop() {
+	defer s.compactWG.Done()
+	for id := range s.compactCh {
+		s.compactMu.Lock()
+		delete(s.compactPending, id)
+		s.compactMu.Unlock()
+		s.compactNow(id)
+	}
+}
+
+// driftKeepWithin is the feature-drift threshold under which a compaction
+// carries the tuner's measured arm windows over to the merged base: the
+// matrix is still the same shape, so the rankings stay informative.
+const driftKeepWithin = 0.25
+
+// compactNow runs one compaction through the registry and settles the
+// bookkeeping around it: counters, the compact trace span, and rebasing
+// the online tuner onto the merged base (its lab copy must match the
+// served base bitwise for shadow trials to verify).
+func (s *Server) compactNow(id string) (bool, error) {
+	start := time.Now()
+	span := s.tracer.Start()
+	did, err := s.reg.Compact(id)
+	s.tracer.EndDetail(0, trace.PhaseCompact, id, span, 0)
+	if err != nil {
+		s.compactionErrors.Add(1)
+		obsDeltaCompactionErrors.Inc()
+		if s.log != nil {
+			s.log.Warn("overlay compaction failed", "id", id, "err", err)
+		}
+	}
+	if !did {
+		return false, err
+	}
+	dur := time.Since(start)
+	s.compactions.Add(1)
+	obsDeltaCompactions.Inc()
+	obsDeltaCompactionSeconds.Observe(dur.Seconds())
+	if h, ok := obsPhaseSeconds[trace.PhaseCompact]; ok {
+		h.Observe(dur.Seconds())
+	}
+	m, ok := s.reg.Get(id)
+	if !ok {
+		return did, err
+	}
+	if s.log != nil {
+		s.log.Info("overlay compacted", "id", id, "epoch", m.Epoch(),
+			"hash", m.ContentHash(), "seconds", dur.Seconds())
+	}
+	s.rebaseTuner(m)
+	return did, err
+}
+
+// rebaseTuner swaps the tuner's lab state onto the matrix's current base
+// (after a compaction or a mutated-state import). Measured arm windows
+// carry over when the feature drift stays under driftKeepWithin; past it
+// the matrix's arms restart cold. A feature-extraction failure untracks
+// nothing — the stale state's trials are dropped by plan-version skew, so
+// the tuner just stops learning for this matrix until the next rebase.
+func (s *Server) rebaseTuner(m *Matrix) {
+	if s.tuner == nil {
+		return
+	}
+	base := m.CurrentBase()
+	f, err := advisor.Extract(base)
+	if err != nil {
+		if s.log != nil {
+			s.log.Warn("tuner rebase: feature extraction failed", "id", m.ID, "err", err)
+		}
+		return
+	}
+	feat := advisor.NewReport(m.ID, f, []advisor.Environment{advisor.ParallelCPU}).Features
+	plan := m.Plan()
+	kept := s.tuner.Rebase(m.ID, base, plan.Block, feat, plan.Variant, plan.Version, driftKeepWithin)
+	if s.log != nil {
+		s.log.Info("tuner rebased onto merged base", "id", m.ID, "windows_kept", kept)
 	}
 }
 
@@ -392,9 +588,11 @@ func (s *Server) params(plan Plan, k int) core.Params {
 //	POST /v1/matrices              register (JSON in, JSON out)
 //	GET  /v1/matrices              list registered matrices
 //	GET  /v1/matrices/{id}         one matrix's info
-//	GET  /v1/matrices/{id}/export  registry-metadata export (canonical triplets + spec)
+//	GET  /v1/matrices/{id}/export  registry-metadata export (base + pending overlay)
 //	POST /v1/matrices/{id}/prepare warm the prepared-format cache
 //	POST /v1/matrices/{id}/multiply?k=K   multiply (binary panels)
+//	POST /v1/matrices/{id}/mutate  apply one insert/update/delete batch
+//	POST /v1/matrices/{id}/compact force a synchronous overlay compaction
 //	GET  /v1/stats                 serving counters snapshot
 //	GET  /v1/tune                  auto-tuner decision trail
 //	GET  /v1/trace/requests        recent per-request phase records
@@ -407,6 +605,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/matrices/{id}/export", s.handleExport)
 	mux.HandleFunc("POST /v1/matrices/{id}/prepare", s.handlePrepare)
 	mux.HandleFunc("POST /v1/matrices/{id}/multiply", s.handleMultiply)
+	mux.HandleFunc("POST /v1/matrices/{id}/mutate", s.handleMutate)
+	mux.HandleFunc("POST /v1/matrices/{id}/compact", s.handleCompact)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/tune", s.handleTune)
 	mux.HandleFunc("GET /v1/trace/requests", s.handleTraceRequests)
@@ -526,6 +726,10 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad register body: %w", err))
 		return
 	}
+	if req.Import() {
+		s.handleImport(w, r, &req)
+		return
+	}
 	coo, err := Materialize(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -548,13 +752,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	// burst cannot saturate the CPU outside the server's own bounds.
 	var formatBytes int
 	if err := s.adm.acquire(r.Context()); err == nil {
-		kern, _, _, perr := s.reg.Prepared(r.Context(), m.ID)
+		sv, _, perr := s.reg.Prepared(r.Context(), m.ID)
 		s.adm.release()
 		if perr != nil {
 			writeError(w, http.StatusInternalServerError, perr)
 			return
 		}
-		formatBytes = kern.Bytes()
+		formatBytes = sv.Kernel.Bytes()
 	}
 	plan := m.Plan()
 	advice := m.Report
@@ -575,6 +779,82 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		Format: plan.Format, Schedule: plan.Schedule.String(), Block: plan.Block,
 		Variant: plan.Variant, PlanVersion: plan.Version,
 		Existed: existed, FormatBytes: formatBytes, Advice: advice,
+	})
+}
+
+// deltaOps converts parallel mutation arrays (wire or journal form) into
+// ops, validating that the arrays agree in length.
+func deltaOps(rows, cols []int32, vals []float64, del []bool) ([]delta.Op, error) {
+	if len(cols) != len(rows) ||
+		(len(vals) != len(rows) && !(len(vals) == 0 && len(rows) == 0)) ||
+		(del != nil && len(del) != len(rows)) {
+		return nil, fmt.Errorf("serve: ragged mutation arrays (%d/%d/%d/%d)",
+			len(rows), len(cols), len(vals), len(del))
+	}
+	ops := make([]delta.Op, len(rows))
+	for i := range ops {
+		ops[i] = delta.Op{Row: rows[i], Col: cols[i], Val: vals[i]}
+		if del != nil {
+			ops[i].Del = del[i]
+		}
+	}
+	return ops, nil
+}
+
+// handleImport is the mutated-state registration path (RegisterRequest
+// with ServeID set): the cluster rebalancer shipping a matrix whose served
+// state has diverged from its original registration. The receiver adopts
+// the exporter's handle, verifies the base hash, installs base + overlay
+// bitwise-identical, and points the tuner at the imported base.
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request, req *RegisterRequest) {
+	if !req.Triplets() {
+		writeError(w, http.StatusBadRequest, errors.New("serve: import needs the base triplets"))
+		return
+	}
+	base := &matrix.COO[float64]{
+		Rows: req.Rows, Cols: req.Cols,
+		RowIdx: req.RowIdx, ColIdx: req.ColIdx, Vals: req.Vals,
+	}
+	ops, err := deltaOps(req.OvRowIdx, req.OvColIdx, req.OvVals, req.OvDel)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, existed, err := s.reg.ImportMutated(req.ServeID, base,
+		RegisterSource{Name: req.Name, Scale: req.Scale},
+		req.BaseHash, req.Epoch, req.CompactEpoch, ops)
+	if err != nil {
+		code := http.StatusBadRequest
+		if isDurabilityErr(err) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	var formatBytes int
+	if err := s.adm.acquire(r.Context()); err == nil {
+		sv, _, perr := s.reg.Prepared(r.Context(), m.ID)
+		s.adm.release()
+		if perr != nil {
+			writeError(w, http.StatusInternalServerError, perr)
+			return
+		}
+		formatBytes = sv.Kernel.Bytes()
+	}
+	if !existed {
+		s.rebaseTuner(m)
+	}
+	plan := m.Plan()
+	if s.log != nil {
+		s.log.Info("matrix imported", "id", m.ID, "epoch", m.Epoch(),
+			"hash", m.ContentHash(), "existed", existed)
+	}
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		ID: m.ID, Rows: m.COO.Rows, Cols: m.COO.Cols, NNZ: m.CurrentBase().NNZ(),
+		Format: plan.Format, Schedule: plan.Schedule.String(), Block: plan.Block,
+		Variant: plan.Variant, PlanVersion: plan.Version,
+		Existed: existed, FormatBytes: formatBytes, Advice: m.Report,
+		Epoch: m.Epoch(), Hash: m.ContentHash(),
 	})
 }
 
@@ -601,10 +881,12 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleExport serves the registry-metadata export: the canonical triplets
-// plus generator-spec provenance, enough for any other replica to register
-// the identical matrix (same content hash). This is the data path of a
-// cluster shard move.
+// handleExport serves the registry-metadata export: the CURRENT canonical
+// base triplets, the pending overlay (epoch-tagged), and the generator-spec
+// provenance — enough for any other replica to serve the identical bits at
+// the identical epoch. This is the data path of a cluster shard move, and
+// it works mid-mutation-stream: the state is captured in one atomic load,
+// so the export is always a consistent epoch snapshot.
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	obsRequests.Inc()
@@ -614,10 +896,124 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown matrix %q", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, ExportRecord{
+	ms := m.mutView()
+	rec := ExportRecord{
 		ID: m.ID, Rows: m.COO.Rows, Cols: m.COO.Cols,
 		Name: m.Source.Name, Scale: m.Source.Scale,
-		RowIdx: m.COO.RowIdx, ColIdx: m.COO.ColIdx, Vals: m.COO.Vals,
+		RowIdx: ms.base.RowIdx, ColIdx: ms.base.ColIdx, Vals: ms.base.Vals,
+		Hash: ms.hash,
+	}
+	if ms.epoch > 0 || ms.baseHash != m.ID {
+		rec.Epoch, rec.CompactEpoch = ms.epoch, ms.compactedThrough
+		if ms.baseHash != m.ID {
+			rec.BaseHash = ms.baseHash
+		}
+		if ms.overlay.NNZ() > 0 {
+			rec.OvRowIdx = ms.overlay.RowIdx
+			rec.OvColIdx = ms.overlay.ColIdx
+			rec.OvVals = ms.overlay.Vals
+			rec.OvDel = ms.overlay.Del
+		}
+	}
+	w.Header().Set(HeaderEpoch, strconv.FormatInt(ms.epoch, 10))
+	w.Header().Set(HeaderContentHash, ms.hash)
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleMutate applies one atomic insert/update/delete batch to a served
+// matrix. The batch is journaled (durability before visibility, exactly
+// like registrations) and the new epoch's overlay installed before the ack;
+// every multiply from the ack on reflects the batch, bit-exactly, and the
+// response's epoch/hash identify that state.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	obsRequests.Inc()
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	start := time.Now()
+	id := r.PathValue("id")
+	m, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown matrix %q", id))
+		return
+	}
+	var req MutateRequest
+	body := http.MaxBytesReader(w, r.Body, maxRegisterBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad mutate body: %w", err))
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: mutate batch carries no ops"))
+		return
+	}
+	ops := make([]delta.Op, len(req.Ops))
+	for i, op := range req.Ops {
+		ops[i] = delta.Op{Row: op.Row, Col: op.Col, Val: op.Val, Del: op.Del}
+	}
+	span := s.tracer.Start()
+	ms, err := s.reg.Mutate(id, ops)
+	s.tracer.EndDetail(0, trace.PhaseMutate, id, span, int64(len(ops)))
+	if err != nil {
+		code := http.StatusBadRequest
+		if isDurabilityErr(err) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	s.mutations.Add(1)
+	s.mutOps.Add(int64(len(ops)))
+	obsDeltaMutations.Inc()
+	obsDeltaOps.Add(int64(len(ops)))
+	_, totalOverlay := s.reg.deltaTotals()
+	obsDeltaOverlayNNZ.Set(float64(totalOverlay))
+	if h, ok := obsPhaseSeconds[trace.PhaseMutate]; ok {
+		h.Observe(time.Since(start).Seconds())
+	}
+	if s.reg.shouldCompact(m, s.costModel) {
+		s.requestCompact(id)
+	}
+	w.Header().Set(HeaderEpoch, strconv.FormatInt(ms.epoch, 10))
+	w.Header().Set(HeaderContentHash, ms.hash)
+	writeJSON(w, http.StatusOK, MutateResponse{
+		ID: id, Epoch: ms.epoch, Hash: ms.hash,
+		OverlayNNZ: ms.overlay.NNZ(), Applied: len(ops),
+	})
+}
+
+// handleCompact forces a synchronous overlay compaction — the ops endpoint
+// for "merge now, don't wait for the cost model". It shares the background
+// compactor's code path (counters, tuner rebase included) and serializes
+// with it on the matrix's mutation lock.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	obsRequests.Inc()
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	id := r.PathValue("id")
+	m, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown matrix %q", id))
+		return
+	}
+	did, err := s.compactNow(id)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if isDurabilityErr(err) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	_, totalOverlay := s.reg.deltaTotals()
+	obsDeltaOverlayNNZ.Set(float64(totalOverlay))
+	writeJSON(w, http.StatusOK, CompactResponse{
+		ID: id, Compacted: did, Epoch: m.Epoch(), Hash: m.ContentHash(),
 	})
 }
 
@@ -648,7 +1044,7 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	kern, plan, hit, err := s.reg.Prepared(r.Context(), id)
+	sv, hit, err := s.reg.Prepared(r.Context(), id)
 	s.adm.release()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -660,8 +1056,8 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set(HeaderCache, cache)
 	writeJSON(w, http.StatusOK, PrepareResponse{
-		ID: m.ID, Cache: cache, Format: plan.Format,
-		Variant: plan.Variant, FormatBytes: kern.Bytes(),
+		ID: m.ID, Cache: cache, Format: sv.Plan.Format,
+		Variant: sv.Plan.Variant, FormatBytes: sv.Kernel.Bytes(),
 	})
 }
 
@@ -684,6 +1080,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Durability = s.store.Stats()
 	}
 	resp.Variants = s.variantCounts()
+	if mutated, ovnnz := s.reg.deltaTotals(); mutated > 0 || s.mutations.Load() > 0 || s.compactions.Load() > 0 {
+		resp.Delta = &DeltaStats{
+			Mutations:        s.mutations.Load(),
+			Ops:              s.mutOps.Load(),
+			Mutated:          mutated,
+			OverlayNNZ:       ovnnz,
+			Compactions:      s.compactions.Load(),
+			CompactionErrors: s.compactionErrors.Load(),
+		}
+	}
 	if s.tuner != nil {
 		ts := s.tuner.Stats()
 		resp.Tune = &TuneSummary{
@@ -776,7 +1182,7 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	req.Phase(trace.PhaseLoad, "panel", loadStart, int64(k))
 
 	prepStart := req.Now()
-	kern, plan, hit, err := s.reg.Prepared(ctx, id)
+	sv, hit, err := s.reg.Prepared(ctx, id)
 	if err != nil {
 		s.failRequest(req, err)
 		writeError(w, http.StatusInternalServerError, err)
@@ -788,7 +1194,7 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	}
 	req.Phase(trace.PhasePrepare, cache, prepStart, 0)
 
-	res := s.batcherFor(m).multiply(ctx, kern, plan, b, k, req)
+	res := s.batcherFor(m).multiply(ctx, sv, b, k, req)
 	if res.err != nil {
 		s.failRequest(req, res.err)
 		code := http.StatusInternalServerError
@@ -801,8 +1207,10 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 
 	// Hand the request panel and the served result to the tuner (both are
 	// per-request allocations; ownership transfers). On the duty cycle the
-	// pair becomes a shadow trial — off this request's critical path.
-	if s.tuner != nil {
+	// pair becomes a shadow trial — off this request's critical path. A
+	// matrix with a pending overlay is never offered: shadow trials replay
+	// against the base-only prepared formats and would mis-verify.
+	if s.tuner != nil && sv.Overlay.NNZ() == 0 {
 		s.tuner.Offer(id, res.plan.Variant, res.plan.Version, b, res.c, k)
 	}
 
@@ -810,6 +1218,13 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", strconv.Itoa(m.COO.Rows*k*8))
 	w.Header().Set(HeaderFormat, res.plan.Format)
 	w.Header().Set(HeaderVariant, res.plan.Variant)
+	// Epoch/hash headers only once the matrix has mutated: at epoch 0 the
+	// served hash IS the request path's ID, and the clean multiply path
+	// stays at its baseline header (and allocation) budget.
+	if sv.Epoch > 0 {
+		w.Header().Set(HeaderEpoch, strconv.FormatInt(sv.Epoch, 10))
+		w.Header().Set(HeaderContentHash, sv.Hash)
+	}
 	w.Header().Set(HeaderCache, cache)
 	w.Header().Set(HeaderBatchWidth, strconv.Itoa(res.width))
 	w.Header().Set(HeaderBatchK, strconv.Itoa(res.k))

@@ -40,10 +40,11 @@ func TestPromoteReprepare(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	k0, p0, hit, err := r.Prepared(ctx, m.ID)
+	sv0, hit, err := r.Prepared(ctx, m.ID)
 	if err != nil || hit {
 		t.Fatalf("first Prepared: hit=%v err=%v", hit, err)
 	}
+	k0, p0 := sv0.Kernel, sv0.Plan
 	if p0.Version != 1 || k0.Format() != p0.Format {
 		t.Fatalf("initial plan %+v served by a %s kernel", p0, k0.Format())
 	}
@@ -65,10 +66,11 @@ func TestPromoteReprepare(t *testing.T) {
 		t.Fatalf("prepares after promote = %d, want 2 (one warm re-prepare)", got)
 	}
 
-	k1, p1, hit, err := r.Prepared(ctx, m.ID)
+	sv1, hit, err := r.Prepared(ctx, m.ID)
 	if err != nil || !hit {
 		t.Fatalf("post-promotion Prepared: hit=%v err=%v — warm promote must leave a resident format", hit, err)
 	}
+	k1, p1 := sv1.Kernel, sv1.Plan
 	if p1 != plan {
 		t.Fatalf("served plan %+v != promoted plan %+v", p1, plan)
 	}
@@ -137,13 +139,13 @@ func TestPromoteChurn(t *testing.T) {
 				default:
 				}
 				id := ids[(w+i)%len(ids)]
-				kern, plan, _, err := r.Prepared(ctx, id)
+				sv, _, err := r.Prepared(ctx, id)
 				if err != nil {
 					t.Errorf("Prepared(%s): %v", id, err)
 					return
 				}
-				if kern.Format() != plan.Format {
-					t.Errorf("Prepared(%s) returned a %s kernel for plan %+v", id, kern.Format(), plan)
+				if sv.Kernel.Format() != sv.Plan.Format {
+					t.Errorf("Prepared(%s) returned a %s kernel for plan %+v", id, sv.Kernel.Format(), sv.Plan)
 					return
 				}
 			}
@@ -165,9 +167,9 @@ func TestPromoteChurn(t *testing.T) {
 
 	// Every matrix still serves a plan-consistent kernel.
 	for _, id := range ids {
-		kern, plan, _, err := r.Prepared(ctx, id)
-		if err != nil || kern.Format() != plan.Format {
-			t.Fatalf("post-churn Prepared(%s): format %s, plan %+v, err %v", id, kern.Format(), plan, err)
+		sv, _, err := r.Prepared(ctx, id)
+		if err != nil || sv.Kernel.Format() != sv.Plan.Format {
+			t.Fatalf("post-churn Prepared(%s): format %s, plan %+v, err %v", id, sv.Kernel.Format(), sv.Plan, err)
 		}
 	}
 }

@@ -52,6 +52,19 @@ var maxWALRecordBytes = 8 * maxRegisterBody
 // registration (the only kind PR-6 logs wrote, so old logs replay as-is).
 const walKindProfile = "profile"
 
+// walKindMutate is one acked mutation batch: the canonicalized ops (Mut*
+// arrays) plus the epoch the batch produced. Replay applies batches in
+// epoch order on top of the matrix's registration record; a batch at or
+// below the current epoch is a duplicate and skips.
+const walKindMutate = "mutate"
+
+// walKindCompact marks a completed compaction: every mutation through
+// Epoch was merged into a new canonical base whose content hash is
+// BaseHash. Replay merges the accumulated overlay, verifies the hash,
+// and clears the overlay — so recovery never re-applies pre-compaction
+// mutation records to the post-compaction base.
+const walKindCompact = "compact"
+
 // walRecord is one durable record: a registration (Kind "") or a learned
 // tuning profile (Kind "profile", Profile set, keyed by the same matrix
 // ID; replay keeps the newest per matrix).
@@ -85,6 +98,26 @@ type walRecord struct {
 	Report      advisor.Report `json:"report"`
 	// Profile is the tuner's learned state for Kind "profile" records.
 	Profile *tune.Profile `json:"profile,omitempty"`
+	// Epoch is the mutation epoch: for "mutate" records, the epoch the
+	// batch produced; for "compact" records, the boundary merged through;
+	// for registration records written after mutations (snapshot dumps,
+	// cluster imports), the matrix's current epoch.
+	Epoch int64 `json:"epoch,omitempty"`
+	// CompactEpoch, on mutated registration records, is how far the base
+	// has been compacted (the recovered state's compactedThrough).
+	CompactEpoch int64 `json:"compact_epoch,omitempty"`
+	// BaseHash is the content hash of the current canonical base when it
+	// no longer matches ID (the matrix was compacted): "compact" records
+	// journal the post-merge hash for verification, and mutated
+	// registration records carry it so recovery re-verifies the triplets.
+	BaseHash string `json:"base_hash,omitempty"`
+	// MutRowIdx/MutColIdx/MutVals/MutDel are overlay ops in canonical
+	// order: a "mutate" record's batch, or a mutated registration record's
+	// pending overlay.
+	MutRowIdx []int32   `json:"mut_row_idx,omitempty"`
+	MutColIdx []int32   `json:"mut_col_idx,omitempty"`
+	MutVals   []float64 `json:"mut_vals,omitempty"`
+	MutDel    []bool    `json:"mut_del,omitempty"`
 	// CRC is the IEEE CRC32 of this record's JSON with CRC itself zeroed.
 	CRC uint32 `json:"crc"`
 }

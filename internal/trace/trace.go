@@ -80,6 +80,8 @@ const (
 	PhaseQueue         = "queue"          // admission-queue wait before a multiply runs
 	PhaseAttemptRemote = "attempt-remote" // one router->replica proxy attempt (detail: "replica verdict")
 	PhaseRespond       = "respond"        // response encode + write back to the client
+	PhaseMutate        = "mutate"         // one applied mutation batch (internal/serve, detail: matrix id)
+	PhaseCompact       = "compact"        // one overlay compaction: merge + re-prepare + swap
 )
 
 // Phases lists every pinned phase name; the golden schema test pins
@@ -90,6 +92,7 @@ func Phases() []string {
 		PhaseKernel, PhaseChunk, PhaseAttempt, PhaseBackoff, PhaseRetry,
 		PhaseDegrade, PhaseSkip, PhaseSimKernel, PhaseSimChunk, PhaseBatch,
 		PhaseQueue, PhaseAttemptRemote, PhaseRespond,
+		PhaseMutate, PhaseCompact,
 	}
 }
 

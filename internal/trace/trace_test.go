@@ -257,8 +257,8 @@ func TestPhasesPinned(t *testing.T) {
 		}
 		seen[p] = true
 	}
-	if len(seen) != 18 {
-		t.Fatalf("pinned phase set has %d names, want 18 — update this test AND the golden schema test together", len(seen))
+	if len(seen) != 20 {
+		t.Fatalf("pinned phase set has %d names, want 20 — update this test AND the golden schema test together", len(seen))
 	}
 }
 

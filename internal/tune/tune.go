@@ -26,6 +26,7 @@ package tune
 import (
 	"fmt"
 	"log/slog"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -341,6 +342,90 @@ func (t *Tuner) Restore(id string, coo *matrix.COO[float64], block int, feat adv
 		st.planVersion = prof.PlanVersion
 	}
 	return nil
+}
+
+// Rebase replaces a tracked matrix's ground truth after its canonical base
+// changed under the same serving handle (a mutation-overlay compaction, or
+// a cluster import of mutated state): the lab matrix, feature vector and
+// plan version are swapped wholesale — the worker never mutates a live
+// state in place, so a trial already in flight keeps racing against the
+// old base and is dropped by its stale plan version. When the new feature
+// vector drifted no more than keepWithin (max relative change across the
+// advisor features), the arms' measured windows carry over — the matrix is
+// still the same shape and the rankings stay informative; past the
+// threshold every arm restarts cold. Returns whether the windows carried.
+// An untracked id is simply tracked fresh (kept false).
+func (t *Tuner) Rebase(id string, coo *matrix.COO[float64], block int, feat advisor.FeatureSummary, incumbent string, planVersion int64, keepWithin float64) (kept bool) {
+	st := &state{
+		id:          id,
+		coo:         coo,
+		block:       block,
+		feat:        feat,
+		byName:      map[string]*arm{},
+		planVersion: planVersion,
+	}
+	st.in.COO = coo
+	for _, v := range kernels.ServableVariants() {
+		a := &arm{name: v.Name, v: v}
+		st.arms = append(st.arms, a)
+		st.byName[a.name] = a
+	}
+	st.incumbent = st.byName[incumbent]
+	if st.incumbent == nil {
+		st.incumbent = st.byName["csr/opts-pool"]
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
+	}
+	old := t.states[id]
+	if old != nil && keepWithin > 0 && FeatureDrift(old.feat, feat) <= keepWithin {
+		kept = true
+		for _, a := range st.arms {
+			oa := old.byName[a.name]
+			if oa == nil {
+				continue
+			}
+			a.window = append([]float64(nil), oa.window...)
+			a.total = oa.total
+			a.disq = oa.disq
+		}
+		st.trials = old.trials
+		st.rejects = old.rejects
+		st.history = old.history
+		st.offers, st.taken = old.offers, old.taken
+		st.settled = old.settled
+		st.cursor = old.cursor
+	}
+	t.states[id] = st
+	return kept
+}
+
+// FeatureDrift is the maximum relative change across the advisor feature
+// vector — the scalar Rebase compares against its keep-threshold. A
+// feature moving off zero counts as full drift.
+func FeatureDrift(a, b advisor.FeatureSummary) float64 {
+	max := 0.0
+	rel := func(x, y float64) {
+		d := math.Abs(x - y)
+		if d == 0 {
+			return
+		}
+		den := math.Max(math.Abs(x), math.Abs(y))
+		if r := d / den; r > max {
+			max = r
+		}
+	}
+	rel(float64(a.MaxRow), float64(b.MaxRow))
+	rel(a.AvgRow, b.AvgRow)
+	rel(a.Ratio, b.Ratio)
+	rel(a.Gini, b.Gini)
+	rel(a.ELLOverhead, b.ELLOverhead)
+	rel(a.BCSRFill4, b.BCSRFill4)
+	rel(a.Density, b.Density)
+	return max
 }
 
 // Offer hands the tuner one completed live multiply: the request panel b

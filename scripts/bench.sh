@@ -26,7 +26,10 @@
 # unbatched concurrent throughput from internal/serve), and the durability
 # tax (BenchmarkWALAppend: seal + write + fsync per registration record —
 # the fsync row prices what crash-safe acks cost, the nosync row isolates
-# the CPU side).
+# the CPU side), and the dynamic-matrix path (BenchmarkOverlayApply: the
+# empty row is the clean-multiply overlay check pinned at 0 allocs/op, the
+# 1%/10% rows the dirty-matrix tax; BenchmarkCompaction the merge +
+# re-prepare the cost model trades it against).
 # Numbers are host-dependent: commit a refreshed baseline when the hardware
 # or the kernels legitimately change.
 set -euo pipefail
@@ -212,14 +215,14 @@ TOLERANCE=${TOLERANCE:-0.25}
 # BenchmarkRequestTraceOverhead/disabled is the 0 allocs/op gate on the
 # untraced hot path: the stored baseline records 0 allocs, so any alloc
 # creeping into the disabled request-tracing path fails the perf gate.
-FILTER=${FILTER:-'^(BenchmarkCalculate|BenchmarkSchedule|BenchmarkPool|BenchmarkTraceOverhead|BenchmarkObsOverhead|BenchmarkPhaseMix|BenchmarkServeCachedMultiply|BenchmarkServeUnbatched|BenchmarkServeBatched|BenchmarkTunedMultiply|BenchmarkWALAppend|BenchmarkRequestTraceOverhead)$'}
+FILTER=${FILTER:-'^(BenchmarkCalculate|BenchmarkSchedule|BenchmarkPool|BenchmarkTraceOverhead|BenchmarkObsOverhead|BenchmarkPhaseMix|BenchmarkServeCachedMultiply|BenchmarkServeUnbatched|BenchmarkServeBatched|BenchmarkTunedMultiply|BenchmarkWALAppend|BenchmarkRequestTraceOverhead|BenchmarkOverlayApply|BenchmarkCompaction)$'}
 DIR=${DIR:-results/bench}
 
 out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
 echo "== go test -bench $FILTER (benchtime $BENCHTIME) =="
-go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" . ./internal/serve | tee "$out"
+go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" . ./internal/serve ./internal/delta | tee "$out"
 
 echo
 echo "== perf gate (tolerance $TOLERANCE) =="

@@ -18,29 +18,35 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go test -race (parallel, harness, trace, obs, serve, tune, clock, cluster) =="
+echo "== go test -race (parallel, harness, trace, obs, serve, delta, tune, clock, cluster) =="
 # -short skips the subprocess e2e; the full chaos suite (torn WAL tails,
 # corrupt snapshots, injected fsync/disk-full faults), the deterministic
 # auto-tuner suite (promotion hysteresis, duty bounds, wrong-variant
-# rejection), and the in-process cluster suite (hash-ring properties,
-# scripted kill/hang failover, rebalance-without-drain, and the
-# request-trace propagation test — one rid across router attempt spans,
-# replica phase spans, and the slow-request log, under scripted failover)
-# run here under -race.
-go test -race -short ./internal/parallel/... ./internal/harness/... ./internal/trace/... ./internal/obs/... ./internal/serve/... ./internal/tune/... ./internal/clock/... ./internal/cluster/...
+# rejection), the mutation suite (1000-batch mutation stream against
+# concurrent bitwise-verified multiplies with background compactions, plus
+# the mutate/compact chaos tests), and the in-process cluster suite
+# (hash-ring properties, scripted kill/hang failover, rebalance-without-
+# drain — including a join mid-mutation-stream — and the request-trace
+# propagation test — one rid across router attempt spans, replica phase
+# spans, and the slow-request log, under scripted failover) run here
+# under -race.
+go test -race -short ./internal/parallel/... ./internal/harness/... ./internal/trace/... ./internal/obs/... ./internal/serve/... ./internal/delta/... ./internal/tune/... ./internal/clock/... ./internal/cluster/...
 
-echo "== flake gate (serve + cluster, shuffled, 3x) =="
+echo "== flake gate (serve + delta + cluster, shuffled, 3x) =="
 # The time-sensitive suites run on injected clocks; repeated shuffled runs
 # keep them honest about ordering and residual real-time assumptions.
-go test -short -count=3 -shuffle=on ./internal/serve/... ./internal/cluster/...
+go test -short -count=3 -shuffle=on ./internal/serve/... ./internal/delta/... ./internal/cluster/...
 
 echo "== crash-recovery e2e (SIGKILL mid-load, restart, bitwise verify) =="
 go test -run '^TestCrashRecoveryE2E$' -count=1 ./internal/serve
+
+echo "== mutation crash e2e (SIGKILL mid-mutation-stream, restart, bitwise verify) =="
+go test -run '^TestMutationCrashRecoveryE2E$' -count=1 ./internal/serve
 
 echo "== cluster e2e (router + 3 replicas, SIGKILL a holder mid-load, rebalance) =="
 go test -run '^TestClusterSmokeE2E$' -count=1 ./internal/cluster
 
 echo "== bench smoke (1 iteration per bench) =="
-go test -run '^$' -bench . -benchtime=1x . ./internal/serve > /dev/null
+go test -run '^$' -bench . -benchtime=1x . ./internal/serve ./internal/delta > /dev/null
 
 echo "check.sh: all checks passed"
